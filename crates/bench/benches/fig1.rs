@@ -1,0 +1,41 @@
+//! Figure 1(b): asymptotic cost comparison of Fat-Tree vs shared BB QRAM
+//! for O(log N) independent queries, instantiated at several capacities.
+
+use qram_arch::{Architecture, CostModel};
+use qram_bench::{header, num, row};
+use qram_metrics::{Capacity, TimingModel};
+use qram_noise::{bounds, GateErrorRates};
+
+fn main() {
+    let timing = TimingModel::paper_default();
+    let rates = GateErrorRates::paper_default();
+    header("Figure 1(b): Fat-Tree vs shared BB for log(N) independent queries");
+    row(
+        "N",
+        &["qubits FT", "qubits BB", "t_logN FT", "t_logN BB", "infid FT", "infid BB"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>(),
+    );
+    for n_exp in [5u32, 10, 15] {
+        let capacity = Capacity::from_address_width(n_exp);
+        let ft = CostModel::new(Architecture::FatTree, capacity, timing);
+        let bb = CostModel::new(Architecture::BucketBrigade, capacity, timing);
+        row(
+            &format!("2^{n_exp}"),
+            [
+                num(ft.qubit_count() as f64),
+                num(bb.qubit_count() as f64),
+                num(ft.parallel_queries_latency(n_exp).get()),
+                num(bb.parallel_queries_latency(n_exp).get()),
+                num(bounds::fat_tree_query_infidelity(capacity, &rates)),
+                num(bounds::bb_query_infidelity(capacity, &rates)),
+            ].as_ref(),
+        );
+    }
+    println!();
+    println!(
+        "Paper reference: O(N) qubits both; parallelism log(N) vs 1; \
+         latency log(N) vs log^2(N); infidelity 1 - log^2(N)*eps both."
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 11: infidelity of Fat-Tree QRAM, BB QRAM, and a generic circuit
+//! vs tree depth, with and without QEC (d = 3, 5).
+
+use qram_bench::{header, num, row};
+use qram_noise::{figure11_curve, GateErrorRates, QecCode};
+
+fn main() {
+    header("Figure 11: infidelity vs tree depth n = log N (e0 = 1e-3)");
+    let physical = GateErrorRates::from_cswap_rate(1e-3);
+    let depths: Vec<u32> = (2..=18).step_by(2).collect();
+    let raw = figure11_curve(depths.iter().copied(), &physical, None);
+    let d3 = figure11_curve(depths.iter().copied(), &physical, Some(QecCode::distance(3)));
+    let d5 = figure11_curve(depths.iter().copied(), &physical, Some(QecCode::distance(5)));
+    row(
+        "n",
+        &[
+            "FT", "BB", "GC", "FT d=3", "BB d=3", "GC d=3", "FT d=5", "GC d=5",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect::<Vec<_>>(),
+    );
+    for i in 0..depths.len() {
+        row(
+            &depths[i].to_string(),
+            [
+                num(raw[i].fat_tree),
+                num(raw[i].bucket_brigade),
+                num(raw[i].generic_circuit),
+                num(d3[i].fat_tree),
+                num(d3[i].bucket_brigade),
+                num(d3[i].generic_circuit),
+                num(d5[i].fat_tree),
+                num(d5[i].generic_circuit),
+            ].as_ref(),
+        );
+    }
+    println!();
+    // The paper's anchor: at distance 3 and budget 5e-4, QRAM runs much
+    // deeper trees than a generic circuit.
+    let budget = 5e-4;
+    let fine = figure11_curve(2..=20, &physical, Some(QecCode::distance(3)));
+    let qram_max = fine
+        .iter()
+        .filter(|p| p.fat_tree <= budget)
+        .map(|p| p.tree_depth)
+        .max()
+        .unwrap_or(0);
+    let gc_max = fine
+        .iter()
+        .filter(|p| p.generic_circuit <= budget)
+        .map(|p| p.tree_depth)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "at infidelity budget {budget}: QEC d=3 supports QRAM tree depth {qram_max} \
+         vs generic circuit {gc_max} (paper: n = 10 vs n ~ 6)"
+    );
+    println!(
+        "Fat-Tree vs BB infidelity ratio: {} (paper: a small constant, 1.25x)",
+        num(raw[3].fat_tree / raw[3].bucket_brigade)
+    );
+}

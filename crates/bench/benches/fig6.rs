@@ -1,0 +1,41 @@
+//! Figure 6: pipeline schedule of a capacity-8 Fat-Tree QRAM running three
+//! concurrent queries.
+
+use qram_bench::header;
+use qram_core::FatTreeQram;
+use qram_metrics::{Capacity, TimingModel};
+
+fn main() {
+    let capacity = Capacity::new(8).expect("power of two");
+    let qram = FatTreeQram::new(capacity);
+    let schedule = qram.pipeline(3);
+    header("Figure 6: Fat-Tree pipeline, N = 8, three concurrent queries");
+    println!(
+        "single query = {} layers (paper: 29; BB comparison 29:25)",
+        qram.single_query_layers_integer()
+    );
+    for t in schedule.timings() {
+        println!(
+            "query {}: start layer {:>2}, data retrieval {:>2}, done {:>2}",
+            t.query + 1,
+            t.start_layer,
+            t.retrieval_layer,
+            t.end_layer
+        );
+    }
+    println!("(paper: starts 1/11/21 — every 10 layers; retrievals ~15/25/35; ends 29/39/49)");
+    println!();
+    schedule
+        .validate_no_conflicts()
+        .expect("no conflicting colors in the same layer");
+    println!("conflict check: no two queries share a sub-QRAM in any gate step  [OK]");
+    println!();
+    println!("Sub-QRAM occupancy (rows = queries, columns = gate steps):");
+    println!("{}", schedule.render_occupancy());
+    let timing = TimingModel::paper_default();
+    println!(
+        "weighted makespan = {} (formula 16.5n - 8.375 at n = q = 3: {})",
+        schedule.makespan(&timing).get(),
+        16.5 * 3.0 - 8.375
+    );
+}

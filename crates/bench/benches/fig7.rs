@@ -1,0 +1,47 @@
+//! Figure 7: algorithm execution and query scheduling diagram — three
+//! algorithms alternating queries with d layers of processing.
+
+use qram_bench::header;
+use qram_metrics::{Capacity, Layers};
+use qram_sched::{simulate_streams, QramServer, StreamWorkload};
+
+fn main() {
+    let n_exp = 3u32;
+    let d = 20.0;
+    let capacity = Capacity::from_address_width(n_exp);
+    let server = QramServer::fat_tree_integer_layers(capacity);
+    header(&format!(
+        "Figure 7: 3 algorithms x (3 queries, d = {d} processing), N = {capacity}"
+    ));
+    println!(
+        "single query = 10n - 1 = {} layers",
+        server.latency().get()
+    );
+    let streams = vec![StreamWorkload::alternating(3, Layers::new(d)); 3];
+    let report = simulate_streams(&streams, &server);
+    for q in report.queries() {
+        println!(
+            "stream {} query: ready {:>6.1}, start {:>6.1}, finish {:>6.1}",
+            q.stream + 1,
+            q.ready.get(),
+            q.start.get(),
+            q.finish.get()
+        );
+    }
+    let expect = 30.0 * f64::from(n_exp) + 2.0 * d + 17.0;
+    println!();
+    println!(
+        "total time = {} (paper: 30n + 2d + 17 = {expect})",
+        report.makespan().get()
+    );
+    assert!((report.makespan().get() - expect).abs() < 1e-9);
+    println!();
+    println!("QRAM utilization staircase (duration @ level):");
+    for (dur, u) in report.utilization_trace().iter() {
+        println!("  {:>6.1} layers @ {}", dur.get(), u);
+    }
+    println!(
+        "average utilization = {}",
+        report.average_utilization()
+    );
+}

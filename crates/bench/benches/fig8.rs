@@ -1,0 +1,52 @@
+//! Figure 8: QRAM bandwidth vs capacity for the five architectures,
+//! grouped by qubit budget.
+
+use qram_arch::{Architecture, CostModel};
+use qram_bench::{header, num, row};
+use qram_metrics::{Capacity, TimingModel};
+
+fn main() {
+    let timing = TimingModel::paper_default();
+    header("Figure 8: bandwidth (qubit/s) vs capacity N, bus width 1");
+    println!("O(N log N)-qubit group:");
+    row(
+        "N",
+        &["D-BB", "D-Fat-Tree"].iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    );
+    for capacity in Capacity::sweep(1024).skip(1) {
+        row(
+            &capacity.to_string(),
+            &[
+                Architecture::DistributedBucketBrigade,
+                Architecture::DistributedFatTree,
+            ]
+            .iter()
+            .map(|&a| num(CostModel::new(a, capacity, timing).bandwidth(1).get()))
+            .collect::<Vec<_>>(),
+        );
+    }
+    println!();
+    println!("O(N)-qubit group:");
+    row(
+        "N",
+        &["Fat-Tree", "BB", "Virtual"].iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    );
+    for capacity in Capacity::sweep(1024).skip(1) {
+        row(
+            &capacity.to_string(),
+            &[
+                Architecture::FatTree,
+                Architecture::BucketBrigade,
+                Architecture::Virtual,
+            ]
+            .iter()
+            .map(|&a| num(CostModel::new(a, capacity, timing).bandwidth(1).get()))
+            .collect::<Vec<_>>(),
+        );
+    }
+    println!();
+    println!(
+        "Paper reference: Fat-Tree achieves a capacity-independent constant \
+         bandwidth (1.21e5); BB and Virtual decay with log N."
+    );
+}

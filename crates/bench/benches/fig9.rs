@@ -1,0 +1,53 @@
+//! Figure 9: overall circuit depth of four parallel algorithms on the five
+//! architectures at N = 2^10.
+
+use qram_algos::{figure9, ParallelAlgorithm};
+use qram_arch::Architecture;
+use qram_bench::{header, num, row};
+use qram_metrics::{Capacity, TimingModel};
+
+fn main() {
+    let capacity = Capacity::new(1024).expect("power of two");
+    let timing = TimingModel::paper_default();
+    header("Figure 9: overall circuit depth (layers), N = 2^10, p = log N = 10");
+    let bars = figure9(capacity, timing);
+    row(
+        "",
+        &Architecture::ALL
+            .iter()
+            .map(|a| a.name().to_owned())
+            .collect::<Vec<_>>(),
+    );
+    for algorithm in ParallelAlgorithm::figure9_suite() {
+        let cells: Vec<String> = Architecture::ALL
+            .iter()
+            .map(|&arch| {
+                let bar = bars
+                    .iter()
+                    .find(|b| b.architecture == arch && b.algorithm == algorithm)
+                    .expect("grid is complete");
+                num(bar.depth.get())
+            })
+            .collect();
+        row(algorithm.name(), &cells);
+    }
+    println!();
+    // The headline claim: up to ~10x depth reduction vs BB / Virtual.
+    for algorithm in ParallelAlgorithm::figure9_suite() {
+        let get = |arch: Architecture| {
+            bars.iter()
+                .find(|b| b.architecture == arch && b.algorithm == algorithm)
+                .expect("grid")
+                .depth
+                .get()
+        };
+        println!(
+            "{:<18} Fat-Tree speedup vs BB: {:>5.2}x, vs Virtual: {:>5.2}x",
+            algorithm.name(),
+            get(Architecture::BucketBrigade) / get(Architecture::FatTree),
+            get(Architecture::Virtual) / get(Architecture::FatTree),
+        );
+    }
+    println!();
+    println!("Paper reference: up to a factor of 10 reduction vs baselines BB and Virtual.");
+}

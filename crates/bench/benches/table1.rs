@@ -1,0 +1,68 @@
+//! Table 1: space and time resource comparison across shared QRAM models.
+
+use qram_arch::{Architecture, CostModel};
+use qram_bench::{header, num, row};
+use qram_metrics::{Capacity, TimingModel};
+
+fn main() {
+    let timing = TimingModel::paper_default();
+    let capacity = Capacity::new(1024).expect("power of two");
+    let n = capacity.address_width();
+    header(&format!(
+        "Table 1: resource comparison at N = {capacity} (n = {n})"
+    ));
+    let models: Vec<CostModel> = Architecture::ALL
+        .iter()
+        .map(|&a| CostModel::new(a, capacity, timing))
+        .collect();
+    row(
+        "",
+        &models
+            .iter()
+            .map(|m| m.architecture().name().to_owned())
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Qubits",
+        &models
+            .iter()
+            .map(|m| num(m.qubit_count() as f64))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Query parallelism",
+        &models
+            .iter()
+            .map(|m| num(f64::from(m.query_parallelism())))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "t1 (layers)",
+        &models
+            .iter()
+            .map(|m| num(m.single_query_latency().get()))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        &format!("t_log(N) = t_{n} (layers)"),
+        &models
+            .iter()
+            .map(|m| num(m.parallel_queries_latency(n).get()))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Amortized latency (layers)",
+        &models
+            .iter()
+            .map(|m| num(m.amortized_query_latency().get()))
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!(
+        "Paper reference (N = 2^10): Fat-Tree t1 = 8.25n - 0.125 = {}, \
+         t_logN = 16.5n - 8.375 = {}, amortized 8.25; BB t1 = 8n + 0.125 = {}.",
+        num(8.25 * 10.0 - 0.125),
+        num(16.5 * 10.0 - 8.375),
+        num(8.0 * 10.0 + 0.125),
+    );
+}

@@ -1,0 +1,72 @@
+//! Table 2: bandwidth, space-time volume, and classical-memory-swap budget.
+
+use qram_arch::{Architecture, CostModel};
+use qram_bench::{header, num, row};
+use qram_metrics::{Capacity, TimingModel};
+
+fn main() {
+    let timing = TimingModel::paper_default();
+    let capacity = Capacity::new(1024).expect("power of two");
+    header(&format!(
+        "Table 2: bandwidth / volume / swap budget at N = {capacity}, CSWAP = 1 us"
+    ));
+    let models: Vec<CostModel> = Architecture::ALL
+        .iter()
+        .map(|&a| CostModel::new(a, capacity, timing))
+        .collect();
+    row(
+        "",
+        &models
+            .iter()
+            .map(|m| m.architecture().name().to_owned())
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Bandwidth (qubit/s)",
+        &models
+            .iter()
+            .map(|m| num(m.bandwidth(1).get()))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Max query rate (q/s)",
+        &models
+            .iter()
+            .map(|m| num(m.max_query_rate().get()))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Space-time volume / query",
+        &models
+            .iter()
+            .map(|m| num(m.spacetime_volume_per_query().get()))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "  (per memory cell)",
+        &models
+            .iter()
+            .map(|m| num(m.spacetime_volume_per_query().per_cell(capacity.get())))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Classical swap budget (us)",
+        &models
+            .iter()
+            .map(|m| num(m.classical_swap_budget_micros()))
+            .collect::<Vec<_>>(),
+    );
+    row(
+        "Memory access rate (cell/s)",
+        &models
+            .iter()
+            .map(|m| num(m.bandwidth(1).memory_access_rate(capacity.get()).get()))
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!(
+        "Paper reference: Fat-Tree bandwidth 1.21e5 qubit/s (capacity-independent), \
+         volume 132N = {}, swap budget 8.25 us.",
+        num(132.0 * 1024.0)
+    );
+}

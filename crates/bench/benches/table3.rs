@@ -1,0 +1,28 @@
+//! Table 3: query infidelity vs capacity and physical CSWAP error rate.
+
+use qram_bench::{header, num, row};
+use qram_metrics::Capacity;
+use qram_noise::bounds::table3_infidelity;
+
+fn main() {
+    header("Table 3: query infidelity of Fat-Tree QRAM (e1 = e0, e2 = e0/2)");
+    row(
+        "Capacity N",
+        &["e0 = 1e-3", "e0 = 1e-4", "e0 = 1e-5"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>(),
+    );
+    for n in [8u64, 16, 32, 64] {
+        let capacity = Capacity::new(n).expect("power of two");
+        row(
+            &n.to_string(),
+            &[1e-3, 1e-4, 1e-5]
+                .iter()
+                .map(|&e0| num(table3_infidelity(capacity, e0)))
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!();
+    println!("Paper reference (e0 = 1e-3 column): 0.045 / 0.08 / 0.125 / 0.18.");
+}

@@ -1,0 +1,45 @@
+//! Table 4: virtual distillation — one Fat-Tree vs two BB QRAMs on the
+//! same 256-qubit budget, cross-checked against the exact density-matrix
+//! simulation.
+
+use qram_bench::{header, num, row};
+use qram_noise::table4;
+use qsim::density::DensityMatrix;
+use qsim::state::StateVector;
+
+fn main() {
+    header("Table 4: virtual distillation at 256 qubits (capacity-16 trees, e0 = 2e-3)");
+    row(
+        "",
+        &["Fat-Tree", "2 BB"].iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    );
+    let rows = table4();
+    row(
+        "Copies for distillation",
+        &rows.iter().map(|r| num(f64::from(r.copies))).collect::<Vec<_>>(),
+    );
+    row(
+        "Fidelity before",
+        &rows.iter().map(|r| num(r.fidelity_before)).collect::<Vec<_>>(),
+    );
+    row(
+        "Fidelity after",
+        &rows.iter().map(|r| num(r.fidelity_after)).collect::<Vec<_>>(),
+    );
+    // Exact density-matrix cross-check on a Bell-pair query state.
+    let mut psi = StateVector::new(2);
+    psi.apply_h(0);
+    psi.apply_cnot(0, 1);
+    let ideal = DensityMatrix::from_pure(&psi);
+    let err = DensityMatrix::orthogonal_error(&psi);
+    let exact: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let rho = ideal.mix(&err, 1.0 - r.fidelity_before);
+            num(rho.distill(r.copies).fidelity_with_pure(&psi))
+        })
+        .collect();
+    row("Fidelity after (exact rho^k)", &exact);
+    println!();
+    println!("Paper reference: before 0.84 / 0.872, after 0.9994 / 0.984.");
+}

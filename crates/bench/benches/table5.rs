@@ -1,0 +1,60 @@
+//! Table 5: error-corrected query cost — noisy Fat-Tree with encoded
+//! addresses vs fully encoded BB QRAM.
+
+use qram_bench::{header, num, row};
+use qram_metrics::Capacity;
+use qram_noise::{bb_encoded_query_cost, fat_tree_encoded_query_cost, QecCode};
+
+fn main() {
+    header("Table 5: error-corrected query cost ([[m,1,d]] code, syndrome depth D)");
+    // A compact [[5,1,3]]-style code so m <= log2(N) at practical sizes.
+    let code = QecCode {
+        m: 5,
+        d: 3,
+        syndrome_depth: 3,
+    };
+    println!(
+        "Code: [[{}, 1, {}]], syndrome extraction depth D = {}",
+        code.m, code.d, code.syndrome_depth
+    );
+    for n_exp in [10u32, 15, 20] {
+        let capacity = Capacity::from_address_width(n_exp);
+        let ft = fat_tree_encoded_query_cost(capacity, &code);
+        let bb = bb_encoded_query_cost(capacity, &code);
+        println!();
+        println!("capacity N = 2^{n_exp}:");
+        row(
+            "",
+            &["Fat-Tree (noisy QRAM)", "BB (encoded QRAM)"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>(),
+        );
+        row(
+            "Physical qubits",
+            [
+                num(ft.physical_qubits as f64),
+                num(bb.physical_qubits as f64),
+            ].as_ref(),
+        );
+        row(
+            "Logical query parallelism",
+            [
+                num(f64::from(ft.logical_query_parallelism)),
+                num(f64::from(bb.logical_query_parallelism)),
+            ].as_ref(),
+        );
+        row(
+            "Logical query latency",
+            [
+                num(ft.logical_query_latency as f64),
+                num(bb.logical_query_latency as f64),
+            ].as_ref(),
+        );
+    }
+    println!();
+    println!(
+        "Paper reference (Big-O): Fat-Tree N qubits, floor(logN/m) parallelism, \
+         D*logN + m latency; BB m*N qubits, parallelism 1, D*logN latency."
+    );
+}

@@ -1,0 +1,176 @@
+//! Figure 10: synthetic-algorithm sweeps over processing/query ratio and
+//! parallel algorithm count, for BB and Fat-Tree QRAM.
+//!
+//! Each synthetic algorithm repeats (query → process) ten times with
+//! processing depth `d = ratio · t₁` (§6.3); the sweep measures overall
+//! algorithm depth (Fig. 10(a)) and average QRAM utilization
+//! (Fig. 10(b)).
+
+use qram_arch::Architecture;
+use qram_metrics::{Capacity, Layers, TimingModel, Utilization};
+use qram_sched::{simulate_streams, QramServer, StreamWorkload};
+
+/// Queries per synthetic algorithm (the paper repeats query+process 10×).
+pub const SYNTHETIC_ITERATIONS: u32 = 10;
+
+/// One cell of the Fig. 10 heatmaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Processing depth / single-query latency ratio (`d/t₁`).
+    pub ratio: f64,
+    /// Number of parallel synthetic algorithms `p`.
+    pub parallel_count: u32,
+    /// Overall algorithm depth.
+    pub depth: Layers,
+    /// Average QRAM utilization over the run.
+    pub utilization: Utilization,
+}
+
+/// Runs one synthetic-sweep cell on an architecture.
+///
+/// # Panics
+///
+/// Panics if `parallel_count == 0` or `ratio < 0`.
+#[must_use]
+pub fn sweep_cell(
+    architecture: Architecture,
+    capacity: Capacity,
+    timing: TimingModel,
+    ratio: f64,
+    parallel_count: u32,
+) -> SweepCell {
+    assert!(parallel_count >= 1, "at least one algorithm");
+    assert!(ratio >= 0.0, "ratio must be non-negative");
+    let server = QramServer::for_architecture(architecture, capacity, timing);
+    let d = Layers::new(server.latency().get() * ratio);
+    let streams =
+        vec![StreamWorkload::alternating(SYNTHETIC_ITERATIONS, d); parallel_count as usize];
+    let report = simulate_streams(&streams, &server);
+    SweepCell {
+        ratio,
+        parallel_count,
+        depth: report.makespan(),
+        utilization: report.average_utilization(),
+    }
+}
+
+/// Computes a full Fig. 10 heatmap grid for one architecture.
+#[must_use]
+pub fn sweep_grid(
+    architecture: Architecture,
+    capacity: Capacity,
+    timing: TimingModel,
+    ratios: &[f64],
+    parallel_counts: &[u32],
+) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(ratios.len() * parallel_counts.len());
+    for &ratio in ratios {
+        for &p in parallel_counts {
+            cells.push(sweep_cell(architecture, capacity, timing, ratio, p));
+        }
+    }
+    cells
+}
+
+/// The paper's sweep axes: `d/t₁ ∈ [0, 2]`, `p ∈ [1, 30]` at `N = 1024`.
+#[must_use]
+pub fn paper_axes() -> (Vec<f64>, Vec<u32>) {
+    let ratios = (0..=8).map(|i| f64::from(i) * 0.25).collect();
+    let counts = (1..=30).collect();
+    (ratios, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(arch: Architecture, ratio: f64, p: u32) -> SweepCell {
+        sweep_cell(
+            arch,
+            Capacity::new(1024).unwrap(),
+            TimingModel::paper_default(),
+            ratio,
+            p,
+        )
+    }
+
+    #[test]
+    fn bb_hits_memory_bandwidth_bound_quickly() {
+        // Fig. 10(a1): on BB, depth grows linearly with p almost
+        // immediately — the memory bandwidth bound.
+        let d5 = cell(Architecture::BucketBrigade, 0.5, 5).depth.get();
+        let d10 = cell(Architecture::BucketBrigade, 0.5, 10).depth.get();
+        let growth = d10 / d5;
+        assert!((1.8..2.2).contains(&growth), "growth {growth} not linear");
+    }
+
+    #[test]
+    fn fat_tree_absorbs_parallelism_until_pipeline_full() {
+        // Fig. 10(a2): with high processing ratio, extra algorithms ride
+        // the pipeline for free until p exceeds log N + d/interval.
+        let d1 = cell(Architecture::FatTree, 2.0, 1).depth.get();
+        let d10 = cell(Architecture::FatTree, 2.0, 10).depth.get();
+        assert!(
+            d10 < d1 * 1.6,
+            "10 algorithms ({d10}) should cost little over 1 ({d1})"
+        );
+        // But 30 algorithms exceed the pipeline and queuing appears.
+        let d30 = cell(Architecture::FatTree, 2.0, 30).depth.get();
+        assert!(d30 > d10 * 1.05);
+        // With no processing at all, the bandwidth bound dominates sooner.
+        let q10 = cell(Architecture::FatTree, 0.0, 10).depth.get();
+        let q30 = cell(Architecture::FatTree, 0.0, 30).depth.get();
+        assert!(q30 > q10 * 1.5, "q10={q10} q30={q30}");
+    }
+
+    #[test]
+    fn fat_tree_beats_bb_across_the_grid() {
+        for ratio in [0.0, 1.0, 2.0] {
+            for p in [5u32, 15, 30] {
+                let ft = cell(Architecture::FatTree, ratio, p).depth.get();
+                let bb = cell(Architecture::BucketBrigade, ratio, p).depth.get();
+                assert!(
+                    ft < bb,
+                    "ratio={ratio} p={p}: Fat-Tree {ft} not below BB {bb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bb_utilization_saturates_fat_tree_varies() {
+        // Fig. 10(b1/b2): BB's single slot is always busy under load, while
+        // Fat-Tree's utilization reflects the processing/query balance.
+        let bb = cell(Architecture::BucketBrigade, 0.25, 10).utilization.get();
+        assert!(bb > 0.9, "BB utilization {bb}");
+        let ft_low = cell(Architecture::FatTree, 2.0, 2).utilization.get();
+        let ft_high = cell(Architecture::FatTree, 0.0, 20).utilization.get();
+        assert!(ft_low < 0.4, "few algorithms + heavy processing: {ft_low}");
+        assert!(ft_high > 0.8, "many algorithms, pure querying: {ft_high}");
+    }
+
+    #[test]
+    fn utilization_increases_with_parallel_count() {
+        let mut prev = 0.0;
+        for p in [1u32, 4, 8, 16] {
+            let u = cell(Architecture::FatTree, 1.0, p).utilization.get();
+            assert!(u >= prev - 1e-9, "p={p}: {u} < {prev}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let (ratios, counts) = paper_axes();
+        assert_eq!(ratios.len(), 9);
+        assert_eq!(counts.len(), 30);
+        let grid = sweep_grid(
+            Architecture::FatTree,
+            Capacity::new(64).unwrap(),
+            TimingModel::paper_default(),
+            &[0.0, 1.0],
+            &[1, 2, 3],
+        );
+        assert_eq!(grid.len(), 6);
+    }
+}

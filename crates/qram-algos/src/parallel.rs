@@ -1,0 +1,184 @@
+//! Parallel quantum algorithm workload models (§6.3, §7.3, Fig. 9).
+//!
+//! Each algorithm is decomposed into `p` parallel streams that alternate
+//! QRAM queries with QPU processing; the shared QRAM architecture then
+//! determines how the streams' queries serialize or pipeline. Query counts
+//! follow the paper's complexity statements with all problem-independent
+//! parameters (sparsity, precision) fixed to constants.
+
+use qram_metrics::{Capacity, Layers};
+use qram_sched::StreamWorkload;
+
+/// A parallel quantum algorithm benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParallelAlgorithm {
+    /// Parallel Grover search over `p` database segments
+    /// (Zalka 1999): each segment runs `⌈(π/4)·√(N/p)⌉` iterations.
+    Grover,
+    /// Parallel `k`-Sum via quantum walk: `O((N/p)^{k/(k+1)})` queries per
+    /// stream.
+    KSum {
+        /// The `k` of `k`-Sum (e.g. 2 for element distinctness style
+        /// walks).
+        k: u32,
+    },
+    /// Parallel Hamiltonian simulation by parallel quantum walks
+    /// (Zhang et al. 2024): `O(log N)` query rounds with
+    /// `O(log log N)`-depth processing.
+    HamiltonianSimulation,
+    /// Parallel quantum signal processing (Martyn et al. 2024): a degree-`d`
+    /// polynomial factored into `p` pieces of degree `O(d/p)`; total
+    /// queries `poly(d) = d²`.
+    Qsp {
+        /// Polynomial degree (the paper's Fig. 9 uses `d = 30`).
+        degree: u32,
+    },
+}
+
+impl ParallelAlgorithm {
+    /// The four benchmarks of Fig. 9, in its panel order.
+    #[must_use]
+    pub fn figure9_suite() -> [ParallelAlgorithm; 4] {
+        [
+            ParallelAlgorithm::Grover,
+            ParallelAlgorithm::KSum { k: 2 },
+            ParallelAlgorithm::HamiltonianSimulation,
+            ParallelAlgorithm::Qsp { degree: 30 },
+        ]
+    }
+
+    /// The benchmark's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParallelAlgorithm::Grover => "Grover",
+            ParallelAlgorithm::KSum { .. } => "k-Sum",
+            ParallelAlgorithm::HamiltonianSimulation => "Hamiltonian Sim.",
+            ParallelAlgorithm::Qsp { .. } => "QSP",
+        }
+    }
+
+    /// Queries issued *per stream* when parallelized `p` ways over a
+    /// capacity-`N` memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn queries_per_stream(&self, capacity: Capacity, p: u32) -> u32 {
+        assert!(p >= 1, "at least one stream");
+        let n_cells = capacity.capacity_f64();
+        let n = capacity.n_f64();
+        let per_segment = n_cells / f64::from(p);
+        let count = match self {
+            ParallelAlgorithm::Grover => {
+                (std::f64::consts::FRAC_PI_4 * per_segment.sqrt()).ceil()
+            }
+            ParallelAlgorithm::KSum { k } => {
+                let kf = f64::from(*k);
+                per_segment.powf(kf / (kf + 1.0)).ceil()
+            }
+            ParallelAlgorithm::HamiltonianSimulation => n.ceil(),
+            ParallelAlgorithm::Qsp { degree } => {
+                (f64::from(*degree) * f64::from(*degree) / f64::from(p)).ceil()
+            }
+        };
+        u32::try_from(count.max(1.0) as u64).expect("query count fits in u32")
+    }
+
+    /// Per-iteration QPU processing depth (in circuit layers) between
+    /// consecutive queries of one stream.
+    #[must_use]
+    pub fn processing_depth(&self, capacity: Capacity) -> Layers {
+        let n = capacity.n_f64();
+        match self {
+            // Oracle phase flip + diffusion over log N qubits.
+            ParallelAlgorithm::Grover => Layers::new(n),
+            // Quantum-walk step: a few reflections over the segment.
+            ParallelAlgorithm::KSum { .. } => Layers::new(2.0 * n),
+            // O(log log N)-depth local processing.
+            ParallelAlgorithm::HamiltonianSimulation => {
+                Layers::new(n.log2().max(1.0).ceil())
+            }
+            // A single-qubit phase rotation between queries.
+            ParallelAlgorithm::Qsp { .. } => Layers::new(2.0),
+        }
+    }
+
+    /// Builds the `p` parallel streams of this algorithm on a capacity-`N`
+    /// memory.
+    #[must_use]
+    pub fn streams(&self, capacity: Capacity, p: u32) -> Vec<StreamWorkload> {
+        let queries = self.queries_per_stream(capacity, p);
+        let d = self.processing_depth(capacity);
+        vec![StreamWorkload::alternating(queries, d); p as usize]
+    }
+}
+
+impl std::fmt::Display for ParallelAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap1024() -> Capacity {
+        Capacity::new(1024).unwrap()
+    }
+
+    #[test]
+    fn grover_query_count_scales_with_segment_size() {
+        // N = 1024, p = 10: ceil(0.785 · √102.4) = 8.
+        assert_eq!(ParallelAlgorithm::Grover.queries_per_stream(cap1024(), 10), 8);
+        // Fewer segments → more iterations each.
+        assert!(
+            ParallelAlgorithm::Grover.queries_per_stream(cap1024(), 1)
+                > ParallelAlgorithm::Grover.queries_per_stream(cap1024(), 10)
+        );
+    }
+
+    #[test]
+    fn ksum_query_count() {
+        // (102.4)^(2/3) = 21.9 → 22.
+        assert_eq!(
+            ParallelAlgorithm::KSum { k: 2 }.queries_per_stream(cap1024(), 10),
+            22
+        );
+    }
+
+    #[test]
+    fn qsp_queries_split_over_streams() {
+        let qsp = ParallelAlgorithm::Qsp { degree: 30 };
+        assert_eq!(qsp.queries_per_stream(cap1024(), 10), 90);
+        assert_eq!(qsp.queries_per_stream(cap1024(), 1), 900);
+    }
+
+    #[test]
+    fn hamiltonian_rounds_are_logarithmic() {
+        assert_eq!(
+            ParallelAlgorithm::HamiltonianSimulation.queries_per_stream(cap1024(), 10),
+            10
+        );
+    }
+
+    #[test]
+    fn streams_have_uniform_shape() {
+        let streams = ParallelAlgorithm::Grover.streams(cap1024(), 10);
+        assert_eq!(streams.len(), 10);
+        for s in &streams {
+            assert_eq!(s.query_count(), 8);
+        }
+    }
+
+    #[test]
+    fn suite_has_four_panels() {
+        let names: Vec<&str> = ParallelAlgorithm::figure9_suite()
+            .iter()
+            .map(ParallelAlgorithm::name)
+            .collect();
+        assert_eq!(names, vec!["Grover", "k-Sum", "Hamiltonian Sim.", "QSP"]);
+    }
+}

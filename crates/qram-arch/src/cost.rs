@@ -1,0 +1,416 @@
+//! Resource and performance cost models for the five shared-QRAM
+//! architectures of §6.1 — the closed forms behind Tables 1 and 2 and
+//! Fig. 8.
+
+use qram_core::latency;
+use qram_metrics::{
+    Bandwidth, Capacity, Layers, QueryRate, SpaceTimeVolume, TimingModel,
+};
+
+/// The shared-QRAM architectures compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// The paper's contribution: one Fat-Tree QRAM of capacity `N`.
+    FatTree,
+    /// `log₂ N` distributed Fat-Tree QRAMs of capacity `N` each.
+    DistributedFatTree,
+    /// One Bucket-Brigade QRAM (sequential queries).
+    BucketBrigade,
+    /// `log₂ N` distributed Bucket-Brigade QRAMs.
+    DistributedBucketBrigade,
+    /// Virtual QRAM (Xu et al., MICRO '23): `K = n/2` pages of size
+    /// `M = N/K` on the Fat-Tree's qubit budget.
+    Virtual,
+}
+
+impl Architecture {
+    /// All five architectures in the paper's table order.
+    pub const ALL: [Architecture; 5] = [
+        Architecture::FatTree,
+        Architecture::DistributedFatTree,
+        Architecture::BucketBrigade,
+        Architecture::DistributedBucketBrigade,
+        Architecture::Virtual,
+    ];
+
+    /// The display name used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::FatTree => "Fat-Tree",
+            Architecture::DistributedFatTree => "D-Fat-Tree",
+            Architecture::BucketBrigade => "BB",
+            Architecture::DistributedBucketBrigade => "D-BB",
+            Architecture::Virtual => "Virtual",
+        }
+    }
+
+    /// True for the distributed variants, which use `O(N log N)` qubits —
+    /// asymptotically more than the `O(N)` group (§6.1).
+    #[must_use]
+    pub fn is_distributed(self) -> bool {
+        matches!(
+            self,
+            Architecture::DistributedFatTree | Architecture::DistributedBucketBrigade
+        )
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The closed-form cost model of one architecture at one capacity
+/// (Tables 1–2).
+///
+/// # Examples
+///
+/// ```
+/// use qram_arch::{Architecture, CostModel};
+/// use qram_metrics::{Capacity, TimingModel};
+///
+/// let m = CostModel::new(Architecture::FatTree, Capacity::new(1024)?,
+///                        TimingModel::paper_default());
+/// assert_eq!(m.qubit_count(), 16 * 1024);
+/// assert_eq!(m.query_parallelism(), 10);
+/// // Constant bandwidth ≈ 1.21 × 10⁵ qubit/s, independent of N (Table 2).
+/// assert!((m.bandwidth(1).get() - 1.2121e5).abs() < 10.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    architecture: Architecture,
+    capacity: Capacity,
+    timing: TimingModel,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    #[must_use]
+    pub fn new(architecture: Architecture, capacity: Capacity, timing: TimingModel) -> Self {
+        CostModel {
+            architecture,
+            capacity,
+            timing,
+        }
+    }
+
+    /// The architecture being modelled.
+    #[must_use]
+    pub fn architecture(&self) -> Architecture {
+        self.architecture
+    }
+
+    /// The memory capacity `N`.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    fn n(&self) -> f64 {
+        self.capacity.n_f64()
+    }
+
+    fn n_u64(&self) -> u64 {
+        u64::from(self.capacity.address_width())
+    }
+
+    /// Total qubit count, Table 1 row 1: `16N` for Fat-Tree/Virtual,
+    /// `8N` for BB, `×log₂ N` for the distributed variants.
+    ///
+    /// The per-router constant is 8 physical elements (4 cavity qubits —
+    /// input, router, two outputs — plus their transmon/coupler ancillas,
+    /// Fig. 4(c)); Fat-Tree has `≈2N` routers, BB `≈N`.
+    #[must_use]
+    pub fn qubit_count(&self) -> u64 {
+        let n_cells = self.capacity.get();
+        match self.architecture {
+            Architecture::FatTree | Architecture::Virtual => 16 * n_cells,
+            Architecture::BucketBrigade => 8 * n_cells,
+            Architecture::DistributedFatTree => 16 * n_cells * self.n_u64(),
+            Architecture::DistributedBucketBrigade => 8 * n_cells * self.n_u64(),
+        }
+    }
+
+    /// Query parallelism, Table 1 row 2.
+    #[must_use]
+    pub fn query_parallelism(&self) -> u32 {
+        let n = self.capacity.address_width();
+        match self.architecture {
+            Architecture::FatTree => n,
+            Architecture::DistributedFatTree => n * n,
+            Architecture::BucketBrigade => 1,
+            Architecture::DistributedBucketBrigade => n,
+            Architecture::Virtual => n,
+        }
+    }
+
+    /// Weighted latency of a single query (`t₁`, Table 1 row 3).
+    #[must_use]
+    pub fn single_query_latency(&self) -> Layers {
+        match self.architecture {
+            Architecture::FatTree | Architecture::DistributedFatTree => {
+                latency::fat_tree_single_query(self.capacity, &self.timing)
+            }
+            Architecture::BucketBrigade | Architecture::DistributedBucketBrigade => {
+                latency::bb_single_query(self.capacity, &self.timing)
+            }
+            Architecture::Virtual => latency::virtual_single_query(self.capacity, &self.timing),
+        }
+    }
+
+    /// Weighted latency for `p` concurrent query requests: queries beyond
+    /// the parallelism queue up (round-robin over distributed copies;
+    /// pipelined admission for Fat-Tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn parallel_queries_latency(&self, p: u32) -> Layers {
+        assert!(p >= 1, "at least one query");
+        let n = self.capacity.address_width().max(1);
+        match self.architecture {
+            Architecture::FatTree => {
+                latency::fat_tree_parallel_queries(self.capacity, p, &self.timing)
+            }
+            Architecture::DistributedFatTree => {
+                // p queries round-robin over n Fat-Trees.
+                let per_tree = p.div_ceil(n);
+                latency::fat_tree_parallel_queries(self.capacity, per_tree, &self.timing)
+            }
+            Architecture::BucketBrigade => {
+                latency::bb_parallel_queries(self.capacity, p, &self.timing)
+            }
+            Architecture::DistributedBucketBrigade => {
+                latency::bb_parallel_queries(self.capacity, p.div_ceil(n), &self.timing)
+            }
+            Architecture::Virtual => {
+                // n virtual QRAMs, each serving queries sequentially.
+                self.single_query_latency() * f64::from(p.div_ceil(n))
+            }
+        }
+    }
+
+    /// Amortized per-query latency at full parallel load (Table 1 row 5):
+    /// `8.25` layers for Fat-Tree independent of `N`.
+    #[must_use]
+    pub fn amortized_query_latency(&self) -> Layers {
+        let n = self.n();
+        match self.architecture {
+            Architecture::FatTree => latency::fat_tree_pipeline_interval(&self.timing),
+            Architecture::DistributedFatTree => {
+                latency::fat_tree_pipeline_interval(&self.timing) / n
+            }
+            Architecture::BucketBrigade => self.single_query_latency(),
+            Architecture::DistributedBucketBrigade => self.single_query_latency() / n,
+            Architecture::Virtual => self.single_query_latency() / n,
+        }
+    }
+
+    /// Max query rate: inverse of the amortized single-query time (§6.2).
+    #[must_use]
+    pub fn max_query_rate(&self) -> QueryRate {
+        let seconds = self.timing.layers_to_seconds(self.amortized_query_latency());
+        QueryRate::new(1.0 / seconds)
+    }
+
+    /// QRAM bandwidth = max query rate × bus width (Table 2 row 1).
+    #[must_use]
+    pub fn bandwidth(&self, bus_width: u32) -> Bandwidth {
+        self.max_query_rate().bandwidth(bus_width)
+    }
+
+    /// Space-time volume per query: qubits × amortized latency
+    /// (Table 2 row 2) — `132N` for Fat-Tree.
+    #[must_use]
+    pub fn spacetime_volume_per_query(&self) -> SpaceTimeVolume {
+        SpaceTimeVolume::new(self.qubit_count() as f64 * self.amortized_query_latency().get())
+    }
+
+    /// Time budget for classical memory swap: the interval between
+    /// consecutive data retrievals, in µs (Table 2 row 3).
+    #[must_use]
+    pub fn classical_swap_budget_micros(&self) -> f64 {
+        let interval = match self.architecture {
+            Architecture::FatTree | Architecture::DistributedFatTree => {
+                latency::fat_tree_pipeline_interval(&self.timing)
+            }
+            Architecture::BucketBrigade | Architecture::DistributedBucketBrigade => {
+                latency::bb_single_query(self.capacity, &self.timing)
+            }
+            Architecture::Virtual => self.single_query_latency(),
+        };
+        self.timing.layers_to_micros(interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(a: Architecture, n: u64) -> CostModel {
+        CostModel::new(a, Capacity::new(n).unwrap(), TimingModel::paper_default())
+    }
+
+    #[test]
+    fn table1_qubit_row() {
+        assert_eq!(model(Architecture::FatTree, 1024).qubit_count(), 16 * 1024);
+        assert_eq!(model(Architecture::BucketBrigade, 1024).qubit_count(), 8 * 1024);
+        assert_eq!(model(Architecture::Virtual, 1024).qubit_count(), 16 * 1024);
+        assert_eq!(
+            model(Architecture::DistributedFatTree, 1024).qubit_count(),
+            16 * 1024 * 10
+        );
+        assert_eq!(
+            model(Architecture::DistributedBucketBrigade, 1024).qubit_count(),
+            8 * 1024 * 10
+        );
+    }
+
+    #[test]
+    fn table1_parallelism_row() {
+        assert_eq!(model(Architecture::FatTree, 1024).query_parallelism(), 10);
+        assert_eq!(
+            model(Architecture::DistributedFatTree, 1024).query_parallelism(),
+            100
+        );
+        assert_eq!(model(Architecture::BucketBrigade, 1024).query_parallelism(), 1);
+        assert_eq!(
+            model(Architecture::DistributedBucketBrigade, 1024).query_parallelism(),
+            10
+        );
+        assert_eq!(model(Architecture::Virtual, 1024).query_parallelism(), 10);
+    }
+
+    #[test]
+    fn table1_single_query_latency_row() {
+        let n = 10.0_f64;
+        assert!(
+            (model(Architecture::FatTree, 1024).single_query_latency().get()
+                - (8.25 * n - 0.125))
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (model(Architecture::BucketBrigade, 1024)
+                .single_query_latency()
+                .get()
+                - (8.0 * n + 0.125))
+                .abs()
+                < 1e-9
+        );
+        let virt = model(Architecture::Virtual, 1024).single_query_latency().get();
+        let expect = 4.0 * n * n + 4.0625 * n - 4.0 * n * n.log2();
+        assert!((virt - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_parallel_latency_row() {
+        // t_logN for Fat-Tree: 16.5n − 8.375.
+        let n = 10u32;
+        let got = model(Architecture::FatTree, 1024)
+            .parallel_queries_latency(n)
+            .get();
+        assert!((got - (16.5 * 10.0 - 8.375)).abs() < 1e-9);
+        // BB serializes: 10 × (80.125).
+        let bb = model(Architecture::BucketBrigade, 1024)
+            .parallel_queries_latency(n)
+            .get();
+        assert!((bb - 10.0 * 80.125).abs() < 1e-9);
+        // D-BB runs them all at once.
+        let dbb = model(Architecture::DistributedBucketBrigade, 1024)
+            .parallel_queries_latency(n)
+            .get();
+        assert!((dbb - 80.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_bandwidth_row() {
+        // Fat-Tree: 1/(8.25 µs) ≈ 1.2121 × 10⁵, independent of N.
+        for cap in [64u64, 1024, 1 << 16] {
+            let bw = model(Architecture::FatTree, cap).bandwidth(1).get();
+            assert!((bw - 1.0e6 / 8.25).abs() < 1.0, "N={cap}: {bw}");
+        }
+        // BB: 10⁶ / (8n + 0.125) — decays with N.
+        let bb = model(Architecture::BucketBrigade, 1024).bandwidth(1).get();
+        assert!((bb - 1.0e6 / 80.125).abs() < 1.0);
+        // D-BB: n × BB rate (constant-ish) — Table 2's 10⁶·log N/(8 log N + 0.125).
+        let dbb = model(Architecture::DistributedBucketBrigade, 1024)
+            .bandwidth(1)
+            .get();
+        assert!((dbb - 10.0e6 / 80.125).abs() < 10.0);
+        // Virtual: 10⁶ / (4n + 4.0625 − 4·log₂ log₂ N).
+        let v = model(Architecture::Virtual, 1024).bandwidth(1).get();
+        let n = 10.0_f64;
+        let expect = 1.0e6 / (4.0 * n + 4.0625 - 4.0 * n.log2());
+        assert!((v - expect).abs() < 1.0, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn table2_spacetime_volume_row() {
+        let n = 10.0_f64;
+        let cells = 1024.0;
+        // Fat-Tree: 132N.
+        let ft = model(Architecture::FatTree, 1024)
+            .spacetime_volume_per_query()
+            .get();
+        assert!((ft - 132.0 * cells).abs() < 1e-6);
+        // D-Fat-Tree: also 132N.
+        let dft = model(Architecture::DistributedFatTree, 1024)
+            .spacetime_volume_per_query()
+            .get();
+        assert!((dft - 132.0 * cells).abs() < 1e-6);
+        // BB: 64N·log N + N.
+        let bb = model(Architecture::BucketBrigade, 1024)
+            .spacetime_volume_per_query()
+            .get();
+        assert!((bb - (64.0 * cells * n + cells)).abs() < 1e-6);
+        // Virtual: 64N·log N + 65N − 64N·log log N.
+        let v = model(Architecture::Virtual, 1024)
+            .spacetime_volume_per_query()
+            .get();
+        let expect = 64.0 * cells * n + 65.0 * cells - 64.0 * cells * n.log2();
+        assert!((v - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table2_swap_budget_row() {
+        // Fat-Tree needs rapid constant-interval swapping: 8.25 µs.
+        assert!((model(Architecture::FatTree, 1024).classical_swap_budget_micros() - 8.25).abs() < 1e-9);
+        // BB: 8·log N + 0.125 µs.
+        assert!(
+            (model(Architecture::BucketBrigade, 1024).classical_swap_budget_micros() - 80.125)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn fat_tree_bandwidth_is_capacity_independent_bb_is_not() {
+        // Fig. 8's headline: Fat-Tree flat, BB decaying.
+        let ft4 = model(Architecture::FatTree, 4).bandwidth(1).get();
+        let ft1024 = model(Architecture::FatTree, 1024).bandwidth(1).get();
+        assert!((ft4 - ft1024).abs() < 1e-6);
+        let bb4 = model(Architecture::BucketBrigade, 4).bandwidth(1).get();
+        let bb1024 = model(Architecture::BucketBrigade, 1024).bandwidth(1).get();
+        assert!(bb4 > 4.0 * bb1024);
+    }
+
+    #[test]
+    fn architecture_metadata() {
+        assert_eq!(Architecture::FatTree.name(), "Fat-Tree");
+        assert_eq!(Architecture::ALL.len(), 5);
+        assert!(Architecture::DistributedBucketBrigade.is_distributed());
+        assert!(!Architecture::Virtual.is_distributed());
+        assert_eq!(Architecture::Virtual.to_string(), "Virtual");
+    }
+
+    #[test]
+    fn bus_width_scales_bandwidth() {
+        let m = model(Architecture::FatTree, 256);
+        assert_eq!(m.bandwidth(4).get(), m.bandwidth(1).get() * 4.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal 2-D geometry: points, segments, and proper-crossing tests.
+//!
+//! Used to verify that physical layouts (H-tree floorplans, intra-node
+//! wiring) are free of wire crossings within a chip plane (§4.2).
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A straight wire segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[must_use]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// True when the two segments *properly* cross: they intersect at a
+    /// single interior point of both. Touching at endpoints (shared ports)
+    /// does not count as a crossing.
+    #[must_use]
+    pub fn crosses(self, other: Segment) -> bool {
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+        // Strict straddling on both sides = proper interior crossing.
+        (d1 * d2 < 0.0) && (d3 * d4 < 0.0)
+    }
+}
+
+/// Twice the signed area of the triangle `abc`: positive for
+/// counter-clockwise orientation.
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    let v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    // Snap near-zero determinants to exactly zero so collinear contacts
+    // are not misclassified as crossings by floating-point noise.
+    if v.abs() < 1e-12 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Counts proper pairwise crossings among a set of segments.
+#[must_use]
+pub fn crossing_count(segments: &[Segment]) -> usize {
+    let mut count = 0;
+    for i in 0..segments.len() {
+        for j in (i + 1)..segments.len() {
+            if segments[i].crosses(segments[j]) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_x_shape() {
+        assert!(seg(0.0, 0.0, 1.0, 1.0).crosses(seg(0.0, 1.0, 1.0, 0.0)));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_cross() {
+        assert!(!seg(0.0, 0.0, 1.0, 0.0).crosses(seg(0.0, 1.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn shared_endpoint_is_not_a_crossing() {
+        assert!(!seg(0.0, 0.0, 1.0, 1.0).crosses(seg(1.0, 1.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn t_junction_is_not_a_proper_crossing() {
+        // One endpoint lying on the interior of the other segment.
+        assert!(!seg(0.0, 0.0, 2.0, 0.0).crosses(seg(1.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_cross() {
+        assert!(!seg(0.0, 0.0, 1.0, 0.0).crosses(seg(2.0, 2.0, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn crossing_count_counts_pairs() {
+        let segments = vec![
+            seg(0.0, 0.0, 2.0, 2.0),
+            seg(0.0, 2.0, 2.0, 0.0),
+            seg(0.0, 1.0, 2.0, 1.0),
+        ];
+        // Diagonals cross each other, and the horizontal crosses both.
+        assert_eq!(crossing_count(&segments), 3);
+    }
+
+    #[test]
+    fn distances_and_lengths() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+        assert_eq!(seg(0.0, 0.0, 0.0, 2.0).length(), 2.0);
+    }
+}

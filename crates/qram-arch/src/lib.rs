@@ -1,0 +1,45 @@
+//! Hardware architecture models for shared QRAM (§4, §6.1, §7.1–7.2).
+//!
+//! * [`cost`] — closed-form resource/latency/bandwidth models for the five
+//!   architectures compared in the paper (Tables 1–2, Fig. 8).
+//! * [`htree`] — the planar H-tree floorplan (Fig. 2(c), Fig. 3).
+//! * [`node_layout`] — intra-node wiring of multiplexed routers and the
+//!   bi-planar decomposition theorem of §4.2.2 (verified geometrically).
+//! * [`onchip`] — the thickness-2 chip plane assignment with TSV counting
+//!   (Fig. 4(d,e)).
+//! * [`modular`] — the modular implementation's hardware bill of materials
+//!   (Fig. 4(a–c)).
+//!
+//! # Examples
+//!
+//! ```
+//! use qram_arch::{Architecture, CostModel};
+//! use qram_metrics::{Capacity, TimingModel};
+//!
+//! // Fig. 8: Fat-Tree bandwidth is flat in N, BB decays.
+//! let timing = TimingModel::paper_default();
+//! for n in [64, 1024] {
+//!     let ft = CostModel::new(Architecture::FatTree, Capacity::new(n)?, timing);
+//!     assert!((ft.bandwidth(1).get() - 1.0e6 / 8.25).abs() < 1.0);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod geometry;
+pub mod htree;
+pub mod modular;
+pub mod node_layout;
+pub mod onchip;
+pub mod partial;
+
+pub use cost::{Architecture, CostModel};
+pub use geometry::{crossing_count, Point, Segment};
+pub use htree::HTreeLayout;
+pub use modular::{HardwareBom, ModularPlan};
+pub use node_layout::{NodeLayout, Plane};
+pub use onchip::OnChipPlan;
+pub use partial::PartialFatTree;

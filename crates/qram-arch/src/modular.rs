@@ -1,0 +1,198 @@
+//! The modular implementation of Fat-Tree nodes (§4.2.1, Fig. 4(a–c)):
+//! every node is an independently manufactured module; modules are linked
+//! by bendable superconducting coaxial cables through tunable couplers.
+
+use qram_core::TreeShape;
+use qram_metrics::Capacity;
+
+/// Hardware bill of materials for a modular Fat-Tree QRAM.
+///
+/// Per router (Fig. 4(c)): an input cavity and a router cavity, each with
+/// an attached transmon enabling the native cavity-controlled CSWAP, plus
+/// two output cavities (absent on the last router of each node, which acts
+/// as transient storage). Adjacent routers are linked by beam splitters;
+/// node ports attach tunable couplers driving the inter-node coax cables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HardwareBom {
+    /// Microwave cavities (the qubits of the architecture).
+    pub cavities: u64,
+    /// Transmons attached to input/router cavities for CSWAP control.
+    pub transmons: u64,
+    /// Beam splitters providing intra-node nearest-neighbour swaps.
+    pub beam_splitters: u64,
+    /// Tunable couplers at module ports.
+    pub couplers: u64,
+    /// Bendable coaxial inter-module cables.
+    pub coax_cables: u64,
+}
+
+impl HardwareBom {
+    /// Total physical elements.
+    #[must_use]
+    pub fn total_components(&self) -> u64 {
+        self.cavities + self.transmons + self.beam_splitters + self.couplers + self.coax_cables
+    }
+}
+
+/// The modular floorplan of a Fat-Tree QRAM: one module per tree node.
+///
+/// # Examples
+///
+/// ```
+/// use qram_arch::ModularPlan;
+/// use qram_metrics::Capacity;
+///
+/// let plan = ModularPlan::new(Capacity::new(32)?);
+/// assert_eq!(plan.module_count(), 31);
+/// // Inter-module cable count: n at the root + (n−i−1) wires per
+/// // parent→child link.
+/// assert!(plan.bom().coax_cables > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModularPlan {
+    capacity: Capacity,
+}
+
+impl ModularPlan {
+    /// Creates the modular plan for a capacity.
+    #[must_use]
+    pub fn new(capacity: Capacity) -> Self {
+        ModularPlan { capacity }
+    }
+
+    /// The capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Number of modules — one per tree node, `N − 1`.
+    #[must_use]
+    pub fn module_count(&self) -> u64 {
+        self.capacity.get() - 1
+    }
+
+    /// Cavity count inside the module at tree level `i` (which hosts
+    /// `R = n − i` routers): `2R` input/router cavities plus `2(R − 1)`
+    /// output cavities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level ≥ n`.
+    #[must_use]
+    pub fn cavities_in_module(&self, level: u32) -> u64 {
+        let r = u64::from(TreeShape::new(self.capacity).routers_in_node(level));
+        2 * r + 2 * (r - 1)
+    }
+
+    /// The full bill of materials.
+    #[must_use]
+    pub fn bom(&self) -> HardwareBom {
+        let shape = TreeShape::new(self.capacity);
+        let depth = self.capacity.address_width();
+        let mut bom = HardwareBom::default();
+        for level in 0..depth {
+            let nodes = 1u64 << level;
+            let r = u64::from(shape.routers_in_node(level));
+            bom.cavities += nodes * (2 * r + 2 * (r - 1));
+            // One transmon on the input cavity and one on the router cavity
+            // of every router (native CSWAP, Fig. 4(c)).
+            bom.transmons += nodes * 2 * r;
+            // Beam splitters between horizontally adjacent routers.
+            bom.beam_splitters += nodes * (r - 1);
+            // Couplers: one per external port. Incoming ports = r wires from
+            // the parent (n at the root); outgoing = 2(r−1) toward children
+            // (leaf-level nodes wire directly to classical cells instead).
+            let incoming = r;
+            let outgoing = if level + 1 < depth { 2 * (r - 1) } else { 0 };
+            bom.couplers += nodes * (incoming + outgoing);
+        }
+        // Coax cables: the root's n external escape wires, plus the
+        // parent→child bundles (n − i − 1 wires each).
+        bom.coax_cables += u64::from(depth);
+        for level in 0..depth.saturating_sub(1) {
+            let nodes = 1u64 << level;
+            bom.coax_cables += nodes * 2 * u64::from(shape.wires_to_child(level));
+        }
+        bom
+    }
+
+    /// Physical qubits (cavities + transmons) — the quantity reported as
+    /// `16N` in Table 1 (leading order).
+    #[must_use]
+    pub fn physical_qubits(&self) -> u64 {
+        let bom = self.bom();
+        bom.cavities + bom.transmons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: u64) -> ModularPlan {
+        ModularPlan::new(Capacity::new(n).unwrap())
+    }
+
+    #[test]
+    fn module_count_is_node_count() {
+        assert_eq!(plan(32).module_count(), 31);
+    }
+
+    #[test]
+    fn figure_4a_node_shape() {
+        // Node (1, j) of a capacity-32 QRAM: 4 routers → 8 input/router
+        // cavities + 6 output cavities.
+        assert_eq!(plan(32).cavities_in_module(1), 14);
+    }
+
+    #[test]
+    fn leaf_level_modules_are_smallest() {
+        let p = plan(64);
+        let depth = 6;
+        for level in 0..depth - 1 {
+            assert!(p.cavities_in_module(level) > p.cavities_in_module(level + 1));
+        }
+        // A leaf-level node has a single router: 2 cavities + 0 outputs.
+        assert_eq!(p.cavities_in_module(depth - 1), 2);
+    }
+
+    #[test]
+    fn physical_qubits_scale_like_table_1() {
+        // Cavities + transmons ≈ 6 per router × 2N routers ≈ 12N; the
+        // Table-1 constant 16N additionally counts couplers. Verify the
+        // leading behaviour: between 8N and 16N, linear in N.
+        for n in [64u64, 256, 1024] {
+            let q = plan(n).physical_qubits();
+            assert!(
+                q >= 8 * n && q <= 16 * n,
+                "N={n}: physical qubits {q} outside [8N, 16N]"
+            );
+        }
+        let r = plan(2048).physical_qubits() as f64 / plan(1024).physical_qubits() as f64;
+        assert!((r - 2.0).abs() < 0.05, "not linear: ratio {r}");
+    }
+
+    #[test]
+    fn coax_cables_match_wire_formula() {
+        // Total inter-node wires: n (root) + Σ_{i<n−1} 2^{i+1} (n−i−1).
+        let p = plan(32);
+        let n = 5u64;
+        let mut expect = n;
+        for i in 0..4u64 {
+            expect += (1u64 << (i + 1)) * (n - i - 1);
+        }
+        assert_eq!(p.bom().coax_cables, expect);
+    }
+
+    #[test]
+    fn bom_totals_are_consistent() {
+        let bom = plan(16).bom();
+        assert_eq!(
+            bom.total_components(),
+            bom.cavities + bom.transmons + bom.beam_splitters + bom.couplers + bom.coax_cables
+        );
+        assert!(bom.transmons < bom.cavities);
+    }
+}

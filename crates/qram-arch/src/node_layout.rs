@@ -1,0 +1,216 @@
+//! Intra-node wiring of a multiplexed Fat-Tree node (§4.2, Fig. 4).
+//!
+//! A node `(i, j)` packs `R = n − i` routers side by side. Each of the
+//! first `R − 1` routers sends one output wire toward the left child and
+//! one toward the right child (the last router has no outputs and serves as
+//! transient storage). Routing every L and R wire in a single layer forces
+//! wire crossings; the paper's key observation is that the connectivity
+//! splits into two *planar* subsets — all L wires on one plane, all R wires
+//! on the other — implementable with a thickness-2 chip and TSVs.
+
+use crate::geometry::{crossing_count, Point, Segment};
+
+/// Which chip plane a wire is assigned to in the on-chip design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Plane {
+    /// The plane carrying wires toward the left child.
+    Left,
+    /// The plane carrying wires toward the right child.
+    Right,
+}
+
+/// The geometric wiring plan of one multiplexed Fat-Tree node.
+///
+/// The node occupies the unit square: input ports on the top edge, routers
+/// on the middle row, left-child ports on the bottom-left, right-child
+/// ports on the bottom-right.
+///
+/// # Examples
+///
+/// ```
+/// use qram_arch::NodeLayout;
+///
+/// // A root node of a capacity-32 QRAM has 5 routers.
+/// let node = NodeLayout::new(5);
+/// // Forcing all output wires into one layer crosses wires...
+/// assert!(node.single_plane_crossings() > 0);
+/// // ...but the bi-planar split of §4.2.2 is crossing-free.
+/// assert_eq!(node.biplanar_crossings(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLayout {
+    routers: u32,
+}
+
+impl NodeLayout {
+    /// Lays out a node with `routers ≥ 1` multiplexed routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers == 0`.
+    #[must_use]
+    pub fn new(routers: u32) -> Self {
+        assert!(routers >= 1, "a node has at least one router");
+        NodeLayout { routers }
+    }
+
+    /// Number of multiplexed routers `R = n − i`.
+    #[must_use]
+    pub fn router_count(&self) -> u32 {
+        self.routers
+    }
+
+    /// Number of output wires toward each child: `R − 1` (the last router
+    /// is transient storage and has no outputs, §4.2.1).
+    #[must_use]
+    pub fn output_wires_per_side(&self) -> u32 {
+        self.routers - 1
+    }
+
+    /// Position of router `r` on the middle row.
+    #[must_use]
+    pub fn router_position(&self, r: u32) -> Point {
+        assert!(r < self.routers);
+        let w = 1.0 / f64::from(self.routers);
+        Point::new((f64::from(r) + 0.5) * w, 0.5)
+    }
+
+    /// Position of input port `r` on the top edge (directly above its
+    /// router, so input wiring is vertical and crossing-free).
+    #[must_use]
+    pub fn input_port(&self, r: u32) -> Point {
+        let p = self.router_position(r);
+        Point::new(p.x, 1.0)
+    }
+
+    /// Position of the `r`-th left-child port on the bottom-left edge.
+    #[must_use]
+    pub fn left_port(&self, r: u32) -> Point {
+        assert!(r < self.output_wires_per_side());
+        let w = 0.5 / f64::from(self.output_wires_per_side());
+        Point::new((f64::from(r) + 0.5) * w, 0.0)
+    }
+
+    /// Position of the `r`-th right-child port on the bottom-right edge.
+    #[must_use]
+    pub fn right_port(&self, r: u32) -> Point {
+        assert!(r < self.output_wires_per_side());
+        let w = 0.5 / f64::from(self.output_wires_per_side());
+        Point::new(0.5 + (f64::from(r) + 0.5) * w, 0.0)
+    }
+
+    /// The input wires (top ports straight down to routers).
+    #[must_use]
+    pub fn input_wires(&self) -> Vec<Segment> {
+        (0..self.routers)
+            .map(|r| Segment::new(self.input_port(r), self.router_position(r)))
+            .collect()
+    }
+
+    /// The output wires of one plane: router `r` to the `r`-th child port
+    /// on that side (order-preserving, hence planar).
+    #[must_use]
+    pub fn output_wires(&self, plane: Plane) -> Vec<Segment> {
+        (0..self.output_wires_per_side())
+            .map(|r| {
+                let port = match plane {
+                    Plane::Left => self.left_port(r),
+                    Plane::Right => self.right_port(r),
+                };
+                Segment::new(self.router_position(r), port)
+            })
+            .collect()
+    }
+
+    /// Wire crossings when *all* wires (inputs + both output sides) share a
+    /// single layer — positive for `R ≥ 3`, motivating the two-plane chip.
+    #[must_use]
+    pub fn single_plane_crossings(&self) -> usize {
+        let mut wires = self.input_wires();
+        wires.extend(self.output_wires(Plane::Left));
+        wires.extend(self.output_wires(Plane::Right));
+        crossing_count(&wires)
+    }
+
+    /// Wire crossings under the bi-planar decomposition: inputs + L wires
+    /// on one plane, R wires on the other. Zero for every node size — the
+    /// claim of §4.2.2.
+    #[must_use]
+    pub fn biplanar_crossings(&self) -> usize {
+        let mut plane_a = self.input_wires();
+        plane_a.extend(self.output_wires(Plane::Left));
+        let plane_b = self.output_wires(Plane::Right);
+        crossing_count(&plane_a) + crossing_count(&plane_b)
+    }
+
+    /// Beam-splitter links between horizontally adjacent routers
+    /// (`R − 1` of them), providing the nearest-neighbour connectivity the
+    /// local swap steps need (§4.2.1).
+    #[must_use]
+    pub fn beam_splitter_count(&self) -> u32 {
+        self.routers - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biplanar_split_is_always_crossing_free() {
+        for routers in 1..=24 {
+            let node = NodeLayout::new(routers);
+            assert_eq!(node.biplanar_crossings(), 0, "R={routers}");
+        }
+    }
+
+    #[test]
+    fn single_plane_crossings_appear_from_three_routers() {
+        assert_eq!(NodeLayout::new(1).single_plane_crossings(), 0);
+        assert_eq!(NodeLayout::new(2).single_plane_crossings(), 0);
+        for routers in 3..=16 {
+            assert!(
+                NodeLayout::new(routers).single_plane_crossings() > 0,
+                "R={routers}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossings_grow_with_multiplexing() {
+        let c4 = NodeLayout::new(4).single_plane_crossings();
+        let c8 = NodeLayout::new(8).single_plane_crossings();
+        assert!(c8 > c4);
+    }
+
+    #[test]
+    fn wire_counts_match_figure_4a() {
+        // Node (1, j) of a capacity-32 QRAM: 4 routers, 4 input wires,
+        // 3 output wires per side.
+        let node = NodeLayout::new(4);
+        assert_eq!(node.input_wires().len(), 4);
+        assert_eq!(node.output_wires(Plane::Left).len(), 3);
+        assert_eq!(node.output_wires(Plane::Right).len(), 3);
+        assert_eq!(node.beam_splitter_count(), 3);
+    }
+
+    #[test]
+    fn ports_are_ordered_and_separated() {
+        let node = NodeLayout::new(5);
+        for r in 0..3 {
+            assert!(node.left_port(r).x < node.left_port(r + 1).x);
+            assert!(node.right_port(r).x < node.right_port(r + 1).x);
+        }
+        // Left ports stay in the left half, right ports in the right half.
+        for r in 0..4 {
+            assert!(node.left_port(r).x < 0.5);
+            assert!(node.right_port(r).x > 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn zero_router_node_rejected() {
+        let _ = NodeLayout::new(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The on-chip two-plane (thickness-2) implementation of §4.2.2, Fig. 4(d,e).
+//!
+//! Each node resides fully in one plane; a router's L output leads to the
+//! *opposite* plane and its R output stays in the *same* plane, so the
+//! plane of a node is determined by the number of left turns on its
+//! root-to-node path. Inter-plane hops are realized with
+//! Through-Substrate Vias (TSVs).
+
+use qram_core::{NodeId, TreeShape};
+use qram_metrics::Capacity;
+
+/// The plane assignment of a capacity-`N` on-chip Fat-Tree QRAM.
+///
+/// # Examples
+///
+/// ```
+/// use qram_arch::OnChipPlan;
+/// use qram_metrics::Capacity;
+///
+/// let plan = OnChipPlan::new(Capacity::new(32)?);
+/// // The alternating-plane rule keeps every parent→right-child wire
+/// // in-plane, and sends every parent→left-child wire through a TSV.
+/// assert_eq!(plan.tsv_count(), 32 / 2 - 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnChipPlan {
+    capacity: Capacity,
+}
+
+impl OnChipPlan {
+    /// Creates the plan for a capacity.
+    #[must_use]
+    pub fn new(capacity: Capacity) -> Self {
+        OnChipPlan { capacity }
+    }
+
+    /// The capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The plane (0 or 1) hosting a node: the root sits in plane 0; taking
+    /// a left branch flips planes, a right branch stays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the tree.
+    #[must_use]
+    pub fn plane_of(&self, node: NodeId) -> u8 {
+        assert!(
+            node.level < self.capacity.address_width(),
+            "node {node} outside tree"
+        );
+        // A node's path from the root is encoded in its index bits
+        // (MSB-first). Left turns are 0-bits; count them.
+        let right_turns = node.index.count_ones().min(node.level);
+        let left_turns = node.level - right_turns;
+        u8::try_from(left_turns % 2).expect("parity is 0 or 1")
+    }
+
+    /// Number of TSV (inter-plane) connections: one per parent→left-child
+    /// wire among router nodes, `N/2 − 1` in total.
+    #[must_use]
+    pub fn tsv_count(&self) -> u64 {
+        // Left children exist at levels 1..n−1: Σ_{i=1}^{n−1} 2^{i−1}
+        // = 2^{n−1} − 1.
+        self.capacity.get() / 2 - 1
+    }
+
+    /// Verifies the defining property: every right-child edge is in-plane
+    /// and every left-child edge crosses planes.
+    #[must_use]
+    pub fn verify_alternation(&self) -> bool {
+        let shape = TreeShape::new(self.capacity);
+        let ok = shape.nodes().all(|node| {
+            if node.level + 1 >= self.capacity.address_width() {
+                return true;
+            }
+            let here = self.plane_of(node);
+            self.plane_of(node.right_child()) == here
+                && self.plane_of(node.left_child()) == 1 - here
+        });
+        ok
+    }
+
+    /// Nodes hosted on each plane, `(plane0, plane1)`.
+    #[must_use]
+    pub fn node_split(&self) -> (u64, u64) {
+        let shape = TreeShape::new(self.capacity);
+        let plane1 = shape
+            .nodes()
+            .filter(|&node| self.plane_of(node) == 1)
+            .count() as u64;
+        (shape.node_count() - plane1, plane1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: u64) -> OnChipPlan {
+        OnChipPlan::new(Capacity::new(n).unwrap())
+    }
+
+    #[test]
+    fn root_is_plane_zero() {
+        assert_eq!(plan(8).plane_of(NodeId::ROOT), 0);
+    }
+
+    #[test]
+    fn alternation_holds_for_all_capacities() {
+        for n in [4u64, 8, 16, 64, 256, 1024] {
+            assert!(plan(n).verify_alternation(), "N={n}");
+        }
+    }
+
+    #[test]
+    fn left_child_flips_right_child_stays() {
+        let p = plan(16);
+        let l = NodeId::ROOT.left_child();
+        let r = NodeId::ROOT.right_child();
+        assert_eq!(p.plane_of(l), 1);
+        assert_eq!(p.plane_of(r), 0);
+        assert_eq!(p.plane_of(l.left_child()), 0);
+        assert_eq!(p.plane_of(l.right_child()), 1);
+    }
+
+    #[test]
+    fn tsv_count_matches_left_edges() {
+        for n in [4u64, 8, 32, 256] {
+            let p = plan(n);
+            // Count left-child edges among router nodes directly.
+            let shape = TreeShape::new(p.capacity());
+            let depth = p.capacity().address_width();
+            let left_edges = shape
+                .nodes()
+                .filter(|node| node.level + 1 < depth)
+                .count() as u64;
+            assert_eq!(p.tsv_count(), left_edges, "N={n}");
+        }
+    }
+
+    #[test]
+    fn planes_are_roughly_balanced() {
+        let (p0, p1) = plan(1024).node_split();
+        assert_eq!(p0 + p1, 1023);
+        let imbalance = (p0 as f64 - p1 as f64).abs() / 1023.0;
+        assert!(imbalance < 0.2, "plane imbalance {imbalance}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tree")]
+    fn foreign_node_panics() {
+        let _ = plan(4).plane_of(NodeId::new(7, 0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Ablation: partially multiplexed Fat-Trees.
+//!
+//! A full Fat-Tree duplicates the level-`i` routers `n − i` times. This
+//! module studies the design space *between* bucket-brigade (no
+//! duplication) and the full Fat-Tree by capping the number of router
+//! copies per node at `c`: level `i` hosts `min(c, n − i)` routers. The
+//! cap trades query parallelism (≤ `c` pipelined queries) against qubit
+//! overhead — quantifying the paper's claim (§3) that a "moderate, small
+//! constant factor increase" in qubits buys immense parallelism.
+
+use qram_metrics::{Bandwidth, Capacity, Layers, QueryRate, SpaceTimeVolume, TimingModel};
+
+use qram_core::latency;
+
+/// A Fat-Tree with at most `copies_cap` router copies per node.
+///
+/// `copies_cap = 1` degenerates to a bucket-brigade QRAM;
+/// `copies_cap ≥ n` is the full Fat-Tree.
+///
+/// # Examples
+///
+/// ```
+/// use qram_arch::PartialFatTree;
+/// use qram_metrics::{Capacity, TimingModel};
+///
+/// let capacity = Capacity::new(1024)?;
+/// let bb = PartialFatTree::new(capacity, 1);
+/// let half = PartialFatTree::new(capacity, 5);
+/// let full = PartialFatTree::new(capacity, 10);
+/// assert!(bb.qubit_count() < half.qubit_count());
+/// assert!(half.qubit_count() < full.qubit_count());
+/// // Parallelism grows with the cap...
+/// assert_eq!(half.query_parallelism(), 5);
+/// // ...while the qubit overhead stays below 2x of bucket-brigade.
+/// assert!(full.qubit_count() < 2 * bb.qubit_count());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialFatTree {
+    capacity: Capacity,
+    copies_cap: u32,
+}
+
+impl PartialFatTree {
+    /// Physical elements per router (see `CostModel::qubit_count`).
+    pub const QUBITS_PER_ROUTER: u64 = 8;
+
+    /// Creates a capped Fat-Tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies_cap == 0`.
+    #[must_use]
+    pub fn new(capacity: Capacity, copies_cap: u32) -> Self {
+        assert!(copies_cap >= 1, "at least one router per node");
+        PartialFatTree {
+            capacity,
+            copies_cap,
+        }
+    }
+
+    /// The memory capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The per-node router cap `c`.
+    #[must_use]
+    pub fn copies_cap(&self) -> u32 {
+        self.copies_cap
+    }
+
+    /// The effective cap (`min(c, n)`) — caps above the tree depth add
+    /// nothing.
+    #[must_use]
+    pub fn effective_cap(&self) -> u32 {
+        self.copies_cap.min(self.capacity.address_width())
+    }
+
+    /// Total routers: `Σᵢ min(c, n − i) · 2^i`.
+    #[must_use]
+    pub fn router_count(&self) -> u64 {
+        let n = self.capacity.address_width();
+        let c = self.copies_cap;
+        (0..n)
+            .map(|i| u64::from((n - i).min(c)) * (1u64 << i))
+            .sum()
+    }
+
+    /// Total qubits (8 per router, matching Table 1's constants).
+    #[must_use]
+    pub fn qubit_count(&self) -> u64 {
+        Self::QUBITS_PER_ROUTER * self.router_count()
+    }
+
+    /// Queries that can be pipelined: one per available sub-QRAM lane,
+    /// `min(c, n)`.
+    #[must_use]
+    pub fn query_parallelism(&self) -> u32 {
+        self.effective_cap()
+    }
+
+    /// Single-query latency: the full Fat-Tree stream when multiplexed
+    /// (`c ≥ 2`), the bucket-brigade stream at `c = 1` (no swap steps
+    /// needed).
+    #[must_use]
+    pub fn single_query_latency(&self, timing: &TimingModel) -> Layers {
+        if self.copies_cap == 1 {
+            latency::bb_single_query(self.capacity, timing)
+        } else {
+            latency::fat_tree_single_query(self.capacity, timing)
+        }
+    }
+
+    /// Amortized per-query latency at full pipeline load: `t₁ / min(c, n)`
+    /// — interpolating bucket-brigade (`c = 1`: t₁) and the full Fat-Tree
+    /// (`c = n`: the 8.25-layer pipeline interval).
+    #[must_use]
+    pub fn amortized_query_latency(&self, timing: &TimingModel) -> Layers {
+        let c = self.effective_cap();
+        if c == self.capacity.address_width() {
+            latency::fat_tree_pipeline_interval(timing)
+        } else {
+            self.single_query_latency(timing) / f64::from(c)
+        }
+    }
+
+    /// Sustained bandwidth at bus width 1.
+    #[must_use]
+    pub fn bandwidth(&self, timing: &TimingModel) -> Bandwidth {
+        let seconds = timing.layers_to_seconds(self.amortized_query_latency(timing));
+        QueryRate::new(1.0 / seconds).bandwidth(1)
+    }
+
+    /// Space-time volume per query.
+    #[must_use]
+    pub fn spacetime_volume_per_query(&self, timing: &TimingModel) -> SpaceTimeVolume {
+        SpaceTimeVolume::new(
+            self.qubit_count() as f64 * self.amortized_query_latency(timing).get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(n: u64) -> Capacity {
+        Capacity::new(n).unwrap()
+    }
+
+    fn timing() -> TimingModel {
+        TimingModel::paper_default()
+    }
+
+    #[test]
+    fn endpoints_match_bb_and_fat_tree() {
+        let c = cap(1024);
+        let bb = PartialFatTree::new(c, 1);
+        assert_eq!(bb.router_count(), 1023);
+        assert_eq!(bb.qubit_count(), 8 * 1023);
+        assert_eq!(bb.query_parallelism(), 1);
+        assert!((bb.amortized_query_latency(&timing()).get() - 80.125).abs() < 1e-9);
+
+        let full = PartialFatTree::new(c, 10);
+        assert_eq!(full.router_count(), 2 * 1024 - 2 - 10);
+        assert_eq!(full.query_parallelism(), 10);
+        assert!((full.amortized_query_latency(&timing()).get() - 8.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_above_depth_changes_nothing() {
+        let c = cap(256);
+        let full = PartialFatTree::new(c, 8);
+        let over = PartialFatTree::new(c, 100);
+        assert_eq!(full.router_count(), over.router_count());
+        assert_eq!(full.query_parallelism(), over.query_parallelism());
+    }
+
+    #[test]
+    fn qubits_grow_monotonically_but_stay_below_2x() {
+        let c = cap(1 << 12);
+        let base = PartialFatTree::new(c, 1).qubit_count();
+        let mut prev = 0;
+        for cap_c in 1..=12u32 {
+            let q = PartialFatTree::new(c, cap_c).qubit_count();
+            assert!(q > prev);
+            assert!(q <= 2 * base, "cap {cap_c}: {q} vs 2x base {base}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn parallelism_per_marginal_qubit_is_a_bargain() {
+        // Doubling qubits (c: 1 → n) multiplies bandwidth by ~n·(t1_bb/t1_ft).
+        let c = cap(1024);
+        let t = timing();
+        let bb = PartialFatTree::new(c, 1);
+        let full = PartialFatTree::new(c, 10);
+        let qubit_ratio = full.qubit_count() as f64 / bb.qubit_count() as f64;
+        let bandwidth_ratio = full.bandwidth(&t).get() / bb.bandwidth(&t).get();
+        assert!(qubit_ratio < 2.0);
+        assert!(bandwidth_ratio > 9.0, "bandwidth ratio {bandwidth_ratio}");
+    }
+
+    #[test]
+    fn volume_per_query_improves_with_cap() {
+        let c = cap(1024);
+        let t = timing();
+        let mut prev = f64::INFINITY;
+        for cap_c in 1..=10u32 {
+            // Skip c=2..: latency model switches at c=2; volume still must
+            // decrease monotonically beyond that point.
+            let v = PartialFatTree::new(c, cap_c)
+                .spacetime_volume_per_query(&t)
+                .get();
+            if cap_c >= 2 {
+                assert!(v < prev, "cap {cap_c}: {v} vs {prev}");
+            }
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn zero_cap_rejected() {
+        let _ = PartialFatTree::new(cap(8), 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! Functional execution of query instruction streams.
+//!
+//! For a fixed address, every router in a bucket-brigade tree is in a
+//! definite classical state, so a query over a superposition of addresses
+//! decomposes into independent *branches* (see `qsim::branch`). This module
+//! walks the layered instruction stream of `query_ops` for each branch,
+//! validating every precondition (a `STORE` must find its address qubit at
+//! the right input, routers must be waiting, the bus must reach the leaves
+//! before retrieval, and the tree must be returned to the all-`|W⟩` state),
+//! and produces the resulting [`QueryOutcome`] together with per-class gate
+//! counts used by the fidelity analysis (§8.1).
+
+use std::fmt;
+
+use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
+
+use crate::ops::{GateClass, Op, QubitTag};
+use crate::query_ops::QueryLayer;
+
+/// Gate counts per hardware class accumulated along one query branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounts {
+    /// Routing CSWAPs (error rate ε₀).
+    pub cswap: u64,
+    /// Inter-node SWAPs: LOAD/TRANSPORT/STORE and inverses (ε₁).
+    pub inter_node_swap: u64,
+    /// Intra-node local SWAPs: Fat-Tree swap steps (ε₂).
+    pub local_swap: u64,
+    /// Classically controlled data-retrieval gates.
+    pub classical: u64,
+}
+
+impl GateCounts {
+    /// Total quantum gates (excluding classical retrieval gates).
+    #[must_use]
+    pub fn total_quantum(&self) -> u64 {
+        self.cswap + self.inter_node_swap + self.local_swap
+    }
+
+    fn record(&mut self, class: GateClass, count: u64) {
+        match class {
+            GateClass::Cswap => self.cswap += count,
+            GateClass::InterNodeSwap => self.inter_node_swap += count,
+            GateClass::LocalSwap => self.local_swap += count,
+            GateClass::Classical => self.classical += count,
+        }
+    }
+}
+
+/// An execution error: the instruction stream violated a precondition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// 1-based circuit layer at which the violation occurred (0 = final
+    /// validation).
+    pub layer: usize,
+    /// The violated condition.
+    pub message: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layer {}: {}", self.layer, self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Flyer {
+    tag: QubitTag,
+    level: u32,
+    at_output: bool,
+}
+
+/// Classical simulation of one query branch walking the instruction stream.
+struct BranchMachine<'m> {
+    n: u32,
+    address: u64,
+    memory: &'m ClassicalMemory,
+    /// Per-level router state along the active path: `None` = `|W⟩`.
+    routers: Vec<Option<bool>>,
+    flyers: Vec<Flyer>,
+    bus_data: u64,
+    bus_exited: Option<u64>,
+    counts: GateCounts,
+}
+
+impl<'m> BranchMachine<'m> {
+    fn new(n: u32, address: u64, memory: &'m ClassicalMemory) -> Self {
+        BranchMachine {
+            n,
+            address,
+            memory,
+            routers: vec![None; n as usize],
+            flyers: Vec::new(),
+            bus_data: 0,
+            bus_exited: None,
+            counts: GateCounts::default(),
+        }
+    }
+
+    /// Address bit consumed at tree level `i` (MSB first).
+    fn address_bit(&self, level: u32) -> bool {
+        (self.address >> (self.n - 1 - level)) & 1 == 1
+    }
+
+    fn err(&self, layer: usize, message: impl Into<String>) -> ExecError {
+        ExecError {
+            layer,
+            message: message.into(),
+        }
+    }
+
+    fn find_flyer(&mut self, level: u32, at_output: bool) -> Option<usize> {
+        self.flyers
+            .iter()
+            .position(|f| f.level == level && f.at_output == at_output)
+    }
+
+    fn apply(&mut self, layer: usize, op: Op) -> Result<(), ExecError> {
+        match op {
+            Op::Load(tag) => {
+                if self.find_flyer(0, false).is_some() {
+                    return Err(self.err(layer, format!("LOAD {tag}: root input occupied")));
+                }
+                self.flyers.push(Flyer {
+                    tag,
+                    level: 0,
+                    at_output: false,
+                });
+                self.counts.record(GateClass::InterNodeSwap, 1);
+            }
+            Op::Transport(i) => {
+                let idx = self.find_flyer(i - 1, true).ok_or_else(|| {
+                    self.err(layer, format!("TRANSPORT to level {i}: no qubit at level {} output", i - 1))
+                })?;
+                if self.find_flyer(i, false).is_some() {
+                    return Err(self.err(layer, format!("TRANSPORT to level {i}: input occupied")));
+                }
+                self.flyers[idx] = Flyer {
+                    tag: self.flyers[idx].tag,
+                    level: i,
+                    at_output: false,
+                };
+                self.counts.record(GateClass::InterNodeSwap, 1);
+            }
+            Op::Route(i) => {
+                let idx = self.find_flyer(i, false).ok_or_else(|| {
+                    self.err(layer, format!("ROUTE level {i}: no qubit at input"))
+                })?;
+                if self.routers[i as usize].is_none() {
+                    return Err(self.err(layer, format!("ROUTE level {i}: router still |W>")));
+                }
+                self.flyers[idx].at_output = true;
+                self.counts.record(GateClass::Cswap, 1);
+            }
+            Op::Store(i) => {
+                let idx = self.find_flyer(i, false).ok_or_else(|| {
+                    self.err(layer, format!("STORE level {i}: no qubit at input"))
+                })?;
+                let tag = self.flyers[idx].tag;
+                if tag != QubitTag::Address(i) {
+                    return Err(self.err(layer, format!("STORE level {i}: qubit {tag} is not address {}", i + 1)));
+                }
+                if self.routers[i as usize].is_some() {
+                    return Err(self.err(layer, format!("STORE level {i}: router already active")));
+                }
+                self.routers[i as usize] = Some(self.address_bit(i));
+                self.flyers.swap_remove(idx);
+                self.counts.record(GateClass::InterNodeSwap, 1);
+            }
+            Op::ClassicalGates => {
+                let leaves = self.n - 1;
+                if self.find_flyer(leaves, true).map(|i| self.flyers[i].tag) != Some(QubitTag::Bus) {
+                    return Err(self.err(layer, "CLASSICAL-GATES: bus has not reached the leaves"));
+                }
+                if self.routers.iter().any(Option::is_none) {
+                    return Err(self.err(layer, "CLASSICAL-GATES: address not fully loaded"));
+                }
+                self.bus_data ^= self.memory.read(self.address);
+                self.counts.record(GateClass::Classical, 1);
+            }
+            Op::Unroute(i) => {
+                let idx = self.find_flyer(i, true).ok_or_else(|| {
+                    self.err(layer, format!("UNROUTE level {i}: no qubit at output"))
+                })?;
+                if self.routers[i as usize].is_none() {
+                    return Err(self.err(layer, format!("UNROUTE level {i}: router still |W>")));
+                }
+                self.flyers[idx].at_output = false;
+                self.counts.record(GateClass::Cswap, 1);
+            }
+            Op::Untransport(i) => {
+                let idx = self.find_flyer(i, false).ok_or_else(|| {
+                    self.err(layer, format!("UNTRANSPORT from level {i}: no qubit at input"))
+                })?;
+                if self.find_flyer(i - 1, true).is_some() {
+                    return Err(self.err(layer, format!("UNTRANSPORT from level {i}: level {} output occupied", i - 1)));
+                }
+                self.flyers[idx] = Flyer {
+                    tag: self.flyers[idx].tag,
+                    level: i - 1,
+                    at_output: true,
+                };
+                self.counts.record(GateClass::InterNodeSwap, 1);
+            }
+            Op::Unstore(i) => {
+                let stored = self.routers[i as usize].ok_or_else(|| {
+                    self.err(layer, format!("UNSTORE level {i}: router is |W>"))
+                })?;
+                if stored != self.address_bit(i) {
+                    return Err(self.err(layer, format!("UNSTORE level {i}: router bit corrupted")));
+                }
+                if self.find_flyer(i, false).is_some() {
+                    return Err(self.err(layer, format!("UNSTORE level {i}: input occupied")));
+                }
+                self.routers[i as usize] = None;
+                self.flyers.push(Flyer {
+                    tag: QubitTag::Address(i),
+                    level: i,
+                    at_output: false,
+                });
+                self.counts.record(GateClass::InterNodeSwap, 1);
+            }
+            Op::Unload(tag) => {
+                let idx = self.find_flyer(0, false).ok_or_else(|| {
+                    self.err(layer, format!("UNLOAD {tag}: no qubit at root input"))
+                })?;
+                let found = self.flyers[idx].tag;
+                if found != tag {
+                    return Err(self.err(layer, format!("UNLOAD {tag}: found {found} instead")));
+                }
+                self.flyers.swap_remove(idx);
+                if tag == QubitTag::Bus {
+                    self.bus_exited = Some(self.bus_data);
+                }
+                self.counts.record(GateClass::InterNodeSwap, 1);
+            }
+            Op::SwapStepI | Op::SwapStepII => {
+                // A local swap moves the query's stored router qubits and
+                // in-flight qubits between adjacent sub-QRAM copies: one
+                // intra-node SWAP per qubit involved.
+                let involved = self.routers.iter().filter(|r| r.is_some()).count()
+                    + self.flyers.len();
+                self.counts.record(GateClass::LocalSwap, involved as u64);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, total_layers: usize) -> Result<(u64, GateCounts), ExecError> {
+        if let Some(router) = self.routers.iter().position(Option::is_some) {
+            return Err(ExecError {
+                layer: total_layers,
+                message: format!("router at level {router} not reverted to |W>"),
+            });
+        }
+        if !self.flyers.is_empty() {
+            return Err(ExecError {
+                layer: total_layers,
+                message: format!("{} qubit(s) still in flight", self.flyers.len()),
+            });
+        }
+        let data = self.bus_exited.ok_or(ExecError {
+            layer: total_layers,
+            message: "bus never exited the tree".to_owned(),
+        })?;
+        Ok((data, self.counts))
+    }
+}
+
+/// The result of executing a query instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// The entangled address–bus output state (Eq. 1).
+    pub outcome: QueryOutcome,
+    /// Gate counts along one branch (identical across branches).
+    pub gate_counts: GateCounts,
+}
+
+/// Executes a single-query instruction stream over an address superposition
+/// against a classical memory.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the stream violates any router/qubit
+/// precondition or fails to restore the tree to the all-`|W⟩` state.
+///
+/// # Panics
+///
+/// Panics if the address width of `address` does not match the memory.
+pub fn execute_layers(
+    layers: &[QueryLayer],
+    memory: &ClassicalMemory,
+    address: &AddressState,
+) -> Result<Execution, ExecError> {
+    let n = memory.address_width();
+    assert_eq!(
+        address.address_width(),
+        n,
+        "address width must match memory capacity"
+    );
+    let mut terms = Vec::with_capacity(address.num_branches());
+    let mut counts: Option<GateCounts> = None;
+    for &(amp, addr) in address.iter() {
+        let mut machine = BranchMachine::new(n, addr, memory);
+        for (layer_idx, layer) in layers.iter().enumerate() {
+            for &op in &layer.ops {
+                machine.apply(layer_idx + 1, op)?;
+            }
+        }
+        let (data, branch_counts) = machine.finish(layers.len())?;
+        debug_assert!(
+            counts.is_none() || counts == Some(branch_counts),
+            "gate counts must be branch-independent"
+        );
+        counts = Some(branch_counts);
+        terms.push((amp, addr, data));
+    }
+    Ok(Execution {
+        outcome: QueryOutcome::from_terms(n, memory.bus_width(), terms),
+        gate_counts: counts.expect("at least one branch"),
+    })
+}
+
+/// Executes a stream while injecting stochastic gate faults: for each gate
+/// applied along a branch, `fault(class)` decides whether it fails. A branch
+/// with any fault is marked *corrupted* (its state is assumed orthogonal to
+/// the ideal output — the worst case). Returns the survival weight
+/// `Σ |α|²` over uncorrupted branches; the trajectory fidelity is its
+/// square.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the stream itself is malformed (faults do
+/// not cause errors; they only corrupt branches).
+pub fn execute_layers_noisy(
+    layers: &[QueryLayer],
+    memory: &ClassicalMemory,
+    address: &AddressState,
+    mut fault: impl FnMut(GateClass) -> bool,
+) -> Result<f64, ExecError> {
+    let n = memory.address_width();
+    assert_eq!(address.address_width(), n);
+    let mut survival = 0.0;
+    for &(amp, addr) in address.iter() {
+        let mut machine = BranchMachine::new(n, addr, memory);
+        let mut before = GateCounts::default();
+        let mut corrupted = false;
+        for (layer_idx, layer) in layers.iter().enumerate() {
+            for &op in &layer.ops {
+                machine.apply(layer_idx + 1, op)?;
+                let after = machine.counts;
+                // Sample one fault decision per newly applied gate.
+                for (class, delta) in [
+                    (GateClass::Cswap, after.cswap - before.cswap),
+                    (
+                        GateClass::InterNodeSwap,
+                        after.inter_node_swap - before.inter_node_swap,
+                    ),
+                    (GateClass::LocalSwap, after.local_swap - before.local_swap),
+                ] {
+                    for _ in 0..delta {
+                        if fault(class) {
+                            corrupted = true;
+                        }
+                    }
+                }
+                before = after;
+            }
+        }
+        machine.finish(layers.len())?;
+        if !corrupted {
+            survival += amp.norm_sqr();
+        }
+    }
+    Ok(survival)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_ops::{bb_query_layers, fat_tree_query_layers};
+    use qsim::branch::AddressState;
+
+    fn memory8() -> ClassicalMemory {
+        ClassicalMemory::from_words(1, &[1, 0, 0, 1, 1, 0, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn bb_execution_matches_ideal_query() {
+        let mem = memory8();
+        let addr = AddressState::full_superposition(3);
+        let layers = bb_query_layers(3);
+        let exec = execute_layers(&layers, &mem, &addr).unwrap();
+        let ideal = mem.ideal_query(&addr);
+        assert!((exec.outcome.fidelity(&ideal) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fat_tree_execution_matches_ideal_query() {
+        let mem = memory8();
+        let addr = AddressState::uniform(3, &[0, 2, 7]).unwrap();
+        let layers = fat_tree_query_layers(3);
+        let exec = execute_layers(&layers, &mem, &addr).unwrap();
+        let ideal = mem.ideal_query(&addr);
+        assert!((exec.outcome.fidelity(&ideal) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_works_across_capacities() {
+        for n in 1..=7u32 {
+            let cells: Vec<u64> = (0..(1u64 << n)).map(|i| i % 2).collect();
+            let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+            let addr = AddressState::uniform(n, &[0, (1 << n) - 1]).unwrap();
+            for layers in [bb_query_layers(n), fat_tree_query_layers(n)] {
+                let exec = execute_layers(&layers, &mem, &addr).unwrap();
+                assert_eq!(exec.outcome.data_for(0), Some(0), "n={n}");
+                assert_eq!(
+                    exec.outcome.data_for((1 << n) - 1),
+                    Some(((1u64 << n) - 1) % 2),
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_counts_scale_quadratically_not_linearly_in_capacity() {
+        // The error-resilience argument (§8.1): gates touched along a
+        // branch grow as log²(N), not as the router count O(N).
+        let mut prev = 0u64;
+        for n in [2u32, 4, 8] {
+            let cells: Vec<u64> = vec![0; 1 << n];
+            let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+            let addr = AddressState::classical(n, 0).unwrap();
+            let exec = execute_layers(&fat_tree_query_layers(n), &mem, &addr).unwrap();
+            let total = exec.gate_counts.total_quantum();
+            // Quadratic growth: doubling n should ~4x the count, far less
+            // than the ~2^n growth of the router count.
+            if prev > 0 {
+                let ratio = total as f64 / prev as f64;
+                assert!(
+                    (3.0..6.0).contains(&ratio),
+                    "n={n}: ratio {ratio} not quadratic-like"
+                );
+            }
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn bb_cswap_count_formula() {
+        // Along a branch: address qubit i routes through i levels (twice,
+        // load+unload) and the bus through n down + n up:
+        // 2·(Σ_{i<n} i + n) = n² + n CSWAPs.
+        for n in 1..=6u32 {
+            let cells: Vec<u64> = vec![0; 1 << n];
+            let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+            let addr = AddressState::classical(n, 0).unwrap();
+            let exec = execute_layers(&bb_query_layers(n), &mem, &addr).unwrap();
+            assert_eq!(
+                exec.gate_counts.cswap,
+                u64::from(n * n + n),
+                "n={n}"
+            );
+            assert_eq!(exec.gate_counts.classical, 1);
+            assert_eq!(exec.gate_counts.local_swap, 0, "BB has no local swaps");
+        }
+    }
+
+    #[test]
+    fn fat_tree_local_swap_count_scales_quadratically() {
+        // 2n−1 swap steps, each touching the (up to n+1) qubits of the
+        // query: ~2n² local swaps.
+        for n in 2..=6u32 {
+            let cells: Vec<u64> = vec![0; 1 << n];
+            let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+            let addr = AddressState::classical(n, 0).unwrap();
+            let exec = execute_layers(&fat_tree_query_layers(n), &mem, &addr).unwrap();
+            let ls = exec.gate_counts.local_swap;
+            let n64 = u64::from(n);
+            assert!(
+                ls >= n64 * n64 && ls <= 3 * n64 * n64,
+                "n={n}: local swaps {ls} outside [n², 3n²]"
+            );
+            // CSWAP count identical to BB (same gate steps).
+            assert_eq!(exec.gate_counts.cswap, n64 * n64 + n64);
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected() {
+        // Dropping the final unload leaves a qubit in flight.
+        let mem = memory8();
+        let addr = AddressState::classical(3, 5).unwrap();
+        let mut layers = bb_query_layers(3);
+        let last = layers.last_mut().unwrap();
+        last.ops.clear();
+        let err = execute_layers(&layers, &mem, &addr).unwrap_err();
+        assert!(err.message.contains("in flight") || err.message.contains("UNLOAD"));
+    }
+
+    #[test]
+    fn double_store_is_rejected() {
+        let mem = memory8();
+        let addr = AddressState::classical(3, 0).unwrap();
+        let mut layers = bb_query_layers(3);
+        // Duplicate the first store.
+        layers[1].ops.push(Op::Store(0));
+        let err = execute_layers(&layers, &mem, &addr).unwrap_err();
+        assert!(err.message.contains("STORE"), "{err}");
+    }
+
+    #[test]
+    fn noiseless_noisy_execution_survives_fully() {
+        let mem = memory8();
+        let addr = AddressState::full_superposition(3);
+        let layers = fat_tree_query_layers(3);
+        let survival =
+            execute_layers_noisy(&layers, &mem, &addr, |_| false).unwrap();
+        assert!((survival - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_faulty_execution_survives_nothing() {
+        let mem = memory8();
+        let addr = AddressState::full_superposition(3);
+        let layers = bb_query_layers(3);
+        let survival = execute_layers_noisy(&layers, &mem, &addr, |_| true).unwrap();
+        assert_eq!(survival, 0.0);
+    }
+
+    #[test]
+    fn selective_faults_corrupt_expected_fraction() {
+        // Fault only CSWAPs deterministically every k-th call: survival
+        // must be 0 (every branch routes through CSWAPs).
+        let mem = memory8();
+        let addr = AddressState::uniform(3, &[1, 6]).unwrap();
+        let layers = bb_query_layers(3);
+        let mut count = 0u64;
+        let survival = execute_layers_noisy(&layers, &mem, &addr, |class| {
+            if class == GateClass::Cswap {
+                count += 1;
+                count == 1 // fault exactly the first CSWAP per run
+            } else {
+                false
+            }
+        })
+        .unwrap();
+        // First branch corrupted, second survives with weight 1/2.
+        assert!((survival - 0.5).abs() < 1e-12);
+    }
+}

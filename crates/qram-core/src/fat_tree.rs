@@ -1,0 +1,274 @@
+//! The Fat-Tree QRAM architecture (§4) — the paper's contribution.
+
+use qram_metrics::{Capacity, Layers, TimingModel};
+use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
+
+use crate::exec::{execute_layers, ExecError, Execution};
+use crate::latency;
+use crate::pipeline::PipelineSchedule;
+use crate::query_ops::{fat_tree_query_layers, QueryLayer};
+use crate::tree::TreeShape;
+
+/// A Fat-Tree QRAM of capacity `N`: a binary tree whose level-`i` nodes
+/// multiplex `n − i` quantum routers, pipelining up to `log₂ N` independent
+/// queries with a new query admitted every 10 circuit layers (§4.3).
+///
+/// # Examples
+///
+/// ```
+/// use qram_core::FatTreeQram;
+/// use qram_metrics::Capacity;
+///
+/// let qram = FatTreeQram::new(Capacity::new(1024)?);
+/// assert_eq!(qram.query_parallelism(), 10);       // log₂(1024) queries
+/// assert_eq!(qram.router_count(), 2 * 1024 - 2 - 10);
+/// assert_eq!(qram.single_query_layers_integer(), 99); // 10n − 1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTreeQram {
+    capacity: Capacity,
+}
+
+impl FatTreeQram {
+    /// Creates a Fat-Tree QRAM of the given capacity.
+    #[must_use]
+    pub fn new(capacity: Capacity) -> Self {
+        FatTreeQram { capacity }
+    }
+
+    /// The memory capacity `N`.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The address width / tree depth `n`.
+    #[must_use]
+    pub fn address_width(&self) -> u32 {
+        self.capacity.address_width()
+    }
+
+    /// The static tree geometry (router multiplexing, wires, sub-QRAMs).
+    #[must_use]
+    pub fn shape(&self) -> TreeShape {
+        TreeShape::new(self.capacity)
+    }
+
+    /// Number of quantum routers: `2N − 2 − n`, about double a BB QRAM.
+    #[must_use]
+    pub fn router_count(&self) -> u64 {
+        self.shape().fat_tree_router_count()
+    }
+
+    /// Query parallelism: `log₂ N` pipelined queries (Fig. 1(b)).
+    #[must_use]
+    pub fn query_parallelism(&self) -> u32 {
+        self.address_width()
+    }
+
+    /// The layered instruction stream of one query, including the local
+    /// swap steps (Fig. 12).
+    #[must_use]
+    pub fn query_layers(&self) -> Vec<QueryLayer> {
+        fat_tree_query_layers(self.address_width())
+    }
+
+    /// Integer circuit-layer count of a single query: `10n − 1`.
+    #[must_use]
+    pub fn single_query_layers_integer(&self) -> u64 {
+        latency::fat_tree_single_query_integer(self.capacity)
+    }
+
+    /// Weighted single-query latency (`8.25n − 0.125` with paper defaults).
+    #[must_use]
+    pub fn single_query_latency(&self, timing: &TimingModel) -> Layers {
+        latency::fat_tree_single_query(self.capacity, timing)
+    }
+
+    /// Weighted pipeline interval — the amortized per-query latency at full
+    /// utilization (`8.25` with paper defaults).
+    #[must_use]
+    pub fn pipeline_interval(&self, timing: &TimingModel) -> Layers {
+        latency::fat_tree_pipeline_interval(timing)
+    }
+
+    /// Weighted latency of `p` pipelined queries
+    /// (`16.5n − 8.375` at `p = n`, Table 1).
+    #[must_use]
+    pub fn parallel_queries_latency(&self, p: u32, timing: &TimingModel) -> Layers {
+        latency::fat_tree_parallel_queries(self.capacity, p, timing)
+    }
+
+    /// Builds the pipelined schedule for `num_queries` back-to-back queries
+    /// (Fig. 6): start layers, retrieval layers, sub-QRAM trajectories, and
+    /// conflict validation.
+    #[must_use]
+    pub fn pipeline(&self, num_queries: usize) -> PipelineSchedule {
+        PipelineSchedule::new(self.capacity, num_queries)
+    }
+
+    /// Executes one query functionally (Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the generated instruction stream fails
+    /// validation — see [`ExecError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory` does not match the QRAM capacity.
+    pub fn execute_query(
+        &self,
+        memory: &ClassicalMemory,
+        address: &AddressState,
+    ) -> Result<QueryOutcome, ExecError> {
+        self.execute_query_traced(memory, address)
+            .map(|exec| exec.outcome)
+    }
+
+    /// Like [`Self::execute_query`] but also returns gate counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::execute_query`].
+    pub fn execute_query_traced(
+        &self,
+        memory: &ClassicalMemory,
+        address: &AddressState,
+    ) -> Result<Execution, ExecError> {
+        assert_eq!(
+            memory.capacity() as u64,
+            self.capacity.get(),
+            "memory capacity must match QRAM capacity"
+        );
+        execute_layers(&self.query_layers(), memory, address)
+    }
+
+    /// Executes a batch of pipelined queries against a shared memory,
+    /// validating that the pipeline schedule is conflict-free, and returns
+    /// one outcome per query.
+    ///
+    /// Memory snapshots are taken at each query's *data-retrieval layer*;
+    /// `memory_updates` maps a global circuit layer to cell writes applied
+    /// at that layer (modelling the classical memory swap of §7.2). Updates
+    /// must respect the classical-swap time budget: a query sees exactly
+    /// the memory contents current at its retrieval layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query's instruction stream fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory capacity mismatches or more queries than
+    /// addresses are supplied.
+    pub fn execute_queries(
+        &self,
+        memory: &ClassicalMemory,
+        addresses: &[AddressState],
+        memory_updates: &[(u64, u64, u64)], // (layer, address, value)
+    ) -> Result<Vec<QueryOutcome>, ExecError> {
+        let schedule = self.pipeline(addresses.len());
+        schedule
+            .validate_no_conflicts()
+            .expect("generated pipeline must be conflict-free");
+        let mut mem = memory.clone();
+        let mut updates: Vec<&(u64, u64, u64)> = memory_updates.iter().collect();
+        updates.sort_by_key(|&&(layer, _, _)| layer);
+        let mut next_update = 0usize;
+        let mut outcomes = Vec::with_capacity(addresses.len());
+        // Process queries in retrieval order, applying memory writes that
+        // land before each retrieval layer.
+        let mut order: Vec<usize> = (0..addresses.len()).collect();
+        order.sort_by_key(|&q| schedule.timing(q).retrieval_layer);
+        let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
+        for q in order {
+            let retrieval = schedule.timing(q).retrieval_layer;
+            while next_update < updates.len() && updates[next_update].0 <= retrieval {
+                let &(_, addr, value) = updates[next_update];
+                mem.write(addr, value);
+                next_update += 1;
+            }
+            let exec = execute_layers(&self.query_layers(), &mem, &addresses[q])?;
+            results[q] = Some(exec.outcome);
+        }
+        for r in results {
+            outcomes.push(r.expect("every query executed"));
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qram8() -> FatTreeQram {
+        FatTreeQram::new(Capacity::new(8).unwrap())
+    }
+
+    #[test]
+    fn figure_6_numbers() {
+        let q = qram8();
+        assert_eq!(q.single_query_layers_integer(), 29);
+        assert_eq!(q.query_parallelism(), 3);
+        assert_eq!(q.router_count(), 2 * 8 - 2 - 3);
+    }
+
+    #[test]
+    fn single_query_matches_ideal() {
+        let q = qram8();
+        let mem = ClassicalMemory::from_words(1, &[0, 1, 0, 1, 1, 1, 0, 0]).unwrap();
+        let addr = AddressState::full_superposition(3);
+        let out = q.execute_query(&mem, &addr).unwrap();
+        assert!((out.fidelity(&mem.ideal_query(&addr)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_batch_returns_per_query_outcomes() {
+        let q = qram8();
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 0, 1, 0, 1, 1, 0]).unwrap();
+        let addresses: Vec<AddressState> = vec![
+            AddressState::uniform(3, &[0, 1]).unwrap(),
+            AddressState::classical(3, 3).unwrap(),
+            AddressState::uniform(3, &[5, 6, 7]).unwrap(),
+        ];
+        let outs = q.execute_queries(&mem, &addresses, &[]).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].data_for(0), Some(1));
+        assert_eq!(outs[1].data_for(3), Some(1));
+        assert_eq!(outs[2].data_for(6), Some(1));
+        assert_eq!(outs[2].data_for(7), Some(0));
+    }
+
+    #[test]
+    fn memory_update_between_retrievals_is_visible_to_later_queries() {
+        let q = qram8();
+        let mem = ClassicalMemory::zeros(8);
+        let addresses: Vec<AddressState> = (0..3)
+            .map(|_| AddressState::classical(3, 2).unwrap())
+            .collect();
+        // Retrieval layers for n=3: 15, 25, 35. Write cell 2 := 1 at layer 20:
+        // queries 2 and 3 see the new value, query 1 the old.
+        let outs = q
+            .execute_queries(&mem, &addresses, &[(20, 2, 1)])
+            .unwrap();
+        assert_eq!(outs[0].data_for(2), Some(0));
+        assert_eq!(outs[1].data_for(2), Some(1));
+        assert_eq!(outs[2].data_for(2), Some(1));
+    }
+
+    #[test]
+    fn more_queries_than_parallelism_still_executes() {
+        let q = qram8();
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 1, 0, 1, 0, 1, 0]).unwrap();
+        let addresses: Vec<AddressState> = (0..7u64)
+            .map(|i| AddressState::classical(3, i).unwrap())
+            .collect();
+        let outs = q.execute_queries(&mem, &addresses, &[]).unwrap();
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.data_for(i as u64), Some(mem.read(i as u64)));
+        }
+    }
+}

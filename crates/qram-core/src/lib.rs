@@ -1,0 +1,56 @@
+//! Bucket-Brigade and Fat-Tree QRAM: the core models of the ASPLOS '25
+//! Fat-Tree QRAM paper.
+//!
+//! This crate implements the paper's primary contribution and its baseline:
+//!
+//! * [`tree`] — the `(i, j, k)` router indexing of §4.1, including the
+//!   sub-component-QRAM decomposition of Fig. 5.
+//! * [`ops`] / [`query_ops`] — the elementary instruction set
+//!   (Appendix A.1) and exact layer-by-layer instruction streams for both
+//!   architectures (Algs. 2 & 3, Figs. 2(a), 6, 12).
+//! * [`exec`] — functional branch-based execution validating Eq. (1) and
+//!   counting gates per hardware class for the fidelity analysis.
+//! * [`pipeline`] — query-level pipelining with conflict-freedom proofs
+//!   and diagram rendering.
+//! * [`latency`] — the closed-form latencies of Table 1.
+//! * [`BucketBrigadeQram`] / [`FatTreeQram`] — the two architectures as
+//!   ready-to-use types.
+//!
+//! # Examples
+//!
+//! ```
+//! use qram_core::{BucketBrigadeQram, FatTreeQram};
+//! use qram_metrics::{Capacity, TimingModel};
+//!
+//! let capacity = Capacity::new(1024)?;
+//! let timing = TimingModel::paper_default();
+//!
+//! let bb = BucketBrigadeQram::new(capacity);
+//! let ft = FatTreeQram::new(capacity);
+//!
+//! // Ten parallel queries: BB must serialize, Fat-Tree pipelines.
+//! let bb_latency = bb.parallel_queries_latency(10, &timing);
+//! let ft_latency = ft.parallel_queries_latency(10, &timing);
+//! assert!(ft_latency.get() < bb_latency.get() / 4.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod latency;
+pub mod ops;
+pub mod pipeline;
+pub mod query_ops;
+pub mod tree;
+
+mod bucket_brigade;
+mod fat_tree;
+
+pub use bucket_brigade::BucketBrigadeQram;
+pub use exec::{ExecError, Execution, GateCounts};
+pub use fat_tree::FatTreeQram;
+pub use ops::{GateClass, Op, QubitTag};
+pub use pipeline::{ConflictError, PipelineSchedule, QueryTiming};
+pub use tree::{NodeId, RouterId, TreeShape};

@@ -1,0 +1,427 @@
+//! Per-query layered instruction streams (Alg. 2 & 3 of the paper).
+//!
+//! [`bb_query_layers`] generates the exact circuit-layer sequence of a
+//! bucket-brigade query with bit-level pipelining: `n` *gate steps* of four
+//! layers for address loading, one classical data-retrieval layer, and `n`
+//! mirrored gate steps for unloading — `8n + 1` layers total (25 for
+//! `N = 8`, Fig. 2(a)).
+//!
+//! [`fat_tree_query_layers`] interleaves the Fat-Tree local swap steps
+//! (§4.3): one single-layer `SWAP-I`/`SWAP-II` between consecutive gate
+//! steps, with data retrieval coinciding with the swap step after the last
+//! loading gate step — `10n − 1` layers total (29 for `N = 8`, Fig. 6).
+
+use qram_metrics::LayerKind;
+
+use crate::ops::{Op, QubitTag};
+
+/// One circuit layer of a single query's instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryLayer {
+    /// Operations executed in parallel within this layer.
+    pub ops: Vec<Op>,
+    /// The layer's duration class (standard / intra-node / classical).
+    pub kind: LayerKind,
+}
+
+impl QueryLayer {
+    fn standard(ops: Vec<Op>) -> Self {
+        QueryLayer {
+            ops,
+            kind: LayerKind::Standard,
+        }
+    }
+
+    fn classical(ops: Vec<Op>) -> Self {
+        QueryLayer {
+            ops,
+            kind: LayerKind::Classical,
+        }
+    }
+
+    fn intra_node(ops: Vec<Op>) -> Self {
+        QueryLayer {
+            ops,
+            kind: LayerKind::IntraNode,
+        }
+    }
+}
+
+fn qubit_by_index(n: u32, index: u32) -> QubitTag {
+    if index < n {
+        QubitTag::Address(index)
+    } else {
+        QubitTag::Bus
+    }
+}
+
+/// Generates one *Load Layer* gate step (Alg. 2): four circuit layers
+/// `(T+L)(R+S)(T+L)(R)`, mutating the `loaded` clock and next-store level
+/// `s`.
+fn load_gate_step(n: u32, loaded: &mut u32, s: &mut u32) -> [QueryLayer; 4] {
+    let mut layers: Vec<QueryLayer> = Vec::with_capacity(4);
+    for half in 0..2u32 {
+        // Layer A/C: TRANSPORT (i, j, k) ∀ i ∈ [max(1, loaded−n), s]; LOAD.
+        let mut ops = Vec::new();
+        let lo = 1.max(loaded.saturating_sub(n).max(1));
+        for i in lo..=*s {
+            ops.push(Op::Transport(i));
+        }
+        if *loaded <= n {
+            ops.push(Op::Load(qubit_by_index(n, *loaded)));
+        }
+        *loaded += 1;
+        layers.push(QueryLayer::standard(ops));
+        // Layer B/D: ROUTE ∀ i ∈ [max(0, loaded−n−1), hi]; STORE(s) on B.
+        let mut ops = Vec::new();
+        let lo = loaded.saturating_sub(n + 1);
+        let hi = if half == 0 {
+            // Layer B routes up to s − 1 and stores at s.
+            if *s == 0 {
+                None
+            } else {
+                Some(*s - 1)
+            }
+        } else {
+            Some(*s)
+        };
+        if let Some(hi) = hi {
+            for i in lo..=hi {
+                ops.push(Op::Route(i));
+            }
+        }
+        if half == 0 {
+            ops.push(Op::Store(*s));
+        }
+        layers.push(QueryLayer::standard(ops));
+    }
+    *s += 1;
+    layers.try_into().expect("exactly four layers")
+}
+
+/// Generates one *Unload Layer* gate step (Alg. 3): four circuit layers
+/// `(R')(T'+L')(R'+S')(T'+L')`.
+fn unload_gate_step(n: u32, loaded: &mut u32, s: &mut u32) -> [QueryLayer; 4] {
+    let mut layers: Vec<QueryLayer> = Vec::with_capacity(4);
+    *s = s.checked_sub(1).expect("unload called with s = 0");
+    // Layer 1: UNROUTE ∀ i ∈ [max(0, loaded−n−1), s].
+    let mut ops = Vec::new();
+    for i in loaded.saturating_sub(n + 1)..=*s {
+        ops.push(Op::Unroute(i));
+    }
+    layers.push(QueryLayer::standard(ops));
+    *loaded = loaded.checked_sub(1).expect("unload underflow");
+    // Layer 2: UNTRANSPORT ∀ i ∈ [max(1, loaded−n), s]; UNLOAD.
+    let mut ops = Vec::new();
+    for i in 1.max(loaded.saturating_sub(n))..=*s {
+        ops.push(Op::Untransport(i));
+    }
+    if *loaded <= n {
+        ops.push(Op::Unload(qubit_by_index(n, *loaded)));
+    }
+    layers.push(QueryLayer::standard(ops));
+    // Layer 3: UNROUTE ∀ i ∈ [max(0, loaded−n−1), s−1]; UNSTORE(s).
+    let mut ops = Vec::new();
+    if *s > 0 {
+        for i in loaded.saturating_sub(n + 1)..=(*s - 1) {
+            ops.push(Op::Unroute(i));
+        }
+    }
+    ops.push(Op::Unstore(*s));
+    layers.push(QueryLayer::standard(ops));
+    *loaded = loaded.checked_sub(1).expect("unload underflow");
+    // Layer 4: UNTRANSPORT; UNLOAD.
+    let mut ops = Vec::new();
+    for i in 1.max(loaded.saturating_sub(n))..=*s {
+        ops.push(Op::Untransport(i));
+    }
+    if *loaded <= n {
+        ops.push(Op::Unload(qubit_by_index(n, *loaded)));
+    }
+    layers.push(QueryLayer::standard(ops));
+    layers.try_into().expect("exactly four layers")
+}
+
+/// The full bucket-brigade single-query instruction stream:
+/// `8n + 1` circuit layers.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn bb_query_layers(n: u32) -> Vec<QueryLayer> {
+    assert!(n >= 1, "address width must be at least 1");
+    let mut layers = Vec::with_capacity(8 * n as usize + 1);
+    let (mut loaded, mut s) = (0u32, 0u32);
+    for _ in 0..n {
+        layers.extend(load_gate_step(n, &mut loaded, &mut s));
+    }
+    layers.push(QueryLayer::classical(vec![Op::ClassicalGates]));
+    for _ in 0..n {
+        layers.extend(unload_gate_step(n, &mut loaded, &mut s));
+    }
+    debug_assert_eq!(layers.len(), 8 * n as usize + 1);
+    debug_assert_eq!(loaded, 0);
+    debug_assert_eq!(s, 0);
+    layers
+}
+
+/// The Fat-Tree single-query instruction stream: `2n` gate steps with a
+/// local swap layer between consecutive gate steps (`SWAP-I`, `SWAP-II`
+/// alternating, starting with `SWAP-I`), data retrieval coinciding with the
+/// `n`-th swap layer — `10n − 1` layers.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn fat_tree_query_layers(n: u32) -> Vec<QueryLayer> {
+    assert!(n >= 1, "address width must be at least 1");
+    let mut layers = Vec::with_capacity(10 * n as usize - 1);
+    let (mut loaded, mut s) = (0u32, 0u32);
+    let mut swap_index = 0u32;
+    for step in 0..2 * n {
+        if step > 0 {
+            swap_index += 1;
+            let swap_op = if swap_index % 2 == 1 {
+                Op::SwapStepI
+            } else {
+                Op::SwapStepII
+            };
+            let mut ops = vec![swap_op];
+            if swap_index == n {
+                // Data retrieval for the fully loaded query coincides with
+                // this swap step (Alg. 1 lines 14–16 / 20–22).
+                ops.push(Op::ClassicalGates);
+            }
+            layers.push(QueryLayer::intra_node(ops));
+        }
+        if step < n {
+            layers.extend(load_gate_step(n, &mut loaded, &mut s));
+        } else {
+            layers.extend(unload_gate_step(n, &mut loaded, &mut s));
+        }
+    }
+    debug_assert_eq!(layers.len(), 10 * n as usize - 1);
+    layers
+}
+
+/// The stage finish times annotated in Fig. 2(a): the layer at which each
+/// address qubit finishes storing (`4, 8, …, 4n`), data retrieval
+/// (`4n + 1`), and each unloading stage (`4n + 5, …, 8n + 1`).
+#[must_use]
+pub fn bb_stage_finish_layers(n: u32) -> Vec<u32> {
+    let mut stages: Vec<u32> = (1..=n).map(|i| 4 * i).collect();
+    stages.push(4 * n + 1);
+    stages.extend((1..=n).map(|i| 4 * n + 1 + 4 * i));
+    stages
+}
+
+/// The sub-QRAM position occupied by a Fat-Tree query during its `g`-th
+/// gate step (1-based, `1 ..= 2n`): ascend `0 .. n−1`, hold, descend.
+///
+/// # Panics
+///
+/// Panics if `g` is outside `1..=2n`.
+#[must_use]
+pub fn fat_tree_gate_step_position(n: u32, g: u32) -> u32 {
+    assert!((1..=2 * n).contains(&g), "gate step {g} outside 1..={}", 2 * n);
+    if g <= n {
+        g - 1
+    } else {
+        2 * n - g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bb_layer_count_is_8n_plus_1() {
+        for n in 1..8 {
+            assert_eq!(bb_query_layers(n).len(), 8 * n as usize + 1);
+        }
+    }
+
+    #[test]
+    fn bb_n3_matches_figure_2a_stages() {
+        assert_eq!(
+            bb_stage_finish_layers(3),
+            vec![4, 8, 12, 13, 17, 21, 25]
+        );
+        assert_eq!(bb_query_layers(3).len(), 25);
+    }
+
+    #[test]
+    fn fat_tree_layer_count_is_10n_minus_1() {
+        for n in 1..8 {
+            assert_eq!(fat_tree_query_layers(n).len(), 10 * n as usize - 1);
+        }
+    }
+
+    #[test]
+    fn bb_n3_layer_by_layer_against_hand_trace() {
+        use Op::*;
+        use QubitTag::*;
+        let layers = bb_query_layers(3);
+        let expect: Vec<Vec<Op>> = vec![
+            vec![Load(Address(0))],                       // L1
+            vec![Store(0)],                               // S1
+            vec![Load(Address(1))],                       // L2
+            vec![Route(0)],                               // R1 (a2)
+            vec![Transport(1), Load(Address(2))],         // T2, L3
+            vec![Route(0), Store(1)],                     // R1 (a3), S2
+            vec![Transport(1), Load(Bus)],                // T2, LB
+            vec![Route(0), Route(1)],                     // bus & a3 route
+            vec![Transport(1), Transport(2)],             //
+            vec![Route(1), Store(2)],                     //
+            vec![Transport(2)],                           //
+            vec![Route(2)],                               // bus reaches leaves
+            vec![ClassicalGates],                         // layer 13
+        ];
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(&layers[i].ops, want, "layer {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn bb_unloading_mirrors_loading() {
+        // The unloading ops, reversed and un-inverted, must equal the
+        // loading ops (uncomputation follows the same steps in reverse).
+        for n in 1..7u32 {
+            let layers = bb_query_layers(n);
+            let total = layers.len();
+            for offset in 0..(4 * n as usize) {
+                let fwd = &layers[offset].ops;
+                let bwd = &layers[total - 1 - offset].ops;
+                let mut uninverted: Vec<Op> = bwd
+                    .iter()
+                    .map(|op| match *op {
+                        Op::Unload(q) => Op::Load(q),
+                        Op::Untransport(l) => Op::Transport(l),
+                        Op::Unroute(l) => Op::Route(l),
+                        Op::Unstore(l) => Op::Store(l),
+                        other => other,
+                    })
+                    .collect();
+                // Parallel ops within a layer are unordered; compare sets.
+                let mut fwd_sorted = fwd.clone();
+                fwd_sorted.sort_by_key(|o| format!("{o:?}"));
+                uninverted.sort_by_key(|o| format!("{o:?}"));
+                assert_eq!(fwd_sorted, uninverted, "n={n} offset={offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn bb_each_qubit_loaded_and_unloaded_once() {
+        for n in 1..7u32 {
+            let layers = bb_query_layers(n);
+            let loads = layers
+                .iter()
+                .flat_map(|l| &l.ops)
+                .filter(|op| matches!(op, Op::Load(_)))
+                .count();
+            let unloads = layers
+                .iter()
+                .flat_map(|l| &l.ops)
+                .filter(|op| matches!(op, Op::Unload(_)))
+                .count();
+            assert_eq!(loads, n as usize + 1);
+            assert_eq!(unloads, n as usize + 1);
+        }
+    }
+
+    #[test]
+    fn bb_stores_each_level_once() {
+        for n in 1..7u32 {
+            let layers = bb_query_layers(n);
+            for level in 0..n {
+                let stores = layers
+                    .iter()
+                    .flat_map(|l| &l.ops)
+                    .filter(|op| **op == Op::Store(level))
+                    .count();
+                assert_eq!(stores, 1, "n={n} level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_swap_layers_alternate_types() {
+        let layers = fat_tree_query_layers(4);
+        let swaps: Vec<&Op> = layers
+            .iter()
+            .flat_map(|l| &l.ops)
+            .filter(|op| matches!(op, Op::SwapStepI | Op::SwapStepII))
+            .collect();
+        assert_eq!(swaps.len(), 7); // 2n − 1
+        for (i, op) in swaps.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(**op, Op::SwapStepI);
+            } else {
+                assert_eq!(**op, Op::SwapStepII);
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_retrieval_coincides_with_nth_swap() {
+        for n in 1..7u32 {
+            let layers = fat_tree_query_layers(n);
+            let cg_layers: Vec<usize> = layers
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.ops.contains(&Op::ClassicalGates))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(cg_layers.len(), 1, "exactly one retrieval");
+            let idx = cg_layers[0];
+            assert_eq!(layers[idx].kind, LayerKind::IntraNode);
+            // It is the n-th swap layer: 0-based layer index 4n + (n−1).
+            assert_eq!(idx, 4 * n as usize + n as usize - 1);
+            // Retrieval type matches parity (Alg. 1): SWAP-I iff n odd.
+            let expected = if n % 2 == 1 { Op::SwapStepI } else { Op::SwapStepII };
+            assert!(layers[idx].ops.contains(&expected), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fat_tree_gate_layers_match_bb() {
+        // Removing swap layers from the Fat-Tree stream recovers the BB
+        // stream (minus its dedicated CG layer).
+        for n in 1..6u32 {
+            let ft: Vec<QueryLayer> = fat_tree_query_layers(n)
+                .into_iter()
+                .filter(|l| l.kind == LayerKind::Standard)
+                .collect();
+            let bb: Vec<QueryLayer> = bb_query_layers(n)
+                .into_iter()
+                .filter(|l| l.kind == LayerKind::Standard)
+                .collect();
+            assert_eq!(ft, bb, "n={n}");
+        }
+    }
+
+    #[test]
+    fn position_trajectory_ascends_holds_descends() {
+        let n = 4;
+        let positions: Vec<u32> = (1..=2 * n)
+            .map(|g| fat_tree_gate_step_position(n, g))
+            .collect();
+        assert_eq!(positions, vec![0, 1, 2, 3, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn position_out_of_range_panics() {
+        let _ = fat_tree_gate_step_position(3, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_width_rejected() {
+        let _ = bb_query_layers(0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Shared-QRAM performance metrics (§6.2 of the paper).
+
+use std::fmt;
+
+/// Maximum number of queries completed per unit time (queries/second).
+///
+/// For a pipelined QRAM this is the inverse of the *amortized* single-query
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct QueryRate(f64);
+
+impl QueryRate {
+    /// Creates a query rate in queries per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or non-finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "query rate must be non-negative and finite, got {rate}"
+        );
+        QueryRate(rate)
+    }
+
+    /// Queries per second.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The QRAM bandwidth obtained by multiplying this rate by the bus
+    /// width (number of data qubits returned per query). The paper's
+    /// results fix `bus_width = 1`.
+    #[must_use]
+    pub fn bandwidth(self, bus_width: u32) -> Bandwidth {
+        Bandwidth::new(self.0 * f64::from(bus_width))
+    }
+}
+
+impl fmt::Display for QueryRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4e} queries/s", self.0)
+    }
+}
+
+/// QRAM bandwidth: rate at which data are queried and written into bus
+/// qubits (qubits/second) — query rate × bus width.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth in qubits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits_per_second` is negative or non-finite.
+    #[must_use]
+    pub fn new(qubits_per_second: f64) -> Self {
+        assert!(
+            qubits_per_second.is_finite() && qubits_per_second >= 0.0,
+            "bandwidth must be non-negative and finite, got {qubits_per_second}"
+        );
+        Bandwidth(qubits_per_second)
+    }
+
+    /// Qubits per second.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The memory access rate: rate at which classical data are read by the
+    /// QRAM hardware. Each query touches all `N` cells in superposition, so
+    /// the duty rate is `bandwidth × N` (§7.2).
+    #[must_use]
+    pub fn memory_access_rate(self, capacity: u64) -> MemoryAccessRate {
+        MemoryAccessRate::new(self.0 * capacity as f64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4e} qubits/s", self.0)
+    }
+}
+
+/// Rate at which classical memory cells are read by the QRAM hardware
+/// (cells/second).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MemoryAccessRate(f64);
+
+impl MemoryAccessRate {
+    /// Creates a memory access rate in cells per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or non-finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "memory access rate must be non-negative and finite, got {rate}"
+        );
+        MemoryAccessRate(rate)
+    }
+
+    /// Cells per second.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MemoryAccessRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4e} cells/s", self.0)
+    }
+}
+
+/// Space-time volume per query: amortized `qubits × circuit depth` spent per
+/// query (qubit·layers). Quantifies the hardware cost of a single query.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SpaceTimeVolume(f64);
+
+impl SpaceTimeVolume {
+    /// Creates a space-time volume in qubit·layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volume` is negative or non-finite.
+    #[must_use]
+    pub fn new(volume: f64) -> Self {
+        assert!(
+            volume.is_finite() && volume >= 0.0,
+            "space-time volume must be non-negative and finite, got {volume}"
+        );
+        SpaceTimeVolume(volume)
+    }
+
+    /// Qubit·layers.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The volume normalized by capacity `N`, exposing the leading constant
+    /// (132 for Fat-Tree, `64·log N + 1` for BB, …).
+    #[must_use]
+    pub fn per_cell(self, capacity: u64) -> f64 {
+        self.0 / capacity as f64
+    }
+}
+
+impl fmt::Display for SpaceTimeVolume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4e} qubit-layers", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_rate_to_bandwidth() {
+        // Fat-Tree amortized 8.25 µs per query at bus width 1:
+        let rate = QueryRate::new(1.0 / 8.25e-6);
+        let bw = rate.bandwidth(1);
+        assert!((bw.get() - 1.2121e5).abs() < 10.0);
+        // Wider bus multiplies bandwidth.
+        assert_eq!(rate.bandwidth(4).get(), rate.get() * 4.0);
+    }
+
+    #[test]
+    fn memory_access_rate_scales_with_capacity() {
+        let bw = Bandwidth::new(1.0e5);
+        assert_eq!(bw.memory_access_rate(1024).get(), 1.024e8);
+    }
+
+    #[test]
+    fn volume_per_cell() {
+        let v = SpaceTimeVolume::new(132.0 * 1024.0);
+        assert!((v.per_cell(1024) - 132.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bandwidth_rejected() {
+        let _ = Bandwidth::new(-1.0);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Bandwidth::new(1.2121e5).to_string(), "1.2121e5 qubits/s");
+        assert!(QueryRate::new(10.0).to_string().contains("queries/s"));
+        assert!(MemoryAccessRate::new(10.0).to_string().contains("cells/s"));
+        assert!(SpaceTimeVolume::new(10.0).to_string().contains("qubit-layers"));
+    }
+}

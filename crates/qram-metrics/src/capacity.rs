@@ -1,0 +1,202 @@
+//! Power-of-two QRAM capacities.
+
+use std::fmt;
+
+/// A QRAM capacity `N`: the number of classical memory cells addressable by
+/// a query.
+///
+/// Capacities are restricted to powers of two `N = 2ⁿ` with `n ≥ 1`, matching
+/// the paper's assumption that the address register has width
+/// `|A| = log₂(N)`.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::Capacity;
+///
+/// let n = Capacity::new(8)?;
+/// assert_eq!(n.get(), 8);
+/// assert_eq!(n.address_width(), 3);
+/// # Ok::<(), qram_metrics::CapacityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Capacity(u64);
+
+/// Error returned when constructing an invalid [`Capacity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// The requested capacity was not a power of two.
+    NotPowerOfTwo(u64),
+    /// The requested capacity was smaller than the minimum of 2.
+    TooSmall(u64),
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapacityError::NotPowerOfTwo(n) => {
+                write!(f, "capacity {n} is not a power of two")
+            }
+            CapacityError::TooSmall(n) => {
+                write!(f, "capacity {n} is smaller than the minimum of 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+impl Capacity {
+    /// Creates a capacity from a memory size `N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError::NotPowerOfTwo`] if `n` is not a power of two
+    /// and [`CapacityError::TooSmall`] if `n < 2` (a QRAM needs at least one
+    /// address bit).
+    pub fn new(n: u64) -> Result<Self, CapacityError> {
+        if n < 2 {
+            Err(CapacityError::TooSmall(n))
+        } else if !n.is_power_of_two() {
+            Err(CapacityError::NotPowerOfTwo(n))
+        } else {
+            Ok(Capacity(n))
+        }
+    }
+
+    /// Creates the capacity `N = 2ⁿ` from an address width `n ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address_width` is 0 or at least 63 (the resulting `N`
+    /// would not fit in a `u64`).
+    #[must_use]
+    pub fn from_address_width(address_width: u32) -> Self {
+        assert!(
+            (1..63).contains(&address_width),
+            "address width {address_width} outside supported range 1..63"
+        );
+        Capacity(1u64 << address_width)
+    }
+
+    /// The memory size `N`.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The address width `n = log₂(N)` — also the tree depth of a
+    /// bucket-brigade QRAM of this capacity.
+    #[must_use]
+    pub fn address_width(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+
+    /// `n` as an `f64`, convenient for the closed-form latency models.
+    #[must_use]
+    pub fn n_f64(self) -> f64 {
+        f64::from(self.address_width())
+    }
+
+    /// `N` as an `f64`.
+    #[must_use]
+    pub fn capacity_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Iterates over all capacities `2¹, 2², …` up to and including `max`
+    /// (values above `max` are not yielded).
+    pub fn sweep(max: u64) -> impl Iterator<Item = Capacity> {
+        (1..63u32)
+            .map(Capacity::from_address_width)
+            .take_while(move |c| c.get() <= max)
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u64> for Capacity {
+    type Error = CapacityError;
+
+    fn try_from(value: u64) -> Result<Self, Self::Error> {
+        Capacity::new(value)
+    }
+}
+
+impl From<Capacity> for u64 {
+    fn from(value: Capacity) -> Self {
+        value.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_powers_of_two() {
+        for n in [2u64, 4, 8, 1024, 1 << 40] {
+            let c = Capacity::new(n).unwrap();
+            assert_eq!(c.get(), n);
+            assert_eq!(1u64 << c.address_width(), n);
+        }
+    }
+
+    #[test]
+    fn rejects_non_powers() {
+        assert_eq!(Capacity::new(3), Err(CapacityError::NotPowerOfTwo(3)));
+        assert_eq!(Capacity::new(12), Err(CapacityError::NotPowerOfTwo(12)));
+    }
+
+    #[test]
+    fn rejects_too_small() {
+        assert_eq!(Capacity::new(0), Err(CapacityError::TooSmall(0)));
+        assert_eq!(Capacity::new(1), Err(CapacityError::TooSmall(1)));
+    }
+
+    #[test]
+    fn from_address_width_roundtrips() {
+        for n in 1..20 {
+            assert_eq!(Capacity::from_address_width(n).address_width(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn from_address_width_zero_panics() {
+        let _ = Capacity::from_address_width(0);
+    }
+
+    #[test]
+    fn sweep_stops_at_max() {
+        let caps: Vec<u64> = Capacity::sweep(1024).map(Capacity::get).collect();
+        assert_eq!(caps, vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn display_shows_size() {
+        assert_eq!(Capacity::new(8).unwrap().to_string(), "8");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(
+            CapacityError::NotPowerOfTwo(3).to_string(),
+            "capacity 3 is not a power of two"
+        );
+        assert_eq!(
+            CapacityError::TooSmall(1).to_string(),
+            "capacity 1 is smaller than the minimum of 2"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let c = Capacity::try_from(16u64).unwrap();
+        assert_eq!(u64::from(c), 16);
+    }
+}

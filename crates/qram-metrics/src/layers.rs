@@ -1,0 +1,211 @@
+//! Circuit layers — the paper's device-independent time unit.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// The kind of circuit layer, which determines its duration.
+///
+/// The paper's resource estimates (Table 1) weight layers by gate speed:
+/// a standard layer is dominated by an inter-node CSWAP (τ = 1 µs on
+/// superconducting cavities), while intra-node SWAP gates and classically
+/// controlled data-retrieval gates are roughly 8× faster (125 ns), so those
+/// layers count as ⅛ of a standard layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// A layer executing CSWAP routing gates (or inter-node SWAPs).
+    Standard,
+    /// A layer of intra-node SWAP gates (Fat-Tree local swap steps,
+    /// SWAP-I / SWAP-II).
+    IntraNode,
+    /// A layer of classically controlled gates (data retrieval).
+    Classical,
+}
+
+/// A (possibly fractional) number of circuit layers.
+///
+/// Fractional values arise from the ⅛-weighting of intra-node and classical
+/// layers; e.g. a bucket-brigade query of capacity `N = 2ⁿ` takes
+/// `8n + 0.125` weighted layers.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::Layers;
+///
+/// let loading = Layers::new(8.0) * 3.0;
+/// let retrieval = Layers::new(0.125);
+/// assert_eq!((loading + retrieval).get(), 24.125);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Layers(f64);
+
+impl Layers {
+    /// Zero layers.
+    pub const ZERO: Layers = Layers(0.0);
+
+    /// Creates a layer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is negative or not finite.
+    #[must_use]
+    pub fn new(layers: f64) -> Self {
+        assert!(
+            layers.is_finite() && layers >= 0.0,
+            "layer count must be finite and non-negative, got {layers}"
+        );
+        Layers(layers)
+    }
+
+    /// The layer count as an `f64`.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero instead of going negative.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Layers) -> Layers {
+        Layers((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Returns the larger of two layer counts.
+    #[must_use]
+    pub fn max(self, other: Layers) -> Layers {
+        Layers(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two layer counts.
+    #[must_use]
+    pub fn min(self, other: Layers) -> Layers {
+        Layers(self.0.min(other.0))
+    }
+
+    /// True when two layer counts agree to within `tol` layers.
+    #[must_use]
+    pub fn approx_eq(self, other: Layers, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl fmt::Display for Layers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} layers", self.0)
+    }
+}
+
+impl Add for Layers {
+    type Output = Layers;
+    fn add(self, rhs: Layers) -> Layers {
+        Layers(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Layers {
+    fn add_assign(&mut self, rhs: Layers) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Layers {
+    type Output = Layers;
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the result would be negative; use
+    /// [`Layers::saturating_sub`] when underflow is expected.
+    fn sub(self, rhs: Layers) -> Layers {
+        debug_assert!(
+            self.0 >= rhs.0 - 1e-9,
+            "layer subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        Layers((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for Layers {
+    fn sub_assign(&mut self, rhs: Layers) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Layers {
+    type Output = Layers;
+    fn mul(self, rhs: f64) -> Layers {
+        Layers::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Layers {
+    type Output = Layers;
+    fn div(self, rhs: f64) -> Layers {
+        Layers::new(self.0 / rhs)
+    }
+}
+
+impl Div<Layers> for Layers {
+    type Output = f64;
+    fn div(self, rhs: Layers) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Layers {
+    fn sum<I: Iterator<Item = Layers>>(iter: I) -> Layers {
+        iter.fold(Layers::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Layers::new(8.0);
+        let b = Layers::new(0.125);
+        assert_eq!((a + b).get(), 8.125);
+        assert_eq!((a - b).get(), 7.875);
+        assert_eq!((a * 2.0).get(), 16.0);
+        assert_eq!((a / 2.0).get(), 4.0);
+        assert_eq!(a / b, 64.0);
+    }
+
+    #[test]
+    fn sum_of_layers() {
+        let total: Layers = (0..4).map(|_| Layers::new(2.5)).sum();
+        assert_eq!(total.get(), 10.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Layers::new(1.0).saturating_sub(Layers::new(3.0)), Layers::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rejected() {
+        let _ = Layers::new(-1.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(Layers::new(1.0).approx_eq(Layers::new(1.0 + 1e-12), 1e-9));
+        assert!(!Layers::new(1.0).approx_eq(Layers::new(1.1), 1e-9));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Layers::new(2.0);
+        let b = Layers::new(3.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Layers::new(8.25).to_string(), "8.25 layers");
+    }
+}

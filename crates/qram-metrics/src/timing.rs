@@ -1,0 +1,200 @@
+//! Hardware timing model: gate times, layer weights, CLOPS.
+
+use crate::{LayerKind, Layers};
+
+/// Circuit Layer Operations Per Second — the device clock speed used to
+/// convert circuit layers to wall-clock time (Amico et al., 2023).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Clops(f64);
+
+impl Clops {
+    /// Creates a CLOPS value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clops` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(clops: f64) -> Self {
+        assert!(
+            clops.is_finite() && clops > 0.0,
+            "CLOPS must be positive and finite, got {clops}"
+        );
+        Clops(clops)
+    }
+
+    /// The raw operations-per-second value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Clops {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e} CLOPS", self.0)
+    }
+}
+
+/// The hardware timing model of §7.1: gate durations for the three gate
+/// classes appearing in a Fat-Tree QRAM.
+///
+/// The paper's default (superconducting cavities, Weiss et al. 2024) is a
+/// CSWAP time of τ = 1 µs and intra-node SWAP / classically controlled gate
+/// times of τ/8 = 125 ns, giving a clock speed of 10⁶ CLOPS and a layer
+/// weight of ⅛ for swap and data-retrieval layers.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::{TimingModel, LayerKind};
+///
+/// let t = TimingModel::paper_default();
+/// assert_eq!(t.layer_weight(LayerKind::Standard), 1.0);
+/// assert_eq!(t.layer_weight(LayerKind::IntraNode), 0.125);
+/// assert_eq!(t.clops().get(), 1.0e6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    cswap_seconds: f64,
+    intra_node_seconds: f64,
+    classical_seconds: f64,
+}
+
+impl TimingModel {
+    /// The paper's realistic superconducting-cavity parameters:
+    /// CSWAP = 1 µs, intra-node SWAP = classical gates = 125 ns.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        TimingModel {
+            cswap_seconds: 1.0e-6,
+            intra_node_seconds: 0.125e-6,
+            classical_seconds: 0.125e-6,
+        }
+    }
+
+    /// Creates a custom timing model from the three gate durations
+    /// (in seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is non-positive or non-finite, or if the
+    /// intra-node / classical gates are slower than the CSWAP (the layer
+    /// weighting scheme assumes the CSWAP dominates a standard layer).
+    #[must_use]
+    pub fn new(cswap_seconds: f64, intra_node_seconds: f64, classical_seconds: f64) -> Self {
+        for (name, value) in [
+            ("cswap", cswap_seconds),
+            ("intra-node", intra_node_seconds),
+            ("classical", classical_seconds),
+        ] {
+            assert!(
+                value.is_finite() && value > 0.0,
+                "{name} gate time must be positive and finite, got {value}"
+            );
+        }
+        assert!(
+            intra_node_seconds <= cswap_seconds && classical_seconds <= cswap_seconds,
+            "intra-node and classical gates must not be slower than the CSWAP"
+        );
+        TimingModel {
+            cswap_seconds,
+            intra_node_seconds,
+            classical_seconds,
+        }
+    }
+
+    /// Duration of a single layer of the given kind, in seconds.
+    #[must_use]
+    pub fn layer_seconds(&self, kind: LayerKind) -> f64 {
+        match kind {
+            LayerKind::Standard => self.cswap_seconds,
+            LayerKind::IntraNode => self.intra_node_seconds,
+            LayerKind::Classical => self.classical_seconds,
+        }
+    }
+
+    /// Weight of a layer of the given kind relative to a standard layer.
+    ///
+    /// With the paper defaults this is 1 for standard layers and ⅛ for
+    /// intra-node and classical layers — the weighting behind every entry
+    /// of Table 1.
+    #[must_use]
+    pub fn layer_weight(&self, kind: LayerKind) -> f64 {
+        self.layer_seconds(kind) / self.cswap_seconds
+    }
+
+    /// The device clock speed: one standard layer per `cswap` time.
+    #[must_use]
+    pub fn clops(&self) -> Clops {
+        Clops::new(1.0 / self.cswap_seconds)
+    }
+
+    /// Converts a weighted layer count to seconds.
+    #[must_use]
+    pub fn layers_to_seconds(&self, layers: Layers) -> f64 {
+        layers.get() * self.cswap_seconds
+    }
+
+    /// Converts a weighted layer count to microseconds (the unit used in
+    /// Table 2's classical-memory-swap budget row).
+    #[must_use]
+    pub fn layers_to_micros(&self, layers: Layers) -> f64 {
+        self.layers_to_seconds(layers) * 1e6
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_weights() {
+        let t = TimingModel::paper_default();
+        assert_eq!(t.layer_weight(LayerKind::Standard), 1.0);
+        assert_eq!(t.layer_weight(LayerKind::IntraNode), 0.125);
+        assert_eq!(t.layer_weight(LayerKind::Classical), 0.125);
+    }
+
+    #[test]
+    fn clops_is_inverse_cswap_time() {
+        assert_eq!(TimingModel::paper_default().clops().get(), 1e6);
+        let slow = TimingModel::new(2e-6, 1e-6, 1e-6);
+        assert_eq!(slow.clops().get(), 0.5e6);
+    }
+
+    #[test]
+    fn conversion_to_seconds() {
+        let t = TimingModel::paper_default();
+        let amortized = Layers::new(8.25);
+        assert!((t.layers_to_seconds(amortized) - 8.25e-6).abs() < 1e-15);
+        assert!((t.layers_to_micros(amortized) - 8.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be slower")]
+    fn rejects_slow_intra_node() {
+        let _ = TimingModel::new(1e-6, 2e-6, 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_gate_time() {
+        let _ = TimingModel::new(0.0, 1e-7, 1e-7);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(TimingModel::default(), TimingModel::paper_default());
+    }
+
+    #[test]
+    fn clops_display() {
+        assert_eq!(Clops::new(1e6).to_string(), "1.000e6 CLOPS");
+    }
+}

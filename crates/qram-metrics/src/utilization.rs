@@ -1,0 +1,210 @@
+//! QRAM hardware utilization (§5.1, Fig. 7, Fig. 10).
+
+use std::fmt;
+
+use crate::Layers;
+
+/// Fraction of a shared QRAM's query parallelism that is in use, in `[0, 1]`.
+///
+/// State-of-the-art sequential QRAMs have binary utilization (0 or 1); a
+/// capacity-`N` Fat-Tree QRAM pipelines up to `log₂ N` queries, so its
+/// utilization varies continuously (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// Fully idle.
+    pub const IDLE: Utilization = Utilization(0.0);
+    /// Fully busy.
+    pub const FULL: Utilization = Utilization(1.0);
+
+    /// Creates a utilization value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or non-finite.
+    #[must_use]
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "utilization must lie in [0, 1], got {fraction}"
+        );
+        Utilization(fraction)
+    }
+
+    /// Utilization from a count of busy slots out of a total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy > total` or `total == 0`.
+    #[must_use]
+    pub fn from_slots(busy: u32, total: u32) -> Self {
+        assert!(total > 0, "total slots must be positive");
+        assert!(busy <= total, "busy slots {busy} exceed total {total}");
+        Utilization(f64::from(busy) / f64::from(total))
+    }
+
+    /// The fraction in `[0, 1]`.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The fraction as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.percent())
+    }
+}
+
+/// A piecewise-constant utilization timeline: the staircase plotted at the
+/// bottom of Fig. 7.
+///
+/// Segments are appended in time order; the trace can then report the
+/// time-weighted average utilization over the whole run.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::{Layers, Utilization, UtilizationTrace};
+///
+/// let mut trace = UtilizationTrace::new();
+/// trace.push(Layers::new(10.0), Utilization::new(1.0));
+/// trace.push(Layers::new(10.0), Utilization::new(0.5));
+/// assert!((trace.average().get() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UtilizationTrace {
+    segments: Vec<(Layers, Utilization)>,
+}
+
+impl UtilizationTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        UtilizationTrace::default()
+    }
+
+    /// Appends a segment lasting `duration` at the given utilization.
+    /// Zero-duration segments are ignored.
+    pub fn push(&mut self, duration: Layers, utilization: Utilization) {
+        if duration > Layers::ZERO {
+            self.segments.push((duration, utilization));
+        }
+    }
+
+    /// Total duration covered by the trace.
+    #[must_use]
+    pub fn total_duration(&self) -> Layers {
+        self.segments.iter().map(|(d, _)| *d).sum()
+    }
+
+    /// Time-weighted average utilization; zero for an empty trace.
+    #[must_use]
+    pub fn average(&self) -> Utilization {
+        let total = self.total_duration().get();
+        if total == 0.0 {
+            return Utilization::IDLE;
+        }
+        let weighted: f64 = self
+            .segments
+            .iter()
+            .map(|(d, u)| d.get() * u.get())
+            .sum();
+        Utilization::new(weighted / total)
+    }
+
+    /// Iterates over `(duration, utilization)` segments in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Layers, Utilization)> {
+        self.segments.iter()
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the trace has no segments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl Extend<(Layers, Utilization)> for UtilizationTrace {
+    fn extend<T: IntoIterator<Item = (Layers, Utilization)>>(&mut self, iter: T) {
+        for (d, u) in iter {
+            self.push(d, u);
+        }
+    }
+}
+
+impl FromIterator<(Layers, Utilization)> for UtilizationTrace {
+    fn from_iter<T: IntoIterator<Item = (Layers, Utilization)>>(iter: T) -> Self {
+        let mut trace = UtilizationTrace::new();
+        trace.extend(iter);
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slots() {
+        assert_eq!(Utilization::from_slots(2, 3).get(), 2.0 / 3.0);
+        assert_eq!(Utilization::from_slots(0, 10), Utilization::IDLE);
+        assert_eq!(Utilization::from_slots(10, 10), Utilization::FULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total")]
+    fn busy_exceeding_total_rejected() {
+        let _ = Utilization::from_slots(4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn out_of_range_rejected() {
+        let _ = Utilization::new(1.5);
+    }
+
+    #[test]
+    fn empty_trace_average_is_idle() {
+        assert_eq!(UtilizationTrace::new().average(), Utilization::IDLE);
+    }
+
+    #[test]
+    fn weighted_average() {
+        let trace: UtilizationTrace = [
+            (Layers::new(30.0), Utilization::new(1.0)),
+            (Layers::new(10.0), Utilization::new(0.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert!((trace.average().get() - 0.75).abs() < 1e-12);
+        assert_eq!(trace.total_duration(), Layers::new(40.0));
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn zero_duration_segments_ignored() {
+        let mut trace = UtilizationTrace::new();
+        trace.push(Layers::ZERO, Utilization::FULL);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn display_percent() {
+        assert_eq!(Utilization::new(0.666).to_string(), "66.6%");
+    }
+}

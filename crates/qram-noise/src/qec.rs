@@ -1,0 +1,291 @@
+//! Quantum error correction cost models (§8.3, Table 5, Fig. 11).
+
+use qram_metrics::Capacity;
+
+use crate::bounds;
+use crate::rates::GateErrorRates;
+
+/// An `[[m, 1, d]]` quantum error-correcting code with a depth-`D`
+/// syndrome extraction circuit, supporting transversal `SWAP`/`CSWAP`
+/// (§8.3.1 discusses why the limited QRAM gate set circumvents
+/// Eastin–Knill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QecCode {
+    /// Physical qubits per logical qubit.
+    pub m: u32,
+    /// Code distance.
+    pub d: u32,
+    /// Syndrome-extraction circuit depth.
+    pub syndrome_depth: u32,
+}
+
+impl QecCode {
+    /// A distance-`d` code with the generic `m = d²` qubit overhead (e.g.
+    /// rotated-surface-code-like) and syndrome depth `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or zero (distances are odd).
+    #[must_use]
+    pub fn distance(d: u32) -> Self {
+        assert!(d >= 1 && d % 2 == 1, "code distance must be odd, got {d}");
+        QecCode {
+            m: d * d,
+            d,
+            syndrome_depth: d,
+        }
+    }
+
+    /// Number of correctable errors `⌊(d−1)/2⌋`.
+    #[must_use]
+    pub fn correctable_errors(&self) -> u32 {
+        (self.d - 1) / 2
+    }
+
+    /// Logical error rate per gate under physical rate `eps`, in the
+    /// code-capacity model: a distance-`d` code corrects `(d−1)/2` faults,
+    /// so a logical failure requires `(d+1)/2` simultaneous faults —
+    /// `ε_L = ε^((d+1)/2)`.
+    ///
+    /// This calibration reproduces the paper's Fig. 11 anchor: at
+    /// `ε₀ = 10⁻³` and `d = 3`, a Fat-Tree QRAM of tree depth 10 stays
+    /// below 5·10⁻⁴ infidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative.
+    #[must_use]
+    pub fn logical_error_rate(&self, eps: f64) -> f64 {
+        assert!(eps >= 0.0, "error rate must be non-negative");
+        eps.powi(self.d.div_ceil(2) as i32).min(1.0)
+    }
+
+    /// Maps physical gate-class rates to logical rates under this code.
+    #[must_use]
+    pub fn logical_rates(&self, physical: &GateErrorRates) -> GateErrorRates {
+        GateErrorRates::new(
+            self.logical_error_rate(physical.e0),
+            self.logical_error_rate(physical.e1),
+            self.logical_error_rate(physical.e2),
+        )
+    }
+}
+
+/// One point of Fig. 11: infidelity of the three circuit families at tree
+/// depth `n`, optionally encoded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfidelityPoint {
+    /// Tree depth `n = log₂ N`.
+    pub tree_depth: u32,
+    /// Fat-Tree QRAM query infidelity.
+    pub fat_tree: f64,
+    /// BB QRAM query infidelity.
+    pub bucket_brigade: f64,
+    /// Generic-circuit worst-case infidelity.
+    pub generic_circuit: f64,
+}
+
+/// Computes a Fig. 11 curve: infidelity vs tree depth for physical rates
+/// (`code = None`) or encoded operation (`code = Some(..)`).
+#[must_use]
+pub fn figure11_curve(
+    depths: impl IntoIterator<Item = u32>,
+    physical: &GateErrorRates,
+    code: Option<QecCode>,
+) -> Vec<InfidelityPoint> {
+    let rates = match code {
+        Some(c) => c.logical_rates(physical),
+        None => *physical,
+    };
+    depths
+        .into_iter()
+        .map(|n| {
+            let cap = Capacity::from_address_width(n);
+            InfidelityPoint {
+                tree_depth: n,
+                fat_tree: bounds::fat_tree_query_infidelity(cap, &rates),
+                bucket_brigade: bounds::bb_query_infidelity(cap, &rates),
+                generic_circuit: bounds::generic_circuit_infidelity(cap, &rates),
+            }
+        })
+        .collect()
+}
+
+/// Table 5: cost of error-corrected queries with *encoded addresses on a
+/// noisy QRAM* (Fat-Tree, §8.3.2) vs a *fully encoded* BB QRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedQueryCost {
+    /// Total physical qubits in the QRAM.
+    pub physical_qubits: u64,
+    /// Logical queries that can be pipelined simultaneously.
+    pub logical_query_parallelism: u32,
+    /// Logical query latency in circuit layers (Big-O constants as given
+    /// in Table 5).
+    pub logical_query_latency: u64,
+}
+
+/// Fat-Tree with noisy routers and `[[m,1,d]]`-encoded address/bus qubits:
+/// the `m` physical qubits of each logical address qubit ride the pipeline
+/// as `m` physical queries; `⌊log₂(N)/m⌋` logical queries fit, with
+/// syndrome extraction interleaved: latency `D·log₂(N) + m`.
+///
+/// # Panics
+///
+/// Panics if `m > log₂ N` (the scheme requires `m ≤ log N`).
+#[must_use]
+pub fn fat_tree_encoded_query_cost(capacity: Capacity, code: &QecCode) -> EncodedQueryCost {
+    let n = u64::from(capacity.address_width());
+    let m = u64::from(code.m);
+    assert!(
+        m <= n,
+        "encoded-address pipelining requires m <= log2(N) ({m} > {n})"
+    );
+    EncodedQueryCost {
+        physical_qubits: capacity.get(),
+        logical_query_parallelism: u32::try_from(n / m).expect("fits"),
+        logical_query_latency: u64::from(code.syndrome_depth) * n + m,
+    }
+}
+
+/// Fully encoded BB QRAM: every physical qubit replaced by an `[[m,1,d]]`
+/// block — `m·N` qubits, one logical query at a time, latency
+/// `D·log₂(N)`.
+#[must_use]
+pub fn bb_encoded_query_cost(capacity: Capacity, code: &QecCode) -> EncodedQueryCost {
+    let n = u64::from(capacity.address_width());
+    EncodedQueryCost {
+        physical_qubits: u64::from(code.m) * capacity.get(),
+        logical_query_parallelism: 1,
+        logical_query_latency: u64::from(code.syndrome_depth) * n,
+    }
+}
+
+/// Code-teleportation ancilla count for converting one logical qubit
+/// between codes of distances `d1` and `d2` (§8.3.1, Xu et al. 2024):
+/// `d1 · d2` ancillas, reusable across pipelined queries.
+#[must_use]
+pub fn code_switching_ancillas(d1: u32, d2: u32) -> u64 {
+    u64::from(d1) * u64::from(d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(n: u64) -> Capacity {
+        Capacity::new(n).unwrap()
+    }
+
+    #[test]
+    fn code_construction() {
+        let c = QecCode::distance(3);
+        assert_eq!(c.m, 9);
+        assert_eq!(c.correctable_errors(), 1);
+        assert_eq!(QecCode::distance(5).correctable_errors(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_distance_rejected() {
+        let _ = QecCode::distance(4);
+    }
+
+    #[test]
+    fn logical_rate_is_suppressed_below_threshold() {
+        let c3 = QecCode::distance(3);
+        let c5 = QecCode::distance(5);
+        let eps = 1e-3;
+        assert!(c3.logical_error_rate(eps) < eps);
+        assert!(c5.logical_error_rate(eps) < c3.logical_error_rate(eps));
+    }
+
+    #[test]
+    fn logical_rate_matches_code_capacity_model() {
+        // d = 3: ε² ; d = 5: ε³.
+        assert!((QecCode::distance(3).logical_error_rate(1e-3) - 1e-6).abs() < 1e-18);
+        assert!((QecCode::distance(5).logical_error_rate(1e-3) - 1e-9).abs() < 1e-21);
+        // Uncorrectable noise (ε = 1) stays at 1.
+        assert_eq!(QecCode::distance(3).logical_error_rate(1.0), 1.0);
+    }
+
+    #[test]
+    fn figure11_qec_shifts_curves_down() {
+        let physical = GateErrorRates::from_cswap_rate(1e-3);
+        let depths = [4u32, 8, 12];
+        let raw = figure11_curve(depths, &physical, None);
+        let d3 = figure11_curve(depths, &physical, Some(QecCode::distance(3)));
+        let d5 = figure11_curve(depths, &physical, Some(QecCode::distance(5)));
+        for i in 0..depths.len() {
+            assert!(d3[i].fat_tree < raw[i].fat_tree);
+            assert!(d5[i].fat_tree < d3[i].fat_tree);
+            assert!(d3[i].bucket_brigade < raw[i].bucket_brigade);
+        }
+    }
+
+    #[test]
+    fn figure11_qram_beats_generic_circuit_at_same_qec_cost() {
+        // Paper: at distance 3 and ε₀ = 10⁻³, a QRAM of much larger tree
+        // depth matches the infidelity of a small generic circuit.
+        let physical = GateErrorRates::from_cswap_rate(1e-3);
+        let pts = figure11_curve(2..=16, &physical, Some(QecCode::distance(3)));
+        // Find the largest GC depth and the largest QRAM depth below a
+        // fixed infidelity budget.
+        let budget = 5e-4;
+        let gc_max = pts
+            .iter()
+            .filter(|p| p.generic_circuit <= budget)
+            .map(|p| p.tree_depth)
+            .max()
+            .unwrap_or(0);
+        let qram_max = pts
+            .iter()
+            .filter(|p| p.fat_tree <= budget)
+            .map(|p| p.tree_depth)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            qram_max >= gc_max + 3,
+            "QRAM ({qram_max}) should run much deeper trees than GC ({gc_max})"
+        );
+    }
+
+    #[test]
+    fn table5_costs() {
+        // N = 2^9, [[9,1,3]] code (m = 9 ≤ n = 9 boundary case).
+        let capacity = cap(1 << 9);
+        let code = QecCode::distance(3);
+        let ft = fat_tree_encoded_query_cost(capacity, &code);
+        assert_eq!(ft.physical_qubits, 1 << 9);
+        assert_eq!(ft.logical_query_parallelism, 1);
+        assert_eq!(ft.logical_query_latency, 3 * 9 + 9);
+        let bb = bb_encoded_query_cost(capacity, &code);
+        assert_eq!(bb.physical_qubits, 9 * (1 << 9));
+        assert_eq!(bb.logical_query_parallelism, 1);
+        assert_eq!(bb.logical_query_latency, 3 * 9);
+    }
+
+    #[test]
+    fn table5_parallelism_grows_with_capacity() {
+        // With a small [[5,1,3]]-like code (m = 5), a depth-20 tree
+        // pipelines 4 logical queries.
+        let code = QecCode {
+            m: 5,
+            d: 3,
+            syndrome_depth: 3,
+        };
+        let ft = fat_tree_encoded_query_cost(Capacity::from_address_width(20), &code);
+        assert_eq!(ft.logical_query_parallelism, 4);
+        assert_eq!(ft.logical_query_latency, 3 * 20 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "m <= log2(N)")]
+    fn oversized_code_rejected() {
+        let _ = fat_tree_encoded_query_cost(cap(16), &QecCode::distance(3));
+    }
+
+    #[test]
+    fn code_switching_ancilla_count() {
+        assert_eq!(code_switching_ancillas(3, 5), 15);
+    }
+}

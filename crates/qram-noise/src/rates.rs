@@ -1,0 +1,123 @@
+//! Per-gate-class error rates (§8.1).
+
+/// Error rates for the three gate classes of a Fat-Tree QRAM: `ε₀` for
+/// (intra-node) CSWAPs, `ε₁` for inter-node SWAPs, `ε₂` for intra-node
+/// local SWAPs (beam-splitter based, faster and higher fidelity).
+///
+/// # Examples
+///
+/// ```
+/// use qram_noise::GateErrorRates;
+///
+/// let rates = GateErrorRates::paper_default();
+/// assert_eq!((rates.e0, rates.e1, rates.e2), (0.002, 0.002, 0.001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateErrorRates {
+    /// CSWAP (routing) error rate.
+    pub e0: f64,
+    /// Inter-node SWAP error rate.
+    pub e1: f64,
+    /// Intra-node local SWAP error rate.
+    pub e2: f64,
+}
+
+impl GateErrorRates {
+    /// The experimentally realistic values used in Fig. 11:
+    /// `ε₀ = ε₁ = 2·10⁻³`, `ε₂ = 1·10⁻³`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        GateErrorRates {
+            e0: 0.002,
+            e1: 0.002,
+            e2: 0.001,
+        }
+    }
+
+    /// Rates derived from a single CSWAP error rate with the paper's
+    /// proportions `ε₁ = ε₀`, `ε₂ = ε₀/2` — the parameterization behind
+    /// Table 3's `ε₀ ∈ {10⁻³, 10⁻⁴, 10⁻⁵}` sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e0 ∉ [0, 1]`.
+    #[must_use]
+    pub fn from_cswap_rate(e0: f64) -> Self {
+        assert!((0.0..=1.0).contains(&e0), "error rate must be in [0, 1]");
+        GateErrorRates {
+            e0,
+            e1: e0,
+            e2: e0 / 2.0,
+        }
+    }
+
+    /// Creates explicit rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate lies outside `[0, 1]`.
+    #[must_use]
+    pub fn new(e0: f64, e1: f64, e2: f64) -> Self {
+        for (name, value) in [("e0", e0), ("e1", e1), ("e2", e2)] {
+            assert!(
+                (0.0..=1.0).contains(&value),
+                "{name} = {value} outside [0, 1]"
+            );
+        }
+        GateErrorRates { e0, e1, e2 }
+    }
+
+    /// The total per-gate-triple rate `ε₀ + ε₁ + ε₂`.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.e0 + self.e1 + self.e2
+    }
+
+    /// Returns rates with every entry scaled by `factor` (used to replace
+    /// physical rates with logical rates under QEC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if scaling pushes any rate outside `[0, 1]`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        GateErrorRates::new(self.e0 * factor, self.e1 * factor, self.e2 * factor)
+    }
+}
+
+impl Default for GateErrorRates {
+    fn default() -> Self {
+        GateErrorRates::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let r = GateErrorRates::paper_default();
+        assert_eq!(r.sum(), 0.005);
+        assert_eq!(r, GateErrorRates::default());
+    }
+
+    #[test]
+    fn table3_parameterization() {
+        // 2·(ε₀ + ε₁ + ε₂) = 5·ε₀ with the Table 3 proportions.
+        let r = GateErrorRates::from_cswap_rate(1e-3);
+        assert!((2.0 * r.sum() - 5.0e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaling() {
+        let r = GateErrorRates::new(0.1, 0.2, 0.3).scaled(0.5);
+        assert_eq!((r.e0, r.e1, r.e2), (0.05, 0.1, 0.15));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rate_rejected() {
+        let _ = GateErrorRates::new(0.1, 1.5, 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! FIFO scheduling of static query requests (§5.2, Appendix A.2).
+
+use qram_metrics::Layers;
+
+use crate::server::QramServer;
+
+/// A query request arriving at a known time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRequest {
+    /// Request identifier.
+    pub id: usize,
+    /// Arrival (request) time in layers.
+    pub arrival: Layers,
+}
+
+/// A scheduled query: when it started and finished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledQuery {
+    /// The request.
+    pub request: QueryRequest,
+    /// Admission time.
+    pub start: Layers,
+    /// Completion time (`start + latency`).
+    pub finish: Layers,
+}
+
+impl ScheduledQuery {
+    /// The query's latency as experienced by the requester:
+    /// `finish − arrival`.
+    #[must_use]
+    pub fn response_latency(&self) -> Layers {
+        self.finish - self.request.arrival
+    }
+}
+
+/// The outcome of scheduling a batch of requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    entries: Vec<ScheduledQuery>,
+}
+
+impl Schedule {
+    /// Builds a schedule from already-computed entries (used by the online
+    /// scheduler).
+    #[must_use]
+    pub fn from_entries(entries: Vec<ScheduledQuery>) -> Self {
+        Schedule { entries }
+    }
+
+    /// The scheduled queries in admission order.
+    #[must_use]
+    pub fn entries(&self) -> &[ScheduledQuery] {
+        &self.entries
+    }
+
+    /// Sum of per-query response latencies — the objective FIFO minimizes
+    /// (Appendix A.2).
+    #[must_use]
+    pub fn total_latency(&self) -> Layers {
+        self.entries.iter().map(ScheduledQuery::response_latency).sum()
+    }
+
+    /// Completion time of the last query.
+    #[must_use]
+    pub fn makespan(&self) -> Layers {
+        self.entries
+            .iter()
+            .map(|e| e.finish)
+            .fold(Layers::ZERO, Layers::max)
+    }
+}
+
+/// Schedules requests in the given processing order on a pipelined server.
+///
+/// Admission respects the pipeline constraints: a query starts no earlier
+/// than its arrival, at least `interval` after the previous admission, and
+/// only once a pipeline slot is free.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..requests.len()`.
+#[must_use]
+pub fn schedule_in_order(
+    requests: &[QueryRequest],
+    order: &[usize],
+    server: &QramServer,
+) -> Schedule {
+    assert_eq!(order.len(), requests.len(), "order must cover all requests");
+    let mut seen = vec![false; requests.len()];
+    for &i in order {
+        assert!(!seen[i], "order must be a permutation");
+        seen[i] = true;
+    }
+    let mut entries = Vec::with_capacity(requests.len());
+    let mut last_start: Option<Layers> = None;
+    let mut finishes: Vec<Layers> = Vec::new();
+    for (k, &idx) in order.iter().enumerate() {
+        let req = requests[idx];
+        let mut start = req.arrival;
+        if let Some(prev) = last_start {
+            start = start.max(prev + server.interval());
+        }
+        let p = server.parallelism() as usize;
+        if k >= p {
+            start = start.max(finishes[k - p]);
+        }
+        let finish = start + server.latency();
+        finishes.push(finish);
+        last_start = Some(start);
+        entries.push(ScheduledQuery {
+            request: req,
+            start,
+            finish,
+        });
+    }
+    Schedule { entries }
+}
+
+/// FIFO scheduling: processes requests in arrival order — optimal for
+/// total latency on both offline and online workloads (Appendix A.2).
+#[must_use]
+pub fn schedule_fifo(requests: &[QueryRequest], server: &QramServer) -> Schedule {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        requests[a]
+            .arrival
+            .partial_cmp(&requests[b].arrival)
+            .expect("arrivals are finite")
+            .then(a.cmp(&b))
+    });
+    schedule_in_order(requests, &order, server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_metrics::Capacity;
+
+    fn cap8_server() -> QramServer {
+        QramServer::fat_tree_integer_layers(Capacity::new(8).unwrap())
+    }
+
+    fn requests(arrivals: &[f64]) -> Vec<QueryRequest> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, &a)| QueryRequest {
+                id,
+                arrival: Layers::new(a),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn back_to_back_queries_match_pipeline_timings() {
+        // Three queries at t=0 on a capacity-8 Fat-Tree (Fig. 6): starts
+        // 0/10/20, finishes 29/39/49.
+        let reqs = requests(&[0.0, 0.0, 0.0]);
+        let s = schedule_fifo(&reqs, &cap8_server());
+        let starts: Vec<f64> = s.entries().iter().map(|e| e.start.get()).collect();
+        let finishes: Vec<f64> = s.entries().iter().map(|e| e.finish.get()).collect();
+        assert_eq!(starts, vec![0.0, 10.0, 20.0]);
+        assert_eq!(finishes, vec![29.0, 39.0, 49.0]);
+    }
+
+    #[test]
+    fn sequential_server_serializes() {
+        let server = QramServer::bucket_brigade_integer_layers(Capacity::new(8).unwrap());
+        let reqs = requests(&[0.0, 0.0, 0.0]);
+        let s = schedule_fifo(&reqs, &server);
+        let starts: Vec<f64> = s.entries().iter().map(|e| e.start.get()).collect();
+        assert_eq!(starts, vec![0.0, 25.0, 50.0]);
+        assert_eq!(s.makespan().get(), 75.0);
+    }
+
+    #[test]
+    fn parallelism_limit_blocks_admission() {
+        // parallelism 2, interval 1, latency 10: the third query waits for
+        // the first to finish.
+        let server = QramServer::new(2, Layers::new(1.0), Layers::new(10.0));
+        let reqs = requests(&[0.0, 0.0, 0.0]);
+        let s = schedule_fifo(&reqs, &server);
+        let starts: Vec<f64> = s.entries().iter().map(|e| e.start.get()).collect();
+        assert_eq!(starts, vec![0.0, 1.0, 10.0]);
+    }
+
+    #[test]
+    fn idle_gaps_respected() {
+        let reqs = requests(&[0.0, 100.0]);
+        let s = schedule_fifo(&reqs, &cap8_server());
+        assert_eq!(s.entries()[1].start.get(), 100.0);
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival_not_id() {
+        let reqs = requests(&[50.0, 0.0]);
+        let s = schedule_fifo(&reqs, &cap8_server());
+        assert_eq!(s.entries()[0].request.id, 1);
+        assert_eq!(s.entries()[1].request.id, 0);
+    }
+
+    #[test]
+    fn fifo_beats_or_ties_out_of_order_schedules() {
+        // The exchange-argument theorem (Appendix A.2), checked
+        // exhaustively for all permutations of a small instance.
+        let reqs = requests(&[0.0, 3.0, 7.0, 11.0]);
+        let server = cap8_server();
+        let fifo = schedule_fifo(&reqs, &server).total_latency();
+        let mut order = vec![0usize, 1, 2, 3];
+        // Enumerate all 24 permutations via Heap's algorithm.
+        fn heaps(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if k <= 1 {
+                out.push(arr.clone());
+                return;
+            }
+            for i in 0..k {
+                heaps(k - 1, arr, out);
+                if k.is_multiple_of(2) {
+                    arr.swap(i, k - 1);
+                } else {
+                    arr.swap(0, k - 1);
+                }
+            }
+        }
+        let mut perms = Vec::new();
+        heaps(4, &mut order, &mut perms);
+        assert_eq!(perms.len(), 24);
+        for perm in perms {
+            // A schedule may only start a query after its arrival; the
+            // exchange proof compares against any processing order.
+            let alt = schedule_in_order(&reqs, &perm, &server).total_latency();
+            assert!(
+                fifo <= alt + Layers::new(1e-9),
+                "FIFO {fifo} worse than {perm:?} = {alt}",
+                fifo = fifo.get(),
+                alt = alt.get()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_order_rejected() {
+        let reqs = requests(&[0.0, 1.0]);
+        let _ = schedule_in_order(&reqs, &[0, 0], &cap8_server());
+    }
+}

@@ -1,0 +1,42 @@
+//! Query scheduling for shared QRAM (§5 of the Fat-Tree QRAM paper).
+//!
+//! * [`server`] — the pipelined-server abstraction of a shared QRAM
+//!   (admission interval, parallelism, per-query latency) for all five
+//!   architectures of §6.1.
+//! * [`fifo`] — FIFO scheduling of static request batches, with the
+//!   latency-optimality theorem of Appendix A.2 checked exhaustively and
+//!   property-tested.
+//! * [`workload`] — closed-loop simulation of algorithm streams that
+//!   alternate querying and processing (Fig. 7, Fig. 10), including the
+//!   utilization staircase.
+//!
+//! # Examples
+//!
+//! ```
+//! use qram_sched::{simulate_streams, QramServer, StreamWorkload};
+//! use qram_metrics::{Capacity, Layers};
+//!
+//! // Fig. 7: three algorithms, each issuing three queries separated by
+//! // d = 20 layers of processing, on a capacity-8 Fat-Tree QRAM.
+//! let server = QramServer::fat_tree_integer_layers(Capacity::new(8)?);
+//! let streams = vec![StreamWorkload::alternating(3, Layers::new(20.0)); 3];
+//! let report = simulate_streams(&streams, &server);
+//! assert_eq!(report.makespan().get(), 30.0 * 3.0 + 2.0 * 20.0 + 17.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fifo;
+pub mod online;
+pub mod server;
+pub mod workload;
+
+pub use fifo::{schedule_fifo, schedule_in_order, QueryRequest, Schedule, ScheduledQuery};
+pub use online::{poisson_arrivals, OnlineFifoScheduler, OutOfOrderArrival};
+pub use server::QramServer;
+pub use workload::{
+    simulate_streams, synthetic_algorithm_depth, Phase, QueryRecord, StreamReport,
+    StreamWorkload,
+};

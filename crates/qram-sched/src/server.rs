@@ -1,0 +1,163 @@
+//! The pipelined-server abstraction of a shared QRAM.
+
+use qram_arch::{Architecture, CostModel};
+use qram_metrics::{Capacity, Layers, TimingModel};
+
+/// A shared QRAM viewed as a pipelined server: up to `parallelism` queries
+/// in flight, a new query admitted at most every `interval`, each query
+/// occupying the pipeline for `latency`.
+///
+/// For a Fat-Tree QRAM the admission interval (10 integer layers / 8.25
+/// weighted) is the binding constraint and implies the `log₂ N` in-flight
+/// bound; for a bucket-brigade QRAM `parallelism = 1` makes service fully
+/// sequential.
+///
+/// # Examples
+///
+/// ```
+/// use qram_sched::QramServer;
+/// use qram_arch::Architecture;
+/// use qram_metrics::{Capacity, TimingModel};
+///
+/// let server = QramServer::for_architecture(
+///     Architecture::FatTree, Capacity::new(1024)?, TimingModel::paper_default());
+/// assert_eq!(server.parallelism(), 10);
+/// assert_eq!(server.interval().get(), 8.25);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QramServer {
+    parallelism: u32,
+    interval: Layers,
+    latency: Layers,
+}
+
+impl QramServer {
+    /// Creates a server from raw parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism == 0`, `interval` is zero, or
+    /// `latency < interval`.
+    #[must_use]
+    pub fn new(parallelism: u32, interval: Layers, latency: Layers) -> Self {
+        assert!(parallelism >= 1, "parallelism must be at least 1");
+        assert!(interval > Layers::ZERO, "interval must be positive");
+        assert!(
+            latency >= interval || parallelism == 1,
+            "pipelined service requires latency >= interval"
+        );
+        QramServer {
+            parallelism,
+            interval,
+            latency,
+        }
+    }
+
+    /// The server corresponding to an architecture's cost model (§6.1):
+    /// parallelism and latencies from Table 1.
+    #[must_use]
+    pub fn for_architecture(
+        architecture: Architecture,
+        capacity: Capacity,
+        timing: TimingModel,
+    ) -> Self {
+        let model = CostModel::new(architecture, capacity, timing);
+        let latency = model.single_query_latency();
+        let parallelism = model.query_parallelism();
+        let interval = match architecture {
+            Architecture::FatTree | Architecture::DistributedFatTree => {
+                model.amortized_query_latency()
+            }
+            // Sequential machines admit a new query when a unit finishes;
+            // p distributed units admit every latency/p on average.
+            _ => latency / f64::from(parallelism),
+        };
+        QramServer::new(parallelism, interval, latency)
+    }
+
+    /// A Fat-Tree server in *integer* circuit layers (interval 10, latency
+    /// `10n − 1`) — matching Figs. 6 and 7 exactly.
+    #[must_use]
+    pub fn fat_tree_integer_layers(capacity: Capacity) -> Self {
+        let n = capacity.n_f64();
+        QramServer::new(
+            capacity.address_width(),
+            Layers::new(10.0),
+            Layers::new(10.0 * n - 1.0),
+        )
+    }
+
+    /// A bucket-brigade server in integer layers (latency `8n + 1`).
+    #[must_use]
+    pub fn bucket_brigade_integer_layers(capacity: Capacity) -> Self {
+        let n = capacity.n_f64();
+        let latency = Layers::new(8.0 * n + 1.0);
+        QramServer::new(1, latency, latency)
+    }
+
+    /// Maximum queries in flight.
+    #[must_use]
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// Minimum spacing between query admissions.
+    #[must_use]
+    pub fn interval(&self) -> Layers {
+        self.interval
+    }
+
+    /// Pipeline occupancy of one query.
+    #[must_use]
+    pub fn latency(&self) -> Layers {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(n: u64) -> Capacity {
+        Capacity::new(n).unwrap()
+    }
+
+    #[test]
+    fn fat_tree_server_parameters() {
+        let s = QramServer::for_architecture(
+            Architecture::FatTree,
+            cap(1024),
+            TimingModel::paper_default(),
+        );
+        assert_eq!(s.parallelism(), 10);
+        assert_eq!(s.interval().get(), 8.25);
+        assert!((s.latency().get() - 82.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bb_server_is_sequential() {
+        let s = QramServer::for_architecture(
+            Architecture::BucketBrigade,
+            cap(1024),
+            TimingModel::paper_default(),
+        );
+        assert_eq!(s.parallelism(), 1);
+        assert_eq!(s.interval(), s.latency());
+    }
+
+    #[test]
+    fn integer_layer_servers_match_figures() {
+        let ft = QramServer::fat_tree_integer_layers(cap(8));
+        assert_eq!(ft.interval().get(), 10.0);
+        assert_eq!(ft.latency().get(), 29.0);
+        let bb = QramServer::bucket_brigade_integer_layers(cap(8));
+        assert_eq!(bb.latency().get(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_rejected() {
+        let _ = QramServer::new(0, Layers::new(1.0), Layers::new(1.0));
+    }
+}

@@ -1,0 +1,385 @@
+//! Closed-loop simulation of algorithm streams sharing a QRAM (Fig. 7).
+//!
+//! Real algorithms alternate *query* phases with *processing* phases of
+//! depth `d`; the next query only becomes ready once processing finishes.
+//! [`simulate_streams`] runs any number of such streams against a
+//! [`QramServer`] under FIFO admission, reporting per-query timings, the
+//! overall algorithm depth (makespan), and the QRAM utilization staircase.
+
+use qram_metrics::{Layers, TimingModel, Utilization, UtilizationTrace};
+
+use crate::server::QramServer;
+
+/// One phase of an algorithm stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// A QRAM query (duration = the server's query latency).
+    Query,
+    /// Local QPU processing for the given depth.
+    Process(Layers),
+}
+
+/// A single algorithm's phase sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamWorkload {
+    phases: Vec<Phase>,
+}
+
+impl StreamWorkload {
+    /// Builds a workload from an explicit phase list.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>) -> Self {
+        StreamWorkload { phases }
+    }
+
+    /// The canonical synthetic algorithm of §6.3: `num_queries` queries
+    /// separated by processing phases of depth `process`
+    /// (`Q P Q P … Q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_queries == 0`.
+    #[must_use]
+    pub fn alternating(num_queries: u32, process: Layers) -> Self {
+        assert!(num_queries >= 1, "at least one query");
+        let mut phases = Vec::with_capacity(2 * num_queries as usize - 1);
+        for i in 0..num_queries {
+            if i > 0 {
+                phases.push(Phase::Process(process));
+            }
+            phases.push(Phase::Query);
+        }
+        StreamWorkload::new(phases)
+    }
+
+    /// The phases.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of query phases.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.phases.iter().filter(|p| matches!(p, Phase::Query)).count()
+    }
+
+    /// Total processing depth.
+    #[must_use]
+    pub fn processing_depth(&self) -> Layers {
+        self.phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Process(d) => Some(*d),
+                Phase::Query => None,
+            })
+            .sum()
+    }
+}
+
+/// A query execution recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRecord {
+    /// Which stream issued the query.
+    pub stream: usize,
+    /// When the query became ready.
+    pub ready: Layers,
+    /// When it was admitted to the pipeline.
+    pub start: Layers,
+    /// When it completed.
+    pub finish: Layers,
+}
+
+/// The outcome of a closed-loop stream simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    queries: Vec<QueryRecord>,
+    completions: Vec<Layers>,
+    parallelism: u32,
+}
+
+impl StreamReport {
+    /// All query records in admission order.
+    #[must_use]
+    pub fn queries(&self) -> &[QueryRecord] {
+        &self.queries
+    }
+
+    /// Per-stream completion times.
+    #[must_use]
+    pub fn completions(&self) -> &[Layers] {
+        &self.completions
+    }
+
+    /// Overall algorithm depth: when the last stream finishes.
+    #[must_use]
+    pub fn makespan(&self) -> Layers {
+        self.completions
+            .iter()
+            .copied()
+            .fold(Layers::ZERO, Layers::max)
+    }
+
+    /// The QRAM utilization staircase over `[0, makespan]`: queries in
+    /// flight divided by the pipeline parallelism (Fig. 7 bottom,
+    /// Fig. 10(b)).
+    #[must_use]
+    pub fn utilization_trace(&self) -> UtilizationTrace {
+        let end = self.makespan();
+        let mut events: Vec<(f64, i32)> = Vec::with_capacity(2 * self.queries.len());
+        for q in &self.queries {
+            events.push((q.start.get(), 1));
+            events.push((q.finish.get(), -1));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut trace = UtilizationTrace::new();
+        let mut time = 0.0;
+        let mut inflight: i32 = 0;
+        for (t, delta) in events {
+            if t > time {
+                let busy = u32::try_from(inflight.max(0)).expect("non-negative");
+                trace.push(
+                    Layers::new(t - time),
+                    Utilization::from_slots(busy.min(self.parallelism), self.parallelism),
+                );
+                time = t;
+            }
+            inflight += delta;
+        }
+        if end.get() > time {
+            trace.push(Layers::new(end.get() - time), Utilization::IDLE);
+        }
+        trace
+    }
+
+    /// Average QRAM utilization over the run.
+    #[must_use]
+    pub fn average_utilization(&self) -> Utilization {
+        self.utilization_trace().average()
+    }
+}
+
+/// Simulates `streams` sharing one QRAM server under FIFO admission,
+/// starting simultaneously at time 0.
+#[must_use]
+pub fn simulate_streams(streams: &[StreamWorkload], server: &QramServer) -> StreamReport {
+    #[derive(Debug)]
+    struct StreamState {
+        next_phase: usize,
+        ready: Layers,
+        completion: Layers,
+    }
+    let mut states: Vec<StreamState> = streams
+        .iter()
+        .map(|_| StreamState {
+            next_phase: 0,
+            ready: Layers::ZERO,
+            completion: Layers::ZERO,
+        })
+        .collect();
+    // Consume leading processing phases.
+    for (s, state) in states.iter_mut().enumerate() {
+        while let Some(Phase::Process(d)) = streams[s].phases().get(state.next_phase) {
+            state.ready += *d;
+            state.completion = state.ready;
+            state.next_phase += 1;
+        }
+    }
+    let mut queries: Vec<QueryRecord> = Vec::new();
+    let mut finishes: Vec<Layers> = Vec::new();
+    let mut last_start: Option<Layers> = None;
+    loop {
+        // FIFO: pick the pending query that became ready earliest.
+        let next = states
+            .iter()
+            .enumerate()
+            .filter(|(s, st)| {
+                matches!(streams[*s].phases().get(st.next_phase), Some(Phase::Query))
+            })
+            .min_by(|(sa, a), (sb, b)| {
+                a.ready
+                    .partial_cmp(&b.ready)
+                    .expect("finite")
+                    .then(sa.cmp(sb))
+            })
+            .map(|(s, _)| s);
+        let Some(s) = next else { break };
+        let ready = states[s].ready;
+        let mut start = ready;
+        if let Some(prev) = last_start {
+            start = start.max(prev + server.interval());
+        }
+        let k = queries.len();
+        let p = server.parallelism() as usize;
+        if k >= p {
+            start = start.max(finishes[k - p]);
+        }
+        let finish = start + server.latency();
+        last_start = Some(start);
+        finishes.push(finish);
+        queries.push(QueryRecord {
+            stream: s,
+            ready,
+            start,
+            finish,
+        });
+        // Advance the stream past the query and any following processing.
+        states[s].next_phase += 1;
+        states[s].ready = finish;
+        states[s].completion = finish;
+        while let Some(Phase::Process(d)) = streams[s].phases().get(states[s].next_phase) {
+            states[s].ready += *d;
+            states[s].completion = states[s].ready;
+            states[s].next_phase += 1;
+        }
+    }
+    StreamReport {
+        queries,
+        completions: states.iter().map(|st| st.completion).collect(),
+        parallelism: server.parallelism(),
+    }
+}
+
+/// Convenience: the overall depth of `p` identical synthetic algorithms
+/// (`num_queries` queries, processing depth `d`) on a server — the quantity
+/// plotted in Fig. 10(a).
+#[must_use]
+pub fn synthetic_algorithm_depth(
+    server: &QramServer,
+    p: usize,
+    num_queries: u32,
+    d: Layers,
+) -> Layers {
+    let streams = vec![StreamWorkload::alternating(num_queries, d); p];
+    simulate_streams(&streams, server).makespan()
+}
+
+/// The `d` layers of a processing phase expressed as a multiple of the
+/// single-query latency `t₁` — the x-axis of Fig. 10.
+#[must_use]
+pub fn process_depth_from_ratio(server: &QramServer, ratio: f64, _timing: &TimingModel) -> Layers {
+    Layers::new(server.latency().get() * ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_metrics::Capacity;
+
+    fn ft_server(n: u64) -> QramServer {
+        QramServer::fat_tree_integer_layers(Capacity::new(n).unwrap())
+    }
+
+    #[test]
+    fn figure_7_total_time_formula() {
+        // Three algorithms, each: Query, Process(d), Query, Process(d),
+        // Query. Total time = 30n + 2d + 17 (Fig. 7 annotation), provided
+        // d is large enough that streams never contend.
+        for (n_exp, d) in [(3u32, 20.0), (4, 15.0), (5, 30.0), (3, 100.0)] {
+            let server = ft_server(1 << n_exp);
+            let streams = vec![StreamWorkload::alternating(3, Layers::new(d)); 3];
+            let report = simulate_streams(&streams, &server);
+            let expect = 30.0 * f64::from(n_exp) + 2.0 * d + 17.0;
+            assert!(
+                (report.makespan().get() - expect).abs() < 1e-9,
+                "n={n_exp} d={d}: {} vs {expect}",
+                report.makespan().get()
+            );
+        }
+    }
+
+    #[test]
+    fn figure_7_query_starts_are_staggered_by_interval() {
+        let server = ft_server(8);
+        let streams = vec![StreamWorkload::alternating(3, Layers::new(20.0)); 3];
+        let report = simulate_streams(&streams, &server);
+        let first_three: Vec<f64> = report.queries()[..3].iter().map(|q| q.start.get()).collect();
+        assert_eq!(first_three, vec![0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn utilization_peaks_when_queries_overlap() {
+        let server = ft_server(8);
+        let streams = vec![StreamWorkload::alternating(3, Layers::new(20.0)); 3];
+        let report = simulate_streams(&streams, &server);
+        let trace = report.utilization_trace();
+        let peak = trace
+            .iter()
+            .map(|(_, u)| u.get())
+            .fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 1e-12, "three queries fill 3 slots");
+        // And the average is strictly between 0 and 1.
+        let avg = report.average_utilization().get();
+        assert!(avg > 0.3 && avg < 1.0, "avg={avg}");
+    }
+
+    #[test]
+    fn sequential_server_forces_serial_queries() {
+        let server = QramServer::bucket_brigade_integer_layers(Capacity::new(8).unwrap());
+        let streams = vec![StreamWorkload::alternating(2, Layers::new(0.0)); 3];
+        let report = simulate_streams(&streams, &server);
+        // 6 queries, 25 layers each, fully serialized.
+        assert_eq!(report.makespan().get(), 150.0);
+        // Starts strictly increase by 25.
+        for w in report.queries().windows(2) {
+            assert!((w[1].start.get() - w[0].start.get() - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_process_depth_saturates_fat_tree() {
+        // With d = 0 and ≥ n streams, the Fat-Tree pipeline is fully
+        // utilized and admissions fire every interval.
+        let server = ft_server(8);
+        let streams = vec![StreamWorkload::alternating(5, Layers::ZERO); 6];
+        let report = simulate_streams(&streams, &server);
+        for w in report.queries().windows(2) {
+            assert!(
+                (w[1].start.get() - w[0].start.get() - 10.0).abs() < 1e-9,
+                "admissions must be interval-spaced"
+            );
+        }
+        let avg = report.average_utilization().get();
+        assert!(avg > 0.85, "avg={avg}");
+    }
+
+    #[test]
+    fn leading_process_phase_delays_first_query() {
+        let server = ft_server(8);
+        let stream = StreamWorkload::new(vec![
+            Phase::Process(Layers::new(7.0)),
+            Phase::Query,
+        ]);
+        let report = simulate_streams(&[stream], &server);
+        assert_eq!(report.queries()[0].ready.get(), 7.0);
+        assert_eq!(report.queries()[0].start.get(), 7.0);
+    }
+
+    #[test]
+    fn trailing_process_phase_extends_completion() {
+        let server = ft_server(8);
+        let stream = StreamWorkload::new(vec![Phase::Query, Phase::Process(Layers::new(11.0))]);
+        let report = simulate_streams(&[stream], &server);
+        assert_eq!(report.makespan().get(), 29.0 + 11.0);
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let w = StreamWorkload::alternating(4, Layers::new(5.0));
+        assert_eq!(w.query_count(), 4);
+        assert_eq!(w.processing_depth().get(), 15.0);
+        assert_eq!(w.phases().len(), 7);
+    }
+
+    #[test]
+    fn synthetic_depth_monotone_in_stream_count() {
+        let server = ft_server(1024);
+        let d = Layers::new(10.0);
+        let mut prev = Layers::ZERO;
+        for p in [1usize, 5, 10, 20] {
+            let depth = synthetic_algorithm_depth(&server, p, 10, d);
+            assert!(depth >= prev, "p={p}");
+            prev = depth;
+        }
+    }
+}

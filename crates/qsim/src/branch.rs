@@ -1,0 +1,568 @@
+//! Branch-based QRAM query simulation.
+//!
+//! A bucket-brigade query over a superposition of `B` addresses entangles
+//! only the routers along the `B` active root-to-leaf paths; for each fixed
+//! address, every router is in a definite (classical) state. The joint state
+//! during a query therefore decomposes into `B` *branches*, each evolving
+//! classically under the routing instructions. This module represents
+//! address superpositions and query outcomes in that branch decomposition,
+//! which is exact and costs `O(B · log N)` instead of `O(2^N)`.
+//!
+//! The instruction-level executor that drives branches through a schedule
+//! lives in `qram-core`; this module provides the state types and the
+//! *reference semantics* ([`ClassicalMemory::ideal_query`], Eq. 1 of the
+//! paper) that executions are checked against.
+
+use std::collections::BTreeMap;
+
+use crate::Complex;
+
+/// A superposition of memory addresses: the input register
+/// `Σᵢ αᵢ |i⟩` of a quantum query.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::branch::AddressState;
+///
+/// let addr = AddressState::uniform(3, &[0, 5, 7])?;
+/// assert_eq!(addr.num_branches(), 3);
+/// assert!((addr.probability_of(5) - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), qsim::branch::BranchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddressState {
+    address_width: u32,
+    terms: Vec<(Complex, u64)>,
+}
+
+/// Errors constructing branch states.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchError {
+    /// An address does not fit in the address width.
+    AddressOutOfRange {
+        /// The offending address.
+        address: u64,
+        /// The register width in bits.
+        address_width: u32,
+    },
+    /// The same address appeared twice.
+    DuplicateAddress(u64),
+    /// The superposition had zero norm (no terms, or all-zero amplitudes).
+    ZeroNorm,
+}
+
+impl std::fmt::Display for BranchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BranchError::AddressOutOfRange {
+                address,
+                address_width,
+            } => write!(
+                f,
+                "address {address} does not fit in {address_width} bits"
+            ),
+            BranchError::DuplicateAddress(a) => write!(f, "duplicate address {a}"),
+            BranchError::ZeroNorm => write!(f, "superposition has zero norm"),
+        }
+    }
+}
+
+impl std::error::Error for BranchError {}
+
+impl AddressState {
+    /// Builds a normalized superposition from `(amplitude, address)` terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any address repeats or exceeds the width, or if
+    /// the total norm is zero.
+    pub fn new(
+        address_width: u32,
+        terms: impl IntoIterator<Item = (Complex, u64)>,
+    ) -> Result<Self, BranchError> {
+        let mut seen = BTreeMap::new();
+        let mut collected = Vec::new();
+        let limit = 1u64
+            .checked_shl(address_width)
+            .unwrap_or(u64::MAX);
+        for (amp, addr) in terms {
+            if addr >= limit {
+                return Err(BranchError::AddressOutOfRange {
+                    address: addr,
+                    address_width,
+                });
+            }
+            if seen.insert(addr, ()).is_some() {
+                return Err(BranchError::DuplicateAddress(addr));
+            }
+            if amp.norm_sqr() > 0.0 {
+                collected.push((amp, addr));
+            }
+        }
+        let norm: f64 = collected
+            .iter()
+            .map(|(a, _)| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        if norm <= 1e-300 {
+            return Err(BranchError::ZeroNorm);
+        }
+        for (a, _) in &mut collected {
+            *a = *a / norm;
+        }
+        collected.sort_by_key(|&(_, addr)| addr);
+        Ok(AddressState {
+            address_width,
+            terms: collected,
+        })
+    }
+
+    /// A single classical address `|address⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address exceeds the width.
+    pub fn classical(address_width: u32, address: u64) -> Result<Self, BranchError> {
+        AddressState::new(address_width, [(Complex::ONE, address)])
+    }
+
+    /// A uniform superposition over the given addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicates, out-of-range addresses, or an empty
+    /// list.
+    pub fn uniform(address_width: u32, addresses: &[u64]) -> Result<Self, BranchError> {
+        AddressState::new(
+            address_width,
+            addresses.iter().map(|&a| (Complex::ONE, a)),
+        )
+    }
+
+    /// The uniform superposition over *all* `2ⁿ` addresses (the state
+    /// produced by Hadamards on the address register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address_width > 20` (to bound memory).
+    #[must_use]
+    pub fn full_superposition(address_width: u32) -> Self {
+        assert!(
+            address_width <= 20,
+            "full superposition limited to 20 address bits"
+        );
+        let all: Vec<u64> = (0..(1u64 << address_width)).collect();
+        AddressState::uniform(address_width, &all).expect("valid by construction")
+    }
+
+    /// The address register width in bits.
+    #[must_use]
+    pub fn address_width(&self) -> u32 {
+        self.address_width
+    }
+
+    /// Number of branches (distinct addresses with non-zero amplitude).
+    #[must_use]
+    pub fn num_branches(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(amplitude, address)` terms in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Complex, u64)> {
+        self.terms.iter()
+    }
+
+    /// Probability of measuring the given address.
+    #[must_use]
+    pub fn probability_of(&self, address: u64) -> f64 {
+        self.terms
+            .iter()
+            .find(|&&(_, a)| a == address)
+            .map_or(0.0, |(amp, _)| amp.norm_sqr())
+    }
+}
+
+/// The outcome of a quantum query: the entangled address–bus state
+/// `Σᵢ αᵢ |i⟩_A |xᵢ⟩_B` of Eq. (1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    address_width: u32,
+    bus_width: u32,
+    terms: Vec<(Complex, u64, u64)>,
+}
+
+impl QueryOutcome {
+    /// Builds an outcome from `(amplitude, address, data)` terms. Intended
+    /// for executors; terms are sorted by address and assumed normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any data value exceeds the bus width.
+    #[must_use]
+    pub fn from_terms(
+        address_width: u32,
+        bus_width: u32,
+        mut terms: Vec<(Complex, u64, u64)>,
+    ) -> Self {
+        let limit = 1u64.checked_shl(bus_width).unwrap_or(u64::MAX);
+        for &(_, _, data) in &terms {
+            assert!(
+                data < limit,
+                "data value {data} does not fit in bus width {bus_width}"
+            );
+        }
+        terms.sort_by_key(|&(_, addr, _)| addr);
+        QueryOutcome {
+            address_width,
+            bus_width,
+            terms,
+        }
+    }
+
+    /// The address register width.
+    #[must_use]
+    pub fn address_width(&self) -> u32 {
+        self.address_width
+    }
+
+    /// The bus register width.
+    #[must_use]
+    pub fn bus_width(&self) -> u32 {
+        self.bus_width
+    }
+
+    /// Iterates over `(amplitude, address, data)` terms in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Complex, u64, u64)> {
+        self.terms.iter()
+    }
+
+    /// Number of branches.
+    #[must_use]
+    pub fn num_branches(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The data value returned for `address`, if that branch exists.
+    #[must_use]
+    pub fn data_for(&self, address: u64) -> Option<u64> {
+        self.terms
+            .iter()
+            .find(|&&(_, a, _)| a == address)
+            .map(|&(_, _, d)| d)
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` between two outcomes, treating each
+    /// `(address, data)` pair as an orthogonal basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register widths differ.
+    #[must_use]
+    pub fn fidelity(&self, other: &QueryOutcome) -> f64 {
+        assert_eq!(self.address_width, other.address_width);
+        assert_eq!(self.bus_width, other.bus_width);
+        let map: BTreeMap<(u64, u64), Complex> = self
+            .terms
+            .iter()
+            .map(|&(amp, a, d)| ((a, d), amp))
+            .collect();
+        let overlap: Complex = other
+            .terms
+            .iter()
+            .filter_map(|&(amp, a, d)| map.get(&(a, d)).map(|mine| mine.conj() * amp))
+            .sum();
+        overlap.norm_sqr()
+    }
+}
+
+/// A classical memory of `N` cells, each holding a `bus_width`-bit word —
+/// the data plane queried by the QRAM.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::branch::{AddressState, ClassicalMemory};
+///
+/// let mem = ClassicalMemory::from_words(1, &[1, 0, 1, 1])?;
+/// let addr = AddressState::uniform(2, &[0, 3])?;
+/// let out = mem.ideal_query(&addr);
+/// assert_eq!(out.data_for(0), Some(1));
+/// assert_eq!(out.data_for(3), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassicalMemory {
+    bus_width: u32,
+    cells: Vec<u64>,
+}
+
+/// Errors constructing a [`ClassicalMemory`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryError {
+    /// The number of cells is not a power of two ≥ 2.
+    BadCellCount(usize),
+    /// A word does not fit in the bus width.
+    WordTooWide {
+        /// Cell index.
+        index: usize,
+        /// The offending value.
+        value: u64,
+        /// Bus width in bits.
+        bus_width: u32,
+    },
+    /// Bus width outside `1..=63`.
+    BadBusWidth(u32),
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::BadCellCount(n) => {
+                write!(f, "cell count {n} is not a power of two >= 2")
+            }
+            MemoryError::WordTooWide {
+                index,
+                value,
+                bus_width,
+            } => write!(
+                f,
+                "cell {index} value {value} does not fit in bus width {bus_width}"
+            ),
+            MemoryError::BadBusWidth(w) => write!(f, "bus width {w} outside 1..=63"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+impl ClassicalMemory {
+    /// Builds a memory from explicit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cell count is not a power of two ≥ 2, the
+    /// bus width is outside `1..=63`, or a word overflows the bus.
+    pub fn from_words(bus_width: u32, words: &[u64]) -> Result<Self, MemoryError> {
+        if !(1..=63).contains(&bus_width) {
+            return Err(MemoryError::BadBusWidth(bus_width));
+        }
+        if words.len() < 2 || !words.len().is_power_of_two() {
+            return Err(MemoryError::BadCellCount(words.len()));
+        }
+        let limit = 1u64 << bus_width;
+        for (index, &value) in words.iter().enumerate() {
+            if value >= limit {
+                return Err(MemoryError::WordTooWide {
+                    index,
+                    value,
+                    bus_width,
+                });
+            }
+        }
+        Ok(ClassicalMemory {
+            bus_width,
+            cells: words.to_vec(),
+        })
+    }
+
+    /// An all-zeros memory with `capacity` single-bit cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two ≥ 2.
+    #[must_use]
+    pub fn zeros(capacity: usize) -> Self {
+        ClassicalMemory::from_words(1, &vec![0; capacity]).expect("zeros are valid")
+    }
+
+    /// Number of cells `N`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The address width `log₂ N`.
+    #[must_use]
+    pub fn address_width(&self) -> u32 {
+        self.cells.len().trailing_zeros()
+    }
+
+    /// The bus width in bits.
+    #[must_use]
+    pub fn bus_width(&self) -> u32 {
+        self.bus_width
+    }
+
+    /// Reads a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is out of range.
+    #[must_use]
+    pub fn read(&self, address: u64) -> u64 {
+        self.cells[usize::try_from(address).expect("address fits in usize")]
+    }
+
+    /// Writes a cell (classical memory update between queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the value overflows the bus.
+    pub fn write(&mut self, address: u64, value: u64) {
+        assert!(
+            value < (1u64 << self.bus_width),
+            "value {value} does not fit in bus width {}",
+            self.bus_width
+        );
+        self.cells[usize::try_from(address).expect("address fits in usize")] = value;
+    }
+
+    /// All cells in address order.
+    #[must_use]
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// The *reference semantics* of a quantum query, Eq. (1):
+    /// `Σᵢ αᵢ|i⟩|0⟩ → Σᵢ αᵢ|i⟩|xᵢ⟩`. Instruction-level executions are
+    /// validated against this outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address state's width does not match the memory.
+    #[must_use]
+    pub fn ideal_query(&self, address: &AddressState) -> QueryOutcome {
+        assert_eq!(
+            address.address_width(),
+            self.address_width(),
+            "address width must match memory capacity"
+        );
+        let terms = address
+            .iter()
+            .map(|&(amp, addr)| (amp, addr, self.read(addr)))
+            .collect();
+        QueryOutcome::from_terms(self.address_width(), self.bus_width, terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_normalizes() {
+        let s = AddressState::uniform(3, &[1, 2, 4, 6]).unwrap();
+        assert_eq!(s.num_branches(), 4);
+        for &(amp, _) in s.iter() {
+            assert!((amp.norm_sqr() - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_address_rejected() {
+        assert_eq!(
+            AddressState::uniform(3, &[1, 1]),
+            Err(BranchError::DuplicateAddress(1))
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            AddressState::classical(2, 4),
+            Err(BranchError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_norm_rejected() {
+        assert_eq!(
+            AddressState::new(2, std::iter::empty()),
+            Err(BranchError::ZeroNorm)
+        );
+        assert_eq!(
+            AddressState::new(2, [(Complex::ZERO, 1)]),
+            Err(BranchError::ZeroNorm)
+        );
+    }
+
+    #[test]
+    fn full_superposition_covers_all_addresses() {
+        let s = AddressState::full_superposition(4);
+        assert_eq!(s.num_branches(), 16);
+        assert!((s.probability_of(9) - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_query_matches_memory() {
+        let mem = ClassicalMemory::from_words(2, &[3, 0, 1, 2]).unwrap();
+        let addr = AddressState::full_superposition(2);
+        let out = mem.ideal_query(&addr);
+        assert_eq!(out.data_for(0), Some(3));
+        assert_eq!(out.data_for(1), Some(0));
+        assert_eq!(out.data_for(2), Some(1));
+        assert_eq!(out.data_for(3), Some(2));
+        assert_eq!(out.bus_width(), 2);
+        assert_eq!(out.address_width(), 2);
+    }
+
+    #[test]
+    fn outcome_fidelity_of_identical_states_is_one() {
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 1, 0]).unwrap();
+        let addr = AddressState::uniform(2, &[0, 2]).unwrap();
+        let out = mem.ideal_query(&addr);
+        assert!((out.fidelity(&out) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_fidelity_detects_wrong_data() {
+        let mem = ClassicalMemory::from_words(1, &[1, 0]).unwrap();
+        let addr = AddressState::uniform(1, &[0, 1]).unwrap();
+        let good = mem.ideal_query(&addr);
+        // Corrupt one branch's data: overlap halves, fidelity quarters.
+        let bad = QueryOutcome::from_terms(
+            1,
+            1,
+            good.iter()
+                .map(|&(amp, a, d)| (amp, a, if a == 0 { 1 - d } else { d }))
+                .collect(),
+        );
+        assert!((good.fidelity(&bad) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_write_roundtrip() {
+        let mut mem = ClassicalMemory::zeros(8);
+        mem.write(5, 1);
+        assert_eq!(mem.read(5), 1);
+        assert_eq!(mem.capacity(), 8);
+        assert_eq!(mem.address_width(), 3);
+    }
+
+    #[test]
+    fn memory_validation() {
+        assert!(matches!(
+            ClassicalMemory::from_words(1, &[0, 1, 2, 0]),
+            Err(MemoryError::WordTooWide { index: 2, .. })
+        ));
+        assert!(matches!(
+            ClassicalMemory::from_words(1, &[0, 1, 0]),
+            Err(MemoryError::BadCellCount(3))
+        ));
+        assert!(matches!(
+            ClassicalMemory::from_words(0, &[0, 1]),
+            Err(MemoryError::BadBusWidth(0))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BranchError::AddressOutOfRange {
+            address: 9,
+            address_width: 3,
+        };
+        assert_eq!(e.to_string(), "address 9 does not fit in 3 bits");
+        assert!(MemoryError::BadCellCount(3).to_string().contains("3"));
+    }
+}

@@ -1,0 +1,307 @@
+//! A small quantum circuit builder over the state-vector simulator.
+//!
+//! Useful for expressing QRAM-adjacent circuits (Grover iterations, swap
+//! networks, router cascades) as data: circuits can be composed, inverted,
+//! layered into circuit layers (the paper's time unit), and executed.
+
+use crate::gates;
+use crate::state::StateVector;
+
+/// One gate application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(u32),
+    /// Pauli-X.
+    X(u32),
+    /// Pauli-Z.
+    Z(u32),
+    /// Z-rotation by an angle.
+    Rz(u32, f64),
+    /// Controlled-NOT (control, target).
+    Cnot(u32, u32),
+    /// Controlled-Z (control, target).
+    Cz(u32, u32),
+    /// SWAP.
+    Swap(u32, u32),
+    /// CSWAP / Fredkin (control, a, b) — the QRAM routing primitive.
+    Cswap(u32, u32, u32),
+    /// Toffoli (c1, c2, target).
+    Toffoli(u32, u32, u32),
+}
+
+impl Gate {
+    /// The qubits this gate acts on.
+    #[must_use]
+    pub fn qubits(&self) -> Vec<u32> {
+        match *self {
+            Gate::H(q) | Gate::X(q) | Gate::Z(q) | Gate::Rz(q, _) => vec![q],
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+            Gate::Cswap(a, b, c) | Gate::Toffoli(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// The inverse gate (all supported gates are self-inverse except Rz).
+    #[must_use]
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::Rz(q, theta) => Gate::Rz(q, -theta),
+            other => other,
+        }
+    }
+
+    fn apply(&self, psi: &mut StateVector) {
+        match *self {
+            Gate::H(q) => psi.apply_h(q),
+            Gate::X(q) => psi.apply_x(q),
+            Gate::Z(q) => psi.apply_z(q),
+            Gate::Rz(q, theta) => psi.apply_gate1(&gates::rz(theta), q),
+            Gate::Cnot(c, t) => psi.apply_cnot(c, t),
+            Gate::Cz(c, t) => psi.apply_controlled_gate1(&gates::z(), c, t),
+            Gate::Swap(a, b) => psi.apply_swap(a, b),
+            Gate::Cswap(c, a, b) => psi.apply_cswap(c, a, b),
+            Gate::Toffoli(a, b, t) => psi.apply_toffoli(a, b, t),
+        }
+    }
+}
+
+/// An ordered list of gates on a fixed qubit register.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::circuit::Circuit;
+///
+/// // A Bell pair in one circuit layer pair.
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let psi = c.simulate();
+/// assert!((psi.probability_of(0b00) - 0.5).abs() < 1e-12);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    num_qubits: u32,
+    ops: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is outside `1..=26`.
+    #[must_use]
+    pub fn new(num_qubits: u32) -> Self {
+        assert!((1..=26).contains(&num_qubits));
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The register width.
+    #[must_use]
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The gate sequence.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.ops
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit outside the register.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        for q in gate.qubits() {
+            assert!(q < self.num_qubits, "qubit {q} outside register");
+        }
+        self.ops.push(gate);
+        self
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+
+    /// Appends a Pauli-Z.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+
+    /// Appends a CNOT.
+    pub fn cnot(&mut self, c: u32, t: u32) -> &mut Self {
+        self.push(Gate::Cnot(c, t))
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Swap(a, b))
+    }
+
+    /// Appends a CSWAP (the router primitive).
+    pub fn cswap(&mut self, c: u32, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Cswap(c, a, b))
+    }
+
+    /// Appends a Toffoli.
+    pub fn toffoli(&mut self, c1: u32, c2: u32, t: u32) -> &mut Self {
+        self.push(Gate::Toffoli(c1, c2, t))
+    }
+
+    /// Appends all gates of another circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register widths differ.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.num_qubits, other.num_qubits, "register widths differ");
+        self.ops.extend_from_slice(&other.ops);
+        self
+    }
+
+    /// The inverse (dagger) circuit: gates reversed and inverted.
+    #[must_use]
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            ops: self.ops.iter().rev().map(Gate::inverse).collect(),
+        }
+    }
+
+    /// Greedy circuit-layer count: gates on disjoint qubits share a layer —
+    /// the paper's notion of circuit depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut ready_at = vec![0usize; self.num_qubits as usize];
+        let mut depth = 0;
+        for gate in &self.ops {
+            let start = gate
+                .qubits()
+                .iter()
+                .map(|&q| ready_at[q as usize])
+                .max()
+                .unwrap_or(0);
+            for q in gate.qubits() {
+                ready_at[q as usize] = start + 1;
+            }
+            depth = depth.max(start + 1);
+        }
+        depth
+    }
+
+    /// Runs the circuit on an existing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's register width differs.
+    pub fn run(&self, psi: &mut StateVector) {
+        assert_eq!(psi.num_qubits(), self.num_qubits, "register widths differ");
+        for gate in &self.ops {
+            gate.apply(psi);
+        }
+    }
+
+    /// Runs the circuit on `|0…0⟩` and returns the final state.
+    #[must_use]
+    pub fn simulate(&self) -> StateVector {
+        let mut psi = StateVector::new(self.num_qubits);
+        self.run(&mut psi);
+        psi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let psi = c.simulate();
+        assert!((psi.probability_of(0b11) - 0.5).abs() < 1e-12);
+        assert_eq!(c.gate_count(), 2);
+    }
+
+    #[test]
+    fn depth_packs_disjoint_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3); // one layer
+        c.cnot(0, 1).cnot(2, 3); // one layer
+        assert_eq!(c.depth(), 2);
+        c.cnot(1, 2); // forced into a third layer
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn inverse_uncomputes() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cnot(0, 1)
+            .cswap(0, 1, 2)
+            .toffoli(0, 1, 2)
+            .push(Gate::Rz(2, 0.7))
+            .z(1)
+            .swap(0, 2);
+        let mut full = c.clone();
+        full.extend(&c.inverse());
+        let psi = full.simulate();
+        assert!((psi.probability_of(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn router_cascade_routes_in_superposition() {
+        // A one-level router as a circuit: control in |+⟩, input |1⟩.
+        // Qubits: 0 router, 1 input, 2 left, 3 right.
+        let mut c = Circuit::new(4);
+        c.h(0); // router superposed between "left" (0) and "right" (1)
+        c.x(1); // the input qubit carries |1⟩
+        // Route: CSWAP on router=1 moves input→right; X-conjugated CSWAP
+        // for router=0 moves input→left.
+        c.x(0).cswap(0, 1, 2).x(0).cswap(0, 1, 3);
+        let psi = c.simulate();
+        // Router 0: qubit at left (q2); router 1: qubit at right (q3).
+        assert!((psi.probability_of(0b0100) - 0.5).abs() < 1e-12);
+        assert!((psi.probability_of(0b1001) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside register")]
+    fn out_of_range_gate_rejected() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "register widths differ")]
+    fn mismatched_extend_rejected() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        a.extend(&b);
+    }
+
+    #[test]
+    fn empty_circuit_depth_zero() {
+        assert_eq!(Circuit::new(3).depth(), 0);
+        let psi = Circuit::new(3).simulate();
+        assert_eq!(psi.probability_of(0), 1.0);
+    }
+}

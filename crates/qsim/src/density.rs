@@ -1,0 +1,294 @@
+//! Small dense density-matrix simulator.
+//!
+//! Used for the virtual-distillation experiments (§8.2, Table 4): given a
+//! noisy query state `ρ = (1−ε)|ψ⟩⟨ψ| + ε·ρ_err`, virtual distillation with
+//! `k` parallel copies estimates observables on `ρᵏ / Tr(ρᵏ)`, suppressing
+//! the error component exponentially in `k`.
+
+use crate::state::StateVector;
+use crate::Complex;
+
+/// A dense density matrix on a `dim`-dimensional Hilbert space.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::density::DensityMatrix;
+/// use qsim::state::StateVector;
+///
+/// let psi = StateVector::from_basis(1, 0);
+/// let rho = DensityMatrix::from_pure(&psi);
+/// assert!((rho.purity() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    dim: usize,
+    // Row-major dim×dim.
+    elems: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// Maximum Hilbert-space dimension (matrix powers are O(dim³)).
+    pub const MAX_DIM: usize = 512;
+
+    /// The density matrix `|ψ⟩⟨ψ|` of a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state dimension exceeds [`Self::MAX_DIM`].
+    #[must_use]
+    pub fn from_pure(psi: &StateVector) -> Self {
+        let dim = psi.dim();
+        assert!(dim <= Self::MAX_DIM, "dimension {dim} exceeds MAX_DIM");
+        let mut elems = vec![Complex::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                elems[i * dim + j] = psi.amplitude(i) * psi.amplitude(j).conj();
+            }
+        }
+        DensityMatrix { dim, elems }
+    }
+
+    /// The maximally mixed state `I/dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is 0 or exceeds [`Self::MAX_DIM`].
+    #[must_use]
+    pub fn maximally_mixed(dim: usize) -> Self {
+        assert!(dim > 0 && dim <= Self::MAX_DIM);
+        let mut elems = vec![Complex::ZERO; dim * dim];
+        for i in 0..dim {
+            elems[i * dim + i] = Complex::real(1.0 / dim as f64);
+        }
+        DensityMatrix { dim, elems }
+    }
+
+    /// The maximally mixed state on the subspace *orthogonal* to `psi` —
+    /// the worst-case error component for a noisy copy of `psi`.
+    ///
+    /// Constructed as `(I − |ψ⟩⟨ψ|) / (dim − 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has dimension < 2 or exceeds [`Self::MAX_DIM`].
+    #[must_use]
+    pub fn orthogonal_error(psi: &StateVector) -> Self {
+        let dim = psi.dim();
+        assert!((2..=Self::MAX_DIM).contains(&dim));
+        let proj = DensityMatrix::from_pure(psi);
+        let mut elems = vec![Complex::ZERO; dim * dim];
+        let scale = 1.0 / (dim as f64 - 1.0);
+        for i in 0..dim {
+            for j in 0..dim {
+                let id = if i == j { Complex::ONE } else { Complex::ZERO };
+                elems[i * dim + j] = (id - proj.elems[i * dim + j]).scale(scale);
+            }
+        }
+        DensityMatrix { dim, elems }
+    }
+
+    /// The convex mixture `(1−p)·self + p·other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn mix(&self, other: &DensityMatrix, p: f64) -> Self {
+        assert_eq!(self.dim, other.dim, "mixture requires equal dimensions");
+        assert!((0.0..=1.0).contains(&p), "mixing weight must be in [0, 1]");
+        let elems = self
+            .elems
+            .iter()
+            .zip(&other.elems)
+            .map(|(a, b)| a.scale(1.0 - p) + b.scale(p))
+            .collect();
+        DensityMatrix {
+            dim: self.dim,
+            elems,
+        }
+    }
+
+    /// Hilbert-space dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The trace.
+    #[must_use]
+    pub fn trace(&self) -> Complex {
+        (0..self.dim).map(|i| self.elems[i * self.dim + i]).sum()
+    }
+
+    /// The purity `Tr(ρ²)`.
+    #[must_use]
+    pub fn purity(&self) -> f64 {
+        self.matmul(self).trace().re
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn matmul(&self, other: &DensityMatrix) -> DensityMatrix {
+        assert_eq!(self.dim, other.dim);
+        let d = self.dim;
+        let mut out = vec![Complex::ZERO; d * d];
+        for i in 0..d {
+            for k in 0..d {
+                let aik = self.elems[i * d + k];
+                if aik.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    out[i * d + j] += aik * other.elems[k * d + j];
+                }
+            }
+        }
+        DensityMatrix { dim: d, elems: out }
+    }
+
+    /// The `k`-th matrix power `ρᵏ` (`k ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn power(&self, k: u32) -> DensityMatrix {
+        assert!(k >= 1, "matrix power requires k >= 1");
+        let mut acc = self.clone();
+        for _ in 1..k {
+            acc = acc.matmul(self);
+        }
+        acc
+    }
+
+    /// The fidelity `⟨ψ|ρ|ψ⟩` with a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn fidelity_with_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(self.dim, psi.dim());
+        let mut acc = Complex::ZERO;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                acc += psi.amplitude(i).conj() * self.elems[i * self.dim + j] * psi.amplitude(j);
+            }
+        }
+        acc.re
+    }
+
+    /// The virtually distilled state `ρᵏ / Tr(ρᵏ)` (§8.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `Tr(ρᵏ)` vanishes.
+    #[must_use]
+    pub fn distill(&self, k: u32) -> DensityMatrix {
+        let powered = self.power(k);
+        let tr = powered.trace().re;
+        assert!(tr > 1e-300, "Tr(rho^k) vanished; cannot distill");
+        let elems = powered.elems.iter().map(|e| e.scale(1.0 / tr)).collect();
+        DensityMatrix {
+            dim: self.dim,
+            elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_state(eps: f64) -> (DensityMatrix, StateVector) {
+        let mut psi = StateVector::new(2);
+        psi.apply_h(0);
+        psi.apply_cnot(0, 1); // a Bell state as the "ideal query state"
+        let ideal = DensityMatrix::from_pure(&psi);
+        let err = DensityMatrix::orthogonal_error(&psi);
+        (ideal.mix(&err, eps), psi)
+    }
+
+    #[test]
+    fn pure_state_has_unit_purity_and_trace() {
+        let psi = StateVector::from_basis(2, 3);
+        let rho = DensityMatrix::from_pure(&psi);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximally_mixed_purity() {
+        let rho = DensityMatrix::maximally_mixed(4);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_fidelity_matches_weight() {
+        let (rho, psi) = noisy_state(0.16);
+        assert!((rho.fidelity_with_pure(&psi) - 0.84).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distillation_suppresses_error_exponentially() {
+        // Table 4's model: fidelity 0.84 (Fat-Tree, k=4) → ~0.9994.
+        let (rho, psi) = noisy_state(0.16);
+        let f4 = rho.distill(4).fidelity_with_pure(&psi);
+        assert!(
+            f4 > 0.999,
+            "distilled fidelity {f4} should be near the paper's 0.9994"
+        );
+        // BB: fidelity 0.872, k=2 → ~0.984.
+        let (rho2, psi2) = noisy_state(0.128);
+        let f2 = rho2.distill(2).fidelity_with_pure(&psi2);
+        assert!(
+            (0.975..0.995).contains(&f2),
+            "distilled fidelity {f2} should be near the paper's 0.984"
+        );
+        // More copies never hurt.
+        assert!(f4 > rho.distill(2).fidelity_with_pure(&psi));
+    }
+
+    #[test]
+    fn distill_k1_is_identity() {
+        let (rho, _) = noisy_state(0.3);
+        let d = rho.distill(1);
+        for (a, b) in rho.elems.iter().zip(&d.elems) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn orthogonal_error_has_zero_overlap_with_ideal() {
+        let mut psi = StateVector::new(2);
+        psi.apply_h(1);
+        let err = DensityMatrix::orthogonal_error(&psi);
+        assert!(err.fidelity_with_pure(&psi).abs() < 1e-12);
+        assert!((err.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let psi0 = StateVector::from_basis(1, 0);
+        let p0 = DensityMatrix::from_pure(&psi0);
+        // P0 · P0 = P0 (projector).
+        let sq = p0.matmul(&p0);
+        for (a, b) in sq.elems.iter().zip(&p0.elems) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn power_zero_panics() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        let _ = rho.power(0);
+    }
+}

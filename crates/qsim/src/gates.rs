@@ -1,0 +1,194 @@
+//! Single-qubit gate matrices and helpers.
+
+use crate::Complex;
+
+/// A 2×2 unitary acting on one qubit, in row-major order
+/// `[[u00, u01], [u10, u11]]`.
+pub type Gate1 = [[Complex; 2]; 2];
+
+/// Pauli X.
+#[must_use]
+pub fn x() -> Gate1 {
+    [
+        [Complex::ZERO, Complex::ONE],
+        [Complex::ONE, Complex::ZERO],
+    ]
+}
+
+/// Pauli Y.
+#[must_use]
+pub fn y() -> Gate1 {
+    [
+        [Complex::ZERO, -Complex::I],
+        [Complex::I, Complex::ZERO],
+    ]
+}
+
+/// Pauli Z.
+#[must_use]
+pub fn z() -> Gate1 {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, -Complex::ONE],
+    ]
+}
+
+/// Hadamard.
+#[must_use]
+pub fn h() -> Gate1 {
+    let s = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+    [[s, s], [s, -s]]
+}
+
+/// Phase gate S = diag(1, i).
+#[must_use]
+pub fn s() -> Gate1 {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::I],
+    ]
+}
+
+/// T gate = diag(1, e^{iπ/4}).
+#[must_use]
+pub fn t() -> Gate1 {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// Z-rotation `Rz(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+#[must_use]
+pub fn rz(theta: f64) -> Gate1 {
+    [
+        [Complex::from_polar(1.0, -theta / 2.0), Complex::ZERO],
+        [Complex::ZERO, Complex::from_polar(1.0, theta / 2.0)],
+    ]
+}
+
+/// Y-rotation `Ry(θ)`.
+#[must_use]
+pub fn ry(theta: f64) -> Gate1 {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::real((theta / 2.0).sin());
+    [[c, -s], [s, c]]
+}
+
+/// X-rotation `Rx(θ)`.
+#[must_use]
+pub fn rx(theta: f64) -> Gate1 {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::new(0.0, -(theta / 2.0).sin());
+    [[c, s], [s, c]]
+}
+
+/// Identity.
+#[must_use]
+pub fn id() -> Gate1 {
+    [
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::ONE],
+    ]
+}
+
+/// Returns true when `g` is unitary to within `tol` (U†U = I).
+#[must_use]
+pub fn is_unitary(g: &Gate1, tol: f64) -> bool {
+    // Columns must be orthonormal.
+    let c0 = (g[0][0], g[1][0]);
+    let c1 = (g[0][1], g[1][1]);
+    let n0 = c0.0.norm_sqr() + c0.1.norm_sqr();
+    let n1 = c1.0.norm_sqr() + c1.1.norm_sqr();
+    let dot = c0.0.conj() * c1.0 + c0.1.conj() * c1.1;
+    (n0 - 1.0).abs() <= tol && (n1 - 1.0).abs() <= tol && dot.norm() <= tol
+}
+
+/// Multiplies two single-qubit gates: `a · b` (apply `b` first).
+#[must_use]
+pub fn matmul(a: &Gate1, b: &Gate1) -> Gate1 {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// The Pauli group elements used by stochastic error channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// The matrix of this Pauli operator.
+    #[must_use]
+    pub fn gate(self) -> Gate1 {
+        match self {
+            Pauli::X => x(),
+            Pauli::Y => y(),
+            Pauli::Z => z(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        for g in [x(), y(), z(), h(), s(), t(), id(), rz(0.3), ry(1.1), rx(2.7)] {
+            assert!(is_unitary(&g, 1e-12));
+        }
+    }
+
+    #[test]
+    fn hh_is_identity() {
+        let hh = matmul(&h(), &h());
+        let identity = id();
+        for (row, id_row) in hh.iter().zip(identity.iter()) {
+            for (got, want) in row.iter().zip(id_row.iter()) {
+                assert!(got.approx_eq(*want, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn xyz_anticommute_to_identity_products() {
+        // XY = iZ
+        let xy = matmul(&x(), &y());
+        let iz = [
+            [Complex::I * z()[0][0], Complex::I * z()[0][1]],
+            [Complex::I * z()[1][0], Complex::I * z()[1][1]],
+        ];
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(xy[i][j].approx_eq(iz[i][j], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn non_unitary_detected() {
+        let bad = [
+            [Complex::ONE, Complex::ONE],
+            [Complex::ZERO, Complex::ONE],
+        ];
+        assert!(!is_unitary(&bad, 1e-9));
+    }
+
+    #[test]
+    fn pauli_gates_match() {
+        assert_eq!(Pauli::X.gate(), x());
+        assert_eq!(Pauli::Y.gate(), y());
+        assert_eq!(Pauli::Z.gate(), z());
+    }
+}

@@ -1,0 +1,200 @@
+//! Stochastic error channels and Monte-Carlo trajectory sampling.
+//!
+//! The paper's noise model (§8.1) subjects each qubit touched by a gate to
+//! a generic channel `E(ρ) = (1−ε)ρ + ε·KρK†`. For trajectory simulation we
+//! specialize `K` to Pauli operators: with probability `ε` a fault is
+//! injected after the gate; otherwise the gate is ideal.
+
+use rand::Rng;
+
+use crate::gates::Pauli;
+
+/// A single-qubit stochastic error channel applied after each gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorChannel {
+    /// No errors (ideal hardware).
+    Ideal,
+    /// With probability `p`, apply X.
+    BitFlip(f64),
+    /// With probability `p`, apply Z.
+    PhaseFlip(f64),
+    /// With probability `p`, apply X, Y, or Z uniformly at random.
+    Depolarizing(f64),
+}
+
+impl ErrorChannel {
+    /// The total fault probability of the channel.
+    #[must_use]
+    pub fn error_probability(&self) -> f64 {
+        match *self {
+            ErrorChannel::Ideal => 0.0,
+            ErrorChannel::BitFlip(p)
+            | ErrorChannel::PhaseFlip(p)
+            | ErrorChannel::Depolarizing(p) => p,
+        }
+    }
+
+    /// Validates the channel's probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability lies outside `[0, 1]`.
+    pub fn validate(&self) {
+        let p = self.error_probability();
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "error probability {p} outside [0, 1]"
+        );
+    }
+
+    /// Samples a fault: `None` means the gate was ideal this trajectory.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Pauli> {
+        self.validate();
+        match *self {
+            ErrorChannel::Ideal => None,
+            ErrorChannel::BitFlip(p) => (rng.random::<f64>() < p).then_some(Pauli::X),
+            ErrorChannel::PhaseFlip(p) => (rng.random::<f64>() < p).then_some(Pauli::Z),
+            ErrorChannel::Depolarizing(p) => (rng.random::<f64>() < p).then(|| {
+                match rng.random_range(0..3u8) {
+                    0 => Pauli::X,
+                    1 => Pauli::Y,
+                    _ => Pauli::Z,
+                }
+            }),
+        }
+    }
+}
+
+/// Accumulates Monte-Carlo trajectory outcomes into a fidelity estimate
+/// with a standard error.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::noise::FidelityEstimator;
+///
+/// let mut est = FidelityEstimator::new();
+/// for _ in 0..90 { est.record(1.0); }
+/// for _ in 0..10 { est.record(0.0); }
+/// assert!((est.mean() - 0.9).abs() < 1e-12);
+/// assert!(est.std_error() < 0.05);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FidelityEstimator {
+    sum: f64,
+    sum_sq: f64,
+    count: u64,
+}
+
+impl FidelityEstimator {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        FidelityEstimator::default()
+    }
+
+    /// Records one trajectory's fidelity contribution (usually 0 or 1).
+    pub fn record(&mut self, fidelity: f64) {
+        self.sum += fidelity;
+        self.sum_sq += fidelity * fidelity;
+        self.count += 1;
+    }
+
+    /// Number of recorded trajectories.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample-mean fidelity (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The standard error of the mean (0 for fewer than 2 samples).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.mean();
+        let var = (self.sum_sq / n - mean * mean).max(0.0) * n / (n - 1.0);
+        (var / n).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_channel_never_faults() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(ErrorChannel::Ideal.sample(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn bit_flip_rate_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let channel = ErrorChannel::BitFlip(0.3);
+        let faults = (0..10_000)
+            .filter(|_| channel.sample(&mut rng).is_some())
+            .count();
+        let rate = faults as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed fault rate {rate}");
+    }
+
+    #[test]
+    fn bit_flip_always_x() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let channel = ErrorChannel::BitFlip(1.0);
+        for _ in 0..20 {
+            assert_eq!(channel.sample(&mut rng), Some(Pauli::X));
+        }
+    }
+
+    #[test]
+    fn depolarizing_covers_all_paulis() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let channel = ErrorChannel::Depolarizing(1.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(channel.sample(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = ErrorChannel::Depolarizing(1.5).sample(&mut rng);
+    }
+
+    #[test]
+    fn estimator_statistics() {
+        let mut est = FidelityEstimator::new();
+        assert_eq!(est.mean(), 0.0);
+        assert_eq!(est.std_error(), 0.0);
+        for _ in 0..75 {
+            est.record(1.0);
+        }
+        for _ in 0..25 {
+            est.record(0.0);
+        }
+        assert_eq!(est.count(), 100);
+        assert!((est.mean() - 0.75).abs() < 1e-12);
+        // Binomial std error ≈ sqrt(0.75·0.25/100) ≈ 0.0433.
+        assert!((est.std_error() - 0.0435).abs() < 0.005);
+    }
+}

@@ -1,0 +1,691 @@
+//! Mixed-radix (qudit) state-vector simulator.
+//!
+//! Quantum routers in a bucket-brigade QRAM are three-level systems: the
+//! inactive "wait" state `|W⟩` plus the routing states `|0⟩` (left) and
+//! `|1⟩` (right). This module simulates registers mixing qubits (dimension
+//! 2) and qutrits (dimension 3) exactly, so the router primitives of
+//! Fig. 2(b) can be validated against their textbook definitions.
+
+use crate::Complex;
+
+/// Router qutrit levels, mapped onto qudit levels `0, 1, 2`.
+pub mod router_level {
+    /// The inactive wait state `|W⟩`.
+    pub const WAIT: u8 = 0;
+    /// Routing state `|0⟩`: route input to the left child.
+    pub const LEFT: u8 = 1;
+    /// Routing state `|1⟩`: route input to the right child.
+    pub const RIGHT: u8 = 2;
+}
+
+/// Dual-rail data levels for tree-internal wires: `VACUUM` means "no qubit
+/// present here", so gates acting on unoccupied wires are physically
+/// trivial — the mechanism behind bucket-brigade noise resilience.
+pub mod data_level {
+    /// No qubit present on this wire.
+    pub const VACUUM: u8 = 0;
+    /// A qubit carrying logical `|0⟩`.
+    pub const ZERO: u8 = 1;
+    /// A qubit carrying logical `|1⟩`.
+    pub const ONE: u8 = 2;
+}
+
+/// A pure state over sites of heterogeneous dimension.
+///
+/// Site 0 is the fastest-varying index. Total dimension is the product of
+/// the site dimensions and must stay small (this simulator is for unit-level
+/// validation, not scale).
+///
+/// # Examples
+///
+/// A quantum router routing an input qubit in superposition of directions:
+///
+/// ```
+/// use qsim::qudit::{QuditState, router_level};
+///
+/// // Sites: 0 = router (qutrit), 1 = input, 2 = left out, 3 = right out.
+/// let mut psi = QuditState::from_basis(&[3, 2, 2, 2], &[router_level::LEFT, 1, 0, 0]);
+/// psi.route(0, 1, 2, 3);
+/// // Input moved to the left output.
+/// assert_eq!(psi.dominant_levels(), vec![router_level::LEFT, 0, 1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuditState {
+    dims: Vec<u8>,
+    amps: Vec<Complex>,
+}
+
+impl QuditState {
+    /// Maximum total Hilbert-space dimension accepted by the constructors.
+    pub const MAX_DIM: usize = 1 << 22;
+
+    /// The all-zeros basis state over the given site dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is < 2 or the total dimension exceeds
+    /// [`Self::MAX_DIM`].
+    #[must_use]
+    pub fn new(dims: &[u8]) -> Self {
+        let levels = vec![0; dims.len()];
+        QuditState::from_basis(dims, &levels)
+    }
+
+    /// A computational basis state with the given per-site levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are invalid, `levels` has the wrong length, or
+    /// any level is out of range for its site.
+    #[must_use]
+    pub fn from_basis(dims: &[u8], levels: &[u8]) -> Self {
+        assert!(!dims.is_empty(), "at least one site is required");
+        assert_eq!(dims.len(), levels.len(), "levels length must match dims");
+        let mut total = 1usize;
+        for (site, (&d, &l)) in dims.iter().zip(levels).enumerate() {
+            assert!(d >= 2, "site {site} has dimension {d} < 2");
+            assert!(l < d, "site {site} level {l} out of range for dimension {d}");
+            total = total
+                .checked_mul(usize::from(d))
+                .filter(|&t| t <= Self::MAX_DIM)
+                .expect("total dimension exceeds QuditState::MAX_DIM");
+        }
+        let mut amps = vec![Complex::ZERO; total];
+        let idx = Self::index_of(dims, levels);
+        amps[idx] = Complex::ONE;
+        QuditState {
+            dims: dims.to_vec(),
+            amps,
+        }
+    }
+
+    fn index_of(dims: &[u8], levels: &[u8]) -> usize {
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for (&d, &l) in dims.iter().zip(levels) {
+            idx += usize::from(l) * stride;
+            stride *= usize::from(d);
+        }
+        idx
+    }
+
+    fn levels_of(&self, mut index: usize) -> Vec<u8> {
+        let mut levels = Vec::with_capacity(self.dims.len());
+        for &d in &self.dims {
+            levels.push((index % usize::from(d)) as u8);
+            index /= usize::from(d);
+        }
+        levels
+    }
+
+    /// Site dimensions.
+    #[must_use]
+    pub fn dims(&self) -> &[u8] {
+        &self.dims
+    }
+
+    /// Total Hilbert-space dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Amplitude of the basis state with the given levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is malformed.
+    #[must_use]
+    pub fn amplitude(&self, levels: &[u8]) -> Complex {
+        assert_eq!(levels.len(), self.dims.len());
+        self.amps[Self::index_of(&self.dims, levels)]
+    }
+
+    /// Probability of the basis state with the given levels.
+    #[must_use]
+    pub fn probability_of(&self, levels: &[u8]) -> f64 {
+        self.amplitude(levels).norm_sqr()
+    }
+
+    /// The levels of the most probable basis state.
+    #[must_use]
+    pub fn dominant_levels(&self) -> Vec<u8> {
+        let (idx, _) = self
+            .amps
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.norm_sqr()
+                    .partial_cmp(&b.norm_sqr())
+                    .expect("amplitudes are finite")
+            })
+            .expect("state is non-empty");
+        self.levels_of(idx)
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn inner(&self, other: &QuditState) -> Complex {
+        assert_eq!(self.dims, other.dims, "inner product requires equal dims");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Applies an arbitrary basis-permutation unitary: `f` maps the level
+    /// tuple of each basis state to a new tuple.
+    ///
+    /// Basis states with exactly zero amplitude are skipped (they cannot
+    /// affect the state), which makes permutations cost `O(support)` on
+    /// sparse states; bijectivity violations are therefore detected on the
+    /// occupied support only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a bijection on the occupied basis states
+    /// (detected by a collision) or returns out-of-range levels.
+    pub fn apply_permutation<F>(&mut self, f: F)
+    where
+        F: Fn(&[u8]) -> Vec<u8>,
+    {
+        let mut new_amps = vec![Complex::ZERO; self.amps.len()];
+        let mut filled = vec![false; self.amps.len()];
+        for (i, &a) in self.amps.iter().enumerate() {
+            if a.norm_sqr() == 0.0 {
+                continue;
+            }
+            let levels = self.levels_of(i);
+            let new_levels = f(&levels);
+            assert_eq!(
+                new_levels.len(),
+                self.dims.len(),
+                "permutation must preserve the number of sites"
+            );
+            for (site, (&d, &l)) in self.dims.iter().zip(&new_levels).enumerate() {
+                assert!(l < d, "permutation sent site {site} to invalid level {l}");
+            }
+            let j = Self::index_of(&self.dims, &new_levels);
+            assert!(!filled[j], "permutation is not a bijection: collision at index {j}");
+            filled[j] = true;
+            new_amps[j] = a;
+        }
+        self.amps = new_amps;
+    }
+
+    /// Applies a dense single-site unitary (`d×d`, row-major) to `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range or the matrix size does not match
+    /// the site dimension.
+    pub fn apply_gate(&mut self, site: usize, matrix: &[Vec<Complex>]) {
+        assert!(site < self.dims.len(), "site {site} out of range");
+        let d = usize::from(self.dims[site]);
+        assert_eq!(matrix.len(), d, "matrix rows must equal site dimension");
+        assert!(
+            matrix.iter().all(|row| row.len() == d),
+            "matrix must be square"
+        );
+        let stride: usize = self.dims[..site].iter().map(|&x| usize::from(x)).product();
+        let block = stride * d;
+        let mut scratch = vec![Complex::ZERO; d];
+        for base in (0..self.amps.len()).step_by(block) {
+            for offset in 0..stride {
+                for (l, s) in scratch.iter_mut().enumerate() {
+                    *s = self.amps[base + offset + l * stride];
+                }
+                for (l, row) in matrix.iter().enumerate() {
+                    let mut acc = Complex::ZERO;
+                    for (m, &cell) in row.iter().enumerate() {
+                        acc += cell * scratch[m];
+                    }
+                    self.amps[base + offset + l * stride] = acc;
+                }
+            }
+        }
+    }
+
+    /// Swaps the contents of two sites of equal dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sites coincide or have different dimensions.
+    pub fn swap_sites(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "swap sites must differ");
+        assert_eq!(self.dims[a], self.dims[b], "swapped sites must have equal dims");
+        self.apply_permutation(|levels| {
+            let mut out = levels.to_vec();
+            out.swap(a, b);
+            out
+        });
+    }
+
+    /// Swaps sites `a` and `b` when `control` is at `control_level`
+    /// (a qudit-controlled SWAP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sites coincide, dimensions differ, or the control level is
+    /// out of range.
+    pub fn controlled_swap(&mut self, control: usize, control_level: u8, a: usize, b: usize) {
+        assert!(control != a && control != b && a != b, "sites must be distinct");
+        assert_eq!(self.dims[a], self.dims[b], "swapped sites must have equal dims");
+        assert!(control_level < self.dims[control], "control level out of range");
+        self.apply_permutation(|levels| {
+            let mut out = levels.to_vec();
+            if out[control] == control_level {
+                out.swap(a, b);
+            }
+            out
+        });
+    }
+
+    /// Flips a qubit `target` when `control` is at `control_level` — used
+    /// for data retrieval, where the classical memory bit is copied onto
+    /// the bus only along the occupied (active) path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a qubit, sites coincide, or the control
+    /// level is out of range.
+    pub fn controlled_x(&mut self, control: usize, control_level: u8, target: usize) {
+        assert_ne!(control, target, "sites must be distinct");
+        assert_eq!(self.dims[target], 2, "controlled_x target must be a qubit");
+        assert!(control_level < self.dims[control], "control level out of range");
+        self.apply_permutation(|levels| {
+            let mut out = levels.to_vec();
+            if out[control] == control_level {
+                out[target] ^= 1;
+            }
+            out
+        });
+    }
+
+    /// The ROUTE primitive of a quantum router (Fig. 2(b)): two CSWAPs that
+    /// move the input to the left output when the router is `|0⟩` and to
+    /// the right output when it is `|1⟩`. A router in `|W⟩` routes
+    /// trivially (no motion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is not a qutrit or the data sites are invalid.
+    pub fn route(&mut self, router: usize, input: usize, left: usize, right: usize) {
+        assert_eq!(self.dims[router], 3, "router site must be a qutrit");
+        self.controlled_swap(router, router_level::LEFT, input, left);
+        self.controlled_swap(router, router_level::RIGHT, input, right);
+    }
+
+    /// The LOAD primitive with dual-rail wires: moves an external qubit
+    /// (site `ext`, dimension 2) onto a vacuum wire (site `wire`,
+    /// dimension 3, [`data_level`] encoding), leaving the external site in
+    /// `|0⟩`. Its own inverse implements UNLOAD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ext` is not a qubit or `wire` not a qutrit.
+    pub fn load_dual_rail(&mut self, ext: usize, wire: usize) {
+        assert_eq!(self.dims[ext], 2, "external site must be a qubit");
+        assert_eq!(self.dims[wire], 3, "wire site must be a dual-rail qutrit");
+        self.apply_permutation(|levels| {
+            let mut out = levels.to_vec();
+            match (out[ext], out[wire]) {
+                (b, lvl) if lvl == data_level::VACUUM => {
+                    out[ext] = 0;
+                    out[wire] = if b == 0 { data_level::ZERO } else { data_level::ONE };
+                }
+                (0, lvl) if lvl == data_level::ZERO => {
+                    out[wire] = data_level::VACUUM;
+                    out[ext] = 0;
+                }
+                (0, lvl) if lvl == data_level::ONE => {
+                    out[wire] = data_level::VACUUM;
+                    out[ext] = 1;
+                }
+                _ => {}
+            }
+            out
+        });
+    }
+
+    /// The STORE primitive with dual-rail wires: absorbs the qubit on a
+    /// wire into a waiting router (`|b⟩_wire |W⟩_r ↔ |vac⟩_wire |b⟩_r`).
+    /// A *vacuum* wire leaves the router in `|W⟩` — exactly the physical
+    /// behaviour that a plain qubit encoding cannot express. Involutive
+    /// (UNSTORE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` or `wire` is not a qutrit.
+    pub fn store_dual_rail(&mut self, router: usize, wire: usize) {
+        assert_eq!(self.dims[router], 3, "router site must be a qutrit");
+        assert_eq!(self.dims[wire], 3, "wire site must be a dual-rail qutrit");
+        self.apply_permutation(|levels| {
+            let mut out = levels.to_vec();
+            match (out[wire], out[router]) {
+                (w, r) if r == router_level::WAIT && w != data_level::VACUUM => {
+                    out[wire] = data_level::VACUUM;
+                    out[router] = if w == data_level::ZERO {
+                        router_level::LEFT
+                    } else {
+                        router_level::RIGHT
+                    };
+                }
+                (w, r) if w == data_level::VACUUM && r == router_level::LEFT => {
+                    out[router] = router_level::WAIT;
+                    out[wire] = data_level::ZERO;
+                }
+                (w, r) if w == data_level::VACUUM && r == router_level::RIGHT => {
+                    out[router] = router_level::WAIT;
+                    out[wire] = data_level::ONE;
+                }
+                _ => {}
+            }
+            out
+        });
+    }
+
+    /// Data retrieval on a dual-rail wire: flips the logical bit riding the
+    /// wire (`ZERO ↔ ONE`) and leaves `VACUUM` untouched — the classically
+    /// controlled copy only affects leaves where the bus is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not a qutrit.
+    pub fn flip_dual_rail(&mut self, wire: usize) {
+        assert_eq!(self.dims[wire], 3, "wire site must be a dual-rail qutrit");
+        self.apply_permutation(|levels| {
+            let mut out = levels.to_vec();
+            if out[wire] == data_level::ZERO {
+                out[wire] = data_level::ONE;
+            } else if out[wire] == data_level::ONE {
+                out[wire] = data_level::ZERO;
+            }
+            out
+        });
+    }
+
+    /// The STORE primitive: absorbs an input qubit into a waiting router,
+    /// putting the router into `|0⟩`/`|1⟩` according to the qubit and
+    /// resetting the qubit to `|0⟩`. Routers not in `|W⟩` are untouched.
+    ///
+    /// Defined as the basis permutation
+    /// `|b⟩_in |W⟩_r ↔ |0⟩_in |b⟩_r` (with `b ∈ {0,1}` mapping to router
+    /// levels LEFT/RIGHT), which also serves as its own inverse
+    /// (UNSTORE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is not a qutrit or `input` is not a qubit.
+    pub fn store(&mut self, router: usize, input: usize) {
+        assert_eq!(self.dims[router], 3, "router site must be a qutrit");
+        assert_eq!(self.dims[input], 2, "input site must be a qubit");
+        self.apply_permutation(|levels| {
+            let mut out = levels.to_vec();
+            match (out[input], out[router]) {
+                (b, lvl) if lvl == router_level::WAIT => {
+                    out[input] = 0;
+                    out[router] = if b == 0 {
+                        router_level::LEFT
+                    } else {
+                        router_level::RIGHT
+                    };
+                }
+                (0, lvl) if lvl == router_level::LEFT => {
+                    out[router] = router_level::WAIT;
+                    out[input] = 0;
+                }
+                (0, lvl) if lvl == router_level::RIGHT => {
+                    out[router] = router_level::WAIT;
+                    out[input] = 1;
+                }
+                _ => {}
+            }
+            out
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    fn qubit_h() -> Vec<Vec<Complex>> {
+        let g = gates::h();
+        vec![vec![g[0][0], g[0][1]], vec![g[1][0], g[1][1]]]
+    }
+
+    #[test]
+    fn basis_construction_and_amplitude() {
+        let psi = QuditState::from_basis(&[3, 2], &[2, 1]);
+        assert_eq!(psi.dim(), 6);
+        assert_eq!(psi.probability_of(&[2, 1]), 1.0);
+        assert_eq!(psi.dominant_levels(), vec![2, 1]);
+    }
+
+    #[test]
+    fn route_left_and_right() {
+        // router LEFT: input moves to left output.
+        let mut psi =
+            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::LEFT, 1, 0, 0]);
+        psi.route(0, 1, 2, 3);
+        assert_eq!(psi.dominant_levels(), vec![router_level::LEFT, 0, 1, 0]);
+
+        // router RIGHT: input moves to right output.
+        let mut psi =
+            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::RIGHT, 1, 0, 0]);
+        psi.route(0, 1, 2, 3);
+        assert_eq!(psi.dominant_levels(), vec![router_level::RIGHT, 0, 0, 1]);
+    }
+
+    #[test]
+    fn wait_router_routes_trivially() {
+        let mut psi =
+            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::WAIT, 1, 0, 0]);
+        let before = psi.clone();
+        psi.route(0, 1, 2, 3);
+        assert_eq!(psi, before);
+    }
+
+    #[test]
+    fn route_in_superposition_splits_amplitude() {
+        // Router in (|LEFT⟩+|RIGHT⟩)/√2 — prepared via a gate on the qutrit.
+        let mut psi =
+            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::LEFT, 1, 0, 0]);
+        let s = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        // Unitary on the qutrit mixing LEFT and RIGHT, fixing WAIT.
+        let mix = vec![
+            vec![Complex::ONE, Complex::ZERO, Complex::ZERO],
+            vec![Complex::ZERO, s, s],
+            vec![Complex::ZERO, s, -s],
+        ];
+        psi.apply_gate(0, &mix);
+        psi.route(0, 1, 2, 3);
+        assert!(
+            (psi.probability_of(&[router_level::LEFT, 0, 1, 0]) - 0.5).abs() < 1e-12
+        );
+        assert!(
+            (psi.probability_of(&[router_level::RIGHT, 0, 0, 1]) - 0.5).abs() < 1e-12
+        );
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_absorbs_qubit_and_is_involutive() {
+        for bit in [0u8, 1] {
+            let mut psi = QuditState::from_basis(&[3, 2], &[router_level::WAIT, bit]);
+            psi.store(0, 1);
+            let expected = if bit == 0 {
+                router_level::LEFT
+            } else {
+                router_level::RIGHT
+            };
+            assert_eq!(psi.dominant_levels(), vec![expected, 0]);
+            // UNSTORE = STORE again.
+            psi.store(0, 1);
+            assert_eq!(psi.dominant_levels(), vec![router_level::WAIT, bit]);
+        }
+    }
+
+    #[test]
+    fn store_preserves_superposition() {
+        // Input in |+⟩: router ends in (|LEFT⟩+|RIGHT⟩)/√2.
+        let mut psi = QuditState::from_basis(&[3, 2], &[router_level::WAIT, 0]);
+        psi.apply_gate(1, &qubit_h());
+        psi.store(0, 1);
+        assert!((psi.probability_of(&[router_level::LEFT, 0]) - 0.5).abs() < 1e-12);
+        assert!((psi.probability_of(&[router_level::RIGHT, 0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_level_qram_query_with_qutrit_router() {
+        // A complete capacity-2 query, Eq. (1) of the paper, with memory
+        // x = [1, 0] and address |+⟩.
+        //
+        // Sites: 0 router (qutrit), 1 escape/input qubit, 2 left leaf,
+        // 3 right leaf, 4 external bus output register.
+        let mut psi =
+            QuditState::from_basis(&[3, 2, 2, 2, 2], &[router_level::WAIT, 0, 0, 0, 0]);
+        psi.apply_gate(1, &qubit_h());
+        // Address loading: STORE the address qubit into the router; site 1
+        // becomes the fresh |0⟩ bus qubit.
+        psi.store(0, 1);
+        // ROUTE the bus down to the leaves.
+        psi.route(0, 1, 2, 3);
+        // Data retrieval: copy classical bits onto the *occupied* leaves
+        // (the "delocalized bus"). x₀ = 1 flips the left leaf along the
+        // LEFT-routed branch; x₁ = 0 needs no gate.
+        psi.controlled_x(0, router_level::LEFT, 2);
+        // UNROUTE the bus back up and transport it out of the tree.
+        psi.route(0, 1, 2, 3);
+        psi.swap_sites(1, 4);
+        // Address unloading: UNSTORE restores the address onto site 1 and
+        // reverts the router to |W⟩.
+        psi.store(0, 1);
+        // Final state: (|addr=0⟩|bus=1⟩ + |addr=1⟩|bus=0⟩)/√2 with all
+        // routers back in |W⟩ and leaves clean — Eq. (1) exactly.
+        let p0 = psi.probability_of(&[router_level::WAIT, 0, 0, 0, 1]);
+        let p1 = psi.probability_of(&[router_level::WAIT, 1, 0, 0, 0]);
+        assert!((p0 - 0.5).abs() < 1e-12, "address 0 returns x₀ = 1, got p = {p0}");
+        assert!((p1 - 0.5).abs() < 1e-12, "address 1 returns x₁ = 0, got p = {p1}");
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retrieval_on_unoccupied_leaf_leaves_no_garbage() {
+        // Address |1⟩ (routed RIGHT): a classical write to the *left* leaf
+        // must not touch the state, otherwise the leaves stay entangled
+        // with the address and fidelity is lost.
+        let mut psi =
+            QuditState::from_basis(&[3, 2, 2, 2, 2], &[router_level::WAIT, 1, 0, 0, 0]);
+        psi.store(0, 1);
+        psi.route(0, 1, 2, 3);
+        psi.controlled_x(0, router_level::LEFT, 2); // x₀ = 1, inactive branch
+        psi.route(0, 1, 2, 3);
+        psi.swap_sites(1, 4);
+        psi.store(0, 1);
+        assert_eq!(
+            psi.dominant_levels(),
+            vec![router_level::WAIT, 1, 0, 0, 0],
+            "leaves must be clean after the query"
+        );
+    }
+
+    #[test]
+    fn apply_gate_is_norm_preserving() {
+        let mut psi = QuditState::from_basis(&[2, 3, 2], &[1, 2, 0]);
+        psi.apply_gate(0, &qubit_h());
+        psi.apply_gate(2, &qubit_h());
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_sites_moves_levels() {
+        let mut psi = QuditState::from_basis(&[2, 2, 2], &[1, 0, 0]);
+        psi.swap_sites(0, 2);
+        assert_eq!(psi.dominant_levels(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn non_bijective_permutation_detected() {
+        let mut psi = QuditState::new(&[2, 2]);
+        // Two occupied basis states mapped onto one target.
+        psi.apply_gate(0, &qubit_h());
+        psi.apply_permutation(|_| vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dims")]
+    fn swap_mismatched_dims_panics() {
+        let mut psi = QuditState::new(&[2, 3]);
+        psi.swap_sites(0, 1);
+    }
+
+    #[test]
+    fn inner_product_of_identical_states() {
+        let psi = QuditState::from_basis(&[3, 2], &[1, 1]);
+        assert!(psi.inner(&psi).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn load_dual_rail_roundtrip() {
+        for bit in [0u8, 1] {
+            let mut psi = QuditState::from_basis(&[2, 3], &[bit, data_level::VACUUM]);
+            psi.load_dual_rail(0, 1);
+            let expected = if bit == 0 { data_level::ZERO } else { data_level::ONE };
+            assert_eq!(psi.dominant_levels(), vec![0, expected]);
+            psi.load_dual_rail(0, 1); // UNLOAD
+            assert_eq!(psi.dominant_levels(), vec![bit, data_level::VACUUM]);
+        }
+    }
+
+    #[test]
+    fn store_dual_rail_ignores_vacuum() {
+        // A waiting router next to a vacuum wire stays |W⟩ — the key
+        // physical behaviour of bucket-brigade stores.
+        let mut psi =
+            QuditState::from_basis(&[3, 3], &[router_level::WAIT, data_level::VACUUM]);
+        let before = psi.clone();
+        psi.store_dual_rail(0, 1);
+        assert_eq!(psi, before);
+    }
+
+    #[test]
+    fn store_dual_rail_absorbs_and_restores() {
+        let mut psi =
+            QuditState::from_basis(&[3, 3], &[router_level::WAIT, data_level::ONE]);
+        psi.store_dual_rail(0, 1);
+        assert_eq!(
+            psi.dominant_levels(),
+            vec![router_level::RIGHT, data_level::VACUUM]
+        );
+        psi.store_dual_rail(0, 1);
+        assert_eq!(
+            psi.dominant_levels(),
+            vec![router_level::WAIT, data_level::ONE]
+        );
+    }
+
+    #[test]
+    fn flip_dual_rail_leaves_vacuum_alone() {
+        let mut psi = QuditState::from_basis(&[3], &[data_level::VACUUM]);
+        psi.flip_dual_rail(0);
+        assert_eq!(psi.dominant_levels(), vec![data_level::VACUUM]);
+        let mut psi = QuditState::from_basis(&[3], &[data_level::ZERO]);
+        psi.flip_dual_rail(0);
+        assert_eq!(psi.dominant_levels(), vec![data_level::ONE]);
+    }
+}

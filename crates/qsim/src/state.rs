@@ -1,0 +1,478 @@
+//! Dense qubit state-vector simulator.
+
+use rand::Rng;
+
+use crate::gates::Gate1;
+use crate::Complex;
+
+/// A pure state of `n` qubits stored as a dense vector of `2ⁿ` amplitudes.
+///
+/// Qubit `q` corresponds to bit `q` of the basis-state index (qubit 0 is the
+/// least-significant bit).
+///
+/// # Examples
+///
+/// Preparing a uniform superposition and querying probabilities:
+///
+/// ```
+/// use qsim::state::StateVector;
+///
+/// let mut psi = StateVector::new(2);
+/// psi.apply_h(0);
+/// psi.apply_h(1);
+/// for basis in 0..4 {
+///     assert!((psi.probability_of(basis) - 0.25).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: u32,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is 0 or larger than 26 (dense simulation
+    /// beyond ~26 qubits exhausts memory).
+    #[must_use]
+    pub fn new(num_qubits: u32) -> Self {
+        StateVector::from_basis(num_qubits, 0)
+    }
+
+    /// The computational basis state `|basis⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` does not fit in `num_qubits` bits or if
+    /// `num_qubits` is outside `1..=26`.
+    #[must_use]
+    pub fn from_basis(num_qubits: u32, basis: usize) -> Self {
+        assert!(
+            (1..=26).contains(&num_qubits),
+            "num_qubits {num_qubits} outside supported range 1..=26"
+        );
+        let dim = 1usize << num_qubits;
+        assert!(basis < dim, "basis state {basis} out of range for {num_qubits} qubits");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[basis] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a state from explicit amplitudes, normalizing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two ≥ 2 or the vector has
+    /// zero norm.
+    #[must_use]
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        assert!(
+            amps.len().is_power_of_two() && amps.len() >= 2,
+            "amplitude vector length {} is not a power of two >= 2",
+            amps.len()
+        );
+        let num_qubits = amps.len().trailing_zeros();
+        let mut sv = StateVector { num_qubits, amps };
+        let norm = sv.norm();
+        assert!(norm > 1e-300, "cannot normalize a zero state vector");
+        for a in &mut sv.amps {
+            *a = *a / norm;
+        }
+        sv
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Dimension `2ⁿ` of the Hilbert space.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The amplitude of basis state `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis ≥ dim`.
+    #[must_use]
+    pub fn amplitude(&self, basis: usize) -> Complex {
+        self.amps[basis]
+    }
+
+    /// All amplitudes in basis order.
+    #[must_use]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Euclidean norm (should be 1 for a valid state).
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Probability of observing basis state `basis`.
+    #[must_use]
+    pub fn probability_of(&self, basis: usize) -> f64 {
+        self.amps[basis].norm_sqr()
+    }
+
+    /// Probability that qubit `q` measures as 1.
+    #[must_use]
+    pub fn probability_one(&self, q: u32) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// The basis state with the largest probability.
+    #[must_use]
+    pub fn dominant_basis_state(&self) -> usize {
+        self.amps
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.norm_sqr()
+                    .partial_cmp(&b.norm_sqr())
+                    .expect("amplitudes are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("state vector is non-empty")
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different qubit counts.
+    #[must_use]
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "inner product requires equal qubit counts"
+        );
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another pure state.
+    #[must_use]
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Applies a single-qubit gate to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_gate1(&mut self, g: &Gate1, q: u32) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = g[0][0] * a0 + g[0][1] * a1;
+                self.amps[j] = g[1][0] * a0 + g[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies a single-qubit gate controlled on `control` being `|1⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubits coincide or are out of range.
+    pub fn apply_controlled_gate1(&mut self, g: &Gate1, control: u32, target: u32) {
+        assert!(control < self.num_qubits && target < self.num_qubits);
+        assert_ne!(control, target, "control and target must differ");
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cmask != 0 && i & tmask == 0 {
+                let j = i | tmask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = g[0][0] * a0 + g[0][1] * a1;
+                self.amps[j] = g[1][0] * a0 + g[1][1] * a1;
+            }
+        }
+    }
+
+    /// Pauli-X on qubit `q`.
+    pub fn apply_x(&mut self, q: u32) {
+        self.apply_gate1(&crate::gates::x(), q);
+    }
+
+    /// Hadamard on qubit `q`.
+    pub fn apply_h(&mut self, q: u32) {
+        self.apply_gate1(&crate::gates::h(), q);
+    }
+
+    /// Pauli-Z on qubit `q`.
+    pub fn apply_z(&mut self, q: u32) {
+        self.apply_gate1(&crate::gates::z(), q);
+    }
+
+    /// CNOT with the given control and target.
+    pub fn apply_cnot(&mut self, control: u32, target: u32) {
+        self.apply_controlled_gate1(&crate::gates::x(), control, target);
+    }
+
+    /// SWAP of qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either is out of range.
+    pub fn apply_swap(&mut self, a: u32, b: u32) {
+        assert!(a < self.num_qubits && b < self.num_qubits);
+        assert_ne!(a, b, "swap qubits must differ");
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..self.amps.len() {
+            // Visit each pair once: a set, b clear.
+            if i & amask != 0 && i & bmask == 0 {
+                let j = (i & !amask) | bmask;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// CSWAP (Fredkin): swaps `a` and `b` when `control` is `|1⟩` — the
+    /// native routing operation of a quantum router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubits coincide or are out of range.
+    pub fn apply_cswap(&mut self, control: u32, a: u32, b: u32) {
+        assert!(control < self.num_qubits && a < self.num_qubits && b < self.num_qubits);
+        assert!(control != a && control != b && a != b, "cswap qubits must be distinct");
+        let cmask = 1usize << control;
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & cmask != 0 && i & amask != 0 && i & bmask == 0 {
+                let j = (i & !amask) | bmask;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Toffoli (CCX) with two controls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubits coincide or are out of range.
+    pub fn apply_toffoli(&mut self, c1: u32, c2: u32, target: u32) {
+        assert!(c1 < self.num_qubits && c2 < self.num_qubits && target < self.num_qubits);
+        assert!(c1 != c2 && c1 != target && c2 != target);
+        let m1 = 1usize << c1;
+        let m2 = 1usize << c2;
+        let mt = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & m1 != 0 && i & m2 != 0 && i & mt == 0 {
+                let j = i | mt;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the state.
+    /// Returns the observed bit.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: u32, rng: &mut R) -> bool {
+        let p1 = self.probability_one(q);
+        let outcome = rng.random::<f64>() < p1;
+        let mask = 1usize << q;
+        let keep_set = outcome;
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        let scale = 1.0 / p.sqrt();
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if (i & mask != 0) == keep_set {
+                *a = a.scale(scale);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Samples a full basis-state measurement without collapsing the state.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.random();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Expectation value of Pauli-Z on qubit `q`: `P(0) − P(1)`.
+    #[must_use]
+    pub fn expectation_z(&self, q: u32) -> f64 {
+        1.0 - 2.0 * self.probability_one(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basis_state_construction() {
+        let psi = StateVector::from_basis(3, 0b101);
+        assert_eq!(psi.dim(), 8);
+        assert_eq!(psi.probability_of(0b101), 1.0);
+        assert_eq!(psi.dominant_basis_state(), 0b101);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut psi = StateVector::new(2);
+        psi.apply_h(0);
+        psi.apply_cnot(0, 1);
+        assert!((psi.probability_of(0b00) - 0.5).abs() < 1e-12);
+        assert!((psi.probability_of(0b11) - 0.5).abs() < 1e-12);
+        assert!(psi.probability_of(0b01) < 1e-12);
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cswap_truth_table() {
+        // control clear: no swap.
+        let mut psi = StateVector::from_basis(3, 0b010); // c=0, a=1, b=0
+        psi.apply_cswap(0, 1, 2);
+        assert_eq!(psi.dominant_basis_state(), 0b010);
+        // control set: swap a and b.
+        let mut psi = StateVector::from_basis(3, 0b011); // c=1, a=1, b=0
+        psi.apply_cswap(0, 1, 2);
+        assert_eq!(psi.dominant_basis_state(), 0b101);
+    }
+
+    #[test]
+    fn cswap_in_superposition_routes_both_ways() {
+        // control in |+>, a=1, b=0  →  (|0,1,0⟩ + |1,0,1⟩)/√2
+        let mut psi = StateVector::from_basis(3, 0b010);
+        psi.apply_h(0);
+        psi.apply_cswap(0, 1, 2);
+        assert!((psi.probability_of(0b010) - 0.5).abs() < 1e-12);
+        assert!((psi.probability_of(0b101) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut psi = StateVector::from_basis(2, 0b01);
+        psi.apply_swap(0, 1);
+        assert_eq!(psi.dominant_basis_state(), 0b10);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let mut psi = StateVector::from_basis(3, 0b011);
+        psi.apply_toffoli(0, 1, 2);
+        assert_eq!(psi.dominant_basis_state(), 0b111);
+        psi.apply_toffoli(0, 1, 2);
+        assert_eq!(psi.dominant_basis_state(), 0b011);
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut psi = StateVector::new(1);
+        psi.apply_h(0);
+        let outcome = psi.measure(0, &mut rng);
+        let expected = usize::from(outcome);
+        assert!((psi.probability_of(expected) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut psi = StateVector::new(1);
+            psi.apply_h(0);
+            if psi.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        let frac = f64::from(ones) / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "measured fraction {frac}");
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let psi = StateVector::from_amplitudes(vec![
+            Complex::real(1.0),
+            Complex::real(0.0),
+            Complex::real(0.0),
+            Complex::real(1.0),
+        ]);
+        for _ in 0..50 {
+            let s = psi.sample(&mut rng);
+            assert!(s == 0 || s == 3);
+        }
+    }
+
+    #[test]
+    fn fidelity_and_inner_product() {
+        let mut a = StateVector::new(2);
+        a.apply_h(0);
+        let b = a.clone();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        let mut c = StateVector::new(2);
+        c.apply_x(1); // orthogonal to a
+        assert!(a.fidelity(&c) < 1e-12);
+    }
+
+    #[test]
+    fn expectation_z() {
+        let psi = StateVector::from_basis(1, 1);
+        assert_eq!(psi.expectation_z(0), -1.0);
+        let mut plus = StateVector::new(1);
+        plus.apply_h(0);
+        assert!(plus.expectation_z(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_in_from_amplitudes() {
+        let psi = StateVector::from_amplitudes(vec![Complex::real(3.0), Complex::real(4.0)]);
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+        assert!((psi.probability_of(0) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gate_on_missing_qubit_panics() {
+        let mut psi = StateVector::new(1);
+        psi.apply_x(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn cswap_duplicate_qubits_panics() {
+        let mut psi = StateVector::new(3);
+        psi.apply_cswap(0, 1, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Hardware planning for a Fat-Tree QRAM chip (§4.2, Fig. 4).
+//!
+//! Prints the H-tree floorplan statistics, the intra-node wire-crossing
+//! analysis motivating the two-plane chip, the on-chip plane assignment
+//! with TSV counts, the modular bill of materials, and the
+//! router-duplication ablation.
+//!
+//! Run with: `cargo run --example chip_floorplan`
+
+use fat_tree_qram::arch::{HTreeLayout, ModularPlan, NodeLayout, OnChipPlan, PartialFatTree};
+use fat_tree_qram::core::TreeShape;
+use fat_tree_qram::metrics::{Capacity, TimingModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let capacity = Capacity::new(32)?;
+    let shape = TreeShape::new(capacity);
+    println!("== Fat-Tree QRAM, capacity N = {capacity} (Fig. 3) ==");
+    println!(
+        "routers: {} (BB would use {}), root wires: {}",
+        shape.fat_tree_router_count(),
+        shape.bucket_brigade_router_count(),
+        shape.root_wires()
+    );
+    for level in 0..capacity.address_width() {
+        let wires = if level + 1 < capacity.address_width() {
+            format!("{} wires to each child", shape.wires_to_child(level))
+        } else {
+            "leaf wires to classical cells".to_owned()
+        };
+        println!(
+            "  level {level}: {:>2} nodes x {} routers, {wires}",
+            1u64 << level,
+            shape.routers_in_node(level),
+        );
+    }
+
+    println!();
+    println!("== H-tree floorplan ==");
+    let layout = HTreeLayout::new(capacity);
+    println!(
+        "inter-node wire crossings: {} (planar embedding), total wire length {:.2}",
+        layout.edge_crossings(),
+        layout.total_wire_length()
+    );
+
+    println!();
+    println!("== Intra-node wiring (Fig. 4(a), §4.2.2) ==");
+    println!("{:>8} {:>22} {:>22}", "routers", "1-plane crossings", "2-plane crossings");
+    for routers in 2..=8 {
+        let node = NodeLayout::new(routers);
+        println!(
+            "{:>8} {:>22} {:>22}",
+            routers,
+            node.single_plane_crossings(),
+            node.biplanar_crossings()
+        );
+    }
+
+    println!();
+    println!("== On-chip two-plane assignment (Fig. 4(d,e)) ==");
+    let plan = OnChipPlan::new(capacity);
+    let (p0, p1) = plan.node_split();
+    println!(
+        "plane 0: {p0} nodes, plane 1: {p1} nodes, TSVs: {} (alternation verified: {})",
+        plan.tsv_count(),
+        plan.verify_alternation()
+    );
+
+    println!();
+    println!("== Modular bill of materials (Fig. 4(b,c)) ==");
+    let modular = ModularPlan::new(capacity);
+    let bom = modular.bom();
+    println!(
+        "modules: {}, cavities: {}, transmons: {}, beam splitters: {}, \
+         couplers: {}, coax cables: {}",
+        modular.module_count(),
+        bom.cavities,
+        bom.transmons,
+        bom.beam_splitters,
+        bom.couplers,
+        bom.coax_cables
+    );
+
+    println!();
+    println!("== Duplication ablation (BB -> Fat-Tree) ==");
+    let timing = TimingModel::paper_default();
+    let big = Capacity::new(1024)?;
+    println!("{:>4} {:>10} {:>14} {:>16}", "cap", "qubits", "parallelism", "bandwidth q/s");
+    for c in [1u32, 2, 4, 6, 8, 10] {
+        let t = PartialFatTree::new(big, c);
+        println!(
+            "{:>4} {:>10} {:>14} {:>16.0}",
+            c,
+            t.qubit_count(),
+            t.query_parallelism(),
+            t.bandwidth(&timing).get()
+        );
+    }
+    Ok(())
+}

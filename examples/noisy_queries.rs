@@ -1,0 +1,71 @@
+//! Noise, error bounds, and virtual distillation (§8).
+//!
+//! Monte-Carlo-samples noisy query trajectories through the actual
+//! instruction schedule, compares the empirical fidelity with the paper's
+//! analytic `1 − 2·log²(N)·Σεᵢ` bound, and distills parallel noisy queries
+//! into a high-fidelity result (Table 4).
+//!
+//! Run with: `cargo run --release --example noisy_queries`
+
+use fat_tree_qram::core::FatTreeQram;
+use fat_tree_qram::metrics::Capacity;
+use fat_tree_qram::noise::{
+    bounds, distilled_infidelity, estimate_query_fidelity, DistillationPlan, GateErrorRates,
+};
+use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let rates = GateErrorRates::paper_default();
+    println!(
+        "gate error rates: e0 = {}, e1 = {}, e2 = {}",
+        rates.e0, rates.e1, rates.e2
+    );
+    println!();
+    println!(
+        "{:>4} {:>10} {:>22} {:>22}",
+        "n", "N", "empirical infidelity", "analytic bound 2n^2*Σε"
+    );
+    for n in [3u32, 4, 5, 6] {
+        let capacity = Capacity::from_address_width(n);
+        let qram = FatTreeQram::new(capacity);
+        let cells: Vec<u64> = (0..capacity.get()).map(|i| i % 2).collect();
+        let memory = ClassicalMemory::from_words(1, &cells)?;
+        let address = AddressState::classical(n, 1)?;
+        let est = estimate_query_fidelity(
+            &qram.query_layers(),
+            &memory,
+            &address,
+            &rates,
+            3000,
+            &mut rng,
+        );
+        println!(
+            "{n:>4} {:>10} {:>18.4} ±{:.4} {:>22.4}",
+            capacity.get(),
+            1.0 - est.mean(),
+            est.std_error(),
+            bounds::fat_tree_query_infidelity(capacity, &rates)
+        );
+    }
+
+    // Virtual distillation: trade parallel queries for fidelity (§8.2).
+    println!();
+    let capacity = Capacity::new(16)?;
+    let eps = bounds::fat_tree_query_infidelity(capacity, &GateErrorRates::from_cswap_rate(2e-3));
+    println!(
+        "capacity-16 Fat-Tree at e0 = 2e-3: single-query fidelity {:.3}",
+        1.0 - eps
+    );
+    for copies in [1u32, 2, 4] {
+        let plan = DistillationPlan::new(4, copies);
+        println!(
+            "  {copies} copies/group -> fidelity {:.6}, {} distilled queries in parallel",
+            1.0 - distilled_infidelity(eps, copies),
+            plan.parallel_groups
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a Fat-Tree QRAM, query it in superposition, and
+//! inspect the pipeline and its performance metrics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram};
+use fat_tree_qram::metrics::{Capacity, TimingModel};
+use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A capacity-8 shared QRAM holding one classical bit per cell.
+    let capacity = Capacity::new(8)?;
+    let qram = FatTreeQram::new(capacity);
+    let memory = ClassicalMemory::from_words(1, &[1, 0, 0, 1, 1, 0, 1, 0])?;
+
+    // Query the memory at addresses {0, 3, 5} in equal superposition:
+    // |ψ⟩ = (|0⟩ + |3⟩ + |5⟩)/√3 ⊗ |0⟩_bus.
+    let address = AddressState::uniform(3, &[0, 3, 5])?;
+    let outcome = qram.execute_query(&memory, &address)?;
+    println!("Eq. (1) query outcome (amplitude, address, data):");
+    for (amp, addr, data) in outcome.iter() {
+        println!("  {amp}  |{addr}⟩_A |{data}⟩_B");
+    }
+    let ideal = memory.ideal_query(&address);
+    println!("fidelity vs ideal query: {:.12}", outcome.fidelity(&ideal));
+
+    // Three queries pipelined — the Fig. 6 schedule.
+    let schedule = qram.pipeline(3);
+    schedule.validate_no_conflicts()?;
+    println!();
+    println!(
+        "pipelined schedule: a new query every {} layers, single query {} layers",
+        10,
+        qram.single_query_layers_integer()
+    );
+    for t in schedule.timings() {
+        println!(
+            "  query {}: layers {:>2}..{:>2} (retrieval at {})",
+            t.query + 1,
+            t.start_layer,
+            t.end_layer,
+            t.retrieval_layer
+        );
+    }
+
+    // Performance vs the sequential bucket-brigade baseline.
+    let timing = TimingModel::paper_default();
+    let bb = BucketBrigadeQram::new(capacity);
+    println!();
+    println!(
+        "3 parallel queries: Fat-Tree {} layers vs BB {} layers",
+        qram.parallel_queries_latency(3, &timing).get(),
+        bb.parallel_queries_latency(3, &timing).get()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! A quantum-data-center scenario (§1, Fig. 1(a)): multiple QPUs issue
+//! online queries to one shared QRAM; the FIFO scheduler admits them into
+//! the Fat-Tree pipeline.
+//!
+//! Run with: `cargo run --example shared_memory_qdc`
+
+use fat_tree_qram::arch::Architecture;
+use fat_tree_qram::metrics::{Capacity, Layers, TimingModel};
+use fat_tree_qram::sched::{schedule_fifo, QramServer, QueryRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let capacity = Capacity::new(1024)?;
+    let timing = TimingModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // Eight QPUs each issue queries at random times over a 2 ms window
+    // (~2000 standard layers at 1 µs per layer).
+    let mut requests = Vec::new();
+    for _qpu in 0..8 {
+        let mut t = 0.0;
+        for _ in 0..25 {
+            t += rng.random_range(10.0..150.0);
+            requests.push(QueryRequest {
+                id: requests.len(),
+                arrival: Layers::new(t),
+            });
+        }
+    }
+    println!("{} online query requests from 8 QPUs", requests.len());
+    println!();
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "architecture", "makespan", "mean latency", "p95 latency"
+    );
+    for arch in Architecture::ALL {
+        let server = QramServer::for_architecture(arch, capacity, timing);
+        let schedule = schedule_fifo(&requests, &server);
+        let mut latencies: Vec<f64> = schedule
+            .entries()
+            .iter()
+            .map(|e| e.response_latency().get())
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let p95 = latencies[(latencies.len() * 95) / 100 - 1];
+        println!(
+            "{:<12} {:>12.1} {:>14.1} {:>14.1}",
+            arch.name(),
+            schedule.makespan().get(),
+            mean,
+            p95
+        );
+    }
+    println!();
+    println!(
+        "(layers; 1 layer = 1 µs at the paper's 10^6 CLOPS. The Fat-Tree \
+         pipeline absorbs bursts that serialize on a bucket-brigade QRAM.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Fat-Tree QRAM — umbrella crate re-exporting the whole workspace.
+//!
+//! A reproduction of *"Fat-Tree QRAM: A High-Bandwidth Shared Quantum
+//! Random Access Memory for Parallel Queries"* (Xu, Lu & Ding, ASPLOS '25).
+//!
+//! The implementation is organized as focused crates, re-exported here so
+//! applications can depend on a single package:
+//!
+//! * [`qsim`] — quantum simulation substrate (state-vector, qudit,
+//!   branch-based, density-matrix simulators and noise channels).
+//! * [`metrics`] — units and shared-QRAM performance metrics.
+//! * [`core`] — Bucket-Brigade and Fat-Tree QRAM models, instruction
+//!   schedules, query pipelining, and functional execution.
+//! * [`arch`] — resource estimation and physical layout (H-tree, modular,
+//!   on-chip bi-planar).
+//! * [`sched`] — FIFO query scheduling and pipelined-server simulation.
+//! * [`noise`] — fidelity bounds, QEC cost models, virtual distillation.
+//! * [`algos`] — parallel-algorithm workloads and per-architecture
+//!   executors.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fat_tree_qram::core::FatTreeQram;
+//! use fat_tree_qram::metrics::Capacity;
+//! use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+//!
+//! // A capacity-8 Fat-Tree QRAM serving a superposed query.
+//! let capacity = Capacity::new(8)?;
+//! let qram = FatTreeQram::new(capacity);
+//! let memory = ClassicalMemory::from_words(1, &[1, 0, 0, 1, 1, 0, 1, 0])?;
+//! let address = AddressState::uniform(3, &[0, 3, 5])?;
+//! let outcome = qram.execute_query(&memory, &address)?;
+//! assert_eq!(outcome.data_for(0), Some(1));
+//! assert_eq!(outcome.data_for(5), Some(0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use qram_algos as algos;
+pub use qram_arch as arch;
+pub use qram_core as core;
+pub use qram_metrics as metrics;
+pub use qram_noise as noise;
+pub use qram_sched as sched;
+pub use qsim;

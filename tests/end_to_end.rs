@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: core models, architecture cost models,
+//! scheduler, and noise analysis working together.
+
+use fat_tree_qram::arch::{Architecture, CostModel};
+use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram};
+use fat_tree_qram::metrics::{Capacity, LayerKind, Layers, TimingModel};
+use fat_tree_qram::noise::{bounds, GateErrorRates};
+use fat_tree_qram::sched::{simulate_streams, QramServer, StreamWorkload};
+use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+
+fn paper_timing() -> TimingModel {
+    TimingModel::paper_default()
+}
+
+/// The generated instruction schedules must agree with the closed-form
+/// latencies of Table 1, layer kind by layer kind.
+#[test]
+fn schedule_durations_match_closed_forms() {
+    let timing = paper_timing();
+    for n in 1..=10u32 {
+        let capacity = Capacity::from_address_width(n);
+        let ft = FatTreeQram::new(capacity);
+        let weighted: f64 = ft
+            .query_layers()
+            .iter()
+            .map(|l| timing.layer_weight(l.kind))
+            .sum();
+        assert!(
+            (weighted - ft.single_query_latency(&timing).get()).abs() < 1e-9,
+            "fat-tree n={n}"
+        );
+        let bb = BucketBrigadeQram::new(capacity);
+        let weighted: f64 = bb
+            .query_layers()
+            .iter()
+            .map(|l| timing.layer_weight(l.kind))
+            .sum();
+        assert!(
+            (weighted - bb.single_query_latency(&timing).get()).abs() < 1e-9,
+            "bb n={n}"
+        );
+    }
+}
+
+/// The pipelined executor, the schedule object, and the scheduler's server
+/// model must tell the same story about batch latency.
+#[test]
+fn pipeline_schedule_scheduler_agree() {
+    let capacity = Capacity::new(256).unwrap();
+    let ft = FatTreeQram::new(capacity);
+    let timing = paper_timing();
+    for q in [1usize, 3, 8, 20] {
+        let schedule = ft.pipeline(q);
+        let via_formula = ft.parallel_queries_latency(q as u32, &timing);
+        assert!(
+            schedule.makespan(&timing).approx_eq(via_formula, 1e-9),
+            "q={q}"
+        );
+        // Integer-layer server simulation of q back-to-back queries.
+        let server = QramServer::fat_tree_integer_layers(capacity);
+        let streams = vec![StreamWorkload::alternating(1, Layers::ZERO); q];
+        let report = simulate_streams(&streams, &server);
+        assert_eq!(
+            report.makespan().get(),
+            schedule.makespan_integer() as f64,
+            "q={q}"
+        );
+    }
+}
+
+/// Functional pipelined execution returns Eq. (1) outcomes for every query
+/// while the underlying schedule is conflict-free.
+#[test]
+fn pipelined_queries_are_functionally_correct() {
+    let capacity = Capacity::new(64).unwrap();
+    let ft = FatTreeQram::new(capacity);
+    let cells: Vec<u64> = (0..64u64).map(|i| (i * i + 3) % 16).collect();
+    let memory = ClassicalMemory::from_words(4, &cells).unwrap();
+    let addresses: Vec<AddressState> = (0..6u64)
+        .map(|q| AddressState::uniform(6, &[q, q + 10, q + 33, 63 - q]).unwrap())
+        .collect();
+    let outcomes = ft.execute_queries(&memory, &addresses, &[]).unwrap();
+    for (q, outcome) in outcomes.iter().enumerate() {
+        let ideal = memory.ideal_query(&addresses[q]);
+        assert!(
+            (outcome.fidelity(&ideal) - 1.0).abs() < 1e-12,
+            "query {q}"
+        );
+    }
+}
+
+/// The cost model's bandwidth must equal what the closed-loop simulator
+/// actually sustains at saturation.
+#[test]
+fn cost_model_bandwidth_matches_simulated_throughput() {
+    let capacity = Capacity::new(1024).unwrap();
+    let timing = paper_timing();
+    for arch in [Architecture::FatTree, Architecture::BucketBrigade] {
+        let model = CostModel::new(arch, capacity, timing);
+        let server = QramServer::for_architecture(arch, capacity, timing);
+        // Saturate: 40 streams of pure queries.
+        let streams = vec![StreamWorkload::alternating(20, Layers::ZERO); 40];
+        let report = simulate_streams(&streams, &server);
+        let queries = 40.0 * 20.0;
+        let seconds = timing.layers_to_seconds(report.makespan());
+        let simulated_rate = queries / seconds;
+        let model_rate = model.max_query_rate().get();
+        let rel = (simulated_rate - model_rate).abs() / model_rate;
+        assert!(
+            rel < 0.05,
+            "{arch}: simulated {simulated_rate} vs model {model_rate}"
+        );
+    }
+}
+
+/// Fidelity bounds and gate counts must be consistent: the executor's
+/// per-branch gate counts, multiplied by the error rates, land within the
+/// analytic 2n²Σε bound.
+#[test]
+fn gate_counts_consistent_with_fidelity_bound() {
+    let rates = GateErrorRates::paper_default();
+    // The 2n²Σε bound is asymptotic; at n = 2 low-order terms dominate.
+    for n in 3..=8u32 {
+        let capacity = Capacity::from_address_width(n);
+        let ft = FatTreeQram::new(capacity);
+        let cells: Vec<u64> = vec![0; 1 << n];
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let address = AddressState::classical(n, 0).unwrap();
+        let exec = ft.execute_query_traced(&memory, &address).unwrap();
+        let counts = exec.gate_counts;
+        let first_order = counts.cswap as f64 * rates.e0
+            + counts.inter_node_swap as f64 * rates.e1
+            + counts.local_swap as f64 * rates.e2;
+        let bound = bounds::fat_tree_query_infidelity(capacity, &rates);
+        assert!(
+            first_order <= bound * 1.05,
+            "n={n}: first-order infidelity {first_order} above bound {bound}"
+        );
+        assert!(
+            first_order >= bound * 0.25,
+            "n={n}: first-order infidelity {first_order} implausibly small vs {bound}"
+        );
+    }
+}
+
+/// Memory writes respect the classical-swap budget semantics: a write
+/// landing between two retrievals is seen by exactly the later queries.
+#[test]
+fn classical_memory_swap_visibility() {
+    let capacity = Capacity::new(16).unwrap();
+    let ft = FatTreeQram::new(capacity);
+    let memory = ClassicalMemory::zeros(16);
+    let addresses: Vec<AddressState> = (0..4)
+        .map(|_| AddressState::classical(4, 9).unwrap())
+        .collect();
+    // Retrieval layers: 10q + 5n = 20, 30, 40, 50.
+    let outcomes = ft
+        .execute_queries(&memory, &addresses, &[(35, 9, 1)])
+        .unwrap();
+    assert_eq!(outcomes[0].data_for(9), Some(0));
+    assert_eq!(outcomes[1].data_for(9), Some(0));
+    assert_eq!(outcomes[2].data_for(9), Some(1));
+    assert_eq!(outcomes[3].data_for(9), Some(1));
+}
+
+/// The weighted layer accounting matches the paper: standard layers weigh
+/// 1, swap/classical layers 1/8, and the Fat-Tree stream contains exactly
+/// 8n standard + (2n−1) intra-node layers.
+#[test]
+fn layer_kind_census() {
+    for n in 1..=9u32 {
+        let ft = FatTreeQram::new(Capacity::from_address_width(n));
+        let layers = ft.query_layers();
+        let standard = layers.iter().filter(|l| l.kind == LayerKind::Standard).count();
+        let intra = layers.iter().filter(|l| l.kind == LayerKind::IntraNode).count();
+        assert_eq!(standard, 8 * n as usize);
+        assert_eq!(intra, 2 * n as usize - 1);
+    }
+}

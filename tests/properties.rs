@@ -1,0 +1,138 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram, PipelineSchedule};
+use fat_tree_qram::metrics::{Capacity, Layers};
+use fat_tree_qram::noise::distilled_infidelity;
+use fat_tree_qram::sched::{
+    schedule_fifo, schedule_in_order, QramServer, QueryRequest,
+};
+use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+use fat_tree_qram::qsim::Complex;
+use proptest::prelude::*;
+
+proptest! {
+    /// Executing the generated Fat-Tree instruction stream over any
+    /// address superposition reproduces Eq. (1) exactly.
+    #[test]
+    fn fat_tree_execution_matches_ideal_semantics(
+        n in 1u32..=8,
+        seed_cells in prop::collection::vec(0u64..2, 1..256),
+        picks in prop::collection::vec(0u64..256, 1..12),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let mut addresses: Vec<u64> = picks.iter().map(|p| p % capacity).collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        let address = AddressState::uniform(n, &addresses).unwrap();
+        let qram = FatTreeQram::new(Capacity::new(capacity).unwrap());
+        let outcome = qram.execute_query(&memory, &address).unwrap();
+        let ideal = memory.ideal_query(&address);
+        prop_assert!((outcome.fidelity(&ideal) - 1.0).abs() < 1e-9);
+    }
+
+    /// Ditto for the bucket-brigade stream, with non-uniform amplitudes.
+    #[test]
+    fn bb_execution_matches_ideal_semantics(
+        n in 1u32..=7,
+        weights in prop::collection::vec(1u32..100, 2..8),
+    ) {
+        let capacity = 1u64 << n;
+        let cells: Vec<u64> = (0..capacity).map(|i| i % 2).collect();
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let terms: Vec<(Complex, u64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (Complex::real(f64::from(w)), (i as u64 * 37) % capacity))
+            .collect();
+        // Deduplicate addresses.
+        let mut seen = std::collections::HashSet::new();
+        let terms: Vec<_> = terms
+            .into_iter()
+            .filter(|&(_, a)| seen.insert(a))
+            .collect();
+        let address = AddressState::new(n, terms).unwrap();
+        let qram = BucketBrigadeQram::new(Capacity::new(capacity).unwrap());
+        let outcome = qram.execute_query(&memory, &address).unwrap();
+        let ideal = memory.ideal_query(&address);
+        prop_assert!((outcome.fidelity(&ideal) - 1.0).abs() < 1e-9);
+    }
+
+    /// The Fat-Tree pipeline never double-books a sub-QRAM, for any
+    /// capacity and any batch size.
+    #[test]
+    fn pipeline_is_always_conflict_free(n in 1u32..=10, queries in 1usize..=40) {
+        let schedule = PipelineSchedule::new(Capacity::from_address_width(n), queries);
+        prop_assert!(schedule.validate_no_conflicts().is_ok());
+    }
+
+    /// At every gate step, at most log₂(N) queries are in flight.
+    #[test]
+    fn pipeline_respects_parallelism(n in 1u32..=8, queries in 1usize..=30) {
+        let schedule = PipelineSchedule::new(Capacity::from_address_width(n), queries);
+        for t in 1..=schedule.total_gate_steps() {
+            prop_assert!(schedule.occupancy_at(t).len() <= n as usize);
+        }
+    }
+
+    /// FIFO minimizes total latency against random permutations
+    /// (Appendix A.2), on random arrival patterns and random servers.
+    #[test]
+    fn fifo_is_latency_optimal(
+        arrivals in prop::collection::vec(0.0f64..500.0, 2..10),
+        perm_seed in 0u64..1000,
+        n_exp in 2u32..=8,
+    ) {
+        let requests: Vec<QueryRequest> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, &a)| QueryRequest { id, arrival: Layers::new(a) })
+            .collect();
+        let server = QramServer::fat_tree_integer_layers(
+            Capacity::from_address_width(n_exp));
+        let fifo = schedule_fifo(&requests, &server).total_latency();
+        // A deterministic pseudo-random permutation from the seed.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        let mut state = perm_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let alt = schedule_in_order(&requests, &order, &server).total_latency();
+        prop_assert!(fifo <= alt + Layers::new(1e-9),
+            "FIFO {} > permuted {}", fifo.get(), alt.get());
+    }
+
+    /// Distilled infidelity is monotone non-increasing in copies and never
+    /// exceeds the input infidelity.
+    #[test]
+    fn distillation_is_monotone(eps in 0.0f64..0.49, k in 1u32..8) {
+        let once = distilled_infidelity(eps, k);
+        let more = distilled_infidelity(eps, k + 1);
+        prop_assert!(more <= once + 1e-15);
+        prop_assert!(once <= eps + 1e-15);
+    }
+
+    /// Query outcomes are unitary-consistent: branch amplitudes are
+    /// preserved by execution (the QRAM only permutes/labels branches).
+    #[test]
+    fn execution_preserves_amplitudes(n in 2u32..=6, k in 2usize..6) {
+        let capacity = 1u64 << n;
+        let cells: Vec<u64> = (0..capacity).map(|i| (i / 3) % 2).collect();
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let k = k.min(capacity as usize);
+        let spacing = capacity / k as u64; // >= 1 since k <= capacity
+        let addresses: Vec<u64> = (0..k as u64).map(|i| i * spacing).collect();
+        let address = AddressState::uniform(n, &addresses).unwrap();
+        let qram = FatTreeQram::new(Capacity::new(capacity).unwrap());
+        let outcome = qram.execute_query(&memory, &address).unwrap();
+        let total: f64 = outcome.iter().map(|&(amp, _, _)| amp.norm_sqr()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for &(amp, _, _) in outcome.iter() {
+            prop_assert!((amp.norm_sqr() - 1.0 / k as f64).abs() < 1e-9);
+        }
+    }
+}

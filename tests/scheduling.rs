@@ -1,0 +1,106 @@
+//! Cross-crate scheduling integration: online admission, offline FIFO, the
+//! closed-loop stream simulator, and the architecture cost models must be
+//! mutually consistent.
+
+use fat_tree_qram::arch::{Architecture, PartialFatTree};
+use fat_tree_qram::metrics::{Capacity, Layers, TimingModel};
+use fat_tree_qram::sched::{
+    poisson_arrivals, schedule_fifo, simulate_streams, OnlineFifoScheduler, QramServer,
+    StreamWorkload,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn online_offline_and_stream_views_agree_on_saturated_load() {
+    // Under saturation (all requests at t = 0), three independent models of
+    // the same Fat-Tree must produce identical makespans:
+    // offline FIFO, incremental online FIFO, and the stream simulator.
+    let capacity = Capacity::new(256).unwrap();
+    let server = QramServer::fat_tree_integer_layers(capacity);
+    let q = 25usize;
+
+    let requests: Vec<_> = (0..q)
+        .map(|id| fat_tree_qram::sched::QueryRequest {
+            id,
+            arrival: Layers::ZERO,
+        })
+        .collect();
+    let offline = schedule_fifo(&requests, &server);
+
+    let mut online = OnlineFifoScheduler::new(server);
+    for &r in &requests {
+        online.submit(r).unwrap();
+    }
+    let online = online.finish();
+
+    let streams = vec![StreamWorkload::alternating(1, Layers::ZERO); q];
+    let report = simulate_streams(&streams, &server);
+
+    assert_eq!(offline.makespan(), online.makespan());
+    assert_eq!(offline.makespan(), report.makespan());
+    // And the pipeline object agrees too.
+    let schedule = fat_tree_qram::core::FatTreeQram::new(capacity).pipeline(q);
+    assert_eq!(offline.makespan().get(), schedule.makespan_integer() as f64);
+}
+
+#[test]
+fn fat_tree_absorbs_bursts_that_overwhelm_bucket_brigade() {
+    // A bursty open-loop workload: mean response latency on Fat-Tree stays
+    // near the single-query latency, while BB queues grow unboundedly.
+    let capacity = Capacity::new(1024).unwrap();
+    let timing = TimingModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(1234);
+    // Arrival rate of one query per 12 layers: below Fat-Tree's capacity
+    // (one per 8.25) but far above BB's (one per 80.125).
+    let requests = poisson_arrivals(1.0 / 12.0, 120, &mut rng);
+
+    let ft = QramServer::for_architecture(Architecture::FatTree, capacity, timing);
+    let bb = QramServer::for_architecture(Architecture::BucketBrigade, capacity, timing);
+    let ft_mean = mean_latency(&schedule_fifo(&requests, &ft));
+    let bb_mean = mean_latency(&schedule_fifo(&requests, &bb));
+
+    let t1 = 8.25 * 10.0 - 0.125;
+    assert!(
+        ft_mean < 3.0 * t1,
+        "Fat-Tree mean latency {ft_mean} should stay near t1 = {t1}"
+    );
+    assert!(
+        bb_mean > 10.0 * ft_mean,
+        "BB mean latency {bb_mean} should blow up vs Fat-Tree {ft_mean}"
+    );
+}
+
+#[test]
+fn partial_duplication_interpolates_queueing_behaviour() {
+    // The ablation's capped Fat-Trees must order by cap under load.
+    let capacity = Capacity::new(1024).unwrap();
+    let timing = TimingModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(77);
+    let requests = poisson_arrivals(1.0 / 15.0, 80, &mut rng);
+    let mut prev = f64::INFINITY;
+    for cap_c in [1u32, 2, 5, 10] {
+        let tree = PartialFatTree::new(capacity, cap_c);
+        let server = QramServer::new(
+            tree.query_parallelism(),
+            tree.amortized_query_latency(&timing),
+            tree.single_query_latency(&timing),
+        );
+        let mean = mean_latency(&schedule_fifo(&requests, &server));
+        assert!(
+            mean <= prev * 1.001,
+            "cap {cap_c}: mean latency {mean} above cap-{} latency {prev}",
+            cap_c - 1
+        );
+        prev = mean;
+    }
+}
+
+fn mean_latency(schedule: &fat_tree_qram::sched::Schedule) -> f64 {
+    let entries = schedule.entries();
+    entries
+        .iter()
+        .map(|e| e.response_latency().get())
+        .sum::<f64>()
+        / entries.len() as f64
+}
