@@ -37,8 +37,11 @@ fn main() {
                 num(f64::from(t.query_parallelism())),
                 num(t.amortized_query_latency(&timing).get()),
                 num(t.bandwidth(&timing).get()),
-                num(t.spacetime_volume_per_query(&timing).per_cell(capacity.get())),
-            ].as_ref(),
+                num(t
+                    .spacetime_volume_per_query(&timing)
+                    .per_cell(capacity.get())),
+            ]
+            .as_ref(),
         );
     }
     println!();

@@ -12,10 +12,17 @@ fn main() {
     header("Figure 1(b): Fat-Tree vs shared BB for log(N) independent queries");
     row(
         "N",
-        &["qubits FT", "qubits BB", "t_logN FT", "t_logN BB", "infid FT", "infid BB"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect::<Vec<_>>(),
+        &[
+            "qubits FT",
+            "qubits BB",
+            "t_logN FT",
+            "t_logN BB",
+            "infid FT",
+            "infid BB",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect::<Vec<_>>(),
     );
     for n_exp in [5u32, 10, 15] {
         let capacity = Capacity::from_address_width(n_exp);
@@ -30,7 +37,8 @@ fn main() {
                 num(bb.parallel_queries_latency(n_exp).get()),
                 num(bounds::fat_tree_query_infidelity(capacity, &rates)),
                 num(bounds::bb_query_infidelity(capacity, &rates)),
-            ].as_ref(),
+            ]
+            .as_ref(),
         );
     }
     println!();

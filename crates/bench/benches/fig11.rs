@@ -9,8 +9,16 @@ fn main() {
     let physical = GateErrorRates::from_cswap_rate(1e-3);
     let depths: Vec<u32> = (2..=18).step_by(2).collect();
     let raw = figure11_curve(depths.iter().copied(), &physical, None);
-    let d3 = figure11_curve(depths.iter().copied(), &physical, Some(QecCode::distance(3)));
-    let d5 = figure11_curve(depths.iter().copied(), &physical, Some(QecCode::distance(5)));
+    let d3 = figure11_curve(
+        depths.iter().copied(),
+        &physical,
+        Some(QecCode::distance(3)),
+    );
+    let d5 = figure11_curve(
+        depths.iter().copied(),
+        &physical,
+        Some(QecCode::distance(5)),
+    );
     row(
         "n",
         &[
@@ -32,7 +40,8 @@ fn main() {
                 num(d3[i].generic_circuit),
                 num(d5[i].fat_tree),
                 num(d5[i].generic_circuit),
-            ].as_ref(),
+            ]
+            .as_ref(),
         );
     }
     println!();

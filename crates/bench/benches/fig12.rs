@@ -3,7 +3,7 @@
 
 use qram_bench::header;
 use qram_core::pipeline::render_instruction_diagram;
-use qram_core::FatTreeQram;
+use qram_core::{FatTreeQram, QramModel};
 use qram_metrics::Capacity;
 use qsim::branch::{AddressState, ClassicalMemory};
 
@@ -19,7 +19,12 @@ fn main() {
     let schedule = qram.pipeline(3);
     println!("Global query offsets (layers):");
     for t in schedule.timings() {
-        println!("  query {} occupies layers {}..={}", t.query + 1, t.start_layer, t.end_layer);
+        println!(
+            "  query {} occupies layers {}..={}",
+            t.query + 1,
+            t.start_layer,
+            t.end_layer
+        );
     }
     schedule
         .validate_no_conflicts()

@@ -3,7 +3,7 @@
 
 use qram_bench::header;
 use qram_core::pipeline::render_instruction_diagram;
-use qram_core::BucketBrigadeQram;
+use qram_core::{BucketBrigadeQram, QramModel};
 use qram_metrics::Capacity;
 use qsim::branch::{AddressState, ClassicalMemory};
 
@@ -28,7 +28,9 @@ fn main() {
     // Functional check: execute the schedule on a superposed address.
     let memory = ClassicalMemory::from_words(1, &[1, 0, 1, 1, 0, 0, 1, 0]).expect("valid");
     let address = AddressState::full_superposition(3);
-    let outcome = qram.execute_query(&memory, &address).expect("schedule is valid");
+    let outcome = qram
+        .execute_query(&memory, &address)
+        .expect("schedule is valid");
     let fidelity = outcome.fidelity(&memory.ideal_query(&address));
     println!("functional fidelity vs Eq. (1): {fidelity:.12}");
     assert!((fidelity - 1.0).abs() < 1e-12);

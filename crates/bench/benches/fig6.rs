@@ -2,7 +2,7 @@
 //! concurrent queries.
 
 use qram_bench::header;
-use qram_core::FatTreeQram;
+use qram_core::{FatTreeQram, QramModel};
 use qram_metrics::{Capacity, TimingModel};
 
 fn main() {

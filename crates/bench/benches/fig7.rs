@@ -13,10 +13,7 @@ fn main() {
     header(&format!(
         "Figure 7: 3 algorithms x (3 queries, d = {d} processing), N = {capacity}"
     ));
-    println!(
-        "single query = 10n - 1 = {} layers",
-        server.latency().get()
-    );
+    println!("single query = 10n - 1 = {} layers", server.latency().get());
     let streams = vec![StreamWorkload::alternating(3, Layers::new(d)); 3];
     let report = simulate_streams(&streams, &server);
     for q in report.queries() {
@@ -40,8 +37,5 @@ fn main() {
     for (dur, u) in report.utilization_trace().iter() {
         println!("  {:>6.1} layers @ {}", dur.get(), u);
     }
-    println!(
-        "average utilization = {}",
-        report.average_utilization()
-    );
+    println!("average utilization = {}", report.average_utilization());
 }

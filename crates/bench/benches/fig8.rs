@@ -11,7 +11,10 @@ fn main() {
     println!("O(N log N)-qubit group:");
     row(
         "N",
-        &["D-BB", "D-Fat-Tree"].iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        &["D-BB", "D-Fat-Tree"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>(),
     );
     for capacity in Capacity::sweep(1024).skip(1) {
         row(
@@ -29,7 +32,10 @@ fn main() {
     println!("O(N)-qubit group:");
     row(
         "N",
-        &["Fat-Tree", "BB", "Virtual"].iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        &["Fat-Tree", "BB", "Virtual"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>(),
     );
     for capacity in Capacity::sweep(1024).skip(1) {
         row(

@@ -1,10 +1,10 @@
 //! Criterion performance benchmarks of the simulation substrate itself.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use qram_core::{BucketBrigadeQram, FatTreeQram};
+use qram_core::{BucketBrigadeQram, FatTreeQram, QramModel};
+use qram_metrics::Layers;
 use qram_metrics::{Capacity, TimingModel};
 use qram_sched::{simulate_streams, QramServer, StreamWorkload};
-use qram_metrics::Layers;
 use qsim::branch::{AddressState, ClassicalMemory};
 use qsim::state::StateVector;
 

@@ -11,20 +11,32 @@ fn main() {
     header("Table 4: virtual distillation at 256 qubits (capacity-16 trees, e0 = 2e-3)");
     row(
         "",
-        &["Fat-Tree", "2 BB"].iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        &["Fat-Tree", "2 BB"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>(),
     );
     let rows = table4();
     row(
         "Copies for distillation",
-        &rows.iter().map(|r| num(f64::from(r.copies))).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| num(f64::from(r.copies)))
+            .collect::<Vec<_>>(),
     );
     row(
         "Fidelity before",
-        &rows.iter().map(|r| num(r.fidelity_before)).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| num(r.fidelity_before))
+            .collect::<Vec<_>>(),
     );
     row(
         "Fidelity after",
-        &rows.iter().map(|r| num(r.fidelity_after)).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| num(r.fidelity_after))
+            .collect::<Vec<_>>(),
     );
     // Exact density-matrix cross-check on a Bell-pair query state.
     let mut psi = StateVector::new(2);

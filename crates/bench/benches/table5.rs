@@ -35,21 +35,24 @@ fn main() {
             [
                 num(ft.physical_qubits as f64),
                 num(bb.physical_qubits as f64),
-            ].as_ref(),
+            ]
+            .as_ref(),
         );
         row(
             "Logical query parallelism",
             [
                 num(f64::from(ft.logical_query_parallelism)),
                 num(f64::from(bb.logical_query_parallelism)),
-            ].as_ref(),
+            ]
+            .as_ref(),
         );
         row(
             "Logical query latency",
             [
                 num(ft.logical_query_latency as f64),
                 num(bb.logical_query_latency as f64),
-            ].as_ref(),
+            ]
+            .as_ref(),
         );
     }
     println!();

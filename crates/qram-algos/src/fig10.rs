@@ -7,6 +7,7 @@
 //! (Fig. 10(b)).
 
 use qram_arch::Architecture;
+use qram_core::QramModel;
 use qram_metrics::{Capacity, Layers, TimingModel, Utilization};
 use qram_sched::{simulate_streams, QramServer, StreamWorkload};
 
@@ -26,7 +27,39 @@ pub struct SweepCell {
     pub utilization: Utilization,
 }
 
-/// Runs one synthetic-sweep cell on an architecture.
+/// Runs one synthetic-sweep cell on a pipelined server (the shared engine
+/// behind both the backend-generic and table-architecture entry points).
+fn sweep_cell_on_server(server: &QramServer, ratio: f64, parallel_count: u32) -> SweepCell {
+    assert!(parallel_count >= 1, "at least one algorithm");
+    assert!(ratio >= 0.0, "ratio must be non-negative");
+    let d = Layers::new(server.latency().get() * ratio);
+    let streams =
+        vec![StreamWorkload::alternating(SYNTHETIC_ITERATIONS, d); parallel_count as usize];
+    let report = simulate_streams(&streams, server);
+    SweepCell {
+        ratio,
+        parallel_count,
+        depth: report.makespan(),
+        utilization: report.average_utilization(),
+    }
+}
+
+/// Runs one synthetic-sweep cell on any [`QramModel`] backend.
+///
+/// # Panics
+///
+/// Panics if `parallel_count == 0` or `ratio < 0`.
+#[must_use]
+pub fn sweep_cell_on<M: QramModel + ?Sized>(
+    model: &M,
+    timing: &TimingModel,
+    ratio: f64,
+    parallel_count: u32,
+) -> SweepCell {
+    sweep_cell_on_server(&QramServer::for_model(model, timing), ratio, parallel_count)
+}
+
+/// Runs one synthetic-sweep cell on a named table architecture.
 ///
 /// # Panics
 ///
@@ -39,19 +72,11 @@ pub fn sweep_cell(
     ratio: f64,
     parallel_count: u32,
 ) -> SweepCell {
-    assert!(parallel_count >= 1, "at least one algorithm");
-    assert!(ratio >= 0.0, "ratio must be non-negative");
-    let server = QramServer::for_architecture(architecture, capacity, timing);
-    let d = Layers::new(server.latency().get() * ratio);
-    let streams =
-        vec![StreamWorkload::alternating(SYNTHETIC_ITERATIONS, d); parallel_count as usize];
-    let report = simulate_streams(&streams, &server);
-    SweepCell {
+    sweep_cell_on_server(
+        &QramServer::for_architecture(architecture, capacity, timing),
         ratio,
         parallel_count,
-        depth: report.makespan(),
-        utilization: report.average_utilization(),
-    }
+    )
 }
 
 /// Computes a full Fig. 10 heatmap grid for one architecture.
@@ -141,7 +166,9 @@ mod tests {
     fn bb_utilization_saturates_fat_tree_varies() {
         // Fig. 10(b1/b2): BB's single slot is always busy under load, while
         // Fat-Tree's utilization reflects the processing/query balance.
-        let bb = cell(Architecture::BucketBrigade, 0.25, 10).utilization.get();
+        let bb = cell(Architecture::BucketBrigade, 0.25, 10)
+            .utilization
+            .get();
         assert!(bb > 0.9, "BB utilization {bb}");
         let ft_low = cell(Architecture::FatTree, 2.0, 2).utilization.get();
         let ft_high = cell(Architecture::FatTree, 0.0, 20).utilization.get();
@@ -156,6 +183,19 @@ mod tests {
             let u = cell(Architecture::FatTree, 1.0, p).utilization.get();
             assert!(u >= prev - 1e-9, "p={p}: {u} < {prev}");
             prev = u;
+        }
+    }
+
+    #[test]
+    fn backend_generic_cells_match_table_cells() {
+        use qram_core::{BucketBrigadeQram, FatTreeQram};
+        let capacity = Capacity::new(1024).unwrap();
+        let timing = TimingModel::paper_default();
+        for (ratio, p) in [(0.0, 1u32), (1.0, 10), (2.0, 30)] {
+            let ft = sweep_cell_on(&FatTreeQram::new(capacity), &timing, ratio, p);
+            assert_eq!(ft, cell(Architecture::FatTree, ratio, p));
+            let bb = sweep_cell_on(&BucketBrigadeQram::new(capacity), &timing, ratio, p);
+            assert_eq!(bb, cell(Architecture::BucketBrigade, ratio, p));
         }
     }
 

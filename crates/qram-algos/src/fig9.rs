@@ -2,6 +2,7 @@
 //! shared-QRAM architectures at `N = 2¹⁰`.
 
 use qram_arch::Architecture;
+use qram_core::QramModel;
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qram_sched::{simulate_streams, QramServer};
 
@@ -19,8 +20,21 @@ pub struct Figure9Bar {
     pub depth: Layers,
 }
 
-/// Computes one bar: runs the algorithm's `p = log₂ N` streams on the
-/// architecture's pipelined-server model.
+/// Computes one bar for any [`QramModel`] backend: the algorithm's
+/// `p = log₂ N` streams run on the backend's pipelined-server model. New
+/// architectures plug in without touching this call site.
+#[must_use]
+pub fn algorithm_depth_on<M: QramModel + ?Sized>(
+    algorithm: ParallelAlgorithm,
+    model: &M,
+    timing: &TimingModel,
+) -> Layers {
+    algorithm.depth_on(model, timing)
+}
+
+/// Computes one bar for a named table architecture (including the
+/// distributed and virtual baselines, which are compositions without an
+/// instruction-level backend), via its closed-form cost model.
 #[must_use]
 pub fn algorithm_depth(
     algorithm: ParallelAlgorithm,
@@ -101,6 +115,27 @@ mod tests {
             );
             let dft = depth(algorithm, Architecture::DistributedFatTree);
             assert!(dft <= ft * 1.01, "{algorithm}: D-Fat-Tree must be fastest");
+        }
+    }
+
+    #[test]
+    fn generic_executor_matches_table_architectures() {
+        use qram_core::{BucketBrigadeQram, FatTreeQram};
+        let capacity = Capacity::new(1024).unwrap();
+        let timing = TimingModel::paper_default();
+        for algorithm in ParallelAlgorithm::figure9_suite() {
+            let ft = algorithm_depth_on(algorithm, &FatTreeQram::new(capacity), &timing);
+            assert_eq!(
+                ft,
+                algorithm_depth(algorithm, Architecture::FatTree, capacity, timing),
+                "{algorithm} on Fat-Tree"
+            );
+            let bb = algorithm_depth_on(algorithm, &BucketBrigadeQram::new(capacity), &timing);
+            assert_eq!(
+                bb,
+                algorithm_depth(algorithm, Architecture::BucketBrigade, capacity, timing),
+                "{algorithm} on BB"
+            );
         }
     }
 

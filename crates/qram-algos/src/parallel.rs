@@ -6,8 +6,9 @@
 //! follow the paper's complexity statements with all problem-independent
 //! parameters (sparsity, precision) fixed to constants.
 
-use qram_metrics::{Capacity, Layers};
-use qram_sched::StreamWorkload;
+use qram_core::QramModel;
+use qram_metrics::{Capacity, Layers, TimingModel};
+use qram_sched::{simulate_streams, QramServer, StreamWorkload};
 
 /// A parallel quantum algorithm benchmark.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,9 +72,7 @@ impl ParallelAlgorithm {
         let n = capacity.n_f64();
         let per_segment = n_cells / f64::from(p);
         let count = match self {
-            ParallelAlgorithm::Grover => {
-                (std::f64::consts::FRAC_PI_4 * per_segment.sqrt()).ceil()
-            }
+            ParallelAlgorithm::Grover => (std::f64::consts::FRAC_PI_4 * per_segment.sqrt()).ceil(),
             ParallelAlgorithm::KSum { k } => {
                 let kf = f64::from(*k);
                 per_segment.powf(kf / (kf + 1.0)).ceil()
@@ -97,9 +96,7 @@ impl ParallelAlgorithm {
             // Quantum-walk step: a few reflections over the segment.
             ParallelAlgorithm::KSum { .. } => Layers::new(2.0 * n),
             // O(log log N)-depth local processing.
-            ParallelAlgorithm::HamiltonianSimulation => {
-                Layers::new(n.log2().max(1.0).ceil())
-            }
+            ParallelAlgorithm::HamiltonianSimulation => Layers::new(n.log2().max(1.0).ceil()),
             // A single-qubit phase rotation between queries.
             ParallelAlgorithm::Qsp { .. } => Layers::new(2.0),
         }
@@ -112,6 +109,19 @@ impl ParallelAlgorithm {
         let queries = self.queries_per_stream(capacity, p);
         let d = self.processing_depth(capacity);
         vec![StreamWorkload::alternating(queries, d); p as usize]
+    }
+
+    /// Simulates this algorithm end-to-end on any [`QramModel`] backend:
+    /// the paper's `p = log₂ N` parallel streams run against the backend's
+    /// pipelined-server model, and the overall circuit depth until all
+    /// streams finish is returned. The executor is architecture-agnostic —
+    /// the backend only enters through the trait.
+    #[must_use]
+    pub fn depth_on<M: QramModel + ?Sized>(&self, model: &M, timing: &TimingModel) -> Layers {
+        let capacity = model.capacity();
+        let p = capacity.address_width();
+        let server = QramServer::for_model(model, timing);
+        simulate_streams(&self.streams(capacity, p), &server).makespan()
     }
 }
 
@@ -132,7 +142,10 @@ mod tests {
     #[test]
     fn grover_query_count_scales_with_segment_size() {
         // N = 1024, p = 10: ceil(0.785 · √102.4) = 8.
-        assert_eq!(ParallelAlgorithm::Grover.queries_per_stream(cap1024(), 10), 8);
+        assert_eq!(
+            ParallelAlgorithm::Grover.queries_per_stream(cap1024(), 10),
+            8
+        );
         // Fewer segments → more iterations each.
         assert!(
             ParallelAlgorithm::Grover.queries_per_stream(cap1024(), 1)
@@ -170,6 +183,18 @@ mod tests {
         assert_eq!(streams.len(), 10);
         for s in &streams {
             assert_eq!(s.query_count(), 8);
+        }
+    }
+
+    #[test]
+    fn generic_executor_prefers_fat_tree() {
+        use qram_core::{BucketBrigadeQram, FatTreeQram};
+        let timing = TimingModel::paper_default();
+        let capacity = cap1024();
+        for algorithm in ParallelAlgorithm::figure9_suite() {
+            let ft = algorithm.depth_on(&FatTreeQram::new(capacity), &timing);
+            let bb = algorithm.depth_on(&BucketBrigadeQram::new(capacity), &timing);
+            assert!(ft < bb, "{algorithm}: {} vs {}", ft.get(), bb.get());
         }
     }
 

@@ -11,7 +11,8 @@
 //!   `O(log N·log log N + log N)`
 //! * QSP: `O(poly(d))` → `O(poly(d)/log N)`
 
-use qram_metrics::Capacity;
+use qram_core::QramModel;
+use qram_metrics::{Capacity, TimingModel};
 
 use crate::parallel::ParallelAlgorithm;
 
@@ -44,9 +45,7 @@ pub fn fat_tree_depth_scaling(algorithm: ParallelAlgorithm, capacity: Capacity) 
             n * (n_cells / n).powf(kf / (kf + 1.0))
         }
         ParallelAlgorithm::HamiltonianSimulation => n * n.log2().max(1.0) + n,
-        ParallelAlgorithm::Qsp { degree } => {
-            f64::from(degree) * f64::from(degree) / n
-        }
+        ParallelAlgorithm::Qsp { degree } => f64::from(degree) * f64::from(degree) / n,
     }
 }
 
@@ -54,6 +53,20 @@ pub fn fat_tree_depth_scaling(algorithm: ParallelAlgorithm, capacity: Capacity) 
 #[must_use]
 pub fn depth_reduction_factor(algorithm: ParallelAlgorithm, capacity: Capacity) -> f64 {
     sequential_depth_scaling(algorithm, capacity) / fat_tree_depth_scaling(algorithm, capacity)
+}
+
+/// Measured depth-reduction factor between any two [`QramModel`] backends,
+/// from the pipelined-server simulation — the backend-generic counterpart
+/// of the asymptotic [`depth_reduction_factor`]. `baseline` is the slower
+/// architecture (e.g. bucket-brigade), `contender` the faster one.
+#[must_use]
+pub fn measured_reduction_factor<A: QramModel + ?Sized, B: QramModel + ?Sized>(
+    algorithm: ParallelAlgorithm,
+    baseline: &A,
+    contender: &B,
+    timing: &TimingModel,
+) -> f64 {
+    algorithm.depth_on(baseline, timing) / algorithm.depth_on(contender, timing)
 }
 
 #[cfg(test)]
@@ -110,6 +123,24 @@ mod tests {
     }
 
     #[test]
+    fn measured_reduction_tracks_asymptotics() {
+        use qram_core::{BucketBrigadeQram, FatTreeQram};
+        let capacity = Capacity::new(1024).unwrap();
+        let timing = TimingModel::paper_default();
+        let bb = BucketBrigadeQram::new(capacity);
+        let ft = FatTreeQram::new(capacity);
+        for algorithm in ParallelAlgorithm::figure9_suite() {
+            let measured = measured_reduction_factor(algorithm, &bb, &ft, &timing);
+            let asymptotic = depth_reduction_factor(algorithm, capacity);
+            let ratio = measured / asymptotic;
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "{algorithm}: measured {measured} vs asymptotic {asymptotic}"
+            );
+        }
+    }
+
+    #[test]
     fn simulation_reductions_track_asymptotics_within_constant() {
         // The simulated Fig. 9 speedups must lie within a constant factor
         // of the asymptotic predictions (they include pipeline fill/drain
@@ -117,9 +148,9 @@ mod tests {
         let capacity = Capacity::new(1024).unwrap();
         let timing = TimingModel::paper_default();
         for algorithm in ParallelAlgorithm::figure9_suite() {
-            let simulated = algorithm_depth(algorithm, Architecture::BucketBrigade, capacity, timing)
-                .get()
-                / algorithm_depth(algorithm, Architecture::FatTree, capacity, timing).get();
+            let simulated =
+                algorithm_depth(algorithm, Architecture::BucketBrigade, capacity, timing).get()
+                    / algorithm_depth(algorithm, Architecture::FatTree, capacity, timing).get();
             let asymptotic = depth_reduction_factor(algorithm, capacity);
             let ratio = simulated / asymptotic;
             assert!(

@@ -3,9 +3,7 @@
 //! Fig. 8.
 
 use qram_core::latency;
-use qram_metrics::{
-    Bandwidth, Capacity, Layers, QueryRate, SpaceTimeVolume, TimingModel,
-};
+use qram_metrics::{Bandwidth, Capacity, Layers, QueryRate, SpaceTimeVolume, TimingModel};
 
 /// The shared-QRAM architectures compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -213,7 +211,9 @@ impl CostModel {
     /// Max query rate: inverse of the amortized single-query time (§6.2).
     #[must_use]
     pub fn max_query_rate(&self) -> QueryRate {
-        let seconds = self.timing.layers_to_seconds(self.amortized_query_latency());
+        let seconds = self
+            .timing
+            .layers_to_seconds(self.amortized_query_latency());
         QueryRate::new(1.0 / seconds)
     }
 
@@ -258,7 +258,10 @@ mod tests {
     #[test]
     fn table1_qubit_row() {
         assert_eq!(model(Architecture::FatTree, 1024).qubit_count(), 16 * 1024);
-        assert_eq!(model(Architecture::BucketBrigade, 1024).qubit_count(), 8 * 1024);
+        assert_eq!(
+            model(Architecture::BucketBrigade, 1024).qubit_count(),
+            8 * 1024
+        );
         assert_eq!(model(Architecture::Virtual, 1024).qubit_count(), 16 * 1024);
         assert_eq!(
             model(Architecture::DistributedFatTree, 1024).qubit_count(),
@@ -277,7 +280,10 @@ mod tests {
             model(Architecture::DistributedFatTree, 1024).query_parallelism(),
             100
         );
-        assert_eq!(model(Architecture::BucketBrigade, 1024).query_parallelism(), 1);
+        assert_eq!(
+            model(Architecture::BucketBrigade, 1024).query_parallelism(),
+            1
+        );
         assert_eq!(
             model(Architecture::DistributedBucketBrigade, 1024).query_parallelism(),
             10
@@ -289,7 +295,9 @@ mod tests {
     fn table1_single_query_latency_row() {
         let n = 10.0_f64;
         assert!(
-            (model(Architecture::FatTree, 1024).single_query_latency().get()
+            (model(Architecture::FatTree, 1024)
+                .single_query_latency()
+                .get()
                 - (8.25 * n - 0.125))
                 .abs()
                 < 1e-9
@@ -302,7 +310,9 @@ mod tests {
                 .abs()
                 < 1e-9
         );
-        let virt = model(Architecture::Virtual, 1024).single_query_latency().get();
+        let virt = model(Architecture::Virtual, 1024)
+            .single_query_latency()
+            .get();
         let expect = 4.0 * n * n + 4.0625 * n - 4.0 * n * n.log2();
         assert!((virt - expect).abs() < 1e-9);
     }
@@ -379,7 +389,9 @@ mod tests {
     #[test]
     fn table2_swap_budget_row() {
         // Fat-Tree needs rapid constant-interval swapping: 8.25 µs.
-        assert!((model(Architecture::FatTree, 1024).classical_swap_budget_micros() - 8.25).abs() < 1e-9);
+        assert!(
+            (model(Architecture::FatTree, 1024).classical_swap_budget_micros() - 8.25).abs() < 1e-9
+        );
         // BB: 8·log N + 0.125 µs.
         assert!(
             (model(Architecture::BucketBrigade, 1024).classical_swap_budget_micros() - 80.125)

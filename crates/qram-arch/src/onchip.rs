@@ -135,10 +135,7 @@ mod tests {
             // Count left-child edges among router nodes directly.
             let shape = TreeShape::new(p.capacity());
             let depth = p.capacity().address_width();
-            let left_edges = shape
-                .nodes()
-                .filter(|node| node.level + 1 < depth)
-                .count() as u64;
+            let left_edges = shape.nodes().filter(|node| node.level + 1 < depth).count() as u64;
             assert_eq!(p.tsv_count(), left_edges, "N={n}");
         }
     }

@@ -136,9 +136,7 @@ impl PartialFatTree {
     /// Space-time volume per query.
     #[must_use]
     pub fn spacetime_volume_per_query(&self, timing: &TimingModel) -> SpaceTimeVolume {
-        SpaceTimeVolume::new(
-            self.qubit_count() as f64 * self.amortized_query_latency(timing).get(),
-        )
+        SpaceTimeVolume::new(self.qubit_count() as f64 * self.amortized_query_latency(timing).get())
     }
 }
 

@@ -1,20 +1,22 @@
 //! The Bucket-Brigade QRAM baseline (Giovannetti et al. 2008; §2.2).
 
 use qram_metrics::{Capacity, Layers, TimingModel};
-use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
-use crate::exec::{execute_layers, ExecError, Execution};
 use crate::latency;
+use crate::model::QramModel;
 use crate::query_ops::{bb_query_layers, bb_stage_finish_layers, QueryLayer};
 use crate::tree::TreeShape;
 
 /// A Bucket-Brigade QRAM of capacity `N`: a binary tree of quantum routers
 /// serving one query at a time in `O(log N)` circuit layers.
 ///
+/// The query-serving surface lives on the [`QramModel`] trait, shared with
+/// [`FatTreeQram`](crate::FatTreeQram).
+///
 /// # Examples
 ///
 /// ```
-/// use qram_core::BucketBrigadeQram;
+/// use qram_core::{BucketBrigadeQram, QramModel};
 /// use qram_metrics::Capacity;
 /// use qsim::branch::{AddressState, ClassicalMemory};
 ///
@@ -40,109 +42,67 @@ impl BucketBrigadeQram {
         BucketBrigadeQram { capacity }
     }
 
-    /// The memory capacity `N`.
-    #[must_use]
-    pub fn capacity(&self) -> Capacity {
-        self.capacity
-    }
-
-    /// The address width / tree depth `n`.
-    #[must_use]
-    pub fn address_width(&self) -> u32 {
-        self.capacity.address_width()
-    }
-
     /// The static tree geometry.
     #[must_use]
     pub fn shape(&self) -> TreeShape {
         TreeShape::new(self.capacity)
     }
 
-    /// Number of quantum routers: `N − 1`.
+    /// The stage finish times of Fig. 2(a).
     #[must_use]
-    pub fn router_count(&self) -> u64 {
+    pub fn stage_finish_layers(&self) -> Vec<u32> {
+        bb_stage_finish_layers(self.capacity.address_width())
+    }
+}
+
+impl QramModel for BucketBrigadeQram {
+    fn name(&self) -> &'static str {
+        "Bucket-Brigade"
+    }
+
+    fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Number of quantum routers: `N − 1`.
+    fn router_count(&self) -> u64 {
         self.shape().bucket_brigade_router_count()
     }
 
-    /// Query parallelism: a bucket-brigade QRAM serves exactly one query at
-    /// a time (the root is the sole escape route, §3).
-    #[must_use]
-    pub fn query_parallelism(&self) -> u32 {
+    /// A bucket-brigade QRAM serves exactly one query at a time (the root
+    /// is the sole escape route, §3).
+    fn query_parallelism(&self) -> u32 {
         1
     }
 
     /// The layered instruction stream of one query (Alg. 2 + CG + Alg. 3).
-    #[must_use]
-    pub fn query_layers(&self) -> Vec<QueryLayer> {
+    fn query_layers(&self) -> Vec<QueryLayer> {
         bb_query_layers(self.address_width())
     }
 
     /// Integer circuit-layer count of a single query: `8n + 1`.
-    #[must_use]
-    pub fn single_query_layers_integer(&self) -> u64 {
+    fn single_query_layers_integer(&self) -> u64 {
         latency::bb_single_query_integer(self.capacity)
     }
 
     /// Weighted single-query latency (`8n + 0.125` with paper defaults).
-    #[must_use]
-    pub fn single_query_latency(&self, timing: &TimingModel) -> Layers {
+    fn single_query_latency(&self, timing: &TimingModel) -> Layers {
         latency::bb_single_query(self.capacity, timing)
     }
 
-    /// Weighted latency of `p` (necessarily sequential) queries.
-    #[must_use]
-    pub fn parallel_queries_latency(&self, p: u32, timing: &TimingModel) -> Layers {
-        latency::bb_parallel_queries(self.capacity, p, timing)
-    }
-
-    /// The stage finish times of Fig. 2(a).
-    #[must_use]
-    pub fn stage_finish_layers(&self) -> Vec<u32> {
-        bb_stage_finish_layers(self.address_width())
-    }
-
-    /// Executes one query functionally over an address superposition,
-    /// returning the entangled output state of Eq. (1).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the internally generated instruction stream
-    /// fails validation (a bug) — see [`ExecError`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `memory` or `address` widths disagree with the capacity.
-    pub fn execute_query(
-        &self,
-        memory: &ClassicalMemory,
-        address: &AddressState,
-    ) -> Result<QueryOutcome, ExecError> {
-        self.execute_query_traced(memory, address)
-            .map(|exec| exec.outcome)
-    }
-
-    /// Like [`Self::execute_query`] but also returns gate counts.
-    ///
-    /// # Errors
-    ///
-    /// See [`Self::execute_query`].
-    pub fn execute_query_traced(
-        &self,
-        memory: &ClassicalMemory,
-        address: &AddressState,
-    ) -> Result<Execution, ExecError> {
-        assert_eq!(
-            (memory.capacity() as u64),
-            self.capacity.get(),
-            "memory capacity must match QRAM capacity"
-        );
-        execute_layers(&self.query_layers(), memory, address)
+    /// Query `q` of a back-to-back batch spans layers
+    /// `[q(8n+1) + 1, (q+1)(8n+1)]` and retrieves at `q(8n+1) + 4n + 1`
+    /// (the CG stage of Fig. 2(a)).
+    fn retrieval_layer(&self, query_index: usize) -> u64 {
+        let n = u64::from(self.address_width());
+        query_index as u64 * (8 * n + 1) + 4 * n + 1
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qsim::branch::{AddressState, ClassicalMemory};
 
     fn qram8() -> BucketBrigadeQram {
         BucketBrigadeQram::new(Capacity::new(8).unwrap())
@@ -155,6 +115,7 @@ mod tests {
         assert_eq!(q.stage_finish_layers(), vec![4, 8, 12, 13, 17, 21, 25]);
         assert_eq!(q.router_count(), 7);
         assert_eq!(q.query_parallelism(), 1);
+        assert_eq!(q.name(), "Bucket-Brigade");
     }
 
     #[test]

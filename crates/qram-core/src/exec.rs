@@ -132,7 +132,10 @@ impl<'m> BranchMachine<'m> {
             }
             Op::Transport(i) => {
                 let idx = self.find_flyer(i - 1, true).ok_or_else(|| {
-                    self.err(layer, format!("TRANSPORT to level {i}: no qubit at level {} output", i - 1))
+                    self.err(
+                        layer,
+                        format!("TRANSPORT to level {i}: no qubit at level {} output", i - 1),
+                    )
                 })?;
                 if self.find_flyer(i, false).is_some() {
                     return Err(self.err(layer, format!("TRANSPORT to level {i}: input occupied")));
@@ -160,7 +163,10 @@ impl<'m> BranchMachine<'m> {
                 })?;
                 let tag = self.flyers[idx].tag;
                 if tag != QubitTag::Address(i) {
-                    return Err(self.err(layer, format!("STORE level {i}: qubit {tag} is not address {}", i + 1)));
+                    return Err(self.err(
+                        layer,
+                        format!("STORE level {i}: qubit {tag} is not address {}", i + 1),
+                    ));
                 }
                 if self.routers[i as usize].is_some() {
                     return Err(self.err(layer, format!("STORE level {i}: router already active")));
@@ -171,7 +177,8 @@ impl<'m> BranchMachine<'m> {
             }
             Op::ClassicalGates => {
                 let leaves = self.n - 1;
-                if self.find_flyer(leaves, true).map(|i| self.flyers[i].tag) != Some(QubitTag::Bus) {
+                if self.find_flyer(leaves, true).map(|i| self.flyers[i].tag) != Some(QubitTag::Bus)
+                {
                     return Err(self.err(layer, "CLASSICAL-GATES: bus has not reached the leaves"));
                 }
                 if self.routers.iter().any(Option::is_none) {
@@ -192,10 +199,19 @@ impl<'m> BranchMachine<'m> {
             }
             Op::Untransport(i) => {
                 let idx = self.find_flyer(i, false).ok_or_else(|| {
-                    self.err(layer, format!("UNTRANSPORT from level {i}: no qubit at input"))
+                    self.err(
+                        layer,
+                        format!("UNTRANSPORT from level {i}: no qubit at input"),
+                    )
                 })?;
                 if self.find_flyer(i - 1, true).is_some() {
-                    return Err(self.err(layer, format!("UNTRANSPORT from level {i}: level {} output occupied", i - 1)));
+                    return Err(self.err(
+                        layer,
+                        format!(
+                            "UNTRANSPORT from level {i}: level {} output occupied",
+                            i - 1
+                        ),
+                    ));
                 }
                 self.flyers[idx] = Flyer {
                     tag: self.flyers[idx].tag,
@@ -205,9 +221,8 @@ impl<'m> BranchMachine<'m> {
                 self.counts.record(GateClass::InterNodeSwap, 1);
             }
             Op::Unstore(i) => {
-                let stored = self.routers[i as usize].ok_or_else(|| {
-                    self.err(layer, format!("UNSTORE level {i}: router is |W>"))
-                })?;
+                let stored = self.routers[i as usize]
+                    .ok_or_else(|| self.err(layer, format!("UNSTORE level {i}: router is |W>")))?;
                 if stored != self.address_bit(i) {
                     return Err(self.err(layer, format!("UNSTORE level {i}: router bit corrupted")));
                 }
@@ -240,8 +255,8 @@ impl<'m> BranchMachine<'m> {
                 // A local swap moves the query's stored router qubits and
                 // in-flight qubits between adjacent sub-QRAM copies: one
                 // intra-node SWAP per qubit involved.
-                let involved = self.routers.iter().filter(|r| r.is_some()).count()
-                    + self.flyers.len();
+                let involved =
+                    self.routers.iter().filter(|r| r.is_some()).count() + self.flyers.len();
                 self.counts.record(GateClass::LocalSwap, involved as u64);
             }
         }
@@ -459,11 +474,7 @@ mod tests {
             let mem = ClassicalMemory::from_words(1, &cells).unwrap();
             let addr = AddressState::classical(n, 0).unwrap();
             let exec = execute_layers(&bb_query_layers(n), &mem, &addr).unwrap();
-            assert_eq!(
-                exec.gate_counts.cswap,
-                u64::from(n * n + n),
-                "n={n}"
-            );
+            assert_eq!(exec.gate_counts.cswap, u64::from(n * n + n), "n={n}");
             assert_eq!(exec.gate_counts.classical, 1);
             assert_eq!(exec.gate_counts.local_swap, 0, "BB has no local swaps");
         }
@@ -517,8 +528,7 @@ mod tests {
         let mem = memory8();
         let addr = AddressState::full_superposition(3);
         let layers = fat_tree_query_layers(3);
-        let survival =
-            execute_layers_noisy(&layers, &mem, &addr, |_| false).unwrap();
+        let survival = execute_layers_noisy(&layers, &mem, &addr, |_| false).unwrap();
         assert!((survival - 1.0).abs() < 1e-12);
     }
 

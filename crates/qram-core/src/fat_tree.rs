@@ -3,8 +3,9 @@
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
-use crate::exec::{execute_layers, ExecError, Execution};
+use crate::exec::ExecError;
 use crate::latency;
+use crate::model::{execute_batch, QramModel};
 use crate::pipeline::PipelineSchedule;
 use crate::query_ops::{fat_tree_query_layers, QueryLayer};
 use crate::tree::TreeShape;
@@ -13,10 +14,13 @@ use crate::tree::TreeShape;
 /// multiplex `n − i` quantum routers, pipelining up to `log₂ N` independent
 /// queries with a new query admitted every 10 circuit layers (§4.3).
 ///
+/// The query-serving surface lives on the [`QramModel`] trait, shared with
+/// [`BucketBrigadeQram`](crate::BucketBrigadeQram).
+///
 /// # Examples
 ///
 /// ```
-/// use qram_core::FatTreeQram;
+/// use qram_core::{FatTreeQram, QramModel};
 /// use qram_metrics::Capacity;
 ///
 /// let qram = FatTreeQram::new(Capacity::new(1024)?);
@@ -37,53 +41,10 @@ impl FatTreeQram {
         FatTreeQram { capacity }
     }
 
-    /// The memory capacity `N`.
-    #[must_use]
-    pub fn capacity(&self) -> Capacity {
-        self.capacity
-    }
-
-    /// The address width / tree depth `n`.
-    #[must_use]
-    pub fn address_width(&self) -> u32 {
-        self.capacity.address_width()
-    }
-
     /// The static tree geometry (router multiplexing, wires, sub-QRAMs).
     #[must_use]
     pub fn shape(&self) -> TreeShape {
         TreeShape::new(self.capacity)
-    }
-
-    /// Number of quantum routers: `2N − 2 − n`, about double a BB QRAM.
-    #[must_use]
-    pub fn router_count(&self) -> u64 {
-        self.shape().fat_tree_router_count()
-    }
-
-    /// Query parallelism: `log₂ N` pipelined queries (Fig. 1(b)).
-    #[must_use]
-    pub fn query_parallelism(&self) -> u32 {
-        self.address_width()
-    }
-
-    /// The layered instruction stream of one query, including the local
-    /// swap steps (Fig. 12).
-    #[must_use]
-    pub fn query_layers(&self) -> Vec<QueryLayer> {
-        fat_tree_query_layers(self.address_width())
-    }
-
-    /// Integer circuit-layer count of a single query: `10n − 1`.
-    #[must_use]
-    pub fn single_query_layers_integer(&self) -> u64 {
-        latency::fat_tree_single_query_integer(self.capacity)
-    }
-
-    /// Weighted single-query latency (`8.25n − 0.125` with paper defaults).
-    #[must_use]
-    pub fn single_query_latency(&self, timing: &TimingModel) -> Layers {
-        latency::fat_tree_single_query(self.capacity, timing)
     }
 
     /// Weighted pipeline interval — the amortized per-query latency at full
@@ -93,13 +54,6 @@ impl FatTreeQram {
         latency::fat_tree_pipeline_interval(timing)
     }
 
-    /// Weighted latency of `p` pipelined queries
-    /// (`16.5n − 8.375` at `p = n`, Table 1).
-    #[must_use]
-    pub fn parallel_queries_latency(&self, p: u32, timing: &TimingModel) -> Layers {
-        latency::fat_tree_parallel_queries(self.capacity, p, timing)
-    }
-
     /// Builds the pipelined schedule for `num_queries` back-to-back queries
     /// (Fig. 6): start layers, retrieval layers, sub-QRAM trajectories, and
     /// conflict validation.
@@ -107,96 +61,72 @@ impl FatTreeQram {
     pub fn pipeline(&self, num_queries: usize) -> PipelineSchedule {
         PipelineSchedule::new(self.capacity, num_queries)
     }
+}
 
-    /// Executes one query functionally (Eq. 1).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the generated instruction stream fails
-    /// validation — see [`ExecError`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `memory` does not match the QRAM capacity.
-    pub fn execute_query(
-        &self,
-        memory: &ClassicalMemory,
-        address: &AddressState,
-    ) -> Result<QueryOutcome, ExecError> {
-        self.execute_query_traced(memory, address)
-            .map(|exec| exec.outcome)
+impl QramModel for FatTreeQram {
+    fn name(&self) -> &'static str {
+        "Fat-Tree"
     }
 
-    /// Like [`Self::execute_query`] but also returns gate counts.
-    ///
-    /// # Errors
-    ///
-    /// See [`Self::execute_query`].
-    pub fn execute_query_traced(
-        &self,
-        memory: &ClassicalMemory,
-        address: &AddressState,
-    ) -> Result<Execution, ExecError> {
-        assert_eq!(
-            memory.capacity() as u64,
-            self.capacity.get(),
-            "memory capacity must match QRAM capacity"
-        );
-        execute_layers(&self.query_layers(), memory, address)
+    fn capacity(&self) -> Capacity {
+        self.capacity
     }
 
-    /// Executes a batch of pipelined queries against a shared memory,
-    /// validating that the pipeline schedule is conflict-free, and returns
-    /// one outcome per query.
-    ///
-    /// Memory snapshots are taken at each query's *data-retrieval layer*;
-    /// `memory_updates` maps a global circuit layer to cell writes applied
-    /// at that layer (modelling the classical memory swap of §7.2). Updates
-    /// must respect the classical-swap time budget: a query sees exactly
-    /// the memory contents current at its retrieval layer.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if any query's instruction stream fails validation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the memory capacity mismatches or more queries than
-    /// addresses are supplied.
-    pub fn execute_queries(
+    /// Number of quantum routers: `2N − 2 − n`, about double a BB QRAM.
+    fn router_count(&self) -> u64 {
+        self.shape().fat_tree_router_count()
+    }
+
+    /// Query parallelism: `log₂ N` pipelined queries (Fig. 1(b)).
+    fn query_parallelism(&self) -> u32 {
+        self.address_width()
+    }
+
+    /// The layered instruction stream of one query, including the local
+    /// swap steps (Fig. 12).
+    fn query_layers(&self) -> Vec<QueryLayer> {
+        fat_tree_query_layers(self.address_width())
+    }
+
+    /// Integer circuit-layer count of a single query: `10n − 1`.
+    fn single_query_layers_integer(&self) -> u64 {
+        latency::fat_tree_single_query_integer(self.capacity)
+    }
+
+    /// Weighted single-query latency (`8.25n − 0.125` with paper defaults).
+    fn single_query_latency(&self, timing: &TimingModel) -> Layers {
+        latency::fat_tree_single_query(self.capacity, timing)
+    }
+
+    /// The pipeline admits a new query every 10 integer layers — `8.25`
+    /// weighted layers with paper defaults (§4.3.1), independent of `N`.
+    fn admission_interval(&self, timing: &TimingModel) -> Layers {
+        latency::fat_tree_pipeline_interval(timing)
+    }
+
+    /// Query `q` retrieves at global layer `10q + 5n` (Fig. 6).
+    fn retrieval_layer(&self, query_index: usize) -> u64 {
+        self.pipeline(query_index + 1)
+            .timing(query_index)
+            .retrieval_layer
+    }
+
+    /// Batched execution additionally validates that the pipelined
+    /// schedule is conflict-free before running the shared snapshotting
+    /// engine — memory updates must respect the classical-swap time budget
+    /// of §7.2.
+    fn execute_queries(
         &self,
         memory: &ClassicalMemory,
         addresses: &[AddressState],
-        memory_updates: &[(u64, u64, u64)], // (layer, address, value)
+        memory_updates: &[(u64, u64, u64)],
     ) -> Result<Vec<QueryOutcome>, ExecError> {
-        let schedule = self.pipeline(addresses.len());
-        schedule
-            .validate_no_conflicts()
-            .expect("generated pipeline must be conflict-free");
-        let mut mem = memory.clone();
-        let mut updates: Vec<&(u64, u64, u64)> = memory_updates.iter().collect();
-        updates.sort_by_key(|&&(layer, _, _)| layer);
-        let mut next_update = 0usize;
-        let mut outcomes = Vec::with_capacity(addresses.len());
-        // Process queries in retrieval order, applying memory writes that
-        // land before each retrieval layer.
-        let mut order: Vec<usize> = (0..addresses.len()).collect();
-        order.sort_by_key(|&q| schedule.timing(q).retrieval_layer);
-        let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
-        for q in order {
-            let retrieval = schedule.timing(q).retrieval_layer;
-            while next_update < updates.len() && updates[next_update].0 <= retrieval {
-                let &(_, addr, value) = updates[next_update];
-                mem.write(addr, value);
-                next_update += 1;
-            }
-            let exec = execute_layers(&self.query_layers(), &mem, &addresses[q])?;
-            results[q] = Some(exec.outcome);
+        if !addresses.is_empty() {
+            self.pipeline(addresses.len())
+                .validate_no_conflicts()
+                .expect("generated pipeline must be conflict-free");
         }
-        for r in results {
-            outcomes.push(r.expect("every query executed"));
-        }
-        Ok(outcomes)
+        execute_batch(self, memory, addresses, memory_updates)
     }
 }
 
@@ -214,6 +144,7 @@ mod tests {
         assert_eq!(q.single_query_layers_integer(), 29);
         assert_eq!(q.query_parallelism(), 3);
         assert_eq!(q.router_count(), 2 * 8 - 2 - 3);
+        assert_eq!(q.name(), "Fat-Tree");
     }
 
     #[test]
@@ -251,9 +182,7 @@ mod tests {
             .collect();
         // Retrieval layers for n=3: 15, 25, 35. Write cell 2 := 1 at layer 20:
         // queries 2 and 3 see the new value, query 1 the old.
-        let outs = q
-            .execute_queries(&mem, &addresses, &[(20, 2, 1)])
-            .unwrap();
+        let outs = q.execute_queries(&mem, &addresses, &[(20, 2, 1)]).unwrap();
         assert_eq!(outs[0].data_for(2), Some(0));
         assert_eq!(outs[1].data_for(2), Some(1));
         assert_eq!(outs[2].data_for(2), Some(1));
@@ -269,6 +198,15 @@ mod tests {
         let outs = q.execute_queries(&mem, &addresses, &[]).unwrap();
         for (i, out) in outs.iter().enumerate() {
             assert_eq!(out.data_for(i as u64), Some(mem.read(i as u64)));
+        }
+    }
+
+    #[test]
+    fn retrieval_layers_match_pipeline_schedule() {
+        let q = qram8();
+        let schedule = q.pipeline(5);
+        for i in 0..5 {
+            assert_eq!(q.retrieval_layer(i), schedule.timing(i).retrieval_layer);
         }
     }
 }

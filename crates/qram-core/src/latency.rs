@@ -69,8 +69,7 @@ pub fn fat_tree_pipeline_interval(timing: &TimingModel) -> Layers {
 #[must_use]
 pub fn fat_tree_parallel_queries(capacity: Capacity, p: u32, timing: &TimingModel) -> Layers {
     assert!(p >= 1, "at least one query");
-    fat_tree_pipeline_interval(timing) * f64::from(p - 1)
-        + fat_tree_single_query(capacity, timing)
+    fat_tree_pipeline_interval(timing) * f64::from(p - 1) + fat_tree_single_query(capacity, timing)
 }
 
 /// Integer-layer latency for `p` pipelined Fat-Tree queries:
@@ -189,8 +188,7 @@ mod tests {
         // Single-query latency overhead vs BB is 29:25-like, bounded.
         for n_exp in 1..=16u32 {
             let c = Capacity::from_address_width(n_exp);
-            let ratio = fat_tree_single_query(c, &paper())
-                / bb_single_query(c, &paper());
+            let ratio = fat_tree_single_query(c, &paper()) / bb_single_query(c, &paper());
             assert!(ratio < 1.04, "n={n_exp}: ratio {ratio}");
         }
     }

@@ -13,13 +13,15 @@
 //! * [`pipeline`] — query-level pipelining with conflict-freedom proofs
 //!   and diagram rendering.
 //! * [`latency`] — the closed-form latencies of Table 1.
+//! * [`model`] — the [`QramModel`] backend trait unifying all
+//!   architectures behind one lookup interface.
 //! * [`BucketBrigadeQram`] / [`FatTreeQram`] — the two architectures as
 //!   ready-to-use types.
 //!
 //! # Examples
 //!
 //! ```
-//! use qram_core::{BucketBrigadeQram, FatTreeQram};
+//! use qram_core::{BucketBrigadeQram, FatTreeQram, QramModel};
 //! use qram_metrics::{Capacity, TimingModel};
 //!
 //! let capacity = Capacity::new(1024)?;
@@ -40,6 +42,7 @@
 
 pub mod exec;
 pub mod latency;
+pub mod model;
 pub mod ops;
 pub mod pipeline;
 pub mod query_ops;
@@ -51,6 +54,7 @@ mod fat_tree;
 pub use bucket_brigade::BucketBrigadeQram;
 pub use exec::{ExecError, Execution, GateCounts};
 pub use fat_tree::FatTreeQram;
+pub use model::{execute_batch, QramModel};
 pub use ops::{GateClass, Op, QubitTag};
 pub use pipeline::{ConflictError, PipelineSchedule, QueryTiming};
 pub use tree::{NodeId, RouterId, TreeShape};

@@ -1,0 +1,329 @@
+//! The [`QramModel`] backend trait: one lookup interface over many QRAM
+//! engines.
+//!
+//! Every QRAM architecture in this workspace — today [`BucketBrigadeQram`]
+//! and [`FatTreeQram`], tomorrow sharded or distributed backends — exposes
+//! the same surface: static geometry (capacity, routers, parallelism),
+//! closed-form latencies, the exact layered instruction stream of one
+//! query, and functional execution of single and batched queries. Callers
+//! in `qram-sched`, `qram-noise`, and `qram-algos` are generic over this
+//! trait, so adding an architecture never touches a call site.
+//!
+//! [`BucketBrigadeQram`]: crate::BucketBrigadeQram
+//! [`FatTreeQram`]: crate::FatTreeQram
+//!
+//! # Examples
+//!
+//! ```
+//! use qram_core::{BucketBrigadeQram, FatTreeQram, QramModel};
+//! use qram_metrics::{Capacity, TimingModel};
+//!
+//! fn throughput_win(model: &impl QramModel, timing: &TimingModel) -> f64 {
+//!     let p = model.query_parallelism();
+//!     let serial = model.single_query_latency(timing) * f64::from(p);
+//!     serial / model.parallel_queries_latency(p, timing)
+//! }
+//!
+//! let capacity = Capacity::new(1024)?;
+//! let timing = TimingModel::paper_default();
+//! // BB serves queries one at a time: no win. Fat-Tree pipelines log N.
+//! assert!((throughput_win(&BucketBrigadeQram::new(capacity), &timing) - 1.0).abs() < 1e-9);
+//! assert!(throughput_win(&FatTreeQram::new(capacity), &timing) > 5.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use qram_metrics::{Capacity, Layers, TimingModel};
+use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
+
+use crate::exec::{execute_layers, ExecError, Execution};
+use crate::query_ops::QueryLayer;
+
+/// A QRAM architecture viewed as a query-serving backend.
+///
+/// Required methods describe the architecture (geometry, instruction
+/// stream, closed-form latencies); provided methods derive the rest —
+/// admission interval, batched latency, and functional execution via the
+/// instruction-level executor. Implementations override a provided method
+/// only when the architecture has a stronger guarantee (e.g. the Fat-Tree
+/// pipeline interval, or conflict-validated batched execution).
+pub trait QramModel {
+    /// The architecture's display name (as used in the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// The memory capacity `N`.
+    fn capacity(&self) -> Capacity;
+
+    /// The address width / tree depth `n = log₂ N`.
+    fn address_width(&self) -> u32 {
+        self.capacity().address_width()
+    }
+
+    /// Number of quantum routers in the architecture.
+    fn router_count(&self) -> u64;
+
+    /// Maximum number of queries concurrently in flight.
+    fn query_parallelism(&self) -> u32;
+
+    /// The layered instruction stream of one query.
+    fn query_layers(&self) -> Vec<QueryLayer>;
+
+    /// Integer circuit-layer count of a single query.
+    fn single_query_layers_integer(&self) -> u64;
+
+    /// Weighted single-query latency under a timing model.
+    fn single_query_latency(&self, timing: &TimingModel) -> Layers;
+
+    /// Minimum weighted spacing between consecutive query admissions.
+    ///
+    /// Defaults to `latency / parallelism` — exact for sequential machines
+    /// (`parallelism = 1`) and for round-robin banks; pipelined
+    /// architectures override it with their pipeline interval.
+    fn admission_interval(&self, timing: &TimingModel) -> Layers {
+        self.single_query_latency(timing) / f64::from(self.query_parallelism())
+    }
+
+    /// Weighted latency of `p` concurrent queries: the last query is
+    /// admitted `(p − 1)` intervals in and then runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    fn parallel_queries_latency(&self, p: u32, timing: &TimingModel) -> Layers {
+        assert!(p >= 1, "at least one query");
+        self.admission_interval(timing) * f64::from(p - 1) + self.single_query_latency(timing)
+    }
+
+    /// The global circuit layer at which query `query_index` (0-based, in
+    /// a back-to-back batch) performs data retrieval — the instant at which
+    /// it observes the classical memory.
+    fn retrieval_layer(&self, query_index: usize) -> u64;
+
+    /// Executes one query functionally over an address superposition,
+    /// returning the entangled output state of Eq. (1) of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the internally generated instruction stream
+    /// fails validation (a bug) — see [`ExecError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory` does not match the QRAM capacity.
+    fn execute_query(
+        &self,
+        memory: &ClassicalMemory,
+        address: &AddressState,
+    ) -> Result<QueryOutcome, ExecError> {
+        self.execute_query_traced(memory, address)
+            .map(|exec| exec.outcome)
+    }
+
+    /// Like [`Self::execute_query`] but also returns per-class gate counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::execute_query`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory` does not match the QRAM capacity.
+    fn execute_query_traced(
+        &self,
+        memory: &ClassicalMemory,
+        address: &AddressState,
+    ) -> Result<Execution, ExecError> {
+        assert_eq!(
+            memory.capacity() as u64,
+            self.capacity().get(),
+            "memory capacity must match QRAM capacity"
+        );
+        execute_layers(&self.query_layers(), memory, address)
+    }
+
+    /// Executes a batch of back-to-back queries against a shared memory,
+    /// returning one outcome per query.
+    ///
+    /// Memory snapshots are taken at each query's *data-retrieval layer*
+    /// ([`Self::retrieval_layer`]); `memory_updates` maps a global circuit
+    /// layer to cell writes applied at that layer (modelling the classical
+    /// memory swap of §7.2 of the paper). A query sees exactly the memory
+    /// contents current at its retrieval layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query's instruction stream fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory capacity mismatches the QRAM capacity.
+    fn execute_queries(
+        &self,
+        memory: &ClassicalMemory,
+        addresses: &[AddressState],
+        memory_updates: &[(u64, u64, u64)], // (layer, address, value)
+    ) -> Result<Vec<QueryOutcome>, ExecError> {
+        execute_batch(self, memory, addresses, memory_updates)
+    }
+}
+
+/// Shared batched-execution engine behind
+/// [`QramModel::execute_queries`]: processes queries in retrieval order,
+/// applying each memory write at its layer, so every query observes the
+/// memory contents current at its own retrieval layer.
+///
+/// # Errors
+///
+/// Returns an error if any query's instruction stream fails validation.
+///
+/// # Panics
+///
+/// Panics if the memory capacity mismatches the QRAM capacity.
+pub fn execute_batch<M: QramModel + ?Sized>(
+    model: &M,
+    memory: &ClassicalMemory,
+    addresses: &[AddressState],
+    memory_updates: &[(u64, u64, u64)],
+) -> Result<Vec<QueryOutcome>, ExecError> {
+    assert_eq!(
+        memory.capacity() as u64,
+        model.capacity().get(),
+        "memory capacity must match QRAM capacity"
+    );
+    if addresses.is_empty() {
+        return Ok(Vec::new());
+    }
+    let layers = model.query_layers();
+    let mut mem = memory.clone();
+    let mut updates: Vec<&(u64, u64, u64)> = memory_updates.iter().collect();
+    updates.sort_by_key(|&&(layer, _, _)| layer);
+    let mut next_update = 0usize;
+    // Process queries in retrieval order, applying memory writes that land
+    // before each retrieval layer.
+    let mut order: Vec<usize> = (0..addresses.len()).collect();
+    order.sort_by_key(|&q| model.retrieval_layer(q));
+    let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
+    for q in order {
+        let retrieval = model.retrieval_layer(q);
+        while next_update < updates.len() && updates[next_update].0 <= retrieval {
+            let &(_, addr, value) = updates[next_update];
+            mem.write(addr, value);
+            next_update += 1;
+        }
+        let exec = execute_layers(&layers, &mem, &addresses[q])?;
+        results[q] = Some(exec.outcome);
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every query executed"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BucketBrigadeQram, FatTreeQram};
+
+    fn models(n: u64) -> (BucketBrigadeQram, FatTreeQram) {
+        let capacity = Capacity::new(n).unwrap();
+        (BucketBrigadeQram::new(capacity), FatTreeQram::new(capacity))
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let (bb, ft) = models(8);
+        let backends: Vec<&dyn QramModel> = vec![&bb, &ft];
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 1, 0, 0, 1, 0, 1]).unwrap();
+        let addr = AddressState::uniform(3, &[0, 5]).unwrap();
+        for backend in backends {
+            let out = backend.execute_query(&mem, &addr).unwrap();
+            assert_eq!(out.data_for(0), Some(1));
+            assert_eq!(out.data_for(5), Some(1));
+        }
+    }
+
+    #[test]
+    fn default_parallel_latency_matches_closed_forms() {
+        let timing = TimingModel::paper_default();
+        let (bb, ft) = models(1024);
+        // BB: p sequential queries.
+        let p = 10u32;
+        let bb_expect = crate::latency::bb_parallel_queries(bb.capacity(), p, &timing);
+        assert!((bb.parallel_queries_latency(p, &timing).get() - bb_expect.get()).abs() < 1e-9);
+        // Fat-Tree: pipelined admission, Table 1's 16.5n − 8.375.
+        let ft_expect = crate::latency::fat_tree_parallel_queries(ft.capacity(), p, &timing);
+        assert!((ft.parallel_queries_latency(p, &timing).get() - ft_expect.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admission_intervals() {
+        let timing = TimingModel::paper_default();
+        let (bb, ft) = models(1024);
+        // Sequential machine: interval == latency.
+        assert_eq!(
+            bb.admission_interval(&timing),
+            bb.single_query_latency(&timing)
+        );
+        // Pipelined machine: the paper's 8.25-layer interval.
+        assert_eq!(ft.admission_interval(&timing).get(), 8.25);
+    }
+
+    #[test]
+    fn retrieval_layers_are_increasing_on_both_backends() {
+        let (bb, ft) = models(8);
+        for model in [&bb as &dyn QramModel, &ft as &dyn QramModel] {
+            let mut prev = 0;
+            for q in 0..5 {
+                let r = model.retrieval_layer(q);
+                assert!(r > prev, "{}: retrieval {r} at query {q}", model.name());
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn batched_execution_agrees_across_backends() {
+        let (bb, ft) = models(8);
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 0, 1, 0, 1, 1, 0]).unwrap();
+        let addresses: Vec<AddressState> = (0..4u64)
+            .map(|i| AddressState::classical(3, i * 2).unwrap())
+            .collect();
+        let bb_out = bb.execute_queries(&mem, &addresses, &[]).unwrap();
+        let ft_out = ft.execute_queries(&mem, &addresses, &[]).unwrap();
+        assert_eq!(bb_out.len(), ft_out.len());
+        for (b, f) in bb_out.iter().zip(&ft_out) {
+            assert!((b.fidelity(f) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_no_outcomes() {
+        let (bb, ft) = models(4);
+        let mem = ClassicalMemory::zeros(4);
+        assert!(bb.execute_queries(&mem, &[], &[]).unwrap().is_empty());
+        assert!(ft.execute_queries(&mem, &[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn memory_updates_respect_retrieval_order_on_bb() {
+        // BB queries serialize: retrievals at 4n+1, then (8n+1)+4n+1, …
+        let (bb, _) = models(8);
+        assert_eq!(bb.retrieval_layer(0), 13);
+        assert_eq!(bb.retrieval_layer(1), 25 + 13);
+        let mem = ClassicalMemory::zeros(8);
+        let addresses: Vec<AddressState> = (0..2)
+            .map(|_| AddressState::classical(3, 4).unwrap())
+            .collect();
+        // Write lands between the two retrievals.
+        let outs = bb.execute_queries(&mem, &addresses, &[(20, 4, 1)]).unwrap();
+        assert_eq!(outs[0].data_for(4), Some(0));
+        assert_eq!(outs[1].data_for(4), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn batch_rejects_mismatched_memory() {
+        let (_, ft) = models(8);
+        let mem = ClassicalMemory::zeros(4);
+        let _ = ft.execute_queries(&mem, &[], &[]);
+    }
+}

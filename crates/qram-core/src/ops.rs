@@ -138,7 +138,10 @@ mod tests {
     fn gate_classes() {
         assert_eq!(Op::Route(0).gate_class(), GateClass::Cswap);
         assert_eq!(Op::Unroute(2).gate_class(), GateClass::Cswap);
-        assert_eq!(Op::Load(QubitTag::Bus).gate_class(), GateClass::InterNodeSwap);
+        assert_eq!(
+            Op::Load(QubitTag::Bus).gate_class(),
+            GateClass::InterNodeSwap
+        );
         assert_eq!(Op::Store(1).gate_class(), GateClass::InterNodeSwap);
         assert_eq!(Op::SwapStepI.gate_class(), GateClass::LocalSwap);
         assert_eq!(Op::ClassicalGates.gate_class(), GateClass::Classical);

@@ -210,8 +210,8 @@ impl PipelineSchedule {
     #[must_use]
     pub fn utilization_trace(&self, timing: &TimingModel) -> UtilizationTrace {
         let slots = self.capacity.address_width();
-        let gate_step_duration = Layers::new(4.0)
-            + Layers::new(timing.layer_weight(qram_metrics::LayerKind::IntraNode));
+        let gate_step_duration =
+            Layers::new(4.0) + Layers::new(timing.layer_weight(qram_metrics::LayerKind::IntraNode));
         let mut trace = UtilizationTrace::new();
         for t in 1..=self.total_gate_steps() {
             let busy = u32::try_from(self.occupancy_at(t).len()).expect("fits");
@@ -420,8 +420,7 @@ mod tests {
         let avg = trace.average().get();
         assert!(avg > 0.8, "average utilization {avg} too low");
         // Some gate step must use all 8 slots.
-        let full = (1..=s.total_gate_steps())
-            .any(|t| s.occupancy_at(t).len() == 8);
+        let full = (1..=s.total_gate_steps()).any(|t| s.occupancy_at(t).len() == 8);
         assert!(full, "pipeline never saturated");
     }
 

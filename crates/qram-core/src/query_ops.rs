@@ -225,7 +225,11 @@ pub fn bb_stage_finish_layers(n: u32) -> Vec<u32> {
 /// Panics if `g` is outside `1..=2n`.
 #[must_use]
 pub fn fat_tree_gate_step_position(n: u32, g: u32) -> u32 {
-    assert!((1..=2 * n).contains(&g), "gate step {g} outside 1..={}", 2 * n);
+    assert!(
+        (1..=2 * n).contains(&g),
+        "gate step {g} outside 1..={}",
+        2 * n
+    );
     if g <= n {
         g - 1
     } else {
@@ -246,10 +250,7 @@ mod tests {
 
     #[test]
     fn bb_n3_matches_figure_2a_stages() {
-        assert_eq!(
-            bb_stage_finish_layers(3),
-            vec![4, 8, 12, 13, 17, 21, 25]
-        );
+        assert_eq!(bb_stage_finish_layers(3), vec![4, 8, 12, 13, 17, 21, 25]);
         assert_eq!(bb_query_layers(3).len(), 25);
     }
 
@@ -266,19 +267,19 @@ mod tests {
         use QubitTag::*;
         let layers = bb_query_layers(3);
         let expect: Vec<Vec<Op>> = vec![
-            vec![Load(Address(0))],                       // L1
-            vec![Store(0)],                               // S1
-            vec![Load(Address(1))],                       // L2
-            vec![Route(0)],                               // R1 (a2)
-            vec![Transport(1), Load(Address(2))],         // T2, L3
-            vec![Route(0), Store(1)],                     // R1 (a3), S2
-            vec![Transport(1), Load(Bus)],                // T2, LB
-            vec![Route(0), Route(1)],                     // bus & a3 route
-            vec![Transport(1), Transport(2)],             //
-            vec![Route(1), Store(2)],                     //
-            vec![Transport(2)],                           //
-            vec![Route(2)],                               // bus reaches leaves
-            vec![ClassicalGates],                         // layer 13
+            vec![Load(Address(0))],               // L1
+            vec![Store(0)],                       // S1
+            vec![Load(Address(1))],               // L2
+            vec![Route(0)],                       // R1 (a2)
+            vec![Transport(1), Load(Address(2))], // T2, L3
+            vec![Route(0), Store(1)],             // R1 (a3), S2
+            vec![Transport(1), Load(Bus)],        // T2, LB
+            vec![Route(0), Route(1)],             // bus & a3 route
+            vec![Transport(1), Transport(2)],     //
+            vec![Route(1), Store(2)],             //
+            vec![Transport(2)],                   //
+            vec![Route(2)],                       // bus reaches leaves
+            vec![ClassicalGates],                 // layer 13
         ];
         for (i, want) in expect.iter().enumerate() {
             assert_eq!(&layers[i].ops, want, "layer {}", i + 1);
@@ -382,7 +383,11 @@ mod tests {
             // It is the n-th swap layer: 0-based layer index 4n + (n−1).
             assert_eq!(idx, 4 * n as usize + n as usize - 1);
             // Retrieval type matches parity (Alg. 1): SWAP-I iff n odd.
-            let expected = if n % 2 == 1 { Op::SwapStepI } else { Op::SwapStepII };
+            let expected = if n % 2 == 1 {
+                Op::SwapStepI
+            } else {
+                Op::SwapStepII
+            };
             assert!(layers[idx].ops.contains(&expected), "n={n}");
         }
     }

@@ -106,7 +106,11 @@ impl RouterId {
 
 impl fmt::Display for RouterId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {})", self.node.level, self.node.index, self.copy)
+        write!(
+            f,
+            "({}, {}, {})",
+            self.node.level, self.node.index, self.copy
+        )
     }
 }
 
@@ -196,9 +200,8 @@ impl TreeShape {
     /// Iterates over all Fat-Tree routers `(i, j, k)`.
     pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
         let depth = self.depth();
-        self.nodes().flat_map(move |node| {
-            (0..(depth - node.level)).map(move |k| RouterId::new(node, k))
-        })
+        self.nodes()
+            .flat_map(move |node| (0..(depth - node.level)).map(move |k| RouterId::new(node, k)))
     }
 
     /// The routers making up sub-component QRAM `q` (Fig. 5): one per node
@@ -289,7 +292,7 @@ mod tests {
     #[test]
     fn subqram_structure() {
         let shape = TreeShape::new(cap(8)); // n = 3
-        // Sub-QRAM 0: just the root's copy 0.
+                                            // Sub-QRAM 0: just the root's copy 0.
         let q0: Vec<RouterId> = shape.subqram_routers(0).collect();
         assert_eq!(q0, vec![RouterId::new(NodeId::ROOT, 0)]);
         // Sub-QRAM 2 (full size): one router per node, copy = 2 − level.

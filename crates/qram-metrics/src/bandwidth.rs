@@ -196,6 +196,8 @@ mod tests {
         assert_eq!(Bandwidth::new(1.2121e5).to_string(), "1.2121e5 qubits/s");
         assert!(QueryRate::new(10.0).to_string().contains("queries/s"));
         assert!(MemoryAccessRate::new(10.0).to_string().contains("cells/s"));
-        assert!(SpaceTimeVolume::new(10.0).to_string().contains("qubit-layers"));
+        assert!(SpaceTimeVolume::new(10.0)
+            .to_string()
+            .contains("qubit-layers"));
     }
 }

@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn saturating_sub_clamps() {
-        assert_eq!(Layers::new(1.0).saturating_sub(Layers::new(3.0)), Layers::ZERO);
+        assert_eq!(
+            Layers::new(1.0).saturating_sub(Layers::new(3.0)),
+            Layers::ZERO
+        );
     }
 
     #[test]

@@ -112,11 +112,7 @@ impl UtilizationTrace {
         if total == 0.0 {
             return Utilization::IDLE;
         }
-        let weighted: f64 = self
-            .segments
-            .iter()
-            .map(|(d, u)| d.get() * u.get())
-            .sum();
+        let weighted: f64 = self.segments.iter().map(|(d, u)| d.get() * u.get()).sum();
         Utilization::new(weighted / total)
     }
 

@@ -7,9 +7,44 @@
 //! infidelity linear in its space-time volume — exponentially worse in the
 //! tree depth.
 
+use qram_core::{GateClass, QramModel};
 use qram_metrics::Capacity;
 
 use crate::rates::GateErrorRates;
+
+/// Analytic query-infidelity upper bound `2·log²(N)·Σεᵢ` for a
+/// [`QramModel`] backend, summing only the error rates of gate classes the
+/// backend actually schedules (presence is derived from its instruction
+/// stream, so no per-architecture dispatch is needed). Reproduces
+/// [`fat_tree_query_infidelity`] and [`bb_query_infidelity`] for the two
+/// built-in architectures.
+///
+/// The `2·log²(N)` prefactor is the paper's active-branch gate-count bound
+/// for bucket-brigade-style tree traversals (§8.1) and is *assumed*, not
+/// derived: a future backend whose per-query stream executes asymptotically
+/// more than `O(log² N)` gates per class on the active branch (e.g. a
+/// paging/virtual scheme) needs its own bound.
+#[must_use]
+pub fn query_infidelity_bound<M: QramModel + ?Sized>(model: &M, rates: &GateErrorRates) -> f64 {
+    let layers = model.query_layers();
+    let uses = |class: GateClass| {
+        layers
+            .iter()
+            .any(|layer| layer.ops.iter().any(|op| op.gate_class() == class))
+    };
+    let mut sum = 0.0;
+    if uses(GateClass::Cswap) {
+        sum += rates.e0;
+    }
+    if uses(GateClass::InterNodeSwap) {
+        sum += rates.e1;
+    }
+    if uses(GateClass::LocalSwap) {
+        sum += rates.e2;
+    }
+    let n = model.capacity().n_f64();
+    (2.0 * n * n * sum).min(1.0)
+}
 
 /// Lower bound on Fat-Tree query fidelity:
 /// `F ≥ 1 − 2·log²(N)·(ε₀ + ε₁ + ε₂)` (§8.1).
@@ -112,6 +147,22 @@ mod tests {
             assert!(advantage > 1.0, "N={n}");
             assert!(advantage > advantage_prev, "advantage must grow with N");
             advantage_prev = advantage;
+        }
+    }
+
+    #[test]
+    fn generic_bound_matches_closed_forms() {
+        use qram_core::{BucketBrigadeQram, FatTreeQram};
+        let rates = GateErrorRates::paper_default();
+        for n in [8u64, 64, 1024] {
+            let c = cap(n);
+            let ft = query_infidelity_bound(&FatTreeQram::new(c), &rates);
+            assert!(
+                (ft - fat_tree_query_infidelity(c, &rates)).abs() < 1e-15,
+                "N={n}"
+            );
+            let bb = query_infidelity_bound(&BucketBrigadeQram::new(c), &rates);
+            assert!((bb - bb_query_infidelity(c, &rates)).abs() < 1e-15, "N={n}");
         }
     }
 

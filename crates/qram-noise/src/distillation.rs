@@ -113,8 +113,16 @@ mod tests {
         assert!((ft.fidelity_before - 0.84).abs() < 1e-12);
         assert!((bb.fidelity_before - 0.872).abs() < 1e-12);
         // Paper: 0.9994 and 0.984.
-        assert!((ft.fidelity_after - 0.9994).abs() < 5e-4, "{}", ft.fidelity_after);
-        assert!((bb.fidelity_after - 0.984).abs() < 1e-3, "{}", bb.fidelity_after);
+        assert!(
+            (ft.fidelity_after - 0.9994).abs() < 5e-4,
+            "{}",
+            ft.fidelity_after
+        );
+        assert!(
+            (bb.fidelity_after - 0.984).abs() < 1e-3,
+            "{}",
+            bb.fidelity_after
+        );
         // Fat-Tree's 4 copies beat BB's 2 exponentially.
         assert!((1.0 - ft.fidelity_after) < (1.0 - bb.fidelity_after) / 10.0);
     }

@@ -11,7 +11,7 @@
 
 use qram_core::exec::execute_layers_noisy;
 use qram_core::query_ops::QueryLayer;
-use qram_core::GateClass;
+use qram_core::{GateClass, QramModel};
 use qsim::branch::{AddressState, ClassicalMemory};
 use qsim::noise::FidelityEstimator;
 use rand::Rng;
@@ -48,22 +48,45 @@ impl ExtendedNoise {
     ///
     /// Panics if any probability lies outside `[0, 1]`.
     pub fn validate(&self) {
-        for (name, p) in [("init_error", self.init_error), ("burst_rate", self.burst_rate)] {
+        for (name, p) in [
+            ("init_error", self.init_error),
+            ("burst_rate", self.burst_rate),
+        ] {
             assert!((0.0..=1.0).contains(&p), "{name} = {p} outside [0, 1]");
         }
     }
 }
 
-/// Estimates query fidelity under the extended noise model by trajectory
-/// sampling. Initialization errors corrupt each of the `log₂ N` active-path
-/// routers independently at query start; bursts fault all gates of a layer
-/// at once.
+/// Estimates the query fidelity of any [`QramModel`] backend under the
+/// extended noise model — architecture-agnostic: bursts and initialization
+/// errors are injected into whatever instruction stream the backend
+/// generates.
+///
+/// # Panics
+///
+/// Panics if probabilities are invalid or the backend generates a
+/// malformed instruction stream (a bug).
+pub fn estimate_extended_fidelity<M: QramModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    memory: &ClassicalMemory,
+    address: &AddressState,
+    noise: &ExtendedNoise,
+    trials: u32,
+    rng: &mut R,
+) -> FidelityEstimator {
+    estimate_extended_layers_fidelity(&model.query_layers(), memory, address, noise, trials, rng)
+}
+
+/// Estimates query fidelity under the extended noise model for an explicit
+/// instruction stream, by trajectory sampling. Initialization errors
+/// corrupt each of the `log₂ N` active-path routers independently at query
+/// start; bursts fault all gates of a layer at once.
 ///
 /// # Panics
 ///
 /// Panics if probabilities are invalid or the instruction stream is
 /// malformed.
-pub fn estimate_extended_fidelity<R: Rng + ?Sized>(
+pub fn estimate_extended_layers_fidelity<R: Rng + ?Sized>(
     layers: &[QueryLayer],
     memory: &ClassicalMemory,
     address: &AddressState,
@@ -167,19 +190,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let (qram, mem, addr) = setup(4);
         let noise = ExtendedNoise::gates_only(GateErrorRates::from_cswap_rate(1e-3));
-        let est = estimate_extended_fidelity(
-            &qram.query_layers(),
-            &mem,
-            &addr,
-            &noise,
-            3000,
-            &mut rng,
-        );
-        let bound = extended_infidelity_bound(
-            qram.capacity(),
-            &noise,
-            qram.query_layers().len(),
-        );
+        let est = estimate_extended_fidelity(&qram, &mem, &addr, &noise, 3000, &mut rng);
+        let bound = extended_infidelity_bound(qram.capacity(), &noise, qram.query_layers().len());
         let empirical = 1.0 - est.mean();
         assert!(empirical <= bound * 1.3, "{empirical} vs bound {bound}");
     }
@@ -193,14 +205,7 @@ mod tests {
             init_error: 0.01,
             burst_rate: 0.0,
         };
-        let est = estimate_extended_fidelity(
-            &qram.query_layers(),
-            &mem,
-            &addr,
-            &noise,
-            8000,
-            &mut rng,
-        );
+        let est = estimate_extended_fidelity(&qram, &mem, &addr, &noise, 8000, &mut rng);
         // Expected infidelity ≈ 1 − (1 − 0.01)⁴ ≈ 0.039.
         let emp = 1.0 - est.mean();
         assert!((emp - 0.039).abs() < 0.012, "empirical {emp}");
@@ -216,13 +221,15 @@ mod tests {
             burst_rate: 0.002,
         };
         let layers = qram.query_layers();
-        let est =
-            estimate_extended_fidelity(&layers, &mem, &addr, &noise, 8000, &mut rng);
+        let est = estimate_extended_fidelity(&qram, &mem, &addr, &noise, 8000, &mut rng);
         // Not every layer contains gates touching the branch, so the
         // empirical loss is below L·p but of the same order.
         let emp = 1.0 - est.mean();
         let ceiling = layers.len() as f64 * noise.burst_rate;
-        assert!(emp > ceiling * 0.2 && emp <= ceiling * 1.3, "{emp} vs {ceiling}");
+        assert!(
+            emp > ceiling * 0.2 && emp <= ceiling * 1.3,
+            "{emp} vs {ceiling}"
+        );
     }
 
     #[test]
@@ -237,14 +244,7 @@ mod tests {
         let mut inf = Vec::new();
         for n in [3u32, 6] {
             let (qram, mem, addr) = setup(n);
-            let est = estimate_extended_fidelity(
-                &qram.query_layers(),
-                &mem,
-                &addr,
-                &noise,
-                5000,
-                &mut rng,
-            );
+            let est = estimate_extended_fidelity(&qram, &mem, &addr, &noise, 5000, &mut rng);
             inf.push(1.0 - est.mean());
         }
         // Doubling n: capacity ×8, infidelity should grow ≲ 5× (poly),

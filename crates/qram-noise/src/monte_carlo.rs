@@ -7,23 +7,41 @@
 
 use qram_core::exec::execute_layers_noisy;
 use qram_core::query_ops::QueryLayer;
-use qram_core::GateClass;
+use qram_core::{GateClass, QramModel};
 use qsim::branch::{AddressState, ClassicalMemory};
 use qsim::noise::FidelityEstimator;
 use rand::Rng;
 
 use crate::rates::GateErrorRates;
 
-/// Estimates query fidelity by sampling `trials` noisy trajectories of the
-/// given instruction stream. Each gate along an active branch faults with
-/// its class rate; a faulted branch is assumed orthogonal to the ideal
-/// output (worst case), so per-trajectory fidelity is the squared surviving
-/// amplitude weight.
+/// Estimates the query fidelity of any [`QramModel`] backend by sampling
+/// `trials` noisy trajectories of its generated instruction stream —
+/// architecture-agnostic: the error profile falls out of the gates the
+/// backend actually schedules.
+///
+/// # Panics
+///
+/// Panics if the backend generates a malformed instruction stream (a bug).
+pub fn estimate_query_fidelity<M: QramModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    memory: &ClassicalMemory,
+    address: &AddressState,
+    rates: &GateErrorRates,
+    trials: u32,
+    rng: &mut R,
+) -> FidelityEstimator {
+    estimate_layers_fidelity(&model.query_layers(), memory, address, rates, trials, rng)
+}
+
+/// Estimates query fidelity for an explicit instruction stream. Each gate
+/// along an active branch faults with its class rate; a faulted branch is
+/// assumed orthogonal to the ideal output (worst case), so per-trajectory
+/// fidelity is the squared surviving amplitude weight.
 ///
 /// # Panics
 ///
 /// Panics if the instruction stream itself is malformed.
-pub fn estimate_query_fidelity<R: Rng + ?Sized>(
+pub fn estimate_layers_fidelity<R: Rng + ?Sized>(
     layers: &[QueryLayer],
     memory: &ClassicalMemory,
     address: &AddressState,
@@ -73,14 +91,7 @@ mod tests {
             let qram = FatTreeQram::new(cap);
             let rates = GateErrorRates::from_cswap_rate(5e-4);
             let addr = AddressState::classical(n, 1).unwrap();
-            let est = estimate_query_fidelity(
-                &qram.query_layers(),
-                &memory(n),
-                &addr,
-                &rates,
-                4000,
-                &mut rng,
-            );
+            let est = estimate_query_fidelity(&qram, &memory(n), &addr, &rates, 4000, &mut rng);
             let empirical = 1.0 - est.mean();
             let bound = bounds::fat_tree_query_infidelity(cap, &rates);
             assert!(
@@ -102,14 +113,7 @@ mod tests {
         for n in [2u32, 4] {
             let qram = FatTreeQram::new(Capacity::from_address_width(n));
             let addr = AddressState::classical(n, 0).unwrap();
-            let est = estimate_query_fidelity(
-                &qram.query_layers(),
-                &memory(n),
-                &addr,
-                &rates,
-                6000,
-                &mut rng,
-            );
+            let est = estimate_query_fidelity(&qram, &memory(n), &addr, &rates, 6000, &mut rng);
             infidelities.push(1.0 - est.mean());
         }
         // Doubling n should roughly quadruple infidelity (±Monte-Carlo).
@@ -129,7 +133,7 @@ mod tests {
         let rates = GateErrorRates::from_cswap_rate(2e-3);
         let addr = AddressState::classical(n, 5).unwrap();
         let bb = estimate_query_fidelity(
-            &BucketBrigadeQram::new(cap).query_layers(),
+            &BucketBrigadeQram::new(cap),
             &memory(n),
             &addr,
             &rates,
@@ -137,7 +141,7 @@ mod tests {
             &mut rng,
         );
         let ft = estimate_query_fidelity(
-            &FatTreeQram::new(cap).query_layers(),
+            &FatTreeQram::new(cap),
             &memory(n),
             &addr,
             &rates,
@@ -161,7 +165,7 @@ mod tests {
         let qram = FatTreeQram::new(Capacity::new(8).unwrap());
         let addr = AddressState::full_superposition(3);
         let est = estimate_query_fidelity(
-            &qram.query_layers(),
+            &qram,
             &memory(3),
             &addr,
             &GateErrorRates::new(0.0, 0.0, 0.0),
@@ -180,7 +184,7 @@ mod tests {
         let qram = FatTreeQram::new(Capacity::new(8).unwrap());
         let addr = AddressState::full_superposition(3);
         let est = estimate_query_fidelity(
-            &qram.query_layers(),
+            &qram,
             &memory(3),
             &addr,
             &GateErrorRates::from_cswap_rate(2e-3),

@@ -57,7 +57,10 @@ impl Schedule {
     /// (Appendix A.2).
     #[must_use]
     pub fn total_latency(&self) -> Layers {
-        self.entries.iter().map(ScheduledQuery::response_latency).sum()
+        self.entries
+            .iter()
+            .map(ScheduledQuery::response_latency)
+            .sum()
     }
 
     /// Completion time of the last query.

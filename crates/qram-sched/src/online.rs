@@ -175,7 +175,11 @@ mod tests {
             }
             let online_schedule = online.finish();
             let offline = schedule_fifo(&requests, &server());
-            assert_eq!(online_schedule.entries(), offline.entries(), "trial {trial}");
+            assert_eq!(
+                online_schedule.entries(),
+                offline.entries(),
+                "trial {trial}"
+            );
         }
     }
 

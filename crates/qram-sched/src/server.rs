@@ -1,6 +1,7 @@
 //! The pipelined-server abstraction of a shared QRAM.
 
 use qram_arch::{Architecture, CostModel};
+use qram_core::QramModel;
 use qram_metrics::{Capacity, Layers, TimingModel};
 
 /// A shared QRAM viewed as a pipelined server: up to `parallelism` queries
@@ -54,8 +55,37 @@ impl QramServer {
         }
     }
 
+    /// The server corresponding to any [`QramModel`] backend: parallelism,
+    /// admission interval, and latency come from the trait, so the server
+    /// needs no per-architecture knowledge.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qram_core::FatTreeQram;
+    /// use qram_metrics::{Capacity, TimingModel};
+    /// use qram_sched::QramServer;
+    ///
+    /// let qram = FatTreeQram::new(Capacity::new(1024)?);
+    /// let server = QramServer::for_model(&qram, &TimingModel::paper_default());
+    /// assert_eq!(server.parallelism(), 10);
+    /// assert_eq!(server.interval().get(), 8.25);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn for_model<M: QramModel + ?Sized>(model: &M, timing: &TimingModel) -> Self {
+        QramServer::new(
+            model.query_parallelism(),
+            model.admission_interval(timing),
+            model.single_query_latency(timing),
+        )
+    }
+
     /// The server corresponding to an architecture's cost model (§6.1):
-    /// parallelism and latencies from Table 1.
+    /// parallelism and latencies from Table 1. The admission interval is
+    /// the amortized per-query latency at full load — exact for every
+    /// architecture in the table, pipelined or sequential — so no
+    /// per-architecture dispatch is needed.
     #[must_use]
     pub fn for_architecture(
         architecture: Architecture,
@@ -63,17 +93,11 @@ impl QramServer {
         timing: TimingModel,
     ) -> Self {
         let model = CostModel::new(architecture, capacity, timing);
-        let latency = model.single_query_latency();
-        let parallelism = model.query_parallelism();
-        let interval = match architecture {
-            Architecture::FatTree | Architecture::DistributedFatTree => {
-                model.amortized_query_latency()
-            }
-            // Sequential machines admit a new query when a unit finishes;
-            // p distributed units admit every latency/p on average.
-            _ => latency / f64::from(parallelism),
-        };
-        QramServer::new(parallelism, interval, latency)
+        QramServer::new(
+            model.query_parallelism(),
+            model.amortized_query_latency(),
+            model.single_query_latency(),
+        )
     }
 
     /// A Fat-Tree server in *integer* circuit layers (interval 10, latency
@@ -153,6 +177,20 @@ mod tests {
         assert_eq!(ft.latency().get(), 29.0);
         let bb = QramServer::bucket_brigade_integer_layers(cap(8));
         assert_eq!(bb.latency().get(), 25.0);
+    }
+
+    #[test]
+    fn for_model_agrees_with_cost_model_servers() {
+        use qram_core::{BucketBrigadeQram, FatTreeQram};
+        let timing = TimingModel::paper_default();
+        assert_eq!(
+            QramServer::for_model(&FatTreeQram::new(cap(1024)), &timing),
+            QramServer::for_architecture(Architecture::FatTree, cap(1024), timing),
+        );
+        assert_eq!(
+            QramServer::for_model(&BucketBrigadeQram::new(cap(1024)), &timing),
+            QramServer::for_architecture(Architecture::BucketBrigade, cap(1024), timing),
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl StreamWorkload {
     /// Number of query phases.
     #[must_use]
     pub fn query_count(&self) -> usize {
-        self.phases.iter().filter(|p| matches!(p, Phase::Query)).count()
+        self.phases
+            .iter()
+            .filter(|p| matches!(p, Phase::Query))
+            .count()
     }
 
     /// Total processing depth.
@@ -193,9 +196,7 @@ pub fn simulate_streams(streams: &[StreamWorkload], server: &QramServer) -> Stre
         let next = states
             .iter()
             .enumerate()
-            .filter(|(s, st)| {
-                matches!(streams[*s].phases().get(st.next_phase), Some(Phase::Query))
-            })
+            .filter(|(s, st)| matches!(streams[*s].phases().get(st.next_phase), Some(Phase::Query)))
             .min_by(|(sa, a), (sb, b)| {
                 a.ready
                     .partial_cmp(&b.ready)
@@ -293,7 +294,10 @@ mod tests {
         let server = ft_server(8);
         let streams = vec![StreamWorkload::alternating(3, Layers::new(20.0)); 3];
         let report = simulate_streams(&streams, &server);
-        let first_three: Vec<f64> = report.queries()[..3].iter().map(|q| q.start.get()).collect();
+        let first_three: Vec<f64> = report.queries()[..3]
+            .iter()
+            .map(|q| q.start.get())
+            .collect();
         assert_eq!(first_three, vec![0.0, 10.0, 20.0]);
     }
 
@@ -303,10 +307,7 @@ mod tests {
         let streams = vec![StreamWorkload::alternating(3, Layers::new(20.0)); 3];
         let report = simulate_streams(&streams, &server);
         let trace = report.utilization_trace();
-        let peak = trace
-            .iter()
-            .map(|(_, u)| u.get())
-            .fold(0.0f64, f64::max);
+        let peak = trace.iter().map(|(_, u)| u.get()).fold(0.0f64, f64::max);
         assert!((peak - 1.0).abs() < 1e-12, "three queries fill 3 slots");
         // And the average is strictly between 0 and 1.
         let avg = report.average_utilization().get();
@@ -346,10 +347,7 @@ mod tests {
     #[test]
     fn leading_process_phase_delays_first_query() {
         let server = ft_server(8);
-        let stream = StreamWorkload::new(vec![
-            Phase::Process(Layers::new(7.0)),
-            Phase::Query,
-        ]);
+        let stream = StreamWorkload::new(vec![Phase::Process(Layers::new(7.0)), Phase::Query]);
         let report = simulate_streams(&[stream], &server);
         assert_eq!(report.queries()[0].ready.get(), 7.0);
         assert_eq!(report.queries()[0].start.get(), 7.0);

@@ -58,10 +58,7 @@ impl std::fmt::Display for BranchError {
             BranchError::AddressOutOfRange {
                 address,
                 address_width,
-            } => write!(
-                f,
-                "address {address} does not fit in {address_width} bits"
-            ),
+            } => write!(f, "address {address} does not fit in {address_width} bits"),
             BranchError::DuplicateAddress(a) => write!(f, "duplicate address {a}"),
             BranchError::ZeroNorm => write!(f, "superposition has zero norm"),
         }
@@ -83,9 +80,7 @@ impl AddressState {
     ) -> Result<Self, BranchError> {
         let mut seen = BTreeMap::new();
         let mut collected = Vec::new();
-        let limit = 1u64
-            .checked_shl(address_width)
-            .unwrap_or(u64::MAX);
+        let limit = 1u64.checked_shl(address_width).unwrap_or(u64::MAX);
         for (amp, addr) in terms {
             if addr >= limit {
                 return Err(BranchError::AddressOutOfRange {
@@ -134,10 +129,7 @@ impl AddressState {
     /// Returns an error on duplicates, out-of-range addresses, or an empty
     /// list.
     pub fn uniform(address_width: u32, addresses: &[u64]) -> Result<Self, BranchError> {
-        AddressState::new(
-            address_width,
-            addresses.iter().map(|&a| (Complex::ONE, a)),
-        )
+        AddressState::new(address_width, addresses.iter().map(|&a| (Complex::ONE, a)))
     }
 
     /// The uniform superposition over *all* `2ⁿ` addresses (the state

@@ -274,8 +274,8 @@ mod tests {
         let mut c = Circuit::new(4);
         c.h(0); // router superposed between "left" (0) and "right" (1)
         c.x(1); // the input qubit carries |1⟩
-        // Route: CSWAP on router=1 moves input→right; X-conjugated CSWAP
-        // for router=0 moves input→left.
+                // Route: CSWAP on router=1 moves input→right; X-conjugated CSWAP
+                // for router=0 moves input→left.
         c.x(0).cswap(0, 1, 2).x(0).cswap(0, 1, 3);
         let psi = c.simulate();
         // Router 0: qubit at left (q2); router 1: qubit at right (q3).

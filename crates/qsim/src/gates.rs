@@ -9,19 +9,13 @@ pub type Gate1 = [[Complex; 2]; 2];
 /// Pauli X.
 #[must_use]
 pub fn x() -> Gate1 {
-    [
-        [Complex::ZERO, Complex::ONE],
-        [Complex::ONE, Complex::ZERO],
-    ]
+    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]
 }
 
 /// Pauli Y.
 #[must_use]
 pub fn y() -> Gate1 {
-    [
-        [Complex::ZERO, -Complex::I],
-        [Complex::I, Complex::ZERO],
-    ]
+    [[Complex::ZERO, -Complex::I], [Complex::I, Complex::ZERO]]
 }
 
 /// Pauli Z.
@@ -43,10 +37,7 @@ pub fn h() -> Gate1 {
 /// Phase gate S = diag(1, i).
 #[must_use]
 pub fn s() -> Gate1 {
-    [
-        [Complex::ONE, Complex::ZERO],
-        [Complex::ZERO, Complex::I],
-    ]
+    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::I]]
 }
 
 /// T gate = diag(1, e^{iπ/4}).
@@ -54,7 +45,10 @@ pub fn s() -> Gate1 {
 pub fn t() -> Gate1 {
     [
         [Complex::ONE, Complex::ZERO],
-        [Complex::ZERO, Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+        [
+            Complex::ZERO,
+            Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        ],
     ]
 }
 
@@ -86,10 +80,7 @@ pub fn rx(theta: f64) -> Gate1 {
 /// Identity.
 #[must_use]
 pub fn id() -> Gate1 {
-    [
-        [Complex::ONE, Complex::ZERO],
-        [Complex::ZERO, Complex::ONE],
-    ]
+    [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]]
 }
 
 /// Returns true when `g` is unitary to within `tol` (U†U = I).
@@ -145,7 +136,18 @@ mod tests {
 
     #[test]
     fn standard_gates_are_unitary() {
-        for g in [x(), y(), z(), h(), s(), t(), id(), rz(0.3), ry(1.1), rx(2.7)] {
+        for g in [
+            x(),
+            y(),
+            z(),
+            h(),
+            s(),
+            t(),
+            id(),
+            rz(0.3),
+            ry(1.1),
+            rx(2.7),
+        ] {
             assert!(is_unitary(&g, 1e-12));
         }
     }
@@ -178,10 +180,7 @@ mod tests {
 
     #[test]
     fn non_unitary_detected() {
-        let bad = [
-            [Complex::ONE, Complex::ONE],
-            [Complex::ZERO, Complex::ONE],
-        ];
+        let bad = [[Complex::ONE, Complex::ONE], [Complex::ZERO, Complex::ONE]];
         assert!(!is_unitary(&bad, 1e-9));
     }
 

@@ -54,13 +54,13 @@ impl ErrorChannel {
             ErrorChannel::Ideal => None,
             ErrorChannel::BitFlip(p) => (rng.random::<f64>() < p).then_some(Pauli::X),
             ErrorChannel::PhaseFlip(p) => (rng.random::<f64>() < p).then_some(Pauli::Z),
-            ErrorChannel::Depolarizing(p) => (rng.random::<f64>() < p).then(|| {
-                match rng.random_range(0..3u8) {
+            ErrorChannel::Depolarizing(p) => {
+                (rng.random::<f64>() < p).then(|| match rng.random_range(0..3u8) {
                     0 => Pauli::X,
                     1 => Pauli::Y,
                     _ => Pauli::Z,
-                }
-            }),
+                })
+            }
         }
     }
 }

@@ -84,7 +84,10 @@ impl QuditState {
         let mut total = 1usize;
         for (site, (&d, &l)) in dims.iter().zip(levels).enumerate() {
             assert!(d >= 2, "site {site} has dimension {d} < 2");
-            assert!(l < d, "site {site} level {l} out of range for dimension {d}");
+            assert!(
+                l < d,
+                "site {site} level {l} out of range for dimension {d}"
+            );
             total = total
                 .checked_mul(usize::from(d))
                 .filter(|&t| t <= Self::MAX_DIM)
@@ -217,7 +220,10 @@ impl QuditState {
                 assert!(l < d, "permutation sent site {site} to invalid level {l}");
             }
             let j = Self::index_of(&self.dims, &new_levels);
-            assert!(!filled[j], "permutation is not a bijection: collision at index {j}");
+            assert!(
+                !filled[j],
+                "permutation is not a bijection: collision at index {j}"
+            );
             filled[j] = true;
             new_amps[j] = a;
         }
@@ -264,7 +270,10 @@ impl QuditState {
     /// Panics if the sites coincide or have different dimensions.
     pub fn swap_sites(&mut self, a: usize, b: usize) {
         assert_ne!(a, b, "swap sites must differ");
-        assert_eq!(self.dims[a], self.dims[b], "swapped sites must have equal dims");
+        assert_eq!(
+            self.dims[a], self.dims[b],
+            "swapped sites must have equal dims"
+        );
         self.apply_permutation(|levels| {
             let mut out = levels.to_vec();
             out.swap(a, b);
@@ -280,9 +289,18 @@ impl QuditState {
     /// Panics if sites coincide, dimensions differ, or the control level is
     /// out of range.
     pub fn controlled_swap(&mut self, control: usize, control_level: u8, a: usize, b: usize) {
-        assert!(control != a && control != b && a != b, "sites must be distinct");
-        assert_eq!(self.dims[a], self.dims[b], "swapped sites must have equal dims");
-        assert!(control_level < self.dims[control], "control level out of range");
+        assert!(
+            control != a && control != b && a != b,
+            "sites must be distinct"
+        );
+        assert_eq!(
+            self.dims[a], self.dims[b],
+            "swapped sites must have equal dims"
+        );
+        assert!(
+            control_level < self.dims[control],
+            "control level out of range"
+        );
         self.apply_permutation(|levels| {
             let mut out = levels.to_vec();
             if out[control] == control_level {
@@ -303,7 +321,10 @@ impl QuditState {
     pub fn controlled_x(&mut self, control: usize, control_level: u8, target: usize) {
         assert_ne!(control, target, "sites must be distinct");
         assert_eq!(self.dims[target], 2, "controlled_x target must be a qubit");
-        assert!(control_level < self.dims[control], "control level out of range");
+        assert!(
+            control_level < self.dims[control],
+            "control level out of range"
+        );
         self.apply_permutation(|levels| {
             let mut out = levels.to_vec();
             if out[control] == control_level {
@@ -343,7 +364,11 @@ impl QuditState {
             match (out[ext], out[wire]) {
                 (b, lvl) if lvl == data_level::VACUUM => {
                     out[ext] = 0;
-                    out[wire] = if b == 0 { data_level::ZERO } else { data_level::ONE };
+                    out[wire] = if b == 0 {
+                        data_level::ZERO
+                    } else {
+                        data_level::ONE
+                    };
                 }
                 (0, lvl) if lvl == data_level::ZERO => {
                     out[wire] = data_level::VACUUM;
@@ -478,22 +503,19 @@ mod tests {
     #[test]
     fn route_left_and_right() {
         // router LEFT: input moves to left output.
-        let mut psi =
-            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::LEFT, 1, 0, 0]);
+        let mut psi = QuditState::from_basis(&[3, 2, 2, 2], &[router_level::LEFT, 1, 0, 0]);
         psi.route(0, 1, 2, 3);
         assert_eq!(psi.dominant_levels(), vec![router_level::LEFT, 0, 1, 0]);
 
         // router RIGHT: input moves to right output.
-        let mut psi =
-            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::RIGHT, 1, 0, 0]);
+        let mut psi = QuditState::from_basis(&[3, 2, 2, 2], &[router_level::RIGHT, 1, 0, 0]);
         psi.route(0, 1, 2, 3);
         assert_eq!(psi.dominant_levels(), vec![router_level::RIGHT, 0, 0, 1]);
     }
 
     #[test]
     fn wait_router_routes_trivially() {
-        let mut psi =
-            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::WAIT, 1, 0, 0]);
+        let mut psi = QuditState::from_basis(&[3, 2, 2, 2], &[router_level::WAIT, 1, 0, 0]);
         let before = psi.clone();
         psi.route(0, 1, 2, 3);
         assert_eq!(psi, before);
@@ -502,8 +524,7 @@ mod tests {
     #[test]
     fn route_in_superposition_splits_amplitude() {
         // Router in (|LEFT⟩+|RIGHT⟩)/√2 — prepared via a gate on the qutrit.
-        let mut psi =
-            QuditState::from_basis(&[3, 2, 2, 2], &[router_level::LEFT, 1, 0, 0]);
+        let mut psi = QuditState::from_basis(&[3, 2, 2, 2], &[router_level::LEFT, 1, 0, 0]);
         let s = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
         // Unitary on the qutrit mixing LEFT and RIGHT, fixing WAIT.
         let mix = vec![
@@ -513,12 +534,8 @@ mod tests {
         ];
         psi.apply_gate(0, &mix);
         psi.route(0, 1, 2, 3);
-        assert!(
-            (psi.probability_of(&[router_level::LEFT, 0, 1, 0]) - 0.5).abs() < 1e-12
-        );
-        assert!(
-            (psi.probability_of(&[router_level::RIGHT, 0, 0, 1]) - 0.5).abs() < 1e-12
-        );
+        assert!((psi.probability_of(&[router_level::LEFT, 0, 1, 0]) - 0.5).abs() < 1e-12);
+        assert!((psi.probability_of(&[router_level::RIGHT, 0, 0, 1]) - 0.5).abs() < 1e-12);
         assert!((psi.norm() - 1.0).abs() < 1e-12);
     }
 
@@ -556,8 +573,7 @@ mod tests {
         //
         // Sites: 0 router (qutrit), 1 escape/input qubit, 2 left leaf,
         // 3 right leaf, 4 external bus output register.
-        let mut psi =
-            QuditState::from_basis(&[3, 2, 2, 2, 2], &[router_level::WAIT, 0, 0, 0, 0]);
+        let mut psi = QuditState::from_basis(&[3, 2, 2, 2, 2], &[router_level::WAIT, 0, 0, 0, 0]);
         psi.apply_gate(1, &qubit_h());
         // Address loading: STORE the address qubit into the router; site 1
         // becomes the fresh |0⟩ bus qubit.
@@ -578,8 +594,14 @@ mod tests {
         // routers back in |W⟩ and leaves clean — Eq. (1) exactly.
         let p0 = psi.probability_of(&[router_level::WAIT, 0, 0, 0, 1]);
         let p1 = psi.probability_of(&[router_level::WAIT, 1, 0, 0, 0]);
-        assert!((p0 - 0.5).abs() < 1e-12, "address 0 returns x₀ = 1, got p = {p0}");
-        assert!((p1 - 0.5).abs() < 1e-12, "address 1 returns x₁ = 0, got p = {p1}");
+        assert!(
+            (p0 - 0.5).abs() < 1e-12,
+            "address 0 returns x₀ = 1, got p = {p0}"
+        );
+        assert!(
+            (p1 - 0.5).abs() < 1e-12,
+            "address 1 returns x₁ = 0, got p = {p1}"
+        );
         assert!((psi.norm() - 1.0).abs() < 1e-12);
     }
 
@@ -588,8 +610,7 @@ mod tests {
         // Address |1⟩ (routed RIGHT): a classical write to the *left* leaf
         // must not touch the state, otherwise the leaves stay entangled
         // with the address and fidelity is lost.
-        let mut psi =
-            QuditState::from_basis(&[3, 2, 2, 2, 2], &[router_level::WAIT, 1, 0, 0, 0]);
+        let mut psi = QuditState::from_basis(&[3, 2, 2, 2, 2], &[router_level::WAIT, 1, 0, 0, 0]);
         psi.store(0, 1);
         psi.route(0, 1, 2, 3);
         psi.controlled_x(0, router_level::LEFT, 2); // x₀ = 1, inactive branch
@@ -645,7 +666,11 @@ mod tests {
         for bit in [0u8, 1] {
             let mut psi = QuditState::from_basis(&[2, 3], &[bit, data_level::VACUUM]);
             psi.load_dual_rail(0, 1);
-            let expected = if bit == 0 { data_level::ZERO } else { data_level::ONE };
+            let expected = if bit == 0 {
+                data_level::ZERO
+            } else {
+                data_level::ONE
+            };
             assert_eq!(psi.dominant_levels(), vec![0, expected]);
             psi.load_dual_rail(0, 1); // UNLOAD
             assert_eq!(psi.dominant_levels(), vec![bit, data_level::VACUUM]);
@@ -656,8 +681,7 @@ mod tests {
     fn store_dual_rail_ignores_vacuum() {
         // A waiting router next to a vacuum wire stays |W⟩ — the key
         // physical behaviour of bucket-brigade stores.
-        let mut psi =
-            QuditState::from_basis(&[3, 3], &[router_level::WAIT, data_level::VACUUM]);
+        let mut psi = QuditState::from_basis(&[3, 3], &[router_level::WAIT, data_level::VACUUM]);
         let before = psi.clone();
         psi.store_dual_rail(0, 1);
         assert_eq!(psi, before);
@@ -665,8 +689,7 @@ mod tests {
 
     #[test]
     fn store_dual_rail_absorbs_and_restores() {
-        let mut psi =
-            QuditState::from_basis(&[3, 3], &[router_level::WAIT, data_level::ONE]);
+        let mut psi = QuditState::from_basis(&[3, 3], &[router_level::WAIT, data_level::ONE]);
         psi.store_dual_rail(0, 1);
         assert_eq!(
             psi.dominant_levels(),

@@ -55,7 +55,10 @@ impl StateVector {
             "num_qubits {num_qubits} outside supported range 1..=26"
         );
         let dim = 1usize << num_qubits;
-        assert!(basis < dim, "basis state {basis} out of range for {num_qubits} qubits");
+        assert!(
+            basis < dim,
+            "basis state {basis} out of range for {num_qubits} qubits"
+        );
         let mut amps = vec![Complex::ZERO; dim];
         amps[basis] = Complex::ONE;
         StateVector { num_qubits, amps }
@@ -262,7 +265,10 @@ impl StateVector {
     /// Panics if any qubits coincide or are out of range.
     pub fn apply_cswap(&mut self, control: u32, a: u32, b: u32) {
         assert!(control < self.num_qubits && a < self.num_qubits && b < self.num_qubits);
-        assert!(control != a && control != b && a != b, "cswap qubits must be distinct");
+        assert!(
+            control != a && control != b && a != b,
+            "cswap qubits must be distinct"
+        );
         let cmask = 1usize << control;
         let amask = 1usize << a;
         let bmask = 1usize << b;

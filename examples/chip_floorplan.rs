@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("== Intra-node wiring (Fig. 4(a), §4.2.2) ==");
-    println!("{:>8} {:>22} {:>22}", "routers", "1-plane crossings", "2-plane crossings");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "routers", "1-plane crossings", "2-plane crossings"
+    );
     for routers in 2..=8 {
         let node = NodeLayout::new(routers);
         println!(
@@ -85,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Duplication ablation (BB -> Fat-Tree) ==");
     let timing = TimingModel::paper_default();
     let big = Capacity::new(1024)?;
-    println!("{:>4} {:>10} {:>14} {:>16}", "cap", "qubits", "parallelism", "bandwidth q/s");
+    println!(
+        "{:>4} {:>10} {:>14} {:>16}",
+        "cap", "qubits", "parallelism", "bandwidth q/s"
+    );
     for c in [1u32, 2, 4, 6, 8, 10] {
         let t = PartialFatTree::new(big, c);
         println!(

@@ -10,7 +10,8 @@
 use fat_tree_qram::core::FatTreeQram;
 use fat_tree_qram::metrics::Capacity;
 use fat_tree_qram::noise::{
-    bounds, distilled_infidelity, estimate_query_fidelity, DistillationPlan, GateErrorRates,
+    bounds, distilled_infidelity, estimate_query_fidelity, query_infidelity_bound,
+    DistillationPlan, GateErrorRates,
 };
 use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
 use rand::rngs::StdRng;
@@ -34,20 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cells: Vec<u64> = (0..capacity.get()).map(|i| i % 2).collect();
         let memory = ClassicalMemory::from_words(1, &cells)?;
         let address = AddressState::classical(n, 1)?;
-        let est = estimate_query_fidelity(
-            &qram.query_layers(),
-            &memory,
-            &address,
-            &rates,
-            3000,
-            &mut rng,
-        );
+        let est = estimate_query_fidelity(&qram, &memory, &address, &rates, 3000, &mut rng);
         println!(
             "{n:>4} {:>10} {:>18.4} ±{:.4} {:>22.4}",
             capacity.get(),
             1.0 - est.mean(),
             est.std_error(),
-            bounds::fat_tree_query_infidelity(capacity, &rates)
+            query_infidelity_bound(&qram, &rates)
         );
     }
 

@@ -13,7 +13,7 @@
 
 use fat_tree_qram::algos::{algorithm_depth, ParallelAlgorithm};
 use fat_tree_qram::arch::Architecture;
-use fat_tree_qram::core::FatTreeQram;
+use fat_tree_qram::core::{FatTreeQram, QramModel};
 use fat_tree_qram::metrics::{Capacity, TimingModel};
 use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
 use fat_tree_qram::qsim::state::StateVector;

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram};
+use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram, QramModel};
 use fat_tree_qram::metrics::{Capacity, TimingModel};
 use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
 

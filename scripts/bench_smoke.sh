@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Bench smoke run: executes one fast target per figure/table of the paper
+# plus the criterion micro-benchmarks, and writes a JSON perf baseline.
+#
+# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_seed.json)
+#
+# Figure/table targets are plain reproduction binaries (harness = false)
+# whose wall time is recorded; the `perf` target runs the vendored
+# criterion harness with a reduced measurement budget and reports
+# ns/iter per benchmark via the CRITERION_JSON hook.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_seed.json}"
+mkdir -p "$(dirname "$OUT")" 2>/dev/null || true
+
+FIGURE_TARGETS=(fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+                table1 table2 table3 table4 table5 ablation)
+
+echo "== building bench targets =="
+cargo bench -p qram-bench --no-run >/dev/null 2>&1
+
+TMP_WALL="$(mktemp)"
+TMP_CRIT="$(mktemp)"
+trap 'rm -f "$TMP_WALL" "$TMP_CRIT"' EXIT
+
+for target in "${FIGURE_TARGETS[@]}"; do
+    start="$(date +%s.%N)"
+    if cargo bench -p qram-bench --bench "$target" >/dev/null 2>&1; then
+        ok=true
+    else
+        ok=false
+    fi
+    end="$(date +%s.%N)"
+    echo "$target $ok $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')" >>"$TMP_WALL"
+    echo "ran $target"
+done
+
+echo "== criterion micro-benchmarks (reduced budget) =="
+CRITERION_JSON="$TMP_CRIT" CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-60}" \
+    cargo bench -p qram-bench --bench perf 2>/dev/null | grep '^bench:' || true
+
+python3 - "$OUT" "$TMP_WALL" "$TMP_CRIT" <<'EOF'
+import json, subprocess, sys
+
+out_path, wall_path, crit_path = sys.argv[1:4]
+
+targets = {}
+with open(wall_path) as f:
+    for line in f:
+        name, ok, secs = line.split()
+        targets[name] = {"ok": ok == "true", "wall_seconds": float(secs)}
+
+criterion = []
+with open(crit_path) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            criterion.append(json.loads(line))
+
+commit = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip() or None
+
+baseline = {
+    "schema": "fat-tree-qram-bench-smoke/v1",
+    "commit": commit,
+    "figure_table_targets": targets,
+    "criterion_ns_per_iter": {c["id"]: c["ns_per_iter"] for c in criterion},
+}
+with open(out_path, "w") as f:
+    json.dump(baseline, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}: {len(targets)} targets, {len(criterion)} criterion benches")
+EOF

@@ -21,7 +21,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use fat_tree_qram::core::FatTreeQram;
+//! use fat_tree_qram::core::{FatTreeQram, QramModel};
 //! use fat_tree_qram::metrics::Capacity;
 //! use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
 //!

@@ -2,11 +2,11 @@
 //! scheduler, and noise analysis working together.
 
 use fat_tree_qram::arch::{Architecture, CostModel};
-use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram};
+use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram, QramModel};
 use fat_tree_qram::metrics::{Capacity, LayerKind, Layers, TimingModel};
 use fat_tree_qram::noise::{bounds, GateErrorRates};
-use fat_tree_qram::sched::{simulate_streams, QramServer, StreamWorkload};
 use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+use fat_tree_qram::sched::{simulate_streams, QramServer, StreamWorkload};
 
 fn paper_timing() -> TimingModel {
     TimingModel::paper_default()
@@ -82,10 +82,7 @@ fn pipelined_queries_are_functionally_correct() {
     let outcomes = ft.execute_queries(&memory, &addresses, &[]).unwrap();
     for (q, outcome) in outcomes.iter().enumerate() {
         let ideal = memory.ideal_query(&addresses[q]);
-        assert!(
-            (outcome.fidelity(&ideal) - 1.0).abs() < 1e-12,
-            "query {q}"
-        );
+        assert!((outcome.fidelity(&ideal) - 1.0).abs() < 1e-12, "query {q}");
     }
 }
 
@@ -171,8 +168,14 @@ fn layer_kind_census() {
     for n in 1..=9u32 {
         let ft = FatTreeQram::new(Capacity::from_address_width(n));
         let layers = ft.query_layers();
-        let standard = layers.iter().filter(|l| l.kind == LayerKind::Standard).count();
-        let intra = layers.iter().filter(|l| l.kind == LayerKind::IntraNode).count();
+        let standard = layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Standard)
+            .count();
+        let intra = layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::IntraNode)
+            .count();
         assert_eq!(standard, 8 * n as usize);
         assert_eq!(intra, 2 * n as usize - 1);
     }

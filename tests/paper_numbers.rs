@@ -3,7 +3,7 @@
 
 use fat_tree_qram::algos::{algorithm_depth, sweep_cell, ParallelAlgorithm};
 use fat_tree_qram::arch::{Architecture, CostModel, NodeLayout, OnChipPlan};
-use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram};
+use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram, QramModel};
 use fat_tree_qram::metrics::{Capacity, TimingModel};
 use fat_tree_qram::noise::{bounds, table4, GateErrorRates};
 
@@ -74,10 +74,17 @@ fn fig2a_and_fig6_layer_counts() {
 fn fig8_fat_tree_bandwidth_is_flat() {
     let values: Vec<f64> = Capacity::sweep(1024)
         .skip(1)
-        .map(|c| CostModel::new(Architecture::FatTree, c, timing()).bandwidth(1).get())
+        .map(|c| {
+            CostModel::new(Architecture::FatTree, c, timing())
+                .bandwidth(1)
+                .get()
+        })
         .collect();
     for w in values.windows(2) {
-        assert!((w[0] - w[1]).abs() < 1e-6, "Fat-Tree bandwidth must be flat");
+        assert!(
+            (w[0] - w[1]).abs() < 1e-6,
+            "Fat-Tree bandwidth must be flat"
+        );
     }
     let bb: Vec<f64> = Capacity::sweep(1024)
         .skip(1)
@@ -115,15 +122,25 @@ fn fig10_shape() {
     let c = cap(1024);
     // BB is bandwidth-bound: depth at p=30 is ~30x depth at p=1 when
     // processing is negligible.
-    let bb1 = sweep_cell(Architecture::BucketBrigade, c, timing(), 0.25, 1).depth.get();
-    let bb30 = sweep_cell(Architecture::BucketBrigade, c, timing(), 0.25, 30).depth.get();
+    let bb1 = sweep_cell(Architecture::BucketBrigade, c, timing(), 0.25, 1)
+        .depth
+        .get();
+    let bb30 = sweep_cell(Architecture::BucketBrigade, c, timing(), 0.25, 30)
+        .depth
+        .get();
     assert!(bb30 / bb1 > 20.0);
     // Fat-Tree at the same point is far shallower.
-    let ft30 = sweep_cell(Architecture::FatTree, c, timing(), 0.25, 30).depth.get();
+    let ft30 = sweep_cell(Architecture::FatTree, c, timing(), 0.25, 30)
+        .depth
+        .get();
     assert!(bb30 / ft30 > 5.0);
     // Utilization: Fat-Tree spans the whole range.
-    let low = sweep_cell(Architecture::FatTree, c, timing(), 2.0, 1).utilization.get();
-    let high = sweep_cell(Architecture::FatTree, c, timing(), 0.0, 30).utilization.get();
+    let low = sweep_cell(Architecture::FatTree, c, timing(), 2.0, 1)
+        .utilization
+        .get();
+    let high = sweep_cell(Architecture::FatTree, c, timing(), 0.0, 30)
+        .utilization
+        .get();
     assert!(low < 0.2 && high > 0.85);
 }
 

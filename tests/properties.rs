@@ -1,16 +1,81 @@
 //! Property-based tests over the core invariants of the reproduction.
 
-use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram, PipelineSchedule};
+use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram, PipelineSchedule, QramModel};
 use fat_tree_qram::metrics::{Capacity, Layers};
 use fat_tree_qram::noise::distilled_infidelity;
-use fat_tree_qram::sched::{
-    schedule_fifo, schedule_in_order, QramServer, QueryRequest,
-};
 use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
 use fat_tree_qram::qsim::Complex;
+use fat_tree_qram::sched::{schedule_fifo, schedule_in_order, QramServer, QueryRequest};
 use proptest::prelude::*;
 
 proptest! {
+    /// Every [`QramModel`] backend must reproduce the ideal query
+    /// semantics (`ClassicalMemory::ideal_query`) for random memories and
+    /// random address superpositions — asserted generically through the
+    /// trait, so a future backend is covered by adding one line.
+    #[test]
+    fn qram_model_backends_match_ideal_semantics(
+        n in 1u32..=7,
+        seed_cells in prop::collection::vec(0u64..2, 1..128),
+        picks in prop::collection::vec(0u64..128, 1..10),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let mut addresses: Vec<u64> = picks.iter().map(|p| p % capacity).collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        let address = AddressState::uniform(n, &addresses).unwrap();
+        let cap = Capacity::new(capacity).unwrap();
+        let backends: [Box<dyn QramModel>; 2] = [
+            Box::new(BucketBrigadeQram::new(cap)),
+            Box::new(FatTreeQram::new(cap)),
+        ];
+        let ideal = memory.ideal_query(&address);
+        for backend in &backends {
+            let outcome = backend.execute_query(&memory, &address).unwrap();
+            prop_assert!(
+                (outcome.fidelity(&ideal) - 1.0).abs() < 1e-9,
+                "{} diverges from ideal semantics", backend.name()
+            );
+        }
+    }
+
+    /// Batched execution through the trait returns per-query outcomes that
+    /// each match the ideal semantics, on both architectures.
+    #[test]
+    fn qram_model_batches_match_ideal_semantics(
+        n in 1u32..=5,
+        seed_cells in prop::collection::vec(0u64..2, 1..32),
+        query_addrs in prop::collection::vec(0u64..32, 1..6),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addresses: Vec<AddressState> = query_addrs
+            .iter()
+            .map(|&a| AddressState::classical(n, a % capacity).unwrap())
+            .collect();
+        let cap = Capacity::new(capacity).unwrap();
+        let backends: [Box<dyn QramModel>; 2] = [
+            Box::new(BucketBrigadeQram::new(cap)),
+            Box::new(FatTreeQram::new(cap)),
+        ];
+        for backend in &backends {
+            let outcomes = backend.execute_queries(&memory, &addresses, &[]).unwrap();
+            prop_assert_eq!(outcomes.len(), addresses.len());
+            for (address, outcome) in addresses.iter().zip(&outcomes) {
+                let ideal = memory.ideal_query(address);
+                prop_assert!(
+                    (outcome.fidelity(&ideal) - 1.0).abs() < 1e-9,
+                    "{} batch diverges from ideal semantics", backend.name()
+                );
+            }
+        }
+    }
+
     /// Executing the generated Fat-Tree instruction stream over any
     /// address superposition reproduces Eq. (1) exactly.
     #[test]

@@ -1,0 +1,212 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! this minimal subset: [`Criterion`], benchmark groups, `iter` /
+//! `iter_batched`, [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is warmed up briefly, then
+//! timed over an adaptive iteration count, and the mean time per iteration
+//! is printed. Set `CRITERION_JSON` to a file path to also append one JSON
+//! line per benchmark (used by `scripts/bench_smoke.sh`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from removing the
+/// computation producing `x`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost — accepted for API
+/// compatibility; this stand-in always runs setup per batch of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+    measurement_budget: Duration,
+}
+
+impl Bencher {
+    fn new(measurement_budget: Duration) -> Self {
+        Bencher {
+            ns_per_iter: f64::NAN,
+            measurement_budget,
+        }
+    }
+
+    /// Times `routine`, called repeatedly within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.measurement_budget / 4 {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let iters = ((self.measurement_budget.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let budget_start = Instant::now();
+        while total < self.measurement_budget
+            && budget_start.elapsed() < self.measurement_budget * 4
+            && iters < 10_000_000
+        {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = total.as_secs_f64() * 1e9 / iters.max(1) as f64;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, ns_per_iter: f64) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    println!("bench: {full_id:<48} {ns_per_iter:>14.1} ns/iter");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{full_id}\",\"ns_per_iter\":{ns_per_iter:.1}}}"
+            );
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut bencher = Bencher::new(self.criterion.measurement_budget);
+        f(&mut bencher);
+        report(Some(&self.name), &id.into(), bencher.ns_per_iter);
+    }
+
+    /// Finishes the group (no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let millis = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion {
+            measurement_budget: Duration::from_millis(millis),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.measurement_budget = budget;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut bencher = Bencher::new(self.measurement_budget);
+        f(&mut bencher);
+        report(None, &id.into(), bencher.ns_per_iter);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! this minimal, API-compatible subset of `rand` 0.9: the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, uniform sampling of primitives and
+//! ranges, and a deterministic [`rngs::StdRng`] (xoshiro256++ seeded via
+//! splitmix64). Statistical quality is more than adequate for the
+//! Monte-Carlo experiments in this workspace; it is **not** a
+//! cryptographic generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of randomness: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the stand-in for
+/// `rand`'s `StandardUniform` distribution).
+pub trait Random: Sized {
+    /// Draws one uniformly distributed value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly (the stand-in for `rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T>: Sized {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit: f64 = Random::random(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit: f32 = Random::random(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one uniformly distributed value of type `T`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Creates an RNG from OS entropy; this offline stand-in derives the
+    /// seed from the system clock instead.
+    fn from_os_rng() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED_5EED);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator — the stand-in for `rand`'s
+    /// `StdRng`. Not cryptographically secure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(N);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            let v = rng.random_range(0..3u8);
+            seen[v as usize] = true;
+            let f = rng.random_range(10.0..150.0f64);
+            assert!((10.0..150.0).contains(&f));
+            let i = rng.random_range(5..=9u32);
+            assert!((5..=9).contains(&i));
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let dyn_rng: &mut StdRng = &mut rng;
+        let _ = draw(dyn_rng);
+    }
+}
