@@ -9,7 +9,7 @@
 use qram_arch::Architecture;
 use qram_core::QramModel;
 use qram_metrics::{Capacity, Layers, TimingModel, Utilization};
-use qram_sched::{simulate_streams, QramServer, StreamWorkload};
+use qram_sched::{process_depth_from_ratio, simulate_streams, QramServer, StreamWorkload};
 
 /// Queries per synthetic algorithm (the paper repeats query+process 10×).
 pub const SYNTHETIC_ITERATIONS: u32 = 10;
@@ -32,7 +32,7 @@ pub struct SweepCell {
 fn sweep_cell_on_server(server: &QramServer, ratio: f64, parallel_count: u32) -> SweepCell {
     assert!(parallel_count >= 1, "at least one algorithm");
     assert!(ratio >= 0.0, "ratio must be non-negative");
-    let d = Layers::new(server.latency().get() * ratio);
+    let d = process_depth_from_ratio(server, ratio);
     let streams =
         vec![StreamWorkload::alternating(SYNTHETIC_ITERATIONS, d); parallel_count as usize];
     let report = simulate_streams(&streams, server);
@@ -197,6 +197,24 @@ mod tests {
             let bb = sweep_cell_on(&BucketBrigadeQram::new(capacity), &timing, ratio, p);
             assert_eq!(bb, cell(Architecture::BucketBrigade, ratio, p));
         }
+    }
+
+    #[test]
+    fn sharded_backend_sweeps_and_absorbs_more_parallelism() {
+        use qram_core::{FatTreeQram, ShardedQram};
+        let capacity = Capacity::new(1024).unwrap();
+        let timing = TimingModel::paper_default();
+        // Heavy pure-query contention (ratio 0, 30 algorithms): four
+        // shards quadruple admission bandwidth, so the sweep cell must be
+        // strictly shallower than the monolithic Fat-Tree's.
+        let mono = sweep_cell_on(&FatTreeQram::new(capacity), &timing, 0.0, 30);
+        let sharded = sweep_cell_on(&ShardedQram::fat_tree(capacity, 4), &timing, 0.0, 30);
+        assert!(
+            sharded.depth < mono.depth,
+            "sharded {} not below monolithic {}",
+            sharded.depth.get(),
+            mono.depth.get()
+        );
     }
 
     #[test]

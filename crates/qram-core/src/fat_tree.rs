@@ -104,11 +104,11 @@ impl QramModel for FatTreeQram {
         latency::fat_tree_pipeline_interval(timing)
     }
 
-    /// Query `q` retrieves at global layer `10q + 5n` (Fig. 6).
+    /// Query `q` retrieves at global layer `10q + 5n` (Fig. 6) — the
+    /// closed form of [`PipelineSchedule::timing`], evaluated directly so
+    /// batched execution never rebuilds a schedule per query.
     fn retrieval_layer(&self, query_index: usize) -> u64 {
-        self.pipeline(query_index + 1)
-            .timing(query_index)
-            .retrieval_layer
+        10 * query_index as u64 + 5 * u64::from(self.address_width())
     }
 
     /// Batched execution additionally validates that the pipelined

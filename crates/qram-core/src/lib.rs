@@ -17,6 +17,9 @@
 //!   architectures behind one lookup interface.
 //! * [`BucketBrigadeQram`] / [`FatTreeQram`] — the two architectures as
 //!   ready-to-use types.
+//! * [`ShardedQram`] — `K` shards of either architecture behind an
+//!   address-interleaved router, serving as one capacity-`N` backend with
+//!   `K×` admission bandwidth.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@ pub mod tree;
 
 mod bucket_brigade;
 mod fat_tree;
+mod sharded;
 
 pub use bucket_brigade::BucketBrigadeQram;
 pub use exec::{ExecError, Execution, GateCounts};
@@ -57,4 +61,5 @@ pub use fat_tree::FatTreeQram;
 pub use model::{execute_batch, QramModel};
 pub use ops::{GateClass, Op, QubitTag};
 pub use pipeline::{ConflictError, PipelineSchedule, QueryTiming};
+pub use sharded::ShardedQram;
 pub use tree::{NodeId, RouterId, TreeShape};

@@ -147,7 +147,9 @@ pub trait QramModel {
     /// ([`Self::retrieval_layer`]); `memory_updates` maps a global circuit
     /// layer to cell writes applied at that layer (modelling the classical
     /// memory swap of §7.2 of the paper). A query sees exactly the memory
-    /// contents current at its retrieval layer.
+    /// contents current at its retrieval layer, including an update whose
+    /// layer *equals* that retrieval layer (see [`execute_batch`] for the
+    /// tie semantics).
     ///
     /// # Errors
     ///
@@ -170,6 +172,19 @@ pub trait QramModel {
 /// [`QramModel::execute_queries`]: processes queries in retrieval order,
 /// applying each memory write at its layer, so every query observes the
 /// memory contents current at its own retrieval layer.
+///
+/// Retrieval layers are computed once per query up front (one
+/// [`QramModel::retrieval_layer`] call each), never inside the sort or the
+/// execution loop — backends may answer from a pipeline schedule, and a
+/// `B`-query batch must stay `O(B)` in schedule constructions.
+///
+/// # Tie semantics (§7.2)
+///
+/// An update whose layer exactly *equals* a query's retrieval layer **is
+/// visible** to that query: the classical memory swap of §7.2 completes
+/// within the swap step that precedes the query's CLASSICAL-GATES
+/// retrieval in the same circuit layer, so the write lands first. Updates
+/// strictly after the retrieval layer are seen only by later queries.
 ///
 /// # Errors
 ///
@@ -194,28 +209,66 @@ pub fn execute_batch<M: QramModel + ?Sized>(
     }
     let layers = model.query_layers();
     let mut mem = memory.clone();
-    let mut updates: Vec<&(u64, u64, u64)> = memory_updates.iter().collect();
-    updates.sort_by_key(|&&(layer, _, _)| layer);
-    let mut next_update = 0usize;
-    // Process queries in retrieval order, applying memory writes that land
-    // before each retrieval layer.
-    let mut order: Vec<usize> = (0..addresses.len()).collect();
-    order.sort_by_key(|&q| model.retrieval_layer(q));
+    let retrievals: Vec<u64> = (0..addresses.len())
+        .map(|q| model.retrieval_layer(q))
+        .collect();
     let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
-    for q in order {
-        let retrieval = model.retrieval_layer(q);
-        while next_update < updates.len() && updates[next_update].0 <= retrieval {
-            let &(_, addr, value) = updates[next_update];
-            mem.write(addr, value);
-            next_update += 1;
+    retrieval_order_sweep(&retrievals, memory_updates, |event| match event {
+        SweepEvent::Update { address, value } => {
+            mem.write(address, value);
+            Ok(())
         }
-        let exec = execute_layers(&layers, &mem, &addresses[q])?;
-        results[q] = Some(exec.outcome);
-    }
+        SweepEvent::Query(q) => {
+            let exec = execute_layers(&layers, &mem, &addresses[q])?;
+            results[q] = Some(exec.outcome);
+            Ok(())
+        }
+    })?;
     Ok(results
         .into_iter()
         .map(|r| r.expect("every query executed"))
         .collect())
+}
+
+/// One step of the §7.2 retrieval-order sweep of
+/// [`retrieval_order_sweep`].
+pub(crate) enum SweepEvent {
+    /// Deliver a classical memory write (global address, value).
+    Update {
+        /// The written global cell address.
+        address: u64,
+        /// The written value.
+        value: u64,
+    },
+    /// Execute query `q` against the memory contents delivered so far.
+    Query(usize),
+}
+
+/// The §7.2 retrieval-order sweep shared by [`execute_batch`] and the
+/// sharded backend: visits queries in ascending retrieval-layer order,
+/// delivering every pending memory update whose layer is `<=` the query's
+/// retrieval layer *before* that query executes. The `<=` is the tie
+/// rule — a write at exactly the retrieval layer IS visible — and lives
+/// only here, so both engines stay in lockstep.
+pub(crate) fn retrieval_order_sweep<E>(
+    retrievals: &[u64],
+    memory_updates: &[(u64, u64, u64)],
+    mut on_event: impl FnMut(SweepEvent) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut order: Vec<usize> = (0..retrievals.len()).collect();
+    order.sort_by_key(|&q| retrievals[q]);
+    let mut updates: Vec<&(u64, u64, u64)> = memory_updates.iter().collect();
+    updates.sort_by_key(|&&(layer, _, _)| layer);
+    let mut next_update = 0usize;
+    for q in order {
+        while next_update < updates.len() && updates[next_update].0 <= retrievals[q] {
+            let &(_, address, value) = updates[next_update];
+            on_event(SweepEvent::Update { address, value })?;
+            next_update += 1;
+        }
+        on_event(SweepEvent::Query(q))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -317,6 +370,43 @@ mod tests {
         let outs = bb.execute_queries(&mem, &addresses, &[(20, 4, 1)]).unwrap();
         assert_eq!(outs[0].data_for(4), Some(0));
         assert_eq!(outs[1].data_for(4), Some(1));
+    }
+
+    #[test]
+    fn update_at_exact_retrieval_layer_is_visible_on_both_backends() {
+        // §7.2 tie semantics: the classical swap completes within the swap
+        // step preceding retrieval in the same layer, so a write at layer
+        // == retrieval_layer(q) IS seen by query q; one layer later is not.
+        let (bb, ft) = models(8);
+        for model in [&bb as &dyn QramModel, &ft as &dyn QramModel] {
+            let mem = ClassicalMemory::zeros(8);
+            let addresses: Vec<AddressState> = (0..2)
+                .map(|_| AddressState::classical(3, 6).unwrap())
+                .collect();
+            let r0 = model.retrieval_layer(0);
+            // Write lands exactly at query 0's retrieval layer: visible.
+            let outs = model
+                .execute_queries(&mem, &addresses, &[(r0, 6, 1)])
+                .unwrap();
+            assert_eq!(outs[0].data_for(6), Some(1), "{}: tie write", model.name());
+            assert_eq!(outs[1].data_for(6), Some(1), "{}", model.name());
+            // One layer later: query 0 sees the old value, query 1 the new.
+            let outs = model
+                .execute_queries(&mem, &addresses, &[(r0 + 1, 6, 1)])
+                .unwrap();
+            assert_eq!(outs[0].data_for(6), Some(0), "{}: late write", model.name());
+            assert_eq!(outs[1].data_for(6), Some(1), "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn retrieval_layers_match_closed_forms() {
+        let (bb, ft) = models(8);
+        for q in 0..6 {
+            // Fat-Tree: 10q + 5n; BB: q(8n + 1) + 4n + 1 (n = 3).
+            assert_eq!(ft.retrieval_layer(q), 10 * q as u64 + 15);
+            assert_eq!(bb.retrieval_layer(q), q as u64 * 25 + 13);
+        }
     }
 
     #[test]

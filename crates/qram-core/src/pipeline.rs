@@ -9,8 +9,22 @@
 //! Fig. 6).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use qram_metrics::{Capacity, Layers, TimingModel, Utilization, UtilizationTrace};
+
+/// Process-wide count of [`PipelineSchedule`] constructions.
+static SCHEDULE_CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`PipelineSchedule`] values constructed since process start.
+///
+/// A diagnostic for regression tests: batched execution of a `B`-query
+/// batch must stay `O(B)` in schedule constructions (it was once
+/// `O(B log B)` from rebuilding a schedule inside a sort comparator).
+#[must_use]
+pub fn schedule_construction_count() -> u64 {
+    SCHEDULE_CONSTRUCTIONS.load(Ordering::Relaxed)
+}
 
 use crate::latency;
 use crate::ops::{Op, QubitTag};
@@ -85,6 +99,7 @@ impl PipelineSchedule {
     #[must_use]
     pub fn new(capacity: Capacity, num_queries: usize) -> Self {
         assert!(num_queries >= 1, "at least one query is required");
+        SCHEDULE_CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         PipelineSchedule {
             capacity,
             num_queries,
@@ -174,9 +189,16 @@ impl PipelineSchedule {
 
     /// The queries active during global gate step `t`, with their sub-QRAM
     /// positions.
+    ///
+    /// Only the queries whose active window `[2q + 1, 2q + 2n]` can contain
+    /// `t` are inspected, so one call is `O(log N)` regardless of batch
+    /// size (at most `n` queries are ever in flight).
     #[must_use]
     pub fn occupancy_at(&self, t: u64) -> Vec<(usize, u32)> {
-        (0..self.num_queries)
+        // Query q is active iff 2q + 1 <= t <= 2q + 2n.
+        let first = usize::try_from(t.saturating_sub(2 * self.n()).div_ceil(2)).expect("fits");
+        let last = usize::try_from(t.saturating_sub(1) / 2).expect("fits");
+        (first..=last.min(self.num_queries.saturating_sub(1)))
             .filter_map(|q| self.position_at(q, t).map(|p| (q, p)))
             .collect()
     }

@@ -167,6 +167,28 @@ mod tests {
     }
 
     #[test]
+    fn generic_bound_covers_sharded_backends() {
+        use qram_core::ShardedQram;
+        let rates = GateErrorRates::paper_default();
+        for (n, k) in [(64u64, 2u32), (1024, 4), (1024, 8)] {
+            let c = cap(n);
+            // The sharded machine's whole-query stream is the equivalent
+            // monolithic capacity-N stream (routing log₂ K bits plus one
+            // shard traversal), so the 2·log²(N) bound applies unchanged.
+            let sharded = query_infidelity_bound(&ShardedQram::fat_tree(c, k), &rates);
+            assert!(
+                (sharded - fat_tree_query_infidelity(c, &rates)).abs() < 1e-15,
+                "N={n} K={k}"
+            );
+            let bb = query_infidelity_bound(&ShardedQram::bucket_brigade(c, k), &rates);
+            assert!(
+                (bb - bb_query_infidelity(c, &rates)).abs() < 1e-15,
+                "N={n} K={k}"
+            );
+        }
+    }
+
+    #[test]
     fn infidelity_clamps_at_one() {
         let rates = GateErrorRates::new(0.5, 0.5, 0.5);
         assert_eq!(fat_tree_query_infidelity(cap(1 << 10), &rates), 1.0);

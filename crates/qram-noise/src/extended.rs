@@ -3,7 +3,7 @@
 //! injected through the instruction-level executor.
 //!
 //! The paper claims Fat-Tree QRAM "is compatible with the error-robust
-//! analysis in [41], where this error resilience is extended to more
+//! analysis in \[41\], where this error resilience is extended to more
 //! generic error models". This module measures that: even with imperfect
 //! router initialization and correlated bursts, the infidelity remains
 //! polylogarithmic in `N` because only faults touching *active* branches

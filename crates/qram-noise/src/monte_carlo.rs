@@ -160,6 +160,31 @@ mod tests {
     }
 
     #[test]
+    fn sharded_backend_estimates_track_the_monolithic_bound() {
+        use qram_core::ShardedQram;
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 4u32;
+        let cap = Capacity::from_address_width(n);
+        let rates = GateErrorRates::from_cswap_rate(5e-4);
+        let addr = AddressState::classical(n, 11).unwrap();
+        let est = estimate_query_fidelity(
+            &ShardedQram::fat_tree(cap, 4),
+            &memory(n),
+            &addr,
+            &rates,
+            4000,
+            &mut rng,
+        );
+        let empirical = 1.0 - est.mean();
+        let bound = bounds::fat_tree_query_infidelity(cap, &rates);
+        assert!(
+            empirical <= bound * 1.3,
+            "empirical {empirical} exceeds bound {bound}"
+        );
+        assert!(empirical > 0.0, "some trajectories must fault");
+    }
+
+    #[test]
     fn zero_rates_give_unit_fidelity() {
         let mut rng = StdRng::seed_from_u64(1);
         let qram = FatTreeQram::new(Capacity::new(8).unwrap());

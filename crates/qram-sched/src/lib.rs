@@ -37,5 +37,6 @@ pub use fifo::{schedule_fifo, schedule_in_order, QueryRequest, Schedule, Schedul
 pub use online::{poisson_arrivals, OnlineFifoScheduler, OutOfOrderArrival};
 pub use server::QramServer;
 pub use workload::{
-    simulate_streams, synthetic_algorithm_depth, Phase, QueryRecord, StreamReport, StreamWorkload,
+    process_depth_from_ratio, simulate_streams, synthetic_algorithm_depth, Phase, QueryRecord,
+    StreamReport, StreamWorkload,
 };

@@ -227,6 +227,55 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_arrivals_are_accepted_and_match_offline() {
+        // Equal arrival times are in order (not "out of order") and must
+        // schedule exactly as the offline FIFO pass does.
+        let requests: Vec<QueryRequest> = [0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 5.0]
+            .iter()
+            .enumerate()
+            .map(|(id, &a)| QueryRequest {
+                id,
+                arrival: Layers::new(a),
+            })
+            .collect();
+        let mut online = OnlineFifoScheduler::new(server());
+        for &r in &requests {
+            online.submit(r).unwrap();
+        }
+        assert_eq!(
+            online.finish().entries(),
+            schedule_fifo(&requests, &server()).entries()
+        );
+    }
+
+    #[test]
+    fn sharded_server_admits_at_divided_interval() {
+        use qram_core::{QramModel, ShardedQram};
+        use qram_metrics::TimingModel;
+        let timing = TimingModel::paper_default();
+        let sharded = ShardedQram::fat_tree(Capacity::new(256).unwrap(), 4);
+        let mut sched = OnlineFifoScheduler::new(QramServer::for_model(&sharded, &timing));
+        for id in 0..12 {
+            sched
+                .submit(QueryRequest {
+                    id,
+                    arrival: Layers::ZERO,
+                })
+                .unwrap();
+        }
+        let schedule = sched.finish();
+        let interval = sharded.admission_interval(&timing).get();
+        assert!((interval - 8.25 / 4.0).abs() < 1e-12);
+        for (k, entry) in schedule.entries().iter().enumerate() {
+            assert!(
+                (entry.start.get() - interval * k as f64).abs() < 1e-9,
+                "query {k} admitted at {}",
+                entry.start.get()
+            );
+        }
+    }
+
+    #[test]
     fn poisson_gaps_have_expected_mean() {
         let mut rng = StdRng::seed_from_u64(3);
         let arrivals = poisson_arrivals(0.1, 4000, &mut rng);

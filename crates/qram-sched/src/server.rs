@@ -194,6 +194,23 @@ mod tests {
     }
 
     #[test]
+    fn for_model_serves_sharded_backends() {
+        use qram_core::{FatTreeQram, QramModel, ShardedQram};
+        let timing = TimingModel::paper_default();
+        let sharded = ShardedQram::fat_tree(cap(4096), 4);
+        let server = QramServer::for_model(&sharded, &timing);
+        // 4 shards × log₂(1024) pipelined queries each.
+        assert_eq!(server.parallelism(), 40);
+        // Round-robin admission: the Fat-Tree interval divided by K.
+        assert_eq!(server.interval().get(), 8.25 / 4.0);
+        // A lookup still resolves all 12 address bits.
+        assert_eq!(
+            server.latency(),
+            FatTreeQram::new(cap(4096)).single_query_latency(&timing)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "parallelism")]
     fn zero_parallelism_rejected() {
         let _ = QramServer::new(0, Layers::new(1.0), Layers::new(1.0));

@@ -6,7 +6,7 @@
 //! [`QramServer`] under FIFO admission, reporting per-query timings, the
 //! overall algorithm depth (makespan), and the QRAM utilization staircase.
 
-use qram_metrics::{Layers, TimingModel, Utilization, UtilizationTrace};
+use qram_metrics::{Layers, Utilization, UtilizationTrace};
 
 use crate::server::QramServer;
 
@@ -257,8 +257,24 @@ pub fn synthetic_algorithm_depth(
 
 /// The `d` layers of a processing phase expressed as a multiple of the
 /// single-query latency `t₁` — the x-axis of Fig. 10.
+///
+/// The server's latency is already weighted by the timing model it was
+/// built with, so no separate timing parameter is needed (an earlier
+/// signature took one and silently ignored it).
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::Capacity;
+/// use qram_sched::{process_depth_from_ratio, QramServer};
+///
+/// let server = QramServer::fat_tree_integer_layers(Capacity::new(8)?);
+/// // d = 0.5 · t₁ = 0.5 · 29 integer layers.
+/// assert_eq!(process_depth_from_ratio(&server, 0.5).get(), 14.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[must_use]
-pub fn process_depth_from_ratio(server: &QramServer, ratio: f64, _timing: &TimingModel) -> Layers {
+pub fn process_depth_from_ratio(server: &QramServer, ratio: f64) -> Layers {
     Layers::new(server.latency().get() * ratio)
 }
 

@@ -2,20 +2,80 @@
 # Bench smoke run: executes one fast target per figure/table of the paper
 # plus the criterion micro-benchmarks, and writes a JSON perf baseline.
 #
-# Usage: scripts/bench_smoke.sh [output.json]   (default: BENCH_seed.json)
+# Usage: scripts/bench_smoke.sh [--targets t1,t2,...] [output.json]
+#   output.json defaults to BENCH_seed.json.
+#   --targets filters both the figure/table targets and the criterion
+#   targets (perf, sharded) by name, e.g. --targets fig9,sharded.
 #
 # Figure/table targets are plain reproduction binaries (harness = false)
-# whose wall time is recorded; the `perf` target runs the vendored
-# criterion harness with a reduced measurement budget and reports
+# whose wall time is recorded; the criterion targets run the vendored
+# criterion harness with a reduced measurement budget and report
 # ns/iter per benchmark via the CRITERION_JSON hook.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_seed.json}"
-mkdir -p "$(dirname "$OUT")" 2>/dev/null || true
 
 FIGURE_TARGETS=(fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
                 table1 table2 table3 table4 table5 ablation)
+CRITERION_TARGETS=(perf sharded)
+
+FILTER=""
+OUT=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --targets)
+            [ $# -ge 2 ] || { echo "--targets needs a comma-separated list" >&2; exit 2; }
+            FILTER="$2"
+            shift 2
+            ;;
+        --targets=*)
+            FILTER="${1#--targets=}"
+            shift
+            ;;
+        -*)
+            echo "unknown option: $1" >&2
+            exit 2
+            ;;
+        *)
+            [ -z "$OUT" ] || { echo "unexpected extra argument: $1" >&2; exit 2; }
+            OUT="$1"
+            shift
+            ;;
+    esac
+done
+OUT="${OUT:-BENCH_seed.json}"
+mkdir -p "$(dirname "$OUT")" 2>/dev/null || true
+
+# A typo in --targets must fail loudly, not record an empty baseline.
+# Exact string comparison: glob metacharacters in an entry must not
+# sneak past validation only to match nothing in selected().
+if [ -n "$FILTER" ]; then
+    IFS=',' read -ra FILTER_ENTRIES <<<"$FILTER"
+    for entry in "${FILTER_ENTRIES[@]}"; do
+        known=false
+        for target in "${FIGURE_TARGETS[@]}" "${CRITERION_TARGETS[@]}"; do
+            if [ "$entry" = "$target" ]; then
+                known=true
+                break
+            fi
+        done
+        if [ "$known" = false ]; then
+            echo "unknown target in --targets: '$entry'" >&2
+            echo "known targets: ${FIGURE_TARGETS[*]} ${CRITERION_TARGETS[*]}" >&2
+            exit 2
+        fi
+    done
+fi
+
+# Applies the --targets filter (no filter = keep everything).
+selected() {
+    local target="$1"
+    [ -z "$FILTER" ] && return 0
+    case ",$FILTER," in
+        *",$target,"*) return 0 ;;
+        *) return 1 ;;
+    esac
+}
 
 echo "== building bench targets =="
 cargo bench -p qram-bench --no-run >/dev/null 2>&1
@@ -25,6 +85,7 @@ TMP_CRIT="$(mktemp)"
 trap 'rm -f "$TMP_WALL" "$TMP_CRIT"' EXIT
 
 for target in "${FIGURE_TARGETS[@]}"; do
+    selected "$target" || continue
     start="$(date +%s.%N)"
     if cargo bench -p qram-bench --bench "$target" >/dev/null 2>&1; then
         ok=true
@@ -36,9 +97,12 @@ for target in "${FIGURE_TARGETS[@]}"; do
     echo "ran $target"
 done
 
-echo "== criterion micro-benchmarks (reduced budget) =="
-CRITERION_JSON="$TMP_CRIT" CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-60}" \
-    cargo bench -p qram-bench --bench perf 2>/dev/null | grep '^bench:' || true
+for target in "${CRITERION_TARGETS[@]}"; do
+    selected "$target" || continue
+    echo "== criterion micro-benchmarks: $target (reduced budget) =="
+    CRITERION_JSON="$TMP_CRIT" CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-60}" \
+        cargo bench -p qram-bench --bench "$target" 2>/dev/null | grep '^bench:' || true
+done
 
 python3 - "$OUT" "$TMP_WALL" "$TMP_CRIT" <<'EOF'
 import json, subprocess, sys

@@ -1,11 +1,15 @@
 //! Property-based tests over the core invariants of the reproduction.
 
-use fat_tree_qram::core::{BucketBrigadeQram, FatTreeQram, PipelineSchedule, QramModel};
+use fat_tree_qram::core::{
+    BucketBrigadeQram, FatTreeQram, PipelineSchedule, QramModel, ShardedQram,
+};
 use fat_tree_qram::metrics::{Capacity, Layers};
 use fat_tree_qram::noise::distilled_infidelity;
 use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
 use fat_tree_qram::qsim::Complex;
-use fat_tree_qram::sched::{schedule_fifo, schedule_in_order, QramServer, QueryRequest};
+use fat_tree_qram::sched::{
+    schedule_fifo, schedule_in_order, OnlineFifoScheduler, QramServer, QueryRequest,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -74,6 +78,85 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// A sharded Fat-Tree of any shard count is observably equivalent to
+    /// the monolithic machine of equal total capacity: batched execution
+    /// over random memories and random address superpositions reproduces
+    /// `ideal_query` per query and matches the monolithic outcome
+    /// query-for-query (the sharded serving backend's acceptance
+    /// criterion).
+    #[test]
+    fn sharded_fat_tree_matches_monolith_and_ideal(
+        n in 3u32..=6,
+        k_exp in 1u32..=3,
+        seed_cells in prop::collection::vec(0u64..2, 1..64),
+        query_picks in prop::collection::vec(prop::collection::vec(0u64..64, 1..5), 1..6),
+    ) {
+        let capacity = 1u64 << n;
+        // K ∈ {2, 4, 8}, clamped so each shard keeps ≥ 1 address bit.
+        let k = 1u32 << k_exp.min(n - 1);
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addresses: Vec<AddressState> = query_picks
+            .iter()
+            .map(|picks| {
+                let mut a: Vec<u64> = picks.iter().map(|p| p % capacity).collect();
+                a.sort_unstable();
+                a.dedup();
+                AddressState::uniform(n, &a).unwrap()
+            })
+            .collect();
+        let cap = Capacity::new(capacity).unwrap();
+        let sharded = ShardedQram::fat_tree(cap, k);
+        let monolith = FatTreeQram::new(cap);
+        let sharded_outs = sharded.execute_queries(&memory, &addresses, &[]).unwrap();
+        let mono_outs = monolith.execute_queries(&memory, &addresses, &[]).unwrap();
+        prop_assert_eq!(sharded_outs.len(), addresses.len());
+        for ((address, s_out), m_out) in addresses.iter().zip(&sharded_outs).zip(&mono_outs) {
+            let ideal = memory.ideal_query(address);
+            prop_assert!(
+                (s_out.fidelity(&ideal) - 1.0).abs() < 1e-9,
+                "K={} diverges from ideal semantics", k
+            );
+            prop_assert!(
+                (s_out.fidelity(m_out) - 1.0).abs() < 1e-9,
+                "K={} diverges from the monolithic outcome", k
+            );
+        }
+    }
+
+    /// The online FIFO scheduler equals the offline FIFO schedule on
+    /// arrival sequences containing *duplicate* arrival times and bursts
+    /// larger than the pipeline parallelism — not just strictly increasing
+    /// Poisson arrivals.
+    #[test]
+    fn online_fifo_matches_offline_on_bursty_duplicate_arrivals(
+        gaps in prop::collection::vec(0u32..3, 2..40),
+        burst in 2usize..=20,
+        n_exp in 2u32..=6,
+    ) {
+        // Mostly-zero gaps create duplicate arrival times; the leading
+        // burst at t = 0 exceeds parallelism (log₂ N ≤ 6 < burst ≤ 20
+        // whenever burst > n_exp).
+        let mut requests: Vec<QueryRequest> = Vec::new();
+        for _ in 0..burst {
+            requests.push(QueryRequest { id: requests.len(), arrival: Layers::ZERO });
+        }
+        let mut t = 0.0;
+        for &gap in &gaps {
+            t += f64::from(gap);
+            requests.push(QueryRequest { id: requests.len(), arrival: Layers::new(t) });
+        }
+        let server = QramServer::fat_tree_integer_layers(Capacity::from_address_width(n_exp));
+        let mut online = OnlineFifoScheduler::new(server);
+        for &r in &requests {
+            online.submit(r).unwrap();
+        }
+        let online_schedule = online.finish();
+        let offline = schedule_fifo(&requests, &server);
+        prop_assert_eq!(online_schedule.entries(), offline.entries());
     }
 
     /// Executing the generated Fat-Tree instruction stream over any
