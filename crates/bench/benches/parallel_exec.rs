@@ -1,0 +1,98 @@
+//! Branch/shard-parallel execution A/B: the same 4096-branch query (and
+//! the same sharded superposed batch) timed through the sequential
+//! reference path and through the dispatching entry point that fans out
+//! across scoped threads when the `parallel` cargo feature is enabled.
+//!
+//! Run with the feature to measure the speedup:
+//!
+//! ```text
+//! cargo bench -p qram-bench --features parallel --bench parallel_exec
+//! ```
+//!
+//! Without the feature both sides take the sequential path, so the pair
+//! doubles as a no-regression pin on the dispatch overhead. Worker count
+//! follows `QRAM_NUM_THREADS` (default: available parallelism) — on a
+//! single-core host the parallel side cannot win and the printed
+//! environment line records why.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qram_core::exec::{execute_layers, execute_layers_sequential};
+use qram_core::{FatTreeQram, QramModel, ShardedQram};
+use qram_metrics::Capacity;
+use qsim::branch::{AddressState, ClassicalMemory};
+
+const N: u64 = 4096;
+const ADDRESS_WIDTH: u32 = 12;
+
+fn memory() -> ClassicalMemory {
+    let cells: Vec<u64> = (0..N).map(|i| (i * 7 + 3) % 2).collect();
+    ClassicalMemory::from_words(1, &cells).expect("valid memory")
+}
+
+fn print_environment() {
+    // Mirrors exec::parallel_worker_count (pub(crate) there), including
+    // the >= 1 filter, so the printed environment matches the dispatcher.
+    let workers = std::env::var("QRAM_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+    println!(
+        "== parallel_execution A/B: feature `parallel` {}, {} worker thread(s) ==",
+        if cfg!(feature = "parallel") {
+            "ENABLED"
+        } else {
+            "disabled"
+        },
+        workers
+    );
+}
+
+/// One query over the full 4096-branch superposition: the headline
+/// branch-parallel target. `4096branch` dispatches (parallel with the
+/// feature), `4096branch_seq` pins the sequential reference.
+fn bench_branch_parallel(c: &mut Criterion) {
+    print_environment();
+    let mut group = c.benchmark_group("parallel_execution");
+    let mem = memory();
+    let qram = FatTreeQram::new(Capacity::new(N).expect("power of two"));
+    let layers = qram.interned_query_layers();
+    let address = AddressState::full_superposition(ADDRESS_WIDTH);
+    group.bench_function("4096branch", |b| {
+        b.iter(|| execute_layers(&layers, &mem, &address).expect("valid stream"))
+    });
+    group.bench_function("4096branch_seq", |b| {
+        b.iter(|| execute_layers_sequential(&layers, &mem, &address).expect("valid stream"))
+    });
+
+    // Second parallel axis: per-shard sub-batches of a sharded backend.
+    // 8 queries, each a 512-branch superposition spanning all 8 shards.
+    let sharded = ShardedQram::fat_tree(Capacity::new(N).expect("power of two"), 8);
+    let addresses: Vec<AddressState> = (0..8u64)
+        .map(|q| {
+            let addrs: Vec<u64> = (0..512u64).map(|b| (q * 31 + b * 7) % N).collect();
+            let mut addrs = addrs;
+            addrs.sort_unstable();
+            addrs.dedup();
+            AddressState::uniform(ADDRESS_WIDTH, &addrs).expect("valid superposition")
+        })
+        .collect();
+    group.bench_function("sharded_k8_8x512branch", |b| {
+        b.iter(|| {
+            sharded
+                .execute_queries(&mem, &addresses, &[])
+                .expect("batch executes")
+        })
+    });
+    group.bench_function("sharded_k8_8x512branch_seq", |b| {
+        b.iter(|| {
+            sharded
+                .execute_queries_sequential(&mem, &addresses, &[])
+                .expect("batch executes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_parallel);
+criterion_main!(benches);

@@ -1,7 +1,10 @@
 //! The Bucket-Brigade QRAM baseline (Giovannetti et al. 2008; §2.2).
 
+use std::sync::Arc;
+
 use qram_metrics::{Capacity, Layers, TimingModel};
 
+use crate::exec::{interned_layers, LayerArch};
 use crate::latency;
 use crate::model::QramModel;
 use crate::query_ops::{bb_query_layers, bb_stage_finish_layers, QueryLayer};
@@ -78,6 +81,12 @@ impl QramModel for BucketBrigadeQram {
     /// The layered instruction stream of one query (Alg. 2 + CG + Alg. 3).
     fn query_layers(&self) -> Vec<QueryLayer> {
         bb_query_layers(self.address_width())
+    }
+
+    /// The interned per-capacity stream: generated once per process,
+    /// shared by every batch and fidelity estimate at this capacity.
+    fn interned_query_layers(&self) -> Arc<[QueryLayer]> {
+        interned_layers(LayerArch::BucketBrigade, self.address_width())
     }
 
     /// Integer circuit-layer count of a single query: `8n + 1`.

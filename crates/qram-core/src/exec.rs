@@ -9,13 +9,26 @@
 //! before retrieval, and the tree must be returned to the all-`|W⟩` state),
 //! and produces the resulting [`QueryOutcome`] together with per-class gate
 //! counts used by the fidelity analysis (§8.1).
+//!
+//! Two hot-path services live here alongside the executor:
+//!
+//! * [`interned_layers`] — a process-wide intern table of per-capacity
+//!   instruction streams, so batch execution and the fidelity estimators
+//!   stop re-generating (and re-allocating) the same layered stream on
+//!   every call.
+//! * Branch-parallel execution (the `parallel` cargo feature) — branches
+//!   of a superposed query are independent `BranchMachine` runs, so
+//!   [`execute_layers`] fans them out across scoped threads once the
+//!   branch count crosses [`PARALLEL_BRANCH_THRESHOLD`].
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
 use crate::ops::{GateClass, Op, QubitTag};
-use crate::query_ops::QueryLayer;
+use crate::query_ops::{bb_query_layers, fat_tree_query_layers, QueryLayer};
 
 /// Gate counts per hardware class accumulated along one query branch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -293,8 +306,104 @@ pub struct Execution {
     pub gate_counts: GateCounts,
 }
 
+/// The architectures whose instruction streams are globally interned —
+/// the key space of [`interned_layers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerArch {
+    /// Bucket-brigade stream ([`bb_query_layers`]).
+    BucketBrigade,
+    /// Fat-Tree stream ([`fat_tree_query_layers`]).
+    FatTree,
+}
+
+/// The per-capacity single-query instruction stream of `arch`, interned in
+/// a process-wide table: the first call for an `(arch, n)` pair generates
+/// the layered stream once, every later call returns a cheap [`Arc`]
+/// clone. Batch execution and the fidelity estimators call this through
+/// [`QramModel::interned_query_layers`], so the stream is no longer
+/// re-allocated per query or per Monte-Carlo estimate.
+///
+/// Streams are immutable and small (`O(log² N)` ops), so the table is
+/// never evicted; with capacities up to `2^20` it holds at most 40
+/// entries per process.
+///
+/// [`QramModel::interned_query_layers`]: crate::QramModel::interned_query_layers
+///
+/// # Panics
+///
+/// Panics if `n == 0` (no zero-width address registers).
+#[must_use]
+pub fn interned_layers(arch: LayerArch, n: u32) -> Arc<[QueryLayer]> {
+    type InternTable = Mutex<HashMap<(LayerArch, u32), Arc<[QueryLayer]>>>;
+    static TABLE: OnceLock<InternTable> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = table.lock().expect("layer intern table poisoned");
+    Arc::clone(map.entry((arch, n)).or_insert_with(|| {
+        match arch {
+            LayerArch::BucketBrigade => bb_query_layers(n),
+            LayerArch::FatTree => fat_tree_query_layers(n),
+        }
+        .into()
+    }))
+}
+
+/// Data word and gate counts of one completed branch, or the violation
+/// that aborted it.
+type BranchResult = Result<(u64, GateCounts), ExecError>;
+
+/// Runs one branch (a fixed classical address) through the full stream.
+fn run_branch(
+    n: u32,
+    address: u64,
+    layers: &[QueryLayer],
+    memory: &ClassicalMemory,
+) -> BranchResult {
+    let mut machine = BranchMachine::new(n, address, memory);
+    for (layer_idx, layer) in layers.iter().enumerate() {
+        for &op in &layer.ops {
+            machine.apply(layer_idx + 1, op)?;
+        }
+    }
+    machine.finish(layers.len())
+}
+
+/// Branch count below which [`execute_layers`] stays sequential even with
+/// the `parallel` feature enabled: spawning scoped threads costs a few
+/// microseconds, which only pays for itself once each worker gets a
+/// meaningful slice of branches.
+pub const PARALLEL_BRANCH_THRESHOLD: usize = 64;
+
+/// Worker threads used by branch-parallel execution: the
+/// `QRAM_NUM_THREADS` environment variable when set (useful for A/B
+/// speedup measurements), otherwise [`std::thread::available_parallelism`].
+/// Read once per process and cached — changing the variable after the
+/// first dispatch has no effect, and the hot path never touches the
+/// (lock-guarded, and on glibc mutation-unsafe) process environment again.
+#[cfg(feature = "parallel")]
+pub(crate) fn parallel_worker_count() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("QRAM_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+    })
+}
+
 /// Executes a single-query instruction stream over an address superposition
 /// against a classical memory.
+///
+/// With the `parallel` cargo feature enabled, superpositions of at least
+/// [`PARALLEL_BRANCH_THRESHOLD`] branches fan out across scoped worker
+/// threads (`execute_layers_parallel`, only compiled with the feature);
+/// otherwise (and always without the feature) execution is sequential.
+/// Both paths run the identical
+/// per-branch machine and combine branches in address order, so the
+/// returned [`Execution`] — including which [`ExecError`] surfaces when a
+/// stream is malformed — is bit-for-bit independent of the path taken.
 ///
 /// # Errors
 ///
@@ -309,6 +418,31 @@ pub fn execute_layers(
     memory: &ClassicalMemory,
     address: &AddressState,
 ) -> Result<Execution, ExecError> {
+    #[cfg(feature = "parallel")]
+    {
+        if address.num_branches() >= PARALLEL_BRANCH_THRESHOLD && parallel_worker_count() > 1 {
+            return execute_layers_parallel(layers, memory, address);
+        }
+    }
+    execute_layers_sequential(layers, memory, address)
+}
+
+/// [`execute_layers`] pinned to the sequential path — the reference
+/// implementation the parallel path is property-tested against, and the
+/// baseline side of the `parallel_execution` A/B benchmark.
+///
+/// # Errors
+///
+/// See [`execute_layers`].
+///
+/// # Panics
+///
+/// Panics if the address width of `address` does not match the memory.
+pub fn execute_layers_sequential(
+    layers: &[QueryLayer],
+    memory: &ClassicalMemory,
+    address: &AddressState,
+) -> Result<Execution, ExecError> {
     let n = memory.address_width();
     assert_eq!(
         address.address_width(),
@@ -318,13 +452,71 @@ pub fn execute_layers(
     let mut terms = Vec::with_capacity(address.num_branches());
     let mut counts: Option<GateCounts> = None;
     for &(amp, addr) in address.iter() {
-        let mut machine = BranchMachine::new(n, addr, memory);
-        for (layer_idx, layer) in layers.iter().enumerate() {
-            for &op in &layer.ops {
-                machine.apply(layer_idx + 1, op)?;
-            }
+        let (data, branch_counts) = run_branch(n, addr, layers, memory)?;
+        debug_assert!(
+            counts.is_none() || counts == Some(branch_counts),
+            "gate counts must be branch-independent"
+        );
+        counts = Some(branch_counts);
+        terms.push((amp, addr, data));
+    }
+    Ok(Execution {
+        outcome: QueryOutcome::from_terms(n, memory.bus_width(), terms),
+        gate_counts: counts.expect("at least one branch"),
+    })
+}
+
+/// [`execute_layers`] pinned to the branch-parallel path: branches are
+/// split into contiguous chunks, one scoped worker thread per chunk, and
+/// recombined in address order. Deterministic: the outcome, gate counts,
+/// and any reported error are identical to [`execute_layers_sequential`]
+/// (errors are surfaced for the earliest branch in address order, even
+/// when a later chunk's worker fails first in wall-clock time).
+///
+/// # Errors
+///
+/// See [`execute_layers`].
+///
+/// # Panics
+///
+/// Panics if the address width of `address` does not match the memory.
+#[cfg(feature = "parallel")]
+pub fn execute_layers_parallel(
+    layers: &[QueryLayer],
+    memory: &ClassicalMemory,
+    address: &AddressState,
+) -> Result<Execution, ExecError> {
+    let n = memory.address_width();
+    assert_eq!(
+        address.address_width(),
+        n,
+        "address width must match memory capacity"
+    );
+    let branches = address.terms();
+    let workers = parallel_worker_count();
+    // Contiguous chunks, at least a threshold's worth of work per worker.
+    let chunk_size = branches
+        .len()
+        .div_ceil(workers)
+        .max(PARALLEL_BRANCH_THRESHOLD / 2)
+        .max(1);
+    let mut results: Vec<Option<BranchResult>> = vec![None; branches.len()];
+    std::thread::scope(|scope| {
+        for (chunk, slots) in branches
+            .chunks(chunk_size)
+            .zip(results.chunks_mut(chunk_size))
+        {
+            scope.spawn(move || {
+                for (&(_, addr), slot) in chunk.iter().zip(slots.iter_mut()) {
+                    *slot = Some(run_branch(n, addr, layers, memory));
+                }
+            });
         }
-        let (data, branch_counts) = machine.finish(layers.len())?;
+    });
+    let mut terms = Vec::with_capacity(branches.len());
+    let mut counts: Option<GateCounts> = None;
+    for (&(amp, addr), result) in branches.iter().zip(results) {
+        let (data, branch_counts) = result.expect("every branch executed")?;
         debug_assert!(
             counts.is_none() || counts == Some(branch_counts),
             "gate counts must be branch-independent"
@@ -498,6 +690,63 @@ mod tests {
             // CSWAP count identical to BB (same gate steps).
             assert_eq!(exec.gate_counts.cswap, n64 * n64 + n64);
         }
+    }
+
+    #[test]
+    fn interned_layers_match_generators_and_share_storage() {
+        for n in 1..=8u32 {
+            let bb = interned_layers(LayerArch::BucketBrigade, n);
+            assert_eq!(bb.as_ref(), bb_query_layers(n).as_slice());
+            let ft = interned_layers(LayerArch::FatTree, n);
+            assert_eq!(ft.as_ref(), fat_tree_query_layers(n).as_slice());
+            // Second lookup returns the same allocation, not a copy.
+            let bb2 = interned_layers(LayerArch::BucketBrigade, n);
+            assert!(Arc::ptr_eq(&bb, &bb2), "n={n}: intern table must share");
+        }
+    }
+
+    #[test]
+    fn interned_layers_execute_identically_to_generated() {
+        let mem = memory8();
+        let addr = AddressState::full_superposition(3);
+        let generated = execute_layers(&fat_tree_query_layers(3), &mem, &addr).unwrap();
+        let interned =
+            execute_layers(&interned_layers(LayerArch::FatTree, 3), &mem, &addr).unwrap();
+        assert_eq!(generated, interned);
+    }
+
+    #[test]
+    fn sequential_path_matches_dispatching_entry_point_above_threshold() {
+        // 128 branches ≥ PARALLEL_BRANCH_THRESHOLD: with the `parallel`
+        // feature this exercises the scoped-thread path and pins its
+        // equality to the sequential reference; without the feature both
+        // calls take the sequential path and the test is a tautology.
+        let n = 7u32;
+        let cells: Vec<u64> = (0..(1u64 << n)).map(|i| (i * 3 + 1) % 2).collect();
+        let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addr = AddressState::full_superposition(n);
+        assert!(addr.num_branches() >= PARALLEL_BRANCH_THRESHOLD);
+        for layers in [bb_query_layers(n), fat_tree_query_layers(n)] {
+            let seq = execute_layers_sequential(&layers, &mem, &addr).unwrap();
+            let auto = execute_layers(&layers, &mem, &addr).unwrap();
+            assert_eq!(seq, auto);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_path_reports_same_error_as_sequential() {
+        // Corrupt the stream so every branch fails: both paths must report
+        // the identical (earliest-layer) error deterministically.
+        let n = 7u32;
+        let cells: Vec<u64> = vec![0; 1 << n];
+        let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addr = AddressState::full_superposition(n);
+        let mut layers = bb_query_layers(n);
+        layers[1].ops.push(Op::Store(0)); // double store
+        let seq = execute_layers_sequential(&layers, &mem, &addr).unwrap_err();
+        let par = execute_layers_parallel(&layers, &mem, &addr).unwrap_err();
+        assert_eq!(seq, par);
     }
 
     #[test]

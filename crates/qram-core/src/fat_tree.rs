@@ -3,7 +3,9 @@
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
-use crate::exec::ExecError;
+use std::sync::Arc;
+
+use crate::exec::{interned_layers, ExecError, LayerArch};
 use crate::latency;
 use crate::model::{execute_batch, QramModel};
 use crate::pipeline::PipelineSchedule;
@@ -86,6 +88,12 @@ impl QramModel for FatTreeQram {
     /// swap steps (Fig. 12).
     fn query_layers(&self) -> Vec<QueryLayer> {
         fat_tree_query_layers(self.address_width())
+    }
+
+    /// The interned per-capacity stream: generated once per process,
+    /// shared by every batch and fidelity estimate at this capacity.
+    fn interned_query_layers(&self) -> Arc<[QueryLayer]> {
+        interned_layers(LayerArch::FatTree, self.address_width())
     }
 
     /// Integer circuit-layer count of a single query: `10n − 1`.

@@ -56,9 +56,13 @@ mod fat_tree;
 mod sharded;
 
 pub use bucket_brigade::BucketBrigadeQram;
-pub use exec::{ExecError, Execution, GateCounts};
+pub use exec::{
+    interned_layers, ExecError, Execution, GateCounts, LayerArch, PARALLEL_BRANCH_THRESHOLD,
+};
 pub use fat_tree::FatTreeQram;
-pub use model::{execute_batch, QramModel};
+pub use model::{
+    execute_batch, execute_batch_traced, execute_batch_unmemoized, BatchCacheStats, QramModel,
+};
 pub use ops::{GateClass, Op, QubitTag};
 pub use pipeline::{ConflictError, PipelineSchedule, QueryTiming};
 pub use sharded::ShardedQram;

@@ -32,6 +32,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
@@ -66,6 +69,18 @@ pub trait QramModel {
 
     /// The layered instruction stream of one query.
     fn query_layers(&self) -> Vec<QueryLayer>;
+
+    /// The layered instruction stream of one query as a shared, cached
+    /// allocation — what every hot path (batched execution, fidelity
+    /// estimators) should consume instead of [`Self::query_layers`].
+    ///
+    /// The default builds the stream once per call; the built-in backends
+    /// override it to return a clone of the process-wide intern table
+    /// entry ([`crate::exec::interned_layers`]), making repeated calls
+    /// allocation-free.
+    fn interned_query_layers(&self) -> Arc<[QueryLayer]> {
+        self.query_layers().into()
+    }
 
     /// Integer circuit-layer count of a single query.
     fn single_query_layers_integer(&self) -> u64;
@@ -137,7 +152,7 @@ pub trait QramModel {
             self.capacity().get(),
             "memory capacity must match QRAM capacity"
         );
-        execute_layers(&self.query_layers(), memory, address)
+        execute_layers(&self.interned_query_layers(), memory, address)
     }
 
     /// Executes a batch of back-to-back queries against a shared memory,
@@ -168,6 +183,30 @@ pub trait QramModel {
     }
 }
 
+/// Hit/miss counters of the per-batch query-outcome memo cache of
+/// [`execute_batch_traced`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchCacheStats {
+    /// Queries answered from the memo cache (no instruction-stream walk).
+    pub hits: u64,
+    /// Queries that executed the instruction stream.
+    pub misses: u64,
+}
+
+impl BatchCacheStats {
+    /// Fraction of queries answered from the cache (`0.0` for an empty
+    /// batch).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Shared batched-execution engine behind
 /// [`QramModel::execute_queries`]: processes queries in retrieval order,
 /// applying each memory write at its layer, so every query observes the
@@ -176,7 +215,23 @@ pub trait QramModel {
 /// Retrieval layers are computed once per query up front (one
 /// [`QramModel::retrieval_layer`] call each), never inside the sort or the
 /// execution loop — backends may answer from a pipeline schedule, and a
-/// `B`-query batch must stay `O(B)` in schedule constructions.
+/// `B`-query batch must stay `O(B)` in schedule constructions. The
+/// instruction stream is taken from
+/// [`QramModel::interned_query_layers`], so it is generated at most once
+/// per process rather than once per batch.
+///
+/// # Memoization
+///
+/// Branch data is a pure function of the memory contents and the address
+/// set, so outcomes are memoized within the batch keyed on
+/// `(write_epoch, address set)`: a query whose address set was already
+/// executed against the same memory epoch reuses the cached per-address
+/// data (amplitudes are applied per query, so superpositions with
+/// different amplitudes over the same addresses still hit). Every memory
+/// update bumps the epoch ([`ClassicalMemory::write_epoch`]), which
+/// invalidates the whole cache — exactly the §7.2 semantics. Repeated
+/// classical addresses across a batch (the common serving pattern) hit
+/// the cache; hit rates are observable through [`execute_batch_traced`].
 ///
 /// # Tie semantics (§7.2)
 ///
@@ -199,35 +254,138 @@ pub fn execute_batch<M: QramModel + ?Sized>(
     addresses: &[AddressState],
     memory_updates: &[(u64, u64, u64)],
 ) -> Result<Vec<QueryOutcome>, ExecError> {
+    execute_batch_traced(model, memory, addresses, memory_updates).map(|(outcomes, _)| outcomes)
+}
+
+/// [`execute_batch`] with the memo-cache hit/miss counters alongside the
+/// outcomes — the instrumented entry point behind the Zipf cache-hit-rate
+/// benchmark.
+///
+/// # Errors
+///
+/// See [`execute_batch`].
+///
+/// # Panics
+///
+/// Panics if the memory capacity mismatches the QRAM capacity.
+pub fn execute_batch_traced<M: QramModel + ?Sized>(
+    model: &M,
+    memory: &ClassicalMemory,
+    addresses: &[AddressState],
+    memory_updates: &[(u64, u64, u64)],
+) -> Result<(Vec<QueryOutcome>, BatchCacheStats), ExecError> {
+    execute_batch_impl(model, memory, addresses, memory_updates, true)
+}
+
+/// [`execute_batch`] with memoization disabled: every query walks the
+/// instruction stream, even for a repeated `(epoch, address set)`. The
+/// reference side of the memoization A/B (property tests and the
+/// `cache_hit_rate` benchmark) — the same sweep as [`execute_batch`] with
+/// only the cache lookup disabled, so the two cannot drift apart.
+///
+/// # Errors
+///
+/// See [`execute_batch`].
+///
+/// # Panics
+///
+/// Panics if the memory capacity mismatches the QRAM capacity.
+pub fn execute_batch_unmemoized<M: QramModel + ?Sized>(
+    model: &M,
+    memory: &ClassicalMemory,
+    addresses: &[AddressState],
+    memory_updates: &[(u64, u64, u64)],
+) -> Result<Vec<QueryOutcome>, ExecError> {
+    execute_batch_impl(model, memory, addresses, memory_updates, false)
+        .map(|(outcomes, _)| outcomes)
+}
+
+/// The shared §7.2 sweep behind [`execute_batch_traced`] (memoize = true)
+/// and [`execute_batch_unmemoized`] (memoize = false): one body, so the
+/// reference path cannot silently diverge from the cached path.
+fn execute_batch_impl<M: QramModel + ?Sized>(
+    model: &M,
+    memory: &ClassicalMemory,
+    addresses: &[AddressState],
+    memory_updates: &[(u64, u64, u64)],
+    memoize: bool,
+) -> Result<(Vec<QueryOutcome>, BatchCacheStats), ExecError> {
     assert_eq!(
         memory.capacity() as u64,
         model.capacity().get(),
         "memory capacity must match QRAM capacity"
     );
     if addresses.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), BatchCacheStats::default()));
     }
-    let layers = model.query_layers();
+    let layers = model.interned_query_layers();
+    let n = memory.address_width();
+    let bus_width = memory.bus_width();
     let mut mem = memory.clone();
     let retrievals: Vec<u64> = (0..addresses.len())
         .map(|q| model.retrieval_layer(q))
         .collect();
     let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
+    // (write epoch, address set) → per-address data in address order. The
+    // cached value intentionally excludes amplitudes: data depends only on
+    // the memory and the addresses, so any superposition over the same
+    // address set reuses it.
+    let mut memo: HashMap<(u64, Vec<u64>), Arc<[u64]>> = HashMap::new();
+    let mut stats = BatchCacheStats::default();
     retrieval_order_sweep(&retrievals, memory_updates, |event| match event {
         SweepEvent::Update { address, value } => {
             mem.write(address, value);
             Ok(())
         }
         SweepEvent::Query(q) => {
-            let exec = execute_layers(&layers, &mem, &addresses[q])?;
-            results[q] = Some(exec.outcome);
+            let address = &addresses[q];
+            // The miss path asserts this inside `execute_layers`; repeat
+            // it here so a width-mismatched query also panics when it
+            // would otherwise be answered from the cache.
+            assert_eq!(
+                address.address_width(),
+                n,
+                "address width must match memory capacity"
+            );
+            let data: Arc<[u64]> = if memoize {
+                let key = (
+                    mem.write_epoch(),
+                    address.iter().map(|&(_, a)| a).collect::<Vec<u64>>(),
+                );
+                if let Some(cached) = memo.get(&key) {
+                    stats.hits += 1;
+                    Arc::clone(cached)
+                } else {
+                    stats.misses += 1;
+                    let exec = execute_layers(&layers, &mem, address)?;
+                    let data: Arc<[u64]> = exec.outcome.iter().map(|&(_, _, d)| d).collect();
+                    memo.insert(key, Arc::clone(&data));
+                    data
+                }
+            } else {
+                stats.misses += 1;
+                let exec = execute_layers(&layers, &mem, address)?;
+                exec.outcome.iter().map(|&(_, _, d)| d).collect()
+            };
+            // Outcome terms and cached data share the address ordering of
+            // `AddressState` (sorted ascending), so a positional zip
+            // reattaches this query's amplitudes.
+            let terms: Vec<_> = address
+                .iter()
+                .zip(data.iter())
+                .map(|(&(amp, addr), &d)| (amp, addr, d))
+                .collect();
+            results[q] = Some(QueryOutcome::from_terms(n, bus_width, terms));
             Ok(())
         }
     })?;
-    Ok(results
-        .into_iter()
-        .map(|r| r.expect("every query executed"))
-        .collect())
+    Ok((
+        results
+            .into_iter()
+            .map(|r| r.expect("every query executed"))
+            .collect(),
+        stats,
+    ))
 }
 
 /// One step of the §7.2 retrieval-order sweep of
@@ -415,5 +573,111 @@ mod tests {
         let (_, ft) = models(8);
         let mem = ClassicalMemory::zeros(4);
         let _ = ft.execute_queries(&mem, &[], &[]);
+    }
+
+    #[test]
+    fn repeated_addresses_hit_the_memo_cache() {
+        let (_, ft) = models(8);
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 0, 1, 1, 0, 1, 0]).unwrap();
+        // 6 queries over 2 distinct address sets → 2 misses, 4 hits.
+        let addresses: Vec<AddressState> = (0..6u64)
+            .map(|i| AddressState::classical(3, i % 2).unwrap())
+            .collect();
+        let (outs, stats) = execute_batch_traced(&ft, &mem, &addresses, &[]).unwrap();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 4);
+        assert!((stats.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.data_for(i as u64 % 2), Some(mem.read(i as u64 % 2)));
+        }
+    }
+
+    #[test]
+    fn memo_hits_apply_per_query_amplitudes() {
+        // Two superpositions over the SAME address set with different
+        // amplitudes: the second must hit the cache yet keep its own
+        // amplitudes in the outcome.
+        let (_, ft) = models(8);
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 0, 1, 1, 0, 1, 0]).unwrap();
+        let uniform = AddressState::uniform(3, &[2, 5]).unwrap();
+        let skewed = AddressState::new(
+            3,
+            [
+                (qsim::Complex::real(2.0), 2u64),
+                (qsim::Complex::real(1.0), 5u64),
+            ],
+        )
+        .unwrap();
+        let (outs, stats) =
+            execute_batch_traced(&ft, &mem, &[uniform.clone(), skewed.clone()], &[]).unwrap();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!((outs[0].fidelity(&mem.ideal_query(&uniform)) - 1.0).abs() < 1e-12);
+        assert!((outs[1].fidelity(&mem.ideal_query(&skewed)) - 1.0).abs() < 1e-12);
+        // And the two outcomes differ (different amplitude profiles).
+        assert!(outs[0].fidelity(&outs[1]) < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn memory_write_invalidates_the_memo_cache() {
+        // Same address queried before and after a write: the write bumps
+        // the epoch, so the second query must MISS and see the new value.
+        let (bb, _) = models(8);
+        let mem = ClassicalMemory::zeros(8);
+        let addresses: Vec<AddressState> = (0..3)
+            .map(|_| AddressState::classical(3, 4).unwrap())
+            .collect();
+        // BB retrievals at 13, 38, 63; write lands between q0 and q1.
+        let (outs, stats) = execute_batch_traced(&bb, &mem, &addresses, &[(20, 4, 1)]).unwrap();
+        assert_eq!(outs[0].data_for(4), Some(0));
+        assert_eq!(outs[1].data_for(4), Some(1));
+        assert_eq!(outs[2].data_for(4), Some(1));
+        assert_eq!(stats.misses, 2, "epoch bump must force a re-execution");
+        assert_eq!(stats.hits, 1, "third query re-hits the post-write entry");
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_batches_agree() {
+        let (bb, ft) = models(8);
+        let mem = ClassicalMemory::from_words(1, &[1, 0, 0, 1, 1, 0, 1, 0]).unwrap();
+        let addresses: Vec<AddressState> = vec![
+            AddressState::uniform(3, &[0, 3, 5]).unwrap(),
+            AddressState::classical(3, 3).unwrap(),
+            AddressState::uniform(3, &[0, 3, 5]).unwrap(),
+            AddressState::classical(3, 3).unwrap(),
+        ];
+        let updates = [(14u64, 3u64, 1u64), (30, 5, 1)];
+        for model in [&bb as &dyn QramModel, &ft as &dyn QramModel] {
+            let memoized = execute_batch(model, &mem, &addresses, &updates).unwrap();
+            let plain = execute_batch_unmemoized(model, &mem, &addresses, &updates).unwrap();
+            assert_eq!(memoized, plain, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn empty_batch_reports_empty_stats() {
+        let (_, ft) = models(4);
+        let mem = ClassicalMemory::zeros(4);
+        let (outs, stats) = execute_batch_traced(&ft, &mem, &[], &[]).unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(stats, BatchCacheStats::default());
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn builtin_backends_return_interned_streams() {
+        let (bb, ft) = models(16);
+        // Same Arc on repeated calls — the intern table is doing the work.
+        assert!(std::sync::Arc::ptr_eq(
+            &bb.interned_query_layers(),
+            &bb.interned_query_layers()
+        ));
+        assert!(std::sync::Arc::ptr_eq(
+            &ft.interned_query_layers(),
+            &ft.interned_query_layers()
+        ));
+        // And the interned stream is the generated stream.
+        assert_eq!(bb.interned_query_layers().as_ref(), bb.query_layers());
+        assert_eq!(ft.interned_query_layers().as_ref(), ft.query_layers());
     }
 }

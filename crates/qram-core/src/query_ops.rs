@@ -306,11 +306,16 @@ mod tests {
                         other => other,
                     })
                     .collect();
-                // Parallel ops within a layer are unordered; compare sets.
-                let mut fwd_sorted = fwd.clone();
-                fwd_sorted.sort_by_key(|o| format!("{o:?}"));
+                // Parallel ops within a layer are unordered; compare as
+                // sets by sorting an index permutation instead of cloning
+                // the forward stream.
+                let mut fwd_order: Vec<usize> = (0..fwd.len()).collect();
+                fwd_order.sort_by_key(|&i| format!("{:?}", fwd[i]));
                 uninverted.sort_by_key(|o| format!("{o:?}"));
-                assert_eq!(fwd_sorted, uninverted, "n={n} offset={offset}");
+                assert_eq!(fwd.len(), uninverted.len(), "n={n} offset={offset}");
+                for (&i, op) in fwd_order.iter().zip(&uninverted) {
+                    assert_eq!(fwd[i], *op, "n={n} offset={offset}");
+                }
             }
         }
     }

@@ -11,10 +11,12 @@
 //! monolithic capacity-`N` machine while multiplying admission bandwidth
 //! by `K` under round-robin admission.
 
+use std::sync::Arc;
+
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
-use crate::exec::{execute_layers, ExecError};
+use crate::exec::{execute_layers_sequential, ExecError, Execution};
 use crate::model::{retrieval_order_sweep, QramModel, SweepEvent};
 use crate::query_ops::QueryLayer;
 use crate::{BucketBrigadeQram, FatTreeQram};
@@ -181,6 +183,159 @@ impl<M: QramModel> ShardedQram<M> {
         }
         per_shard
     }
+
+    /// Executes one query's per-shard sub-batches against the interleaved
+    /// shard memories and recombines the outcomes. With `parallel` set
+    /// (only possible under the `parallel` feature), sub-batches fan out
+    /// across scoped threads — one per occupied shard — since they touch
+    /// disjoint memories; recombination order is fixed by shard index, so
+    /// the outcome is identical either way.
+    fn run_query_across_shards(
+        &self,
+        address: &AddressState,
+        shard_mems: &[ClassicalMemory],
+        shard_layers: &[QueryLayer],
+        parallel: bool,
+    ) -> Result<QueryOutcome, ExecError> {
+        let n = self.capacity.address_width();
+        let local_width = self.shard_capacity().address_width();
+        assert_eq!(
+            address.address_width(),
+            n,
+            "address width must match QRAM capacity"
+        );
+        // Per-shard (shard index, original branches, local sub-state).
+        type ShardSubQuery = (usize, Vec<(qsim::Complex, u64)>, AddressState);
+        let sub_queries: Vec<ShardSubQuery> = self
+            .split_terms(address)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, branches)| !branches.is_empty())
+            .map(|(s, branches)| {
+                let sub = AddressState::new(
+                    local_width,
+                    branches
+                        .iter()
+                        .map(|&(amp, addr)| (amp, self.local_address(addr))),
+                )
+                .expect("shard sub-state is non-empty and duplicate-free");
+                (s, branches, sub)
+            })
+            .collect();
+        #[cfg_attr(not(feature = "parallel"), allow(unused_mut))]
+        let mut executions: Vec<Option<Result<Execution, ExecError>>> =
+            vec![None; sub_queries.len()];
+        #[cfg(feature = "parallel")]
+        if parallel
+            && sub_queries.len() > 1
+            && address.num_branches() >= crate::exec::PARALLEL_BRANCH_THRESHOLD
+        {
+            std::thread::scope(|scope| {
+                for ((s, _, sub), slot) in sub_queries.iter().zip(executions.iter_mut()) {
+                    scope.spawn(move || {
+                        // Branch-level fan-out stays off inside shard
+                        // workers: one thread per shard is the unit here.
+                        *slot = Some(execute_layers_sequential(
+                            shard_layers,
+                            &shard_mems[*s],
+                            sub,
+                        ));
+                    });
+                }
+            });
+        }
+        let mut terms = Vec::with_capacity(address.num_branches());
+        for ((s, branches, sub), slot) in sub_queries.iter().zip(executions) {
+            let exec = match slot {
+                Some(done) => done?,
+                // Shard fan-out did not engage (parallel off, one occupied
+                // shard, or below the branch threshold). On the parallel
+                // path, fall through to the dispatching executor so a wide
+                // query concentrated on one shard still gets branch-level
+                // fan-out; the sequential reference path stays pinned.
+                None if parallel => {
+                    crate::exec::execute_layers(shard_layers, &shard_mems[*s], sub)?
+                }
+                None => execute_layers_sequential(shard_layers, &shard_mems[*s], sub)?,
+            };
+            for &(amp, addr) in branches {
+                let data = exec
+                    .outcome
+                    .data_for(self.local_address(addr))
+                    .expect("executed branch present in shard outcome");
+                terms.push((amp, addr, data));
+            }
+        }
+        Ok(QueryOutcome::from_terms(
+            n,
+            shard_mems[0].bus_width(),
+            terms,
+        ))
+    }
+
+    /// The shared sweep behind [`QramModel::execute_queries`] and
+    /// [`Self::execute_queries_sequential`].
+    fn execute_queries_impl(
+        &self,
+        memory: &ClassicalMemory,
+        addresses: &[AddressState],
+        memory_updates: &[(u64, u64, u64)],
+        parallel: bool,
+    ) -> Result<Vec<QueryOutcome>, ExecError> {
+        let mut shard_mems = self.shard_memories(memory);
+        if addresses.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Per-batch precomputation: one interned instruction stream
+        // (shards are identical) and one retrieval layer per query.
+        let shard_layers = self.shards[0].interned_query_layers();
+        let retrievals: Vec<u64> = (0..addresses.len())
+            .map(|q| self.retrieval_layer(q))
+            .collect();
+        let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
+        retrieval_order_sweep(&retrievals, memory_updates, |event| match event {
+            SweepEvent::Update { address, value } => {
+                shard_mems[self.shard_of(address) as usize]
+                    .write(self.local_address(address), value);
+                Ok(())
+            }
+            SweepEvent::Query(q) => {
+                results[q] = Some(self.run_query_across_shards(
+                    &addresses[q],
+                    &shard_mems,
+                    &shard_layers,
+                    parallel,
+                )?);
+                Ok(())
+            }
+        })?;
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every query executed"))
+            .collect())
+    }
+
+    /// [`QramModel::execute_queries`] pinned to the fully sequential path
+    /// (no shard-level thread fan-out even with the `parallel` feature) —
+    /// the reference implementation the parallel path is property-tested
+    /// against, and the baseline side of the `parallel_execution`
+    /// benchmark's sharded A/B.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any query's instruction stream fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory capacity mismatches the QRAM capacity.
+    pub fn execute_queries_sequential(
+        &self,
+        memory: &ClassicalMemory,
+        addresses: &[AddressState],
+        memory_updates: &[(u64, u64, u64)],
+    ) -> Result<Vec<QueryOutcome>, ExecError> {
+        self.execute_queries_impl(memory, addresses, memory_updates, false)
+    }
 }
 
 impl ShardedQram<FatTreeQram> {
@@ -237,6 +392,12 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
         self.template.query_layers()
     }
 
+    /// The equivalent monolithic machine's interned stream (shards of the
+    /// built-in architectures hit the process-wide intern table).
+    fn interned_query_layers(&self) -> Arc<[QueryLayer]> {
+        self.template.interned_query_layers()
+    }
+
     fn single_query_layers_integer(&self) -> u64 {
         self.template.single_query_layers_integer()
     }
@@ -277,6 +438,13 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
     /// recombines per-branch outcomes — observably equivalent to the
     /// monolithic machine.
     ///
+    /// With the `parallel` cargo feature, each query's per-shard
+    /// sub-batches fan out across scoped threads (the shard memories are
+    /// disjoint), falling back to sequential below
+    /// [`crate::exec::PARALLEL_BRANCH_THRESHOLD`] branches; outcomes are
+    /// recombined in shard order either way, so results are identical to
+    /// [`Self::execute_queries_sequential`].
+    ///
     /// Memory updates route to the owning shard and follow the §7.2
     /// classical-swap tie semantics of [`crate::model::execute_batch`]: an
     /// update whose layer *equals* a query's retrieval layer is visible to
@@ -287,61 +455,15 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
         addresses: &[AddressState],
         memory_updates: &[(u64, u64, u64)],
     ) -> Result<Vec<QueryOutcome>, ExecError> {
-        let mut shard_mems = self.shard_memories(memory);
-        if addresses.is_empty() {
-            return Ok(Vec::new());
-        }
-        // Per-batch precomputation: one instruction stream (shards are
-        // identical) and one retrieval layer per query.
-        let shard_layers = self.shards[0].query_layers();
-        let retrievals: Vec<u64> = (0..addresses.len())
-            .map(|q| self.retrieval_layer(q))
-            .collect();
-        let n = self.capacity.address_width();
-        let local_width = self.shard_capacity().address_width();
-        let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
-        retrieval_order_sweep(&retrievals, memory_updates, |event| match event {
-            SweepEvent::Update { address, value } => {
-                shard_mems[self.shard_of(address) as usize]
-                    .write(self.local_address(address), value);
-                Ok(())
-            }
-            SweepEvent::Query(q) => {
-                let address = &addresses[q];
-                assert_eq!(
-                    address.address_width(),
-                    n,
-                    "address width must match QRAM capacity"
-                );
-                let mut terms = Vec::with_capacity(address.num_branches());
-                for (s, branches) in self.split_terms(address).into_iter().enumerate() {
-                    if branches.is_empty() {
-                        continue;
-                    }
-                    let sub = AddressState::new(
-                        local_width,
-                        branches
-                            .iter()
-                            .map(|&(amp, addr)| (amp, self.local_address(addr))),
-                    )
-                    .expect("shard sub-state is non-empty and duplicate-free");
-                    let exec = execute_layers(&shard_layers, &shard_mems[s], &sub)?;
-                    for (amp, addr) in branches {
-                        let data = exec
-                            .outcome
-                            .data_for(self.local_address(addr))
-                            .expect("executed branch present in shard outcome");
-                        terms.push((amp, addr, data));
-                    }
-                }
-                results[q] = Some(QueryOutcome::from_terms(n, memory.bus_width(), terms));
-                Ok(())
-            }
-        })?;
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("every query executed"))
-            .collect())
+        // One worker-count check per batch: on a single-core host the
+        // `parallel` feature degrades gracefully to the sequential path
+        // (no thread-spawn overhead), so enabling it is never a
+        // pessimization.
+        #[cfg(feature = "parallel")]
+        let parallel = crate::exec::parallel_worker_count() > 1;
+        #[cfg(not(feature = "parallel"))]
+        let parallel = false;
+        self.execute_queries_impl(memory, addresses, memory_updates, parallel)
     }
 }
 
@@ -571,5 +693,62 @@ mod tests {
         let s = ShardedQram::fat_tree(cap(16), 2);
         let mem = ClassicalMemory::zeros(8);
         let _ = s.execute_queries(&mem, &[], &[]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_shard_execution_agree() {
+        // Wide superpositions (≥ the parallel branch threshold) so the
+        // `parallel` feature's shard fan-out engages on multi-core hosts;
+        // without the feature (or with one worker) both calls share the
+        // sequential path. The scoped fan-out itself is exercised
+        // unconditionally by `scoped_shard_fanout_matches_sequential`.
+        let s = ShardedQram::fat_tree(cap(256), 4);
+        let cells: Vec<u64> = (0..256).map(|i| (i * 3 + 1) % 2).collect();
+        let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addresses = vec![
+            AddressState::full_superposition(8),
+            AddressState::uniform(8, &(0..128u64).collect::<Vec<_>>()).unwrap(),
+            AddressState::classical(8, 17).unwrap(),
+        ];
+        let updates = [(15u64, 17u64, 1u64), (40, 3, 1)];
+        let par = s.execute_queries(&mem, &addresses, &updates).unwrap();
+        let seq = s
+            .execute_queries_sequential(&mem, &addresses, &updates)
+            .unwrap();
+        assert_eq!(par, seq);
+        for (address, out) in addresses.iter().zip(&seq) {
+            assert!(out.num_branches() == address.num_branches());
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn scoped_shard_fanout_matches_sequential() {
+        // Drives the scoped-thread fan-out directly (bypassing the
+        // per-batch worker-count gate), so the threaded path runs even on
+        // single-core CI hosts and must equal the pinned sequential path.
+        let s = ShardedQram::fat_tree(cap(256), 4);
+        let cells: Vec<u64> = (0..256).map(|i| (i * 7 + 2) % 2).collect();
+        let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+        let shard_mems = s.shard_memories(&mem);
+        let layers = s.shards()[0].interned_query_layers();
+        let addr = AddressState::full_superposition(8);
+        let par = s
+            .run_query_across_shards(&addr, &shard_mems, &layers, true)
+            .unwrap();
+        let seq = s
+            .run_query_across_shards(&addr, &shard_mems, &layers, false)
+            .unwrap();
+        assert_eq!(par, seq);
+        assert!((par.fidelity(&mem.ideal_query(&addr)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_interned_layers_are_shared() {
+        let s = ShardedQram::fat_tree(cap(64), 4);
+        assert!(std::sync::Arc::ptr_eq(
+            &s.interned_query_layers(),
+            &FatTreeQram::new(cap(64)).interned_query_layers()
+        ));
     }
 }

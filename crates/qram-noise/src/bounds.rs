@@ -26,7 +26,7 @@ use crate::rates::GateErrorRates;
 /// paging/virtual scheme) needs its own bound.
 #[must_use]
 pub fn query_infidelity_bound<M: QramModel + ?Sized>(model: &M, rates: &GateErrorRates) -> f64 {
-    let layers = model.query_layers();
+    let layers = model.interned_query_layers();
     let uses = |class: GateClass| {
         layers
             .iter()

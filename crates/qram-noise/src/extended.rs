@@ -74,7 +74,14 @@ pub fn estimate_extended_fidelity<M: QramModel + ?Sized, R: Rng + ?Sized>(
     trials: u32,
     rng: &mut R,
 ) -> FidelityEstimator {
-    estimate_extended_layers_fidelity(&model.query_layers(), memory, address, noise, trials, rng)
+    estimate_extended_layers_fidelity(
+        &model.interned_query_layers(),
+        memory,
+        address,
+        noise,
+        trials,
+        rng,
+    )
 }
 
 /// Estimates query fidelity under the extended noise model for an explicit

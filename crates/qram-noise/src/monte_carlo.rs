@@ -30,7 +30,14 @@ pub fn estimate_query_fidelity<M: QramModel + ?Sized, R: Rng + ?Sized>(
     trials: u32,
     rng: &mut R,
 ) -> FidelityEstimator {
-    estimate_layers_fidelity(&model.query_layers(), memory, address, rates, trials, rng)
+    estimate_layers_fidelity(
+        &model.interned_query_layers(),
+        memory,
+        address,
+        rates,
+        trials,
+        rng,
+    )
 }
 
 /// Estimates query fidelity for an explicit instruction stream. Each gate

@@ -38,5 +38,5 @@ pub use online::{poisson_arrivals, OnlineFifoScheduler, OutOfOrderArrival};
 pub use server::QramServer;
 pub use workload::{
     process_depth_from_ratio, simulate_streams, synthetic_algorithm_depth, Phase, QueryRecord,
-    StreamReport, StreamWorkload,
+    StreamReport, StreamWorkload, ZipfAddresses,
 };

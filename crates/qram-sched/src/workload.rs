@@ -5,8 +5,14 @@
 //! [`simulate_streams`] runs any number of such streams against a
 //! [`QramServer`] under FIFO admission, reporting per-query timings, the
 //! overall algorithm depth (makespan), and the QRAM utilization staircase.
+//!
+//! [`ZipfAddresses`] generates skewed classical address workloads —
+//! the standard serving-cache traffic model — used to measure the batch
+//! memoization hit rate of `qram_core::execute_batch_traced`.
 
-use qram_metrics::{Layers, Utilization, UtilizationTrace};
+use qram_metrics::{Capacity, Layers, Utilization, UtilizationTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::server::QramServer;
 
@@ -278,6 +284,102 @@ pub fn process_depth_from_ratio(server: &QramServer, ratio: f64) -> Layers {
     Layers::new(server.latency().get() * ratio)
 }
 
+/// A Zipf(θ) distribution over the `N` addresses of a QRAM: address `a`
+/// is drawn with probability proportional to `1 / (a + 1)^θ`, the
+/// standard skewed-popularity model of cache and serving-system analysis
+/// (θ ≈ 0.99 is the classic YCSB/web-traffic operating point). `θ = 0`
+/// degenerates to the uniform distribution; larger θ concentrates mass
+/// on the low addresses.
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table
+/// (`O(log N)` per draw), seeded deterministically through the vendored
+/// [`rand::rngs::StdRng`].
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::Capacity;
+/// use qram_sched::ZipfAddresses;
+///
+/// let zipf = ZipfAddresses::new(Capacity::new(4096)?, 0.99);
+/// let batch = zipf.addresses(512, 7);
+/// assert_eq!(batch.len(), 512);
+/// assert!(batch.iter().all(|&a| a < 4096));
+/// // Skew: address 0 draws far more than its uniform share (512/4096).
+/// let top = batch.iter().filter(|&&a| a == 0).count();
+/// assert!(top as f64 > 10.0 * 512.0 / 4096.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfAddresses {
+    theta: f64,
+    /// `cumulative[a]` = P(address ≤ a); the last entry is 1.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfAddresses {
+    /// Builds the distribution over the `N` addresses of `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or not finite, or if `N` does not
+    /// fit in memory for the cumulative table.
+    #[must_use]
+    pub fn new(capacity: Capacity, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf exponent must be finite and non-negative, got {theta}"
+        );
+        let n = usize::try_from(capacity.get()).expect("capacity fits in usize");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for a in 0..n {
+            total += (a as f64 + 1.0).powf(-theta);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfAddresses { theta, cumulative }
+    }
+
+    /// The Zipf exponent θ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The probability of drawing `address`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address` is out of range.
+    #[must_use]
+    pub fn probability_of(&self, address: u64) -> f64 {
+        let a = usize::try_from(address).expect("address fits in usize");
+        let below = if a == 0 { 0.0 } else { self.cumulative[a - 1] };
+        self.cumulative[a] - below
+    }
+
+    /// Draws one address (inverse-CDF, `O(log N)`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        // First index with cumulative[i] > u.
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1);
+        idx as u64
+    }
+
+    /// A deterministic batch of `count` addresses from `seed`.
+    #[must_use]
+    pub fn addresses(&self, count: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.sample(&mut rng)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +485,67 @@ mod tests {
         assert_eq!(w.query_count(), 4);
         assert_eq!(w.processing_depth().get(), 15.0);
         assert_eq!(w.phases().len(), 7);
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one_and_decrease() {
+        for theta in [0.0, 0.5, 0.99, 1.5] {
+            let zipf = ZipfAddresses::new(Capacity::new(256).unwrap(), theta);
+            let total: f64 = (0..256u64).map(|a| zipf.probability_of(a)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta={theta}");
+            for a in 1..256u64 {
+                assert!(
+                    zipf.probability_of(a) <= zipf.probability_of(a - 1) + 1e-15,
+                    "theta={theta}: mass must be non-increasing in address"
+                );
+            }
+            assert_eq!(zipf.theta(), theta);
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let zipf = ZipfAddresses::new(Capacity::new(64).unwrap(), 0.0);
+        for a in 0..64u64 {
+            assert!((zipf.probability_of(a) - 1.0 / 64.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_top_address_frequency_grows_with_theta() {
+        // Distribution sanity: the empirical top-1 frequency must grow
+        // strictly with the skew exponent.
+        let capacity = Capacity::new(1024).unwrap();
+        let mut prev = 0usize;
+        for theta in [0.0, 0.5, 0.99, 1.5] {
+            let zipf = ZipfAddresses::new(capacity, theta);
+            let batch = zipf.addresses(20_000, 42);
+            let top1 = batch.iter().filter(|&&a| a == 0).count();
+            assert!(
+                top1 > prev,
+                "theta={theta}: top-1 count {top1} did not grow (prev {prev})"
+            );
+            prev = top1;
+        }
+        // And at theta=1.5 address 0 dominates visibly.
+        assert!(prev > 20_000 / 3, "strong skew expected, got {prev}");
+    }
+
+    #[test]
+    fn zipf_samples_are_deterministic_and_in_range() {
+        let zipf = ZipfAddresses::new(Capacity::new(128).unwrap(), 0.99);
+        let a = zipf.addresses(500, 7);
+        let b = zipf.addresses(500, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&addr| addr < 128));
+        // A different seed produces a different stream.
+        assert_ne!(a, zipf.addresses(500, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn zipf_rejects_negative_theta() {
+        let _ = ZipfAddresses::new(Capacity::new(8).unwrap(), -1.0);
     }
 
     #[test]

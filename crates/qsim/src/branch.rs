@@ -165,6 +165,14 @@ impl AddressState {
         self.terms.iter()
     }
 
+    /// The `(amplitude, address)` terms in address order, as a slice —
+    /// lets executors partition branches across worker threads without
+    /// first collecting the iterator.
+    #[must_use]
+    pub fn terms(&self) -> &[(Complex, u64)] {
+        &self.terms
+    }
+
     /// Probability of measuring the given address.
     #[must_use]
     pub fn probability_of(&self, address: u64) -> f64 {
@@ -283,10 +291,23 @@ impl QueryOutcome {
 /// assert_eq!(out.data_for(3), Some(1));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ClassicalMemory {
     bus_width: u32,
     cells: Vec<u64>,
+    /// Monotone write counter: bumped on every [`ClassicalMemory::write`],
+    /// so `(write_epoch, address set)` is a sound memoization key for
+    /// query outcomes — any write invalidates all cached outcomes.
+    write_epoch: u64,
+}
+
+/// Semantic equality: two memories are equal when they hold the same words
+/// on the same bus, regardless of how many writes produced them (the
+/// [`ClassicalMemory::write_epoch`] bookkeeping is not observable data).
+impl PartialEq for ClassicalMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.bus_width == other.bus_width && self.cells == other.cells
+    }
 }
 
 /// Errors constructing a [`ClassicalMemory`].
@@ -355,6 +376,7 @@ impl ClassicalMemory {
         Ok(ClassicalMemory {
             bus_width,
             cells: words.to_vec(),
+            write_epoch: 0,
         })
     }
 
@@ -396,7 +418,10 @@ impl ClassicalMemory {
         self.cells[usize::try_from(address).expect("address fits in usize")]
     }
 
-    /// Writes a cell (classical memory update between queries).
+    /// Writes a cell (classical memory update between queries) and bumps
+    /// the [`Self::write_epoch`]. The epoch advances even when the written
+    /// value equals the old one — conservative invalidation keeps the
+    /// memoization key sound without a read-compare on the hot path.
     ///
     /// # Panics
     ///
@@ -408,6 +433,16 @@ impl ClassicalMemory {
             self.bus_width
         );
         self.cells[usize::try_from(address).expect("address fits in usize")] = value;
+        self.write_epoch += 1;
+    }
+
+    /// The number of writes applied to this memory since construction
+    /// (clones inherit the counter). Query outcomes are a pure function of
+    /// `(write_epoch, address set)` for a given starting memory, which is
+    /// what batch-level memoization keys on.
+    #[must_use]
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
     }
 
     /// All cells in address order.
@@ -530,6 +565,41 @@ mod tests {
         assert_eq!(mem.read(5), 1);
         assert_eq!(mem.capacity(), 8);
         assert_eq!(mem.address_width(), 3);
+    }
+
+    #[test]
+    fn write_epoch_counts_every_write() {
+        let mut mem = ClassicalMemory::zeros(8);
+        assert_eq!(mem.write_epoch(), 0);
+        mem.write(3, 1);
+        assert_eq!(mem.write_epoch(), 1);
+        // Rewriting the same value still advances the epoch (conservative
+        // invalidation), and clones carry the counter forward.
+        mem.write(3, 1);
+        assert_eq!(mem.write_epoch(), 2);
+        let clone = mem.clone();
+        assert_eq!(clone.write_epoch(), 2);
+    }
+
+    #[test]
+    fn memory_equality_ignores_write_epoch() {
+        let fresh = ClassicalMemory::from_words(1, &[0, 1]).unwrap();
+        let mut rewritten = ClassicalMemory::from_words(1, &[0, 0]).unwrap();
+        rewritten.write(1, 1);
+        assert_eq!(fresh, rewritten);
+        assert_ne!(fresh.write_epoch(), rewritten.write_epoch());
+    }
+
+    #[test]
+    fn address_terms_slice_matches_iter() {
+        let s = AddressState::uniform(3, &[4, 1, 6]).unwrap();
+        let from_iter: Vec<(Complex, u64)> = s.iter().copied().collect();
+        assert_eq!(s.terms(), from_iter.as_slice());
+        // Terms are sorted by address.
+        assert_eq!(
+            s.terms().iter().map(|&(_, a)| a).collect::<Vec<_>>(),
+            vec![1, 4, 6]
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests over the core invariants of the reproduction.
 
+use fat_tree_qram::core::exec::{execute_layers, execute_layers_sequential};
 use fat_tree_qram::core::{
-    BucketBrigadeQram, FatTreeQram, PipelineSchedule, QramModel, ShardedQram,
+    execute_batch, execute_batch_unmemoized, BucketBrigadeQram, FatTreeQram, PipelineSchedule,
+    QramModel, ShardedQram,
 };
 use fat_tree_qram::metrics::{Capacity, Layers};
 use fat_tree_qram::noise::distilled_infidelity;
@@ -262,6 +264,127 @@ proptest! {
         let more = distilled_infidelity(eps, k + 1);
         prop_assert!(more <= once + 1e-15);
         prop_assert!(once <= eps + 1e-15);
+    }
+
+    /// The dispatching executor (`execute_layers`, branch-parallel under
+    /// the `parallel` feature) and the pinned sequential reference return
+    /// identical `Execution`s — outcome terms, gate counts, everything —
+    /// on both instruction-stream architectures, including superpositions
+    /// wide enough to cross the parallel branch threshold.
+    #[test]
+    fn parallel_and_sequential_executors_agree(
+        n in 4u32..=8,
+        seed_cells in prop::collection::vec(0u64..2, 1..256),
+        stride in 1u64..37,
+        branch_count in 1usize..200,
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let mut addresses: Vec<u64> = (0..branch_count as u64)
+            .map(|i| (i * stride) % capacity)
+            .collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        let address = AddressState::uniform(n, &addresses).unwrap();
+        let cap = Capacity::new(capacity).unwrap();
+        let backends: [Box<dyn QramModel>; 2] = [
+            Box::new(BucketBrigadeQram::new(cap)),
+            Box::new(FatTreeQram::new(cap)),
+        ];
+        for backend in &backends {
+            let layers = backend.interned_query_layers();
+            let auto = execute_layers(&layers, &memory, &address).unwrap();
+            let seq = execute_layers_sequential(&layers, &memory, &address).unwrap();
+            prop_assert_eq!(&auto, &seq);
+        }
+    }
+
+    /// `ShardedQram::execute_queries` (shard-parallel under the `parallel`
+    /// feature) equals its pinned sequential reference on random batches
+    /// with interleaved memory writes, for Fat-Tree and bucket-brigade
+    /// shards.
+    #[test]
+    fn sharded_parallel_and_sequential_agree(
+        n in 4u32..=6,
+        k_exp in 1u32..=3,
+        seed_cells in prop::collection::vec(0u64..2, 1..64),
+        query_strides in prop::collection::vec(1u64..23, 1..5),
+        // The vendored proptest has no tuple strategies: each u64 encodes
+        // (layer, address, value) and is decoded below.
+        updates in prop::collection::vec(0u64..(200 * 64 * 2), 0..4),
+    ) {
+        let capacity = 1u64 << n;
+        let k = 1u32 << k_exp.min(n - 1);
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        // Wide superpositions so the parallel path's branch threshold is
+        // crossed for most cases.
+        let addresses: Vec<AddressState> = query_strides
+            .iter()
+            .map(|&stride| {
+                let mut a: Vec<u64> = (0..capacity).map(|i| (i * stride) % capacity).collect();
+                a.sort_unstable();
+                a.dedup();
+                AddressState::uniform(n, &a).unwrap()
+            })
+            .collect();
+        let updates: Vec<(u64, u64, u64)> = updates
+            .into_iter()
+            .map(|enc| (enc / 128, (enc / 2) % capacity, enc % 2))
+            .collect();
+        let cap = Capacity::new(capacity).unwrap();
+        let ft = ShardedQram::fat_tree(cap, k);
+        let bb = ShardedQram::bucket_brigade(cap, k);
+        let ft_par = ft.execute_queries(&memory, &addresses, &updates).unwrap();
+        let ft_seq = ft.execute_queries_sequential(&memory, &addresses, &updates).unwrap();
+        prop_assert_eq!(ft_par, ft_seq);
+        let bb_par = bb.execute_queries(&memory, &addresses, &updates).unwrap();
+        let bb_seq = bb.execute_queries_sequential(&memory, &addresses, &updates).unwrap();
+        prop_assert_eq!(bb_par, bb_seq);
+    }
+
+    /// Memoized batch execution equals the unmemoized reference across
+    /// interleaved memory writes on all three backends: repeated address
+    /// sets force cache hits, and every write's epoch bump must invalidate
+    /// exactly as §7.2 requires.
+    #[test]
+    fn memoized_batches_match_unmemoized_across_interleaved_writes(
+        n in 3u32..=5,
+        seed_cells in prop::collection::vec(0u64..2, 1..32),
+        // Few distinct addresses over many queries → plenty of repeats.
+        query_addrs in prop::collection::vec(0u64..4, 2..12),
+        // Encoded (layer, address, value) triples, as above.
+        updates in prop::collection::vec(0u64..(300 * 32 * 2), 0..6),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addresses: Vec<AddressState> = query_addrs
+            .iter()
+            .map(|&a| AddressState::classical(n, a % capacity).unwrap())
+            .collect();
+        let updates: Vec<(u64, u64, u64)> = updates
+            .into_iter()
+            .map(|enc| (enc / 64, (enc / 2) % capacity, enc % 2))
+            .collect();
+        let cap = Capacity::new(capacity).unwrap();
+        let backends: [Box<dyn QramModel>; 3] = [
+            Box::new(BucketBrigadeQram::new(cap)),
+            Box::new(FatTreeQram::new(cap)),
+            Box::new(ShardedQram::fat_tree(cap, 2)),
+        ];
+        for backend in &backends {
+            let memoized =
+                execute_batch(backend.as_ref(), &memory, &addresses, &updates).unwrap();
+            let plain =
+                execute_batch_unmemoized(backend.as_ref(), &memory, &addresses, &updates)
+                    .unwrap();
+            prop_assert_eq!(&memoized, &plain);
+        }
     }
 
     /// Query outcomes are unitary-consistent: branch amplitudes are
