@@ -1,7 +1,10 @@
-//! Branch/shard-parallel execution A/B: the same 4096-branch query (and
-//! the same sharded superposed batch) timed through the sequential
-//! reference path and through the dispatching entry point that fans out
-//! across scoped threads when the `parallel` cargo feature is enabled.
+//! Branch-parallel execution A/B (`parallel_execution`): the same
+//! 4096-branch query timed through the sequential reference path and
+//! through the dispatching entry point that fans out across scoped
+//! threads when the `parallel` cargo feature is enabled. A second group
+//! (`sharded_dispatch`) times a sharded superposed batch through the full
+//! dispatch stack — which since PR 4 resolves to the compiled shard plan
+//! before any thread decision — against the pinned interpreter reference.
 //!
 //! Run with the feature to measure the speedup:
 //!
@@ -65,8 +68,18 @@ fn bench_branch_parallel(c: &mut Criterion) {
         b.iter(|| execute_layers_sequential(&layers, &mem, &address).expect("valid stream"))
     });
 
-    // Second parallel axis: per-shard sub-batches of a sharded backend.
-    // 8 queries, each a 512-branch superposition spanning all 8 shards.
+    group.finish();
+
+    // Second axis: per-shard sub-batches of a sharded backend. 8 queries,
+    // each a 512-branch superposition spanning all 8 shards. Since PR 4
+    // the dispatching entry point resolves to the compiled shard plan
+    // before any thread decision (plans beat threads outright), so this
+    // pair compares the full dispatch stack against the pinned
+    // interpreter reference — it lives in its own `sharded_dispatch`
+    // group so bench JSONs and delta tables never present the plan
+    // speedup as thread scaling. The thread-only A/B is the 4096branch
+    // pair above, which drives `execute_layers` below the plan layer.
+    let mut group = c.benchmark_group("sharded_dispatch");
     let sharded = ShardedQram::fat_tree(Capacity::new(N).expect("power of two"), 8);
     let addresses: Vec<AddressState> = (0..8u64)
         .map(|q| {
@@ -77,14 +90,14 @@ fn bench_branch_parallel(c: &mut Criterion) {
             AddressState::uniform(ADDRESS_WIDTH, &addrs).expect("valid superposition")
         })
         .collect();
-    group.bench_function("sharded_k8_8x512branch", |b| {
+    group.bench_function("k8_8x512branch_full_stack", |b| {
         b.iter(|| {
             sharded
                 .execute_queries(&mem, &addresses, &[])
                 .expect("batch executes")
         })
     });
-    group.bench_function("sharded_k8_8x512branch_seq", |b| {
+    group.bench_function("k8_8x512branch_interpreted", |b| {
         b.iter(|| {
             sharded
                 .execute_queries_sequential(&mem, &addresses, &[])

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use qram_metrics::{Capacity, Layers, TimingModel};
 
-use crate::exec::{interned_layers, LayerArch};
+use crate::exec::{compiled_query, interned_layers, CompiledQuery, LayerArch};
 use crate::latency;
 use crate::model::QramModel;
 use crate::query_ops::{bb_query_layers, bb_stage_finish_layers, QueryLayer};
@@ -87,6 +87,15 @@ impl QramModel for BucketBrigadeQram {
     /// shared by every batch and fidelity estimate at this capacity.
     fn interned_query_layers(&self) -> Arc<[QueryLayer]> {
         interned_layers(LayerArch::BucketBrigade, self.address_width())
+    }
+
+    /// The interned compiled plan: the stream is partially evaluated once
+    /// per capacity, collapsing per-branch execution to one memory read.
+    fn compiled_query(&self) -> Option<Arc<CompiledQuery>> {
+        Some(compiled_query(
+            LayerArch::BucketBrigade,
+            self.address_width(),
+        ))
     }
 
     /// Integer circuit-layer count of a single query: `8n + 1`.

@@ -5,7 +5,7 @@ use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
 use std::sync::Arc;
 
-use crate::exec::{interned_layers, ExecError, LayerArch};
+use crate::exec::{compiled_query, interned_layers, CompiledQuery, ExecError, LayerArch};
 use crate::latency;
 use crate::model::{execute_batch, QramModel};
 use crate::pipeline::PipelineSchedule;
@@ -94,6 +94,12 @@ impl QramModel for FatTreeQram {
     /// shared by every batch and fidelity estimate at this capacity.
     fn interned_query_layers(&self) -> Arc<[QueryLayer]> {
         interned_layers(LayerArch::FatTree, self.address_width())
+    }
+
+    /// The interned compiled plan: the stream is partially evaluated once
+    /// per capacity, collapsing per-branch execution to one memory read.
+    fn compiled_query(&self) -> Option<Arc<CompiledQuery>> {
+        Some(compiled_query(LayerArch::FatTree, self.address_width()))
     }
 
     /// Integer circuit-layer count of a single query: `10n − 1`.

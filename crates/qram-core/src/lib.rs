@@ -9,7 +9,9 @@
 //!   (Appendix A.1) and exact layer-by-layer instruction streams for both
 //!   architectures (Algs. 2 & 3, Figs. 2(a), 6, 12).
 //! * [`exec`] — functional branch-based execution validating Eq. (1) and
-//!   counting gates per hardware class for the fidelity analysis.
+//!   counting gates per hardware class for the fidelity analysis, plus
+//!   the interpret → intern → compile pipeline that partially evaluates
+//!   interned streams into O(1)-per-branch [`CompiledQuery`] plans.
 //! * [`pipeline`] — query-level pipelining with conflict-freedom proofs
 //!   and diagram rendering.
 //! * [`latency`] — the closed-form latencies of Table 1.
@@ -57,7 +59,8 @@ mod sharded;
 
 pub use bucket_brigade::BucketBrigadeQram;
 pub use exec::{
-    interned_layers, ExecError, Execution, GateCounts, LayerArch, PARALLEL_BRANCH_THRESHOLD,
+    compiled_query, interned_layers, CompiledQuery, ExecError, Execution, GateCounts, LayerArch,
+    PARALLEL_BRANCH_THRESHOLD,
 };
 pub use fat_tree::FatTreeQram;
 pub use model::{

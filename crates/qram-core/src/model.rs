@@ -38,7 +38,7 @@ use std::sync::Arc;
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
-use crate::exec::{execute_layers, ExecError, Execution};
+use crate::exec::{execute_layers, CompiledQuery, ExecError, Execution};
 use crate::query_ops::QueryLayer;
 
 /// A QRAM architecture viewed as a query-serving backend.
@@ -80,6 +80,23 @@ pub trait QramModel {
     /// allocation-free.
     fn interned_query_layers(&self) -> Arc<[QueryLayer]> {
         self.query_layers().into()
+    }
+
+    /// The architecture's compiled query plan, when its instruction stream
+    /// has been partially evaluated into an O(1)-per-branch
+    /// [`CompiledQuery`] (see [`crate::exec::compiled_query`]).
+    ///
+    /// `None` (the default) keeps every execution path on the interpreter
+    /// — correct for backends whose streams are not interned or may
+    /// change between queries. The built-in backends override this with
+    /// the process-wide interned plan, which routes
+    /// [`Self::execute_query_traced`], batched execution, and the
+    /// fidelity estimators through the compiled fast path; the
+    /// interpreter remains the property-tested reference
+    /// ([`execute_layers`], [`execute_batch_unmemoized`], and the pinned
+    /// `*_sequential` variants).
+    fn compiled_query(&self) -> Option<Arc<CompiledQuery>> {
+        None
     }
 
     /// Integer circuit-layer count of a single query.
@@ -135,6 +152,10 @@ pub trait QramModel {
 
     /// Like [`Self::execute_query`] but also returns per-class gate counts.
     ///
+    /// Backends exposing a [`Self::compiled_query`] plan answer in O(1)
+    /// residual work per branch (the stream was proven valid for every
+    /// address at compile time); everything else walks the interpreter.
+    ///
     /// # Errors
     ///
     /// See [`Self::execute_query`].
@@ -152,6 +173,9 @@ pub trait QramModel {
             self.capacity().get(),
             "memory capacity must match QRAM capacity"
         );
+        if let Some(plan) = self.compiled_query() {
+            return Ok(plan.execute(memory, address));
+        }
         execute_layers(&self.interned_query_layers(), memory, address)
     }
 
@@ -218,7 +242,9 @@ impl BatchCacheStats {
 /// `B`-query batch must stay `O(B)` in schedule constructions. The
 /// instruction stream is taken from
 /// [`QramModel::interned_query_layers`], so it is generated at most once
-/// per process rather than once per batch.
+/// per process rather than once per batch; when the backend exposes a
+/// [`QramModel::compiled_query`] plan, cache misses skip the interpreter
+/// entirely and answer each branch with the plan's O(1) residual read.
 ///
 /// # Memoization
 ///
@@ -274,14 +300,16 @@ pub fn execute_batch_traced<M: QramModel + ?Sized>(
     addresses: &[AddressState],
     memory_updates: &[(u64, u64, u64)],
 ) -> Result<(Vec<QueryOutcome>, BatchCacheStats), ExecError> {
-    execute_batch_impl(model, memory, addresses, memory_updates, true)
+    execute_batch_impl(model, memory, addresses, memory_updates, true, true)
 }
 
-/// [`execute_batch`] with memoization disabled: every query walks the
-/// instruction stream, even for a repeated `(epoch, address set)`. The
-/// reference side of the memoization A/B (property tests and the
-/// `cache_hit_rate` benchmark) — the same sweep as [`execute_batch`] with
-/// only the cache lookup disabled, so the two cannot drift apart.
+/// [`execute_batch`] with memoization *and* the compiled-plan fast path
+/// disabled: every query walks the instruction stream through the
+/// interpreter, even for a repeated `(epoch, address set)`. The reference
+/// side of both A/Bs (property tests, the `cache_hit_rate` and
+/// `compiled_exec` benchmarks) — the same sweep as [`execute_batch`] with
+/// only the cache lookup and plan dispatch disabled, so the paths cannot
+/// drift apart.
 ///
 /// # Errors
 ///
@@ -296,19 +324,21 @@ pub fn execute_batch_unmemoized<M: QramModel + ?Sized>(
     addresses: &[AddressState],
     memory_updates: &[(u64, u64, u64)],
 ) -> Result<Vec<QueryOutcome>, ExecError> {
-    execute_batch_impl(model, memory, addresses, memory_updates, false)
+    execute_batch_impl(model, memory, addresses, memory_updates, false, false)
         .map(|(outcomes, _)| outcomes)
 }
 
-/// The shared §7.2 sweep behind [`execute_batch_traced`] (memoize = true)
-/// and [`execute_batch_unmemoized`] (memoize = false): one body, so the
-/// reference path cannot silently diverge from the cached path.
+/// The shared §7.2 sweep behind [`execute_batch_traced`] (memoize and
+/// plan dispatch on) and [`execute_batch_unmemoized`] (both off): one
+/// body, so the reference path cannot silently diverge from the cached
+/// path.
 fn execute_batch_impl<M: QramModel + ?Sized>(
     model: &M,
     memory: &ClassicalMemory,
     addresses: &[AddressState],
     memory_updates: &[(u64, u64, u64)],
     memoize: bool,
+    use_plan: bool,
 ) -> Result<(Vec<QueryOutcome>, BatchCacheStats), ExecError> {
     assert_eq!(
         memory.capacity() as u64,
@@ -318,7 +348,19 @@ fn execute_batch_impl<M: QramModel + ?Sized>(
     if addresses.is_empty() {
         return Ok((Vec::new(), BatchCacheStats::default()));
     }
-    let layers = model.interned_query_layers();
+    let plan = if use_plan {
+        model.compiled_query()
+    } else {
+        None
+    };
+    // The instruction stream is only walked when no plan services the
+    // misses; don't make a backend with a default (regenerating)
+    // `interned_query_layers` build a stream nobody reads.
+    let layers = if plan.is_none() {
+        Some(model.interned_query_layers())
+    } else {
+        None
+    };
     let n = memory.address_width();
     let bus_width = memory.bus_width();
     let mut mem = memory.clone();
@@ -326,11 +368,18 @@ fn execute_batch_impl<M: QramModel + ?Sized>(
         .map(|q| model.retrieval_layer(q))
         .collect();
     let mut results: Vec<Option<QueryOutcome>> = vec![None; addresses.len()];
-    // (write epoch, address set) → per-address data in address order. The
-    // cached value intentionally excludes amplitudes: data depends only on
-    // the memory and the addresses, so any superposition over the same
-    // address set reuses it.
-    let mut memo: HashMap<(u64, Vec<u64>), Arc<[u64]>> = HashMap::new();
+    // Address set → per-address data in address order, valid for the
+    // memoized write epoch only: epochs are monotone, so a write bumping
+    // the epoch makes every existing entry permanently unreachable —
+    // clearing the map is equivalent to (and cheaper than) keying on the
+    // epoch. The cached value intentionally excludes amplitudes: data
+    // depends only on the memory and the addresses, so any superposition
+    // over the same address set reuses it. Lookups borrow `key_scratch`
+    // as a plain `&[u64]`, so cache hits allocate nothing; the key is
+    // cloned into the map only on a miss.
+    let mut memo: HashMap<Vec<u64>, Arc<[u64]>> = HashMap::new();
+    let mut memo_epoch = mem.write_epoch();
+    let mut key_scratch: Vec<u64> = Vec::new();
     let mut stats = BatchCacheStats::default();
     retrieval_order_sweep(&retrievals, memory_updates, |event| match event {
         SweepEvent::Update { address, value } => {
@@ -347,25 +396,40 @@ fn execute_batch_impl<M: QramModel + ?Sized>(
                 n,
                 "address width must match memory capacity"
             );
+            let run_query = |mem: &ClassicalMemory| -> Result<Arc<[u64]>, ExecError> {
+                // Outcome terms share the ascending address order of
+                // `AddressState`, so cached data aligns positionally.
+                match &plan {
+                    Some(plan) => Ok(address
+                        .iter()
+                        .map(|&(_, a)| plan.read_data(mem, a))
+                        .collect()),
+                    None => {
+                        let layers = layers.as_ref().expect("layers fetched when no plan");
+                        let exec = execute_layers(layers, mem, address)?;
+                        Ok(exec.outcome.iter().map(|&(_, _, d)| d).collect())
+                    }
+                }
+            };
             let data: Arc<[u64]> = if memoize {
-                let key = (
-                    mem.write_epoch(),
-                    address.iter().map(|&(_, a)| a).collect::<Vec<u64>>(),
-                );
-                if let Some(cached) = memo.get(&key) {
+                if mem.write_epoch() != memo_epoch {
+                    memo.clear();
+                    memo_epoch = mem.write_epoch();
+                }
+                key_scratch.clear();
+                key_scratch.extend(address.iter().map(|&(_, a)| a));
+                if let Some(cached) = memo.get(key_scratch.as_slice()) {
                     stats.hits += 1;
                     Arc::clone(cached)
                 } else {
                     stats.misses += 1;
-                    let exec = execute_layers(&layers, &mem, address)?;
-                    let data: Arc<[u64]> = exec.outcome.iter().map(|&(_, _, d)| d).collect();
-                    memo.insert(key, Arc::clone(&data));
+                    let data = run_query(&mem)?;
+                    memo.insert(key_scratch.clone(), Arc::clone(&data));
                     data
                 }
             } else {
                 stats.misses += 1;
-                let exec = execute_layers(&layers, &mem, address)?;
-                exec.outcome.iter().map(|&(_, _, d)| d).collect()
+                run_query(&mem)?
             };
             // Outcome terms and cached data share the address ordering of
             // `AddressState` (sorted ascending), so a positional zip

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
-use crate::exec::{execute_layers_sequential, ExecError, Execution};
+use crate::exec::{execute_layers_sequential, CompiledQuery, ExecError, Execution};
 use crate::model::{retrieval_order_sweep, QramModel, SweepEvent};
 use crate::query_ops::QueryLayer;
 use crate::{BucketBrigadeQram, FatTreeQram};
@@ -190,11 +190,17 @@ impl<M: QramModel> ShardedQram<M> {
     /// across scoped threads — one per occupied shard — since they touch
     /// disjoint memories; recombination order is fixed by shard index, so
     /// the outcome is identical either way.
+    ///
+    /// With a compiled `shard_plan`, the per-shard split, sub-state
+    /// construction, and thread fan-out all collapse: each branch routes
+    /// straight to its shard memory for the plan's O(1) residual read —
+    /// cheaper than a single thread handoff.
     fn run_query_across_shards(
         &self,
         address: &AddressState,
         shard_mems: &[ClassicalMemory],
         shard_layers: &[QueryLayer],
+        shard_plan: Option<&CompiledQuery>,
         parallel: bool,
     ) -> Result<QueryOutcome, ExecError> {
         let n = self.capacity.address_width();
@@ -204,6 +210,21 @@ impl<M: QramModel> ShardedQram<M> {
             n,
             "address width must match QRAM capacity"
         );
+        if let Some(plan) = shard_plan {
+            debug_assert_eq!(plan.address_width(), local_width);
+            let terms = address
+                .iter()
+                .map(|&(amp, addr)| {
+                    let mem = &shard_mems[self.shard_of(addr) as usize];
+                    (amp, addr, plan.read_data(mem, self.local_address(addr)))
+                })
+                .collect();
+            return Ok(QueryOutcome::from_terms(
+                n,
+                shard_mems[0].bus_width(),
+                terms,
+            ));
+        }
         // Per-shard (shard index, original branches, local sub-state).
         type ShardSubQuery = (usize, Vec<(qsim::Complex, u64)>, AddressState);
         let sub_queries: Vec<ShardSubQuery> = self
@@ -281,14 +302,21 @@ impl<M: QramModel> ShardedQram<M> {
         addresses: &[AddressState],
         memory_updates: &[(u64, u64, u64)],
         parallel: bool,
+        use_plan: bool,
     ) -> Result<Vec<QueryOutcome>, ExecError> {
         let mut shard_mems = self.shard_memories(memory);
         if addresses.is_empty() {
             return Ok(Vec::new());
         }
-        // Per-batch precomputation: one interned instruction stream
-        // (shards are identical) and one retrieval layer per query.
+        // Per-batch precomputation: one interned instruction stream and
+        // one compiled plan (shards are identical), and one retrieval
+        // layer per query.
         let shard_layers = self.shards[0].interned_query_layers();
+        let shard_plan = if use_plan {
+            self.shards[0].compiled_query()
+        } else {
+            None
+        };
         let retrievals: Vec<u64> = (0..addresses.len())
             .map(|q| self.retrieval_layer(q))
             .collect();
@@ -304,6 +332,7 @@ impl<M: QramModel> ShardedQram<M> {
                     &addresses[q],
                     &shard_mems,
                     &shard_layers,
+                    shard_plan.as_deref(),
                     parallel,
                 )?);
                 Ok(())
@@ -315,11 +344,12 @@ impl<M: QramModel> ShardedQram<M> {
             .collect())
     }
 
-    /// [`QramModel::execute_queries`] pinned to the fully sequential path
-    /// (no shard-level thread fan-out even with the `parallel` feature) —
-    /// the reference implementation the parallel path is property-tested
-    /// against, and the baseline side of the `parallel_execution`
-    /// benchmark's sharded A/B.
+    /// [`QramModel::execute_queries`] pinned to the fully sequential
+    /// interpreter path (no shard-level thread fan-out even with the
+    /// `parallel` feature, and no compiled-plan dispatch) — the reference
+    /// implementation the parallel and compiled paths are property-tested
+    /// against, and the baseline side of the `parallel_execution` and
+    /// `compiled_exec` benchmarks' sharded A/Bs.
     ///
     /// # Errors
     ///
@@ -334,7 +364,7 @@ impl<M: QramModel> ShardedQram<M> {
         addresses: &[AddressState],
         memory_updates: &[(u64, u64, u64)],
     ) -> Result<Vec<QueryOutcome>, ExecError> {
-        self.execute_queries_impl(memory, addresses, memory_updates, false)
+        self.execute_queries_impl(memory, addresses, memory_updates, false, false)
     }
 }
 
@@ -398,6 +428,14 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
         self.template.interned_query_layers()
     }
 
+    /// The equivalent monolithic machine's compiled plan, when the shard
+    /// architecture exposes one — single queries and fidelity estimates
+    /// over the sharded machine then run compiled, exactly like the
+    /// monolith they are observably equivalent to.
+    fn compiled_query(&self) -> Option<Arc<CompiledQuery>> {
+        self.template.compiled_query()
+    }
+
     fn single_query_layers_integer(&self) -> u64 {
         self.template.single_query_layers_integer()
     }
@@ -438,12 +476,16 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
     /// recombines per-branch outcomes — observably equivalent to the
     /// monolithic machine.
     ///
-    /// With the `parallel` cargo feature, each query's per-shard
-    /// sub-batches fan out across scoped threads (the shard memories are
-    /// disjoint), falling back to sequential below
+    /// When the shard architecture exposes a compiled plan
+    /// ([`QramModel::compiled_query`]), each branch routes straight to
+    /// its shard memory for the plan's O(1) residual read — no per-shard
+    /// sub-state construction and no threads. Otherwise, with the
+    /// `parallel` cargo feature, each query's per-shard sub-batches fan
+    /// out across scoped threads (the shard memories are disjoint),
+    /// falling back to sequential below
     /// [`crate::exec::PARALLEL_BRANCH_THRESHOLD`] branches; outcomes are
-    /// recombined in shard order either way, so results are identical to
-    /// [`Self::execute_queries_sequential`].
+    /// recombined in shard order on every path, so results are identical
+    /// to [`Self::execute_queries_sequential`].
     ///
     /// Memory updates route to the owning shard and follow the §7.2
     /// classical-swap tie semantics of [`crate::model::execute_batch`]: an
@@ -463,7 +505,7 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
         let parallel = crate::exec::parallel_worker_count() > 1;
         #[cfg(not(feature = "parallel"))]
         let parallel = false;
-        self.execute_queries_impl(memory, addresses, memory_updates, parallel)
+        self.execute_queries_impl(memory, addresses, memory_updates, parallel, true)
     }
 }
 
@@ -734,13 +776,52 @@ mod tests {
         let layers = s.shards()[0].interned_query_layers();
         let addr = AddressState::full_superposition(8);
         let par = s
-            .run_query_across_shards(&addr, &shard_mems, &layers, true)
+            .run_query_across_shards(&addr, &shard_mems, &layers, None, true)
             .unwrap();
         let seq = s
-            .run_query_across_shards(&addr, &shard_mems, &layers, false)
+            .run_query_across_shards(&addr, &shard_mems, &layers, None, false)
             .unwrap();
         assert_eq!(par, seq);
         assert!((par.fidelity(&mem.ideal_query(&addr)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiled_shard_plan_matches_interpreter_paths() {
+        // The compiled fast path (plan passed) must recombine branch-
+        // for-branch identically to the interpreter fan-out paths.
+        let s = ShardedQram::fat_tree(cap(64), 4);
+        let cells: Vec<u64> = (0..64).map(|i| (i * 11 + 3) % 2).collect();
+        let mem = ClassicalMemory::from_words(1, &cells).unwrap();
+        let shard_mems = s.shard_memories(&mem);
+        let layers = s.shards()[0].interned_query_layers();
+        let plan = s.shards()[0].compiled_query().expect("built-in plan");
+        for addr in [
+            AddressState::full_superposition(6),
+            AddressState::uniform(6, &[0, 5, 17, 42]).unwrap(),
+            AddressState::classical(6, 63).unwrap(),
+        ] {
+            let compiled = s
+                .run_query_across_shards(&addr, &shard_mems, &layers, Some(&plan), false)
+                .unwrap();
+            let interpreted = s
+                .run_query_across_shards(&addr, &shard_mems, &layers, None, false)
+                .unwrap();
+            assert_eq!(compiled, interpreted);
+        }
+    }
+
+    #[test]
+    fn sharded_compiled_plan_is_the_monolith_template_plan() {
+        let s = ShardedQram::fat_tree(cap(64), 4);
+        let mono = FatTreeQram::new(cap(64));
+        let plan = s.compiled_query().expect("template plan");
+        assert!(std::sync::Arc::ptr_eq(
+            &plan,
+            &mono.compiled_query().expect("built-in plan")
+        ));
+        // And the shard-level plan is the shard-capacity plan.
+        let shard_plan = s.shards()[0].compiled_query().expect("shard plan");
+        assert_eq!(shard_plan.address_width(), 4);
     }
 
     #[test]

@@ -26,20 +26,45 @@ use crate::rates::GateErrorRates;
 /// paging/virtual scheme) needs its own bound.
 #[must_use]
 pub fn query_infidelity_bound<M: QramModel + ?Sized>(model: &M, rates: &GateErrorRates) -> f64 {
-    let layers = model.interned_query_layers();
-    let uses = |class: GateClass| {
-        layers
-            .iter()
-            .any(|layer| layer.ops.iter().any(|op| op.gate_class() == class))
+    // Class presence comes from the compiled plan's gate counts when the
+    // backend has one (no stream walk at all); otherwise from scanning
+    // the interned stream for op classes. The two agree on the built-in
+    // streams; they differ only for a stream whose op of some class
+    // executes zero gates (e.g. a swap step with nothing in flight) —
+    // there the count-based answer excludes a class that contributes no
+    // physical error, which keeps the bound an upper bound and tightens
+    // it.
+    let (has_cswap, has_inter, has_local) = match model.compiled_query() {
+        Some(plan) => {
+            let counts = plan.gate_counts();
+            (
+                counts.cswap > 0,
+                counts.inter_node_swap > 0,
+                counts.local_swap > 0,
+            )
+        }
+        None => {
+            let layers = model.interned_query_layers();
+            let uses = |class: GateClass| {
+                layers
+                    .iter()
+                    .any(|layer| layer.ops.iter().any(|op| op.gate_class() == class))
+            };
+            (
+                uses(GateClass::Cswap),
+                uses(GateClass::InterNodeSwap),
+                uses(GateClass::LocalSwap),
+            )
+        }
     };
     let mut sum = 0.0;
-    if uses(GateClass::Cswap) {
+    if has_cswap {
         sum += rates.e0;
     }
-    if uses(GateClass::InterNodeSwap) {
+    if has_inter {
         sum += rates.e1;
     }
-    if uses(GateClass::LocalSwap) {
+    if has_local {
         sum += rates.e2;
     }
     let n = model.capacity().n_f64();

@@ -11,7 +11,7 @@
 
 use qram_core::exec::execute_layers_noisy;
 use qram_core::query_ops::QueryLayer;
-use qram_core::{GateClass, QramModel};
+use qram_core::{CompiledQuery, QramModel};
 use qsim::branch::{AddressState, ClassicalMemory};
 use qsim::noise::FidelityEstimator;
 use rand::Rng;
@@ -62,6 +62,15 @@ impl ExtendedNoise {
 /// errors are injected into whatever instruction stream the backend
 /// generates.
 ///
+/// Backends exposing a compiled plan ([`QramModel::compiled_query`])
+/// sample trajectories against the plan's per-layer gate trajectory
+/// without re-walking the op stream per trial. Both paths attribute a
+/// burst *exactly* to the gates of its layer (the interpreter path
+/// compiles the stream once for the same per-layer counts), and per-gate
+/// faults draw once per quantum gate per branch, as in the baseline
+/// estimator — with gate rates at zero the two paths consume the RNG
+/// identically and return bit-equal estimates (pinned by test).
+///
 /// # Panics
 ///
 /// Panics if probabilities are invalid or the backend generates a
@@ -74,6 +83,16 @@ pub fn estimate_extended_fidelity<M: QramModel + ?Sized, R: Rng + ?Sized>(
     trials: u32,
     rng: &mut R,
 ) -> FidelityEstimator {
+    if let Some(plan) = model.compiled_query() {
+        // The interpreter path rejects mismatched inputs inside
+        // `execute_layers_noisy`; the plan path must be as loud.
+        assert_eq!(
+            memory.address_width(),
+            plan.address_width(),
+            "memory capacity must match QRAM capacity"
+        );
+        return estimate_extended_compiled_fidelity(&plan, address, noise, trials, rng);
+    }
     estimate_extended_layers_fidelity(
         &model.interned_query_layers(),
         memory,
@@ -84,10 +103,64 @@ pub fn estimate_extended_fidelity<M: QramModel + ?Sized, R: Rng + ?Sized>(
     )
 }
 
+/// The compiled-plan trajectory sampler behind
+/// [`estimate_extended_fidelity`]: initialization errors corrupt the whole
+/// trial, a burst corrupts the trial iff its layer executes at least one
+/// quantum gate (exact attribution via the plan's per-layer counts — every
+/// branch runs the same gates per layer, so a burst hits all branches
+/// alike), and per-gate stochastic faults corrupt branches independently.
+fn estimate_extended_compiled_fidelity<R: Rng + ?Sized>(
+    plan: &CompiledQuery,
+    address: &AddressState,
+    noise: &ExtendedNoise,
+    trials: u32,
+    rng: &mut R,
+) -> FidelityEstimator {
+    noise.validate();
+    let n = plan.address_width();
+    let mut estimator = FidelityEstimator::new();
+    for _ in 0..trials {
+        // Initialization errors: each active-path router independently.
+        let mut init_corrupted = false;
+        for _ in 0..n {
+            if noise.init_error > 0.0 && rng.random::<f64>() < noise.init_error {
+                init_corrupted = true;
+            }
+        }
+        if init_corrupted {
+            estimator.record(0.0);
+            continue;
+        }
+        // Correlated bursts: one draw per layer; a burst in a layer with
+        // active quantum gates corrupts every branch.
+        let mut burst_corrupted = false;
+        for counts in plan.layer_gate_counts() {
+            let burst = noise.burst_rate > 0.0 && rng.random::<f64>() < noise.burst_rate;
+            if burst && counts.total_quantum() > 0 {
+                burst_corrupted = true;
+            }
+        }
+        if burst_corrupted {
+            estimator.record(0.0);
+            continue;
+        }
+        let survival = plan.noisy_survival(address, |class| {
+            let p = noise.gate_rates.class_rate(class);
+            p > 0.0 && rng.random::<f64>() < p
+        });
+        estimator.record(survival * survival);
+    }
+    estimator
+}
+
 /// Estimates query fidelity under the extended noise model for an explicit
 /// instruction stream, by trajectory sampling. Initialization errors
 /// corrupt each of the `log₂ N` active-path routers independently at query
-/// start; bursts fault all gates of a layer at once.
+/// start; bursts fault all gates of a layer at once, attributed *exactly*:
+/// the stream is compiled once up front ([`CompiledQuery::compile`]) to
+/// obtain the per-layer fault-callback counts, so the gate → layer mapping
+/// is precise for every branch of the superposition — the same semantics
+/// as the compiled fast path of [`estimate_extended_fidelity`].
 ///
 /// # Panics
 ///
@@ -103,6 +176,21 @@ pub fn estimate_extended_layers_fidelity<R: Rng + ?Sized>(
 ) -> FidelityEstimator {
     noise.validate();
     let n = memory.address_width();
+    // Exact gate → layer attribution: compile the stream (a stream the
+    // executor below would accept always compiles — same validator) and
+    // expand its per-layer quantum-gate counts into a per-callback layer
+    // index. Fault callbacks repeat identically for every branch, so the
+    // walk position is tracked modulo one branch's callback count.
+    let plan = CompiledQuery::compile(n, layers).expect("instruction stream must be valid");
+    let layer_of_callback: Vec<usize> = plan
+        .layer_gate_counts()
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, counts)| {
+            std::iter::repeat_n(idx, usize::try_from(counts.total_quantum()).expect("fits"))
+        })
+        .collect();
+    let callbacks_per_branch = layer_of_callback.len().max(1);
     let mut estimator = FidelityEstimator::new();
     for _ in 0..trials {
         // Initialization errors: each active-path router independently.
@@ -120,36 +208,14 @@ pub fn estimate_extended_layers_fidelity<R: Rng + ?Sized>(
         let burst: Vec<bool> = (0..layers.len())
             .map(|_| noise.burst_rate > 0.0 && rng.random::<f64>() < noise.burst_rate)
             .collect();
-        // Count gates per layer while walking, faulting whole layers.
         let mut gates_seen = 0usize;
-        let layer_of_gate = {
-            // Precompute cumulative gate index → layer mapping lazily via a
-            // counter advanced in lockstep with the executor's fault calls.
-            let mut per_layer_end = Vec::with_capacity(layers.len());
-            let mut acc = 0usize;
-            for layer in layers {
-                // Upper bound on fault callbacks per layer: every op can
-                // touch at most n + 1 qubits (swap steps).
-                acc += layer.ops.len() * (n as usize + 1);
-                per_layer_end.push(acc);
-            }
-            per_layer_end
-        };
         let survival = execute_layers_noisy(layers, memory, address, |class| {
-            let layer_idx = layer_of_gate
-                .iter()
-                .position(|&end| gates_seen < end)
-                .unwrap_or(layers.len() - 1);
+            let layer_idx = layer_of_callback[gates_seen % callbacks_per_branch];
             gates_seen += 1;
             if burst[layer_idx] {
                 return true;
             }
-            let p = match class {
-                GateClass::Cswap => noise.gate_rates.e0,
-                GateClass::InterNodeSwap => noise.gate_rates.e1,
-                GateClass::LocalSwap => noise.gate_rates.e2,
-                GateClass::Classical => 0.0,
-            };
+            let p = noise.gate_rates.class_rate(class);
             p > 0.0 && rng.random::<f64>() < p
         })
         .expect("instruction stream must be valid");
@@ -216,6 +282,40 @@ mod tests {
         // Expected infidelity ≈ 1 − (1 − 0.01)⁴ ≈ 0.039.
         let emp = 1.0 - est.mean();
         assert!((emp - 0.039).abs() < 0.012, "empirical {emp}");
+    }
+
+    #[test]
+    fn compiled_and_layers_paths_agree_on_burst_only_noise() {
+        // With gate rates at zero, the compiled path (plan trajectory)
+        // and the explicit-stream path (interpreter walk) consume the
+        // RNG identically — n init draws then one draw per layer — and
+        // corrupt a trial under exactly the same condition (a burst in
+        // any layer executing quantum gates corrupts every branch). Same
+        // seed ⇒ bit-equal estimates, on superpositions too.
+        let (qram, mem, _) = setup(4);
+        let addr = AddressState::uniform(4, &[0, 3, 9, 14]).unwrap();
+        let noise = ExtendedNoise {
+            gate_rates: GateErrorRates::new(0.0, 0.0, 0.0),
+            init_error: 0.02,
+            burst_rate: 0.01,
+        };
+        let compiled = estimate_extended_fidelity(
+            &qram,
+            &mem,
+            &addr,
+            &noise,
+            2000,
+            &mut StdRng::seed_from_u64(99),
+        );
+        let interpreted = estimate_extended_layers_fidelity(
+            &qram.query_layers(),
+            &mem,
+            &addr,
+            &noise,
+            2000,
+            &mut StdRng::seed_from_u64(99),
+        );
+        assert_eq!(compiled.mean(), interpreted.mean());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use qram_core::exec::execute_layers_noisy;
 use qram_core::query_ops::QueryLayer;
-use qram_core::{GateClass, QramModel};
+use qram_core::QramModel;
 use qsim::branch::{AddressState, ClassicalMemory};
 use qsim::noise::FidelityEstimator;
 use rand::Rng;
@@ -18,6 +18,13 @@ use crate::rates::GateErrorRates;
 /// `trials` noisy trajectories of its generated instruction stream —
 /// architecture-agnostic: the error profile falls out of the gates the
 /// backend actually schedules.
+///
+/// Backends exposing a compiled plan ([`QramModel::compiled_query`])
+/// sample trajectories against the plan's per-layer gate counts instead
+/// of re-walking the op stream per trial: each branch still draws exactly
+/// one fault decision per quantum gate per class, so the per-trajectory
+/// statistics are identical to the interpreter's (only the RNG
+/// consumption order within a layer differs).
 ///
 /// # Panics
 ///
@@ -30,6 +37,24 @@ pub fn estimate_query_fidelity<M: QramModel + ?Sized, R: Rng + ?Sized>(
     trials: u32,
     rng: &mut R,
 ) -> FidelityEstimator {
+    if let Some(plan) = model.compiled_query() {
+        // The interpreter path rejects mismatched inputs inside
+        // `execute_layers_noisy`; the plan path must be as loud.
+        assert_eq!(
+            memory.address_width(),
+            plan.address_width(),
+            "memory capacity must match QRAM capacity"
+        );
+        let mut estimator = FidelityEstimator::new();
+        for _ in 0..trials {
+            let survival = plan.noisy_survival(address, |class| {
+                let p = rates.class_rate(class);
+                p > 0.0 && rng.random::<f64>() < p
+            });
+            estimator.record(survival * survival);
+        }
+        return estimator;
+    }
     estimate_layers_fidelity(
         &model.interned_query_layers(),
         memory,
@@ -59,12 +84,7 @@ pub fn estimate_layers_fidelity<R: Rng + ?Sized>(
     let mut estimator = FidelityEstimator::new();
     for _ in 0..trials {
         let survival = execute_layers_noisy(layers, memory, address, |class| {
-            let p = match class {
-                GateClass::Cswap => rates.e0,
-                GateClass::InterNodeSwap => rates.e1,
-                GateClass::LocalSwap => rates.e2,
-                GateClass::Classical => 0.0,
-            };
+            let p = rates.class_rate(class);
             p > 0.0 && rng.random::<f64>() < p
         })
         .expect("instruction stream must be valid");

@@ -73,6 +73,20 @@ impl GateErrorRates {
         self.e0 + self.e1 + self.e2
     }
 
+    /// The stochastic fault rate of one gate class: `ε₀`/`ε₁`/`ε₂` for
+    /// the quantum classes, `0` for classically controlled retrieval
+    /// gates (a classical error is a memory fault, not a gate fault —
+    /// the estimators never fault them).
+    #[must_use]
+    pub fn class_rate(&self, class: qram_core::GateClass) -> f64 {
+        match class {
+            qram_core::GateClass::Cswap => self.e0,
+            qram_core::GateClass::InterNodeSwap => self.e1,
+            qram_core::GateClass::LocalSwap => self.e2,
+            qram_core::GateClass::Classical => 0.0,
+        }
+    }
+
     /// Returns rates with every entry scaled by `factor` (used to replace
     /// physical rates with logical rates under QEC).
     ///

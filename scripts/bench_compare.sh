@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Diffs two bench_smoke.sh baselines (BENCH_*.json) into a per-target
+# delta table: criterion ns/iter with speedup factors, and figure/table
+# wall seconds.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json
+#
+# Report-only by design: the exit code reflects usage errors (missing or
+# unreadable files), never a regression — CI prints the deltas without
+# gating on them, since the shared runners are too noisy for hard perf
+# thresholds. Gate manually on same-host A/B runs instead.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+OLD="$1"
+NEW="$2"
+for f in "$OLD" "$NEW"; do
+    [ -r "$f" ] || { echo "cannot read baseline: $f" >&2; exit 2; }
+done
+
+python3 - "$OLD" "$NEW" <<'EOF'
+import json, sys
+
+old_path, new_path = sys.argv[1:3]
+with open(old_path) as f:
+    old = json.load(f)
+with open(new_path) as f:
+    new = json.load(f)
+
+
+def label(baseline, path):
+    commit = baseline.get("commit") or "?"
+    return f"{path} ({commit})"
+
+
+print(f"== bench delta: {label(old, old_path)} -> {label(new, new_path)} ==")
+
+old_crit = old.get("criterion_ns_per_iter", {})
+new_crit = new.get("criterion_ns_per_iter", {})
+ids = sorted(set(old_crit) | set(new_crit))
+if ids:
+    width = max(len(i) for i in ids)
+    print(f"\n{'criterion benchmark':<{width}}  {'old ns/iter':>14}  {'new ns/iter':>14}  {'speedup':>8}")
+    for bench_id in ids:
+        o, n = old_crit.get(bench_id), new_crit.get(bench_id)
+        if o is None or n is None:
+            status = "new" if o is None else "removed"
+            o_cell = f"{o:14.1f}" if o is not None else f"{'-':>14}"
+            n_cell = f"{n:14.1f}" if n is not None else f"{'-':>14}"
+            print(f"{bench_id:<{width}}  {o_cell}  {n_cell}  {status:>8}")
+            continue
+        speedup = o / n if n else float("inf")
+        print(f"{bench_id:<{width}}  {o:14.1f}  {n:14.1f}  {speedup:7.2f}x")
+else:
+    print("\n(no criterion measurements in either baseline)")
+
+old_fig = old.get("figure_table_targets", {})
+new_fig = new.get("figure_table_targets", {})
+ids = sorted(set(old_fig) & set(new_fig))
+if ids:
+    width = max(len(i) for i in ids)
+    print(f"\n{'figure/table target':<{width}}  {'old wall s':>11}  {'new wall s':>11}")
+    for target in ids:
+        o, n = old_fig[target], new_fig[target]
+        flag = "" if o.get("ok") and n.get("ok") else "  (FAILED run)"
+        print(f"{target:<{width}}  {o['wall_seconds']:11.3f}  {n['wall_seconds']:11.3f}{flag}")
+EOF

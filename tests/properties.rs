@@ -2,8 +2,8 @@
 
 use fat_tree_qram::core::exec::{execute_layers, execute_layers_sequential};
 use fat_tree_qram::core::{
-    execute_batch, execute_batch_unmemoized, BucketBrigadeQram, FatTreeQram, PipelineSchedule,
-    QramModel, ShardedQram,
+    execute_batch, execute_batch_unmemoized, BucketBrigadeQram, CompiledQuery, FatTreeQram, Op,
+    PipelineSchedule, QramModel, QubitTag, ShardedQram,
 };
 use fat_tree_qram::metrics::{Capacity, Layers};
 use fat_tree_qram::noise::distilled_infidelity;
@@ -384,6 +384,165 @@ proptest! {
                 execute_batch_unmemoized(backend.as_ref(), &memory, &addresses, &updates)
                     .unwrap();
             prop_assert_eq!(&memoized, &plain);
+        }
+    }
+
+    /// Compiled query plans are observably identical to the interpreter
+    /// on all three backends: same outcomes and same gate counts for
+    /// random memories and superpositions. `execute_query_traced` takes
+    /// the compiled path (every built-in backend exposes a plan), and is
+    /// compared against the pinned sequential interpreter run over the
+    /// same interned stream.
+    #[test]
+    fn compiled_plans_match_interpreter_on_all_backends(
+        n in 2u32..=6,
+        seed_cells in prop::collection::vec(0u64..2, 1..64),
+        picks in prop::collection::vec(0u64..64, 1..12),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let mut addresses: Vec<u64> = picks.iter().map(|p| p % capacity).collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        let address = AddressState::uniform(n, &addresses).unwrap();
+        let cap = Capacity::new(capacity).unwrap();
+        let backends: [Box<dyn QramModel>; 3] = [
+            Box::new(BucketBrigadeQram::new(cap)),
+            Box::new(FatTreeQram::new(cap)),
+            Box::new(ShardedQram::bucket_brigade(cap, 2)),
+        ];
+        for backend in &backends {
+            prop_assert!(
+                backend.compiled_query().is_some(),
+                "{} must expose a compiled plan", backend.name()
+            );
+            let compiled = backend.execute_query_traced(&memory, &address).unwrap();
+            let interpreted = execute_layers_sequential(
+                &backend.interned_query_layers(),
+                &memory,
+                &address,
+            )
+            .unwrap();
+            prop_assert!(
+                compiled == interpreted,
+                "{} compiled != interpreted", backend.name()
+            );
+        }
+    }
+
+    /// Compiled batched execution (`execute_queries`: plan dispatch +
+    /// memoization) equals the pure-interpreter reference
+    /// (`execute_batch_unmemoized` / `execute_queries_sequential`) across
+    /// interleaved §7.2 memory writes on all three backends.
+    #[test]
+    fn compiled_batches_match_interpreted_reference(
+        n in 3u32..=5,
+        seed_cells in prop::collection::vec(0u64..2, 1..32),
+        query_addrs in prop::collection::vec(0u64..32, 1..8),
+        // Encoded (layer, address, value) triples (the vendored proptest
+        // has no tuple strategies).
+        updates in prop::collection::vec(0u64..(300 * 32 * 2), 0..5),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addresses: Vec<AddressState> = query_addrs
+            .iter()
+            .map(|&a| AddressState::classical(n, a % capacity).unwrap())
+            .collect();
+        let updates: Vec<(u64, u64, u64)> = updates
+            .into_iter()
+            .map(|enc| (enc / 64, (enc / 2) % capacity, enc % 2))
+            .collect();
+        let cap = Capacity::new(capacity).unwrap();
+        let backends: [Box<dyn QramModel>; 2] = [
+            Box::new(BucketBrigadeQram::new(cap)),
+            Box::new(FatTreeQram::new(cap)),
+        ];
+        for backend in &backends {
+            let compiled =
+                backend.execute_queries(&memory, &addresses, &updates).unwrap();
+            let reference =
+                execute_batch_unmemoized(backend.as_ref(), &memory, &addresses, &updates)
+                    .unwrap();
+            prop_assert!(compiled == reference, "{} diverges", backend.name());
+        }
+        let sharded = ShardedQram::fat_tree(cap, 2);
+        let compiled = sharded.execute_queries(&memory, &addresses, &updates).unwrap();
+        let reference = sharded
+            .execute_queries_sequential(&memory, &addresses, &updates)
+            .unwrap();
+        prop_assert!(compiled == reference, "Sharded diverges");
+    }
+
+    /// Randomly mutated instruction streams behave identically under
+    /// compilation and interpretation: a corrupted stream is rejected at
+    /// compile time with the interpreter's exact error (layer index and
+    /// message), and a mutation that leaves the stream valid (e.g. a
+    /// duplicated retrieval whose reads XOR-cancel) compiles to a plan
+    /// with the interpreter's outcome.
+    #[test]
+    fn mutated_streams_compile_and_interpret_identically(
+        n in 2u32..=5,
+        arch_pick in 0u64..2,
+        mutation in 0u64..6,
+        position in 0u64..10_000,
+    ) {
+        let capacity = 1u64 << n;
+        let cells: Vec<u64> = (0..capacity).map(|i| (i * 3 + 1) % 2).collect();
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let address = AddressState::full_superposition(n);
+        let arch: Box<dyn QramModel> = if arch_pick == 1 {
+            Box::new(FatTreeQram::new(Capacity::new(capacity).unwrap()))
+        } else {
+            Box::new(BucketBrigadeQram::new(Capacity::new(capacity).unwrap()))
+        };
+        let mut layers = arch.query_layers();
+        let layer = (position as usize) % layers.len();
+        let level = (position % u64::from(n)) as u32;
+        match mutation {
+            0 => {
+                // Duplicate the layer's first op in place.
+                if let Some(&op) = layers[layer].ops.first() {
+                    layers[layer].ops.push(op);
+                }
+            }
+            1 => {
+                // Drop the layer's first op.
+                if !layers[layer].ops.is_empty() {
+                    layers[layer].ops.remove(0);
+                }
+            }
+            2 => layers[layer].ops.clear(),
+            3 => layers[layer].ops.push(Op::Store(level)),
+            4 => layers[layer].ops.insert(0, Op::ClassicalGates),
+            _ => layers[layer].ops.push(Op::Load(QubitTag::Bus)),
+        }
+        let compiled = CompiledQuery::compile(n, &layers);
+        let interpreted = execute_layers_sequential(&layers, &memory, &address);
+        match (compiled, interpreted) {
+            (Ok(plan), Ok(exec)) => {
+                prop_assert_eq!(plan.execute(&memory, &address), exec);
+            }
+            (Err(compile_err), Err(interp_err)) => {
+                prop_assert!(
+                    compile_err == interp_err,
+                    "compile error {compile_err:?} != interpreter error {interp_err:?}"
+                );
+            }
+            (Ok(_), Err(e)) => {
+                return Err(TestCaseError::fail(format!(
+                    "stream compiled but the interpreter rejected it: {e}"
+                )));
+            }
+            (Err(e), Ok(_)) => {
+                return Err(TestCaseError::fail(format!(
+                    "interpreter accepted a stream compilation rejected: {e}"
+                )));
+            }
         }
     }
 
