@@ -136,6 +136,33 @@ impl<M: QramModel> ShardedQram<M> {
         self.num_shards().trailing_zeros()
     }
 
+    /// The per-shard pipeline parallelism `P_shard` (shards are identical
+    /// by construction, so one shard speaks for all): the serving layer's
+    /// per-queue in-flight bound, with `K · P_shard` the aggregate bound
+    /// reported by [`QramModel::query_parallelism`].
+    #[must_use]
+    pub fn shard_parallelism(&self) -> u32 {
+        self.shards[0].query_parallelism()
+    }
+
+    /// The per-shard admission interval `I_shard`: one shard admits a
+    /// query at most this often, so round-robin over `K` shards admits at
+    /// the divided `I_shard / K` interval reported by
+    /// [`QramModel::admission_interval`].
+    #[must_use]
+    pub fn shard_admission_interval(&self, timing: &TimingModel) -> Layers {
+        self.shards[0].admission_interval(timing)
+    }
+
+    /// The shard whose dispatch queue serves the `query_index`-th admitted
+    /// query under round-robin admission (`query_index mod K`) — the same
+    /// assignment [`QramModel::retrieval_layer`] stamps onto the batch
+    /// timeline, exposed for the serving layer's per-shard queues.
+    #[must_use]
+    pub fn dispatch_shard(&self, query_index: usize) -> u32 {
+        u32::try_from(query_index % self.shards.len()).expect("shard index fits")
+    }
+
     /// The shard serving global address `address` (its low-order bits).
     #[must_use]
     pub fn shard_of(&self, address: u64) -> u32 {
@@ -466,7 +493,7 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
     /// admission spacing.
     fn retrieval_layer(&self, query_index: usize) -> u64 {
         let k = self.shards.len();
-        let shard = query_index % k;
+        let shard = self.dispatch_shard(query_index) as usize;
         self.shards[shard].retrieval_layer(query_index / k) + shard as u64
     }
 
@@ -611,6 +638,29 @@ mod tests {
                 assert!(r > prev || q == 0, "K={k}, q={q}: {r} <= {prev}");
                 prev = r;
             }
+        }
+    }
+
+    #[test]
+    fn serving_introspection_exposes_shard_queue_parameters() {
+        let timing = TimingModel::paper_default();
+        let s = ShardedQram::fat_tree(cap(4096), 4);
+        // Shards have capacity 1024: parallelism log₂(1024), the Fat-Tree
+        // weighted interval 8.25.
+        assert_eq!(s.shard_parallelism(), 10);
+        assert!((s.shard_admission_interval(&timing).get() - 8.25).abs() < 1e-12);
+        // Aggregate figures are the per-shard ones scaled by K.
+        assert_eq!(
+            s.query_parallelism(),
+            s.num_shards() * s.shard_parallelism()
+        );
+        assert_eq!(
+            s.shard_admission_interval(&timing) / f64::from(s.num_shards()),
+            s.admission_interval(&timing)
+        );
+        // Round-robin dispatch-queue assignment, matching retrieval_layer.
+        for q in 0..12usize {
+            assert_eq!(s.dispatch_shard(q), (q % 4) as u32);
         }
     }
 

@@ -1,0 +1,402 @@
+//! Log-bucketed latency histogram for the serving layer (§5).
+//!
+//! An online QRAM service observes per-query response latencies spanning
+//! several orders of magnitude (a lightly loaded pipeline answers in one
+//! query latency; a saturated one queues). [`LatencyHistogram`] records
+//! them into geometrically spaced buckets — constant *relative* precision
+//! at every scale, constant memory, O(1) insertion — the standard
+//! serving-system design (HdrHistogram-style), hand-rolled here since the
+//! vendored tree has no histogram crate.
+
+use std::fmt;
+
+use crate::Layers;
+
+/// Sub-buckets per octave: bucket boundaries grow by `2^(1/8)` per bucket,
+/// bounding the relative quantile error at `2^(1/8) − 1 ≈ 9.05%`.
+const SUB_BUCKETS_PER_OCTAVE: f64 = 8.0;
+
+/// A log-bucketed histogram of latencies in circuit [`Layers`].
+///
+/// Values at or below the base `resolution` share the first bucket; above
+/// it, bucket `i` covers `(resolution·2^((i−1)/8), resolution·2^(i/8)]`,
+/// so any reported quantile overestimates the true sample quantile by at
+/// most [`LatencyHistogram::relative_error_bound`] (exact `min`/`max`/
+/// `mean` are tracked alongside, and quantiles are clamped into
+/// `[min, max]`).
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::{LatencyHistogram, Layers};
+///
+/// let mut hist = LatencyHistogram::new();
+/// for latency in [10.0, 12.0, 15.0, 80.0, 1000.0] {
+///     hist.record(Layers::new(latency));
+/// }
+/// assert_eq!(hist.count(), 5);
+/// assert_eq!(hist.max().get(), 1000.0);
+/// // p50 lands on the bucket holding the median sample (15.0), within
+/// // the 9% relative-error bound.
+/// let p50 = hist.quantile(0.5).get();
+/// assert!((15.0..=15.0 * 1.0905).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    resolution: f64,
+    /// `counts[0]` holds values `≤ resolution`; `counts[i]` (i ≥ 1) holds
+    /// values in `(resolution·2^((i−1)/8), resolution·2^(i/8)]`.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LatencyHistogram {
+    /// A histogram with the default base resolution of ⅛ layer — the
+    /// classically-controlled-layer weight, the finest latency step any
+    /// schedule in the paper produces.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::with_resolution(Layers::new(0.125))
+    }
+
+    /// A histogram whose first bucket ends at `resolution`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    #[must_use]
+    pub fn with_resolution(resolution: Layers) -> Self {
+        assert!(
+            resolution > Layers::ZERO,
+            "histogram resolution must be positive"
+        );
+        LatencyHistogram {
+            resolution: resolution.get(),
+            counts: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The base resolution (upper edge of the first bucket).
+    #[must_use]
+    pub fn resolution(&self) -> Layers {
+        Layers::new(self.resolution)
+    }
+
+    /// Worst-case relative overestimate of any quantile:
+    /// `2^(1/8) − 1 ≈ 9.05%` (values below the base resolution are exact
+    /// to within the resolution itself).
+    #[must_use]
+    pub fn relative_error_bound() -> f64 {
+        2f64.powf(1.0 / SUB_BUCKETS_PER_OCTAVE) - 1.0
+    }
+
+    fn bucket_index(&self, value: f64) -> usize {
+        if value <= self.resolution {
+            0
+        } else {
+            // Strictly positive log, so the +1 keeps bucket 0 exclusive.
+            let octaves = (value / self.resolution).log2();
+            1 + (octaves * SUB_BUCKETS_PER_OCTAVE).ceil() as usize - 1
+        }
+    }
+
+    /// Upper edge of bucket `i`.
+    fn bucket_upper(&self, index: usize) -> f64 {
+        self.resolution * 2f64.powf(index as f64 / SUB_BUCKETS_PER_OCTAVE)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Layers) {
+        let v = latency.get();
+        let idx = self.bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the recorded latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn mean(&self) -> Layers {
+        assert!(self.count > 0, "mean of an empty histogram");
+        Layers::new(self.sum / self.count as f64)
+    }
+
+    /// Exact minimum recorded latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn min(&self) -> Layers {
+        assert!(self.count > 0, "min of an empty histogram");
+        Layers::new(self.min)
+    }
+
+    /// Exact maximum recorded latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn max(&self) -> Layers {
+        assert!(self.count > 0, "max of an empty histogram");
+        Layers::new(self.max)
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`): the upper edge of the bucket
+    /// holding the `⌈q·count⌉`-th smallest observation, clamped into
+    /// `[min, max]` — an overestimate of the exact sample quantile by at
+    /// most [`Self::relative_error_bound`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Layers {
+        assert!(self.count > 0, "quantile of an empty histogram");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must lie in [0, 1], got {q}"
+        );
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Layers::new(self.bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Layers::new(self.max)
+    }
+
+    /// Median (`p50`) latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn p50(&self) -> Layers {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn p95(&self) -> Layers {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn p99(&self) -> Layers {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (e.g. per-shard histograms
+    /// into a service-wide view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolutions differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert!(
+            (self.resolution - other.resolution).abs() < f64::EPSILON,
+            "cannot merge histograms of different resolutions"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "latency histogram (empty)");
+        }
+        write!(
+            f,
+            "n={} p50={:.2} p95={:.2} p99={:.2} max={:.2} layers",
+            self.count,
+            self.p50().get(),
+            self.p95().get(),
+            self.p99().get(),
+            self.max().get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_moments_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(Layers::new(v));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean().get(), 2.5);
+        assert_eq!(h.min().get(), 1.0);
+        assert_eq!(h.max().get(), 4.0);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn quantiles_within_relative_error_bound() {
+        // Deterministic pseudo-random spread over three decades.
+        let mut values: Vec<f64> = (0..500u64)
+            .map(|i| 0.5 + ((i * 2_654_435_761) % 100_000) as f64 / 100.0)
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(Layers::new(v));
+        }
+        values.sort_by(f64::total_cmp);
+        let bound = LatencyHistogram::relative_error_bound();
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(q).get();
+            assert!(
+                est >= exact - 1e-12 && est <= exact * (1.0 + bound) + 1e-12,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_value_is_reported_exactly() {
+        let mut h = LatencyHistogram::new();
+        h.record(Layers::new(82.375));
+        // Clamped into [min, max], so every quantile is the value itself.
+        assert_eq!(h.quantile(0.0).get(), 82.375);
+        assert_eq!(h.p50().get(), 82.375);
+        assert_eq!(h.p99().get(), 82.375);
+    }
+
+    #[test]
+    fn sub_resolution_values_share_first_bucket() {
+        let mut h = LatencyHistogram::with_resolution(Layers::new(1.0));
+        h.record(Layers::ZERO);
+        h.record(Layers::new(0.3));
+        h.record(Layers::new(1.0));
+        assert_eq!(h.count(), 3);
+        // All in bucket 0: quantile clamps to the exact max.
+        assert_eq!(h.p99().get(), 1.0);
+        assert_eq!(h.min().get(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_consistent() {
+        let h = LatencyHistogram::new();
+        let mut prev = 0usize;
+        let mut v = 0.2;
+        while v < 1e6 {
+            let idx = h.bucket_index(v);
+            assert!(idx >= prev, "bucket index must be monotone at {v}");
+            // The value must sit at or below its bucket's upper edge.
+            assert!(v <= h.bucket_upper(idx) * (1.0 + 1e-12), "v={v} idx={idx}");
+            prev = idx;
+            v *= 1.01;
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [1.0, 10.0] {
+            a.record(Layers::new(v));
+        }
+        for v in [100.0, 1000.0] {
+            b.record(Layers::new(v));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max().get(), 1000.0);
+        assert_eq!(a.min().get(), 1.0);
+        assert_eq!(a.mean().get(), 1111.0 / 4.0);
+        let bound = LatencyHistogram::relative_error_bound();
+        assert!(a.p99().get() <= 1000.0 * (1.0 + bound));
+    }
+
+    #[test]
+    fn display_formats_summary() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.to_string().contains("empty"));
+        h.record(Layers::new(5.0));
+        assert!(h.to_string().contains("n=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn quantile_of_empty_rejected() {
+        let _ = LatencyHistogram::new().quantile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn out_of_range_quantile_rejected() {
+        let mut h = LatencyHistogram::new();
+        h.record(Layers::new(1.0));
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolutions")]
+    fn merge_rejects_mismatched_resolution() {
+        let mut a = LatencyHistogram::with_resolution(Layers::new(1.0));
+        let b = LatencyHistogram::with_resolution(Layers::new(2.0));
+        a.merge(&b);
+    }
+}

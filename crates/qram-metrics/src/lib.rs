@@ -14,6 +14,8 @@
 //!   (and to CLOPS, Circuit Layer Operations Per Second).
 //! * [`Bandwidth`], [`QueryRate`], [`SpaceTimeVolume`], [`MemoryAccessRate`],
 //!   [`Utilization`] — the shared-QRAM metrics defined in §6.2 of the paper.
+//! * [`LatencyHistogram`] — a log-bucketed response-latency histogram for
+//!   the online serving layer (§5).
 //!
 //! # Examples
 //!
@@ -34,12 +36,14 @@
 
 mod bandwidth;
 mod capacity;
+mod histogram;
 mod layers;
 mod timing;
 mod utilization;
 
 pub use bandwidth::{Bandwidth, MemoryAccessRate, QueryRate, SpaceTimeVolume};
 pub use capacity::{Capacity, CapacityError};
+pub use histogram::LatencyHistogram;
 pub use layers::{LayerKind, Layers};
 pub use timing::{Clops, TimingModel};
 pub use utilization::{Utilization, UtilizationTrace};

@@ -2,6 +2,7 @@
 
 use qram_metrics::Layers;
 
+use crate::policy::PipelineCore;
 use crate::server::QramServer;
 
 /// A query request arriving at a known time.
@@ -77,7 +78,8 @@ impl Schedule {
 ///
 /// Admission respects the pipeline constraints: a query starts no earlier
 /// than its arrival, at least `interval` after the previous admission, and
-/// only once a pipeline slot is free.
+/// only once a pipeline slot is free. The recurrence is the shared
+/// [`PipelineCore`]; this function only supplies the processing order.
 ///
 /// # Panics
 ///
@@ -94,29 +96,13 @@ pub fn schedule_in_order(
         assert!(!seen[i], "order must be a permutation");
         seen[i] = true;
     }
-    let mut entries = Vec::with_capacity(requests.len());
-    let mut last_start: Option<Layers> = None;
-    let mut finishes: Vec<Layers> = Vec::new();
-    for (k, &idx) in order.iter().enumerate() {
+    let mut core = PipelineCore::new(*server);
+    for &idx in order {
         let req = requests[idx];
-        let mut start = req.arrival;
-        if let Some(prev) = last_start {
-            start = start.max(prev + server.interval());
-        }
-        let p = server.parallelism() as usize;
-        if k >= p {
-            start = start.max(finishes[k - p]);
-        }
-        let finish = start + server.latency();
-        finishes.push(finish);
-        last_start = Some(start);
-        entries.push(ScheduledQuery {
-            request: req,
-            start,
-            finish,
-        });
+        let start = core.earliest_start(req.arrival, server.parallelism());
+        core.commit(req, start);
     }
-    Schedule { entries }
+    core.into_schedule()
 }
 
 /// FIFO scheduling: processes requests in arrival order — optimal for

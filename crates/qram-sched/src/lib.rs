@@ -3,12 +3,18 @@
 //! * [`server`] — the pipelined-server abstraction of a shared QRAM
 //!   (admission interval, parallelism, per-query latency) for all five
 //!   architectures of §6.1.
+//! * [`policy`] — the pluggable scheduling stack: the shared
+//!   [`PipelineCore`] admission recurrence, the [`Scheduler`] and
+//!   [`AdmissionPolicy`] traits, and the [`FifoAdmission`] /
+//!   [`NoiseAwareAdmission`] policies (every other scheduling entry point
+//!   is an adapter over this core).
 //! * [`fifo`] — FIFO scheduling of static request batches, with the
 //!   latency-optimality theorem of Appendix A.2 checked exhaustively and
 //!   property-tested.
 //! * [`workload`] — closed-loop simulation of algorithm streams that
 //!   alternate querying and processing (Fig. 7, Fig. 10), including the
-//!   utilization staircase.
+//!   utilization staircase, plus the Zipf and bursty open-loop workload
+//!   generators.
 //!
 //! # Examples
 //!
@@ -30,13 +36,17 @@
 
 pub mod fifo;
 pub mod online;
+pub mod policy;
 pub mod server;
 pub mod workload;
 
 pub use fifo::{schedule_fifo, schedule_in_order, QueryRequest, Schedule, ScheduledQuery};
 pub use online::{poisson_arrivals, OnlineFifoScheduler, OutOfOrderArrival};
+pub use policy::{
+    AdmissionPolicy, FifoAdmission, NoiseAwareAdmission, PipelineCore, PolicyScheduler, Scheduler,
+};
 pub use server::QramServer;
 pub use workload::{
-    process_depth_from_ratio, simulate_streams, synthetic_algorithm_depth, Phase, QueryRecord,
-    StreamReport, StreamWorkload, ZipfAddresses,
+    bursty_arrivals, process_depth_from_ratio, simulate_streams, synthetic_algorithm_depth, Phase,
+    QueryRecord, StreamReport, StreamWorkload, ZipfAddresses,
 };

@@ -12,9 +12,15 @@ use rand::Rng;
 use qram_metrics::Layers;
 
 use crate::fifo::{QueryRequest, Schedule, ScheduledQuery};
+use crate::policy::{FifoAdmission, PolicyScheduler, Scheduler};
 use crate::server::QramServer;
 
 /// An incremental FIFO scheduler for online query arrivals.
+///
+/// Since the policy-stack refactor this is a thin adapter: the admission
+/// recurrence lives in [`crate::PipelineCore`] and the type is exactly
+/// [`PolicyScheduler`]`<`[`FifoAdmission`]`>` under its historical name
+/// and API.
 ///
 /// # Examples
 ///
@@ -32,11 +38,7 @@ use crate::server::QramServer;
 /// ```
 #[derive(Debug, Clone)]
 pub struct OnlineFifoScheduler {
-    server: QramServer,
-    last_arrival: Option<Layers>,
-    last_start: Option<Layers>,
-    finishes: Vec<Layers>,
-    entries: Vec<ScheduledQuery>,
+    inner: PolicyScheduler<FifoAdmission>,
 }
 
 /// Error returned when requests are submitted out of arrival order.
@@ -66,18 +68,14 @@ impl OnlineFifoScheduler {
     #[must_use]
     pub fn new(server: QramServer) -> Self {
         OnlineFifoScheduler {
-            server,
-            last_arrival: None,
-            last_start: None,
-            finishes: Vec::new(),
-            entries: Vec::new(),
+            inner: PolicyScheduler::new(server, FifoAdmission),
         }
     }
 
     /// Number of queries admitted so far.
     #[must_use]
     pub fn admitted(&self) -> usize {
-        self.entries.len()
+        self.inner.admitted()
     }
 
     /// Submits the next arriving request and immediately commits its
@@ -89,40 +87,27 @@ impl OnlineFifoScheduler {
     /// already-submitted arrival — an online scheduler sees time move
     /// forward only.
     pub fn submit(&mut self, request: QueryRequest) -> Result<ScheduledQuery, OutOfOrderArrival> {
-        if let Some(prev) = self.last_arrival {
-            if request.arrival < prev {
-                return Err(OutOfOrderArrival {
-                    arrival: request.arrival,
-                    previous: prev,
-                });
-            }
-        }
-        self.last_arrival = Some(request.arrival);
-        let mut start = request.arrival;
-        if let Some(prev) = self.last_start {
-            start = start.max(prev + self.server.interval());
-        }
-        let k = self.entries.len();
-        let p = self.server.parallelism() as usize;
-        if k >= p {
-            start = start.max(self.finishes[k - p]);
-        }
-        let finish = start + self.server.latency();
-        self.last_start = Some(start);
-        self.finishes.push(finish);
-        let scheduled = ScheduledQuery {
-            request,
-            start,
-            finish,
-        };
-        self.entries.push(scheduled);
-        Ok(scheduled)
+        self.inner.admit(request)
     }
 
     /// Consumes the scheduler, returning the realized schedule.
     #[must_use]
     pub fn finish(self) -> Schedule {
-        Schedule::from_entries(self.entries)
+        self.inner.into_schedule()
+    }
+}
+
+impl Scheduler for OnlineFifoScheduler {
+    fn server(&self) -> &QramServer {
+        self.inner.server()
+    }
+
+    fn admit(&mut self, request: QueryRequest) -> Result<ScheduledQuery, OutOfOrderArrival> {
+        self.inner.admit(request)
+    }
+
+    fn entries(&self) -> &[ScheduledQuery] {
+        self.inner.entries()
     }
 }
 

@@ -1,0 +1,536 @@
+//! The pluggable scheduling stack: one admission core, interchangeable
+//! policies (§5.2).
+//!
+//! Before this module, `schedule_fifo` (offline), [`OnlineFifoScheduler`]
+//! (incremental), and `simulate_streams` (closed-loop) each hard-coded the
+//! same pipelined-admission recurrence. The stack now layers them:
+//!
+//! * [`PipelineCore`] — the shared recurrence: a query ready at `r` starts
+//!   at `max(r, last_start + interval, finish of the query `p` admissions
+//!   back)` and occupies the pipeline for `latency`. Every scheduler in
+//!   the workspace commits admissions through this one implementation.
+//! * [`AdmissionPolicy`] — a strategy hook deciding *how many* queries may
+//!   share the pipeline ([`AdmissionPolicy::in_flight_cap`]) and *when* a
+//!   request may start relative to the earliest feasible instant
+//!   ([`AdmissionPolicy::admission_time`]). [`FifoAdmission`] admits
+//!   greedily at full parallelism; [`NoiseAwareAdmission`] trades
+//!   parallelism for post-distillation fidelity (§8.2, Table 4).
+//! * [`Scheduler`] — the object-safe admit/dispatch/complete surface a
+//!   serving layer drives. [`PolicyScheduler`] composes the core with any
+//!   policy; [`OnlineFifoScheduler`] is its FIFO instantiation, kept as a
+//!   named type for API stability.
+//!
+//! [`OnlineFifoScheduler`]: crate::OnlineFifoScheduler
+
+use qram_core::QramModel;
+use qram_metrics::Layers;
+use qram_noise::{distilled_infidelity, query_infidelity_bound, GateErrorRates};
+
+use crate::fifo::{QueryRequest, Schedule, ScheduledQuery};
+use crate::online::OutOfOrderArrival;
+use crate::server::QramServer;
+
+/// Distillation depth past which admission degenerates to one query at a
+/// time: even the widest architecture in Table 1 has parallelism far below
+/// `2⁶⁴`, and `ε ≥ 1` can never reach a sub-one target.
+const MAX_DISTILLATION_COPIES: u32 = 64;
+
+/// The shared pipelined-admission state: committed admissions, their
+/// finish times, and the recurrence that turns a ready time into the
+/// earliest feasible start.
+///
+/// Every scheduling entry point in the workspace — offline FIFO, the
+/// online scheduler, the closed-loop stream simulator, and the
+/// `qram-serve` event reactor's reference pin — commits admissions through
+/// this type, so their timings agree bit-for-bit by construction.
+#[derive(Debug, Clone)]
+pub struct PipelineCore {
+    server: QramServer,
+    last_start: Option<Layers>,
+    finishes: Vec<Layers>,
+    entries: Vec<ScheduledQuery>,
+}
+
+impl PipelineCore {
+    /// An empty core for a server.
+    #[must_use]
+    pub fn new(server: QramServer) -> Self {
+        PipelineCore {
+            server,
+            last_start: None,
+            finishes: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The server this core schedules onto.
+    #[must_use]
+    pub fn server(&self) -> &QramServer {
+        &self.server
+    }
+
+    /// Number of committed admissions.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The committed admissions, in admission order.
+    #[must_use]
+    pub fn entries(&self) -> &[ScheduledQuery] {
+        &self.entries
+    }
+
+    /// The earliest feasible start for a query that becomes ready at
+    /// `ready`, with at most `in_flight_cap` queries sharing the pipeline:
+    /// no earlier than `ready`, at least one admission `interval` after
+    /// the previous start, and no earlier than the finish of the query
+    /// `cap` admissions back (the in-flight bound; `cap` is clamped into
+    /// `[1, parallelism]`).
+    #[must_use]
+    pub fn earliest_start(&self, ready: Layers, in_flight_cap: u32) -> Layers {
+        let mut start = ready;
+        if let Some(prev) = self.last_start {
+            start = start.max(prev + self.server.interval());
+        }
+        let k = self.entries.len();
+        let p = in_flight_cap.clamp(1, self.server.parallelism()) as usize;
+        if k >= p {
+            start = start.max(self.finishes[k - p]);
+        }
+        start
+    }
+
+    /// Commits an admission at `start`, returning the scheduled slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` precedes the previous admission (the core's
+    /// recurrence assumes monotone starts — policies may only delay).
+    pub fn commit(&mut self, request: QueryRequest, start: Layers) -> ScheduledQuery {
+        if let Some(prev) = self.last_start {
+            assert!(
+                start >= prev,
+                "admissions must be committed in start order: {} < {}",
+                start.get(),
+                prev.get()
+            );
+        }
+        let finish = start + self.server.latency();
+        self.last_start = Some(start);
+        self.finishes.push(finish);
+        let scheduled = ScheduledQuery {
+            request,
+            start,
+            finish,
+        };
+        self.entries.push(scheduled);
+        scheduled
+    }
+
+    /// Consumes the core, returning the realized schedule.
+    #[must_use]
+    pub fn into_schedule(self) -> Schedule {
+        Schedule::from_entries(self.entries)
+    }
+}
+
+/// A pluggable admission strategy over the [`PipelineCore`].
+///
+/// Policies constrain the core, never relax it: the cap is clamped into
+/// the server's parallelism, and the admission instant may only be delayed
+/// past the pipeline-feasible earliest start.
+pub trait AdmissionPolicy {
+    /// Maximum queries allowed in flight concurrently. The default is the
+    /// server's full pipeline parallelism; the returned value is clamped
+    /// into `[1, parallelism]` by the callers.
+    fn in_flight_cap(&self, server: &QramServer) -> u32 {
+        server.parallelism()
+    }
+
+    /// The admission instant for `request`, given the earliest
+    /// pipeline-feasible start `earliest`. Implementations may delay but
+    /// never return a time before `earliest` (enforced by the callers).
+    ///
+    /// The event-driven serving layer re-evaluates a queued request at
+    /// every wake-up, so this may be invoked repeatedly for the same
+    /// request with a growing `earliest` — implementations must be
+    /// idempotent per request (pure functions of the arguments are).
+    fn admission_time(&mut self, request: &QueryRequest, earliest: Layers) -> Layers {
+        let _ = request;
+        earliest
+    }
+}
+
+/// First-come-first-served admission at full pipeline parallelism — the
+/// latency-optimal policy of Appendix A.2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoAdmission;
+
+impl AdmissionPolicy for FifoAdmission {}
+
+/// Noise-aware admission (§8.2): caps the number of concurrently served
+/// queries so that each admitted query can be virtually distilled from
+/// enough parallel copies to push its post-distillation infidelity below a
+/// target.
+///
+/// A capacity-`N` query has infidelity `ε` (from
+/// [`query_infidelity_bound`]); distilling `k` parallel copies suppresses
+/// it to `≈ εᵏ` ([`distilled_infidelity`]). Meeting a target infidelity
+/// `δ` therefore costs `k = min{k : εᵏ ≤ δ}` pipeline slots per logical
+/// query, capping the concurrent batch at `⌊parallelism / k⌋` — smaller
+/// batches than FIFO exactly when the target is tight (cf. Table 4's
+/// parallelism–fidelity trade-off).
+///
+/// # Examples
+///
+/// ```
+/// use qram_core::FatTreeQram;
+/// use qram_metrics::{Capacity, TimingModel};
+/// use qram_noise::GateErrorRates;
+/// use qram_sched::{AdmissionPolicy, NoiseAwareAdmission, QramServer};
+///
+/// let qram = FatTreeQram::new(Capacity::new(16)?);
+/// let server = QramServer::for_model(&qram, &TimingModel::paper_default());
+/// // ε = 0.16 at ε₀ = 2·10⁻³ (Table 4); a 10⁻³ infidelity target needs
+/// // 4 copies per query, so only ⌊4 / 4⌋ = 1 of the 4 pipeline slots
+/// // serves a distinct query.
+/// let policy = NoiseAwareAdmission::for_model(
+///     &qram, &GateErrorRates::from_cswap_rate(2e-3), 1e-3);
+/// assert_eq!(policy.copies(), 4);
+/// assert_eq!(policy.in_flight_cap(&server), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseAwareAdmission {
+    copies: u32,
+}
+
+impl NoiseAwareAdmission {
+    /// Plans admission for a backend under the given gate-error rates and
+    /// post-distillation infidelity target, deriving the per-query
+    /// infidelity from [`query_infidelity_bound`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_infidelity` is outside `(0, 1]`.
+    #[must_use]
+    pub fn for_model<M: QramModel + ?Sized>(
+        model: &M,
+        rates: &GateErrorRates,
+        target_infidelity: f64,
+    ) -> Self {
+        NoiseAwareAdmission::from_infidelity(
+            query_infidelity_bound(model, rates),
+            target_infidelity,
+        )
+    }
+
+    /// Plans admission for a known per-query infidelity `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is outside `[0, 1]` or `target_infidelity` outside
+    /// `(0, 1]`.
+    #[must_use]
+    pub fn from_infidelity(eps: f64, target_infidelity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&eps),
+            "per-query infidelity must lie in [0, 1], got {eps}"
+        );
+        assert!(
+            target_infidelity > 0.0 && target_infidelity <= 1.0,
+            "target infidelity must lie in (0, 1], got {target_infidelity}"
+        );
+        let copies = (1..MAX_DISTILLATION_COPIES)
+            .find(|&k| distilled_infidelity(eps, k) <= target_infidelity)
+            .unwrap_or(MAX_DISTILLATION_COPIES);
+        NoiseAwareAdmission { copies }
+    }
+
+    /// Parallel copies distilled per admitted query.
+    #[must_use]
+    pub fn copies(&self) -> u32 {
+        self.copies
+    }
+
+    /// The concurrent-batch cap on a machine with the given parallelism:
+    /// `max(1, ⌊parallelism / copies⌋)`.
+    #[must_use]
+    pub fn batch_cap(&self, parallelism: u32) -> u32 {
+        (parallelism / self.copies).max(1)
+    }
+}
+
+impl AdmissionPolicy for NoiseAwareAdmission {
+    fn in_flight_cap(&self, server: &QramServer) -> u32 {
+        self.batch_cap(server.parallelism())
+    }
+}
+
+/// The object-safe scheduler surface a serving layer drives: admit on
+/// arrival, observe dispatch and completion.
+pub trait Scheduler {
+    /// The server being scheduled onto.
+    fn server(&self) -> &QramServer;
+
+    /// Admits the next arriving request, committing its slot immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfOrderArrival`] if `request.arrival` precedes an
+    /// already-admitted arrival — an online scheduler sees time move
+    /// forward only.
+    fn admit(&mut self, request: QueryRequest) -> Result<ScheduledQuery, OutOfOrderArrival>;
+
+    /// Dispatch hook: the serving layer started executing `query`. The
+    /// default is a no-op (admission already committed the slot).
+    fn on_dispatch(&mut self, query: &ScheduledQuery) {
+        let _ = query;
+    }
+
+    /// Completion hook: the serving layer observed `query` finish. The
+    /// default is a no-op.
+    fn on_complete(&mut self, query: &ScheduledQuery) {
+        let _ = query;
+    }
+
+    /// Admissions committed so far, in admission order.
+    fn entries(&self) -> &[ScheduledQuery];
+}
+
+/// A [`Scheduler`] composing the shared [`PipelineCore`] with any
+/// [`AdmissionPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::{Capacity, Layers};
+/// use qram_sched::{
+///     FifoAdmission, PolicyScheduler, QramServer, QueryRequest, Scheduler,
+/// };
+///
+/// let server = QramServer::fat_tree_integer_layers(Capacity::new(8)?);
+/// let mut sched = PolicyScheduler::new(server, FifoAdmission);
+/// let slot = sched.admit(QueryRequest { id: 0, arrival: Layers::ZERO })?;
+/// assert_eq!(slot.start, Layers::ZERO);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicyScheduler<P> {
+    core: PipelineCore,
+    policy: P,
+    last_arrival: Option<Layers>,
+}
+
+impl<P: AdmissionPolicy> PolicyScheduler<P> {
+    /// An empty scheduler for a server under a policy.
+    #[must_use]
+    pub fn new(server: QramServer, policy: P) -> Self {
+        PolicyScheduler {
+            core: PipelineCore::new(server),
+            policy,
+            last_arrival: None,
+        }
+    }
+
+    /// The admission policy.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Number of queries admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.core.admitted()
+    }
+
+    /// Consumes the scheduler, returning the realized schedule.
+    #[must_use]
+    pub fn into_schedule(self) -> Schedule {
+        self.core.into_schedule()
+    }
+}
+
+impl<P: AdmissionPolicy> Scheduler for PolicyScheduler<P> {
+    fn server(&self) -> &QramServer {
+        self.core.server()
+    }
+
+    fn admit(&mut self, request: QueryRequest) -> Result<ScheduledQuery, OutOfOrderArrival> {
+        if let Some(prev) = self.last_arrival {
+            if request.arrival < prev {
+                return Err(OutOfOrderArrival {
+                    arrival: request.arrival,
+                    previous: prev,
+                });
+            }
+        }
+        self.last_arrival = Some(request.arrival);
+        let cap = self.policy.in_flight_cap(self.core.server());
+        let earliest = self.core.earliest_start(request.arrival, cap);
+        let start = self.policy.admission_time(&request, earliest);
+        assert!(
+            start >= earliest,
+            "admission policy may only delay: {} < {}",
+            start.get(),
+            earliest.get()
+        );
+        Ok(self.core.commit(request, start))
+    }
+
+    fn entries(&self) -> &[ScheduledQuery] {
+        self.core.entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_metrics::Capacity;
+
+    fn server() -> QramServer {
+        QramServer::fat_tree_integer_layers(Capacity::new(8).unwrap())
+    }
+
+    fn requests(arrivals: &[f64]) -> Vec<QueryRequest> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, &a)| QueryRequest {
+                id,
+                arrival: Layers::new(a),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_policy_matches_pipeline_recurrence() {
+        let mut sched = PolicyScheduler::new(server(), FifoAdmission);
+        for r in requests(&[0.0, 0.0, 0.0]) {
+            sched.admit(r).unwrap();
+        }
+        let starts: Vec<f64> = sched.entries().iter().map(|e| e.start.get()).collect();
+        assert_eq!(starts, vec![0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn policy_scheduler_rejects_out_of_order() {
+        let mut sched = PolicyScheduler::new(server(), FifoAdmission);
+        sched
+            .admit(QueryRequest {
+                id: 0,
+                arrival: Layers::new(5.0),
+            })
+            .unwrap();
+        let err = sched
+            .admit(QueryRequest {
+                id: 1,
+                arrival: Layers::new(1.0),
+            })
+            .unwrap_err();
+        assert_eq!(err.previous, Layers::new(5.0));
+        assert_eq!(sched.admitted(), 1);
+    }
+
+    #[test]
+    fn in_flight_cap_serializes_below_parallelism() {
+        // Cap 1 on a parallelism-3 server: each query waits for the
+        // previous finish, not just the interval.
+        #[derive(Debug)]
+        struct CapOne;
+        impl AdmissionPolicy for CapOne {
+            fn in_flight_cap(&self, _server: &QramServer) -> u32 {
+                1
+            }
+        }
+        let s = server();
+        let mut sched = PolicyScheduler::new(s, CapOne);
+        for r in requests(&[0.0, 0.0, 0.0]) {
+            sched.admit(r).unwrap();
+        }
+        let starts: Vec<f64> = sched.entries().iter().map(|e| e.start.get()).collect();
+        assert_eq!(starts, vec![0.0, 29.0, 58.0]);
+    }
+
+    #[test]
+    fn delaying_policy_shifts_admissions() {
+        #[derive(Debug)]
+        struct DelayFive;
+        impl AdmissionPolicy for DelayFive {
+            fn admission_time(&mut self, _request: &QueryRequest, earliest: Layers) -> Layers {
+                earliest + Layers::new(5.0)
+            }
+        }
+        let mut sched = PolicyScheduler::new(server(), DelayFive);
+        for r in requests(&[0.0, 0.0]) {
+            sched.admit(r).unwrap();
+        }
+        let starts: Vec<f64> = sched.entries().iter().map(|e| e.start.get()).collect();
+        assert_eq!(starts, vec![5.0, 20.0]);
+    }
+
+    #[test]
+    fn noise_aware_copies_match_table4_operating_point() {
+        // Table 4: ε = 0.16 (Fat-Tree N = 16 at ε₀ = 2·10⁻³); four copies
+        // reach 0.16⁴ ≈ 6.6·10⁻⁴.
+        let policy = NoiseAwareAdmission::from_infidelity(0.16, 1e-3);
+        assert_eq!(policy.copies(), 4);
+        assert_eq!(policy.batch_cap(4), 1);
+        assert_eq!(policy.batch_cap(12), 3);
+        // A loose target needs no distillation at all.
+        let loose = NoiseAwareAdmission::from_infidelity(0.16, 0.5);
+        assert_eq!(loose.copies(), 1);
+    }
+
+    #[test]
+    fn noise_aware_caps_at_one_query_for_hopeless_noise() {
+        // ε = 1 can never be distilled below a sub-one target: the copy
+        // count saturates and the batch cap degenerates to 1.
+        let policy = NoiseAwareAdmission::from_infidelity(1.0, 0.1);
+        assert_eq!(policy.copies(), MAX_DISTILLATION_COPIES);
+        assert_eq!(policy.batch_cap(10), 1);
+    }
+
+    #[test]
+    fn noise_aware_schedule_is_slower_but_no_wider_than_fifo() {
+        let s = server(); // parallelism 3, interval 10, latency 29
+        let reqs = requests(&[0.0; 9]);
+        let mut fifo = PolicyScheduler::new(s, FifoAdmission);
+        let mut tight = PolicyScheduler::new(s, NoiseAwareAdmission::from_infidelity(0.16, 1e-3));
+        for &r in &reqs {
+            fifo.admit(r).unwrap();
+            tight.admit(r).unwrap();
+        }
+        let fifo = fifo.into_schedule();
+        let tight = tight.into_schedule();
+        assert!(tight.makespan() > fifo.makespan());
+        assert!(tight.total_latency() > fifo.total_latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "only delay")]
+    fn early_admission_rejected() {
+        #[derive(Debug)]
+        struct Cheat;
+        impl AdmissionPolicy for Cheat {
+            fn admission_time(&mut self, _request: &QueryRequest, earliest: Layers) -> Layers {
+                earliest.saturating_sub(Layers::new(1.0))
+            }
+        }
+        let mut sched = PolicyScheduler::new(server(), Cheat);
+        for r in requests(&[0.0, 0.0]) {
+            let _ = sched.admit(r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start order")]
+    fn core_rejects_non_monotone_commits() {
+        let mut core = PipelineCore::new(server());
+        let reqs = requests(&[0.0, 0.0]);
+        core.commit(reqs[0], Layers::new(10.0));
+        core.commit(reqs[1], Layers::new(5.0));
+    }
+}

@@ -8,12 +8,16 @@
 //!
 //! [`ZipfAddresses`] generates skewed classical address workloads —
 //! the standard serving-cache traffic model — used to measure the batch
-//! memoization hit rate of `qram_core::execute_batch_traced`.
+//! memoization hit rate of `qram_core::execute_batch_traced`; and
+//! [`bursty_arrivals`] generates on/off-modulated Poisson arrival streams,
+//! the open-loop tail-latency workload of the serving benchmark.
 
 use qram_metrics::{Capacity, Layers, Utilization, UtilizationTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fifo::QueryRequest;
+use crate::policy::PipelineCore;
 use crate::server::QramServer;
 
 /// One phase of an algorithm stream.
@@ -195,8 +199,7 @@ pub fn simulate_streams(streams: &[StreamWorkload], server: &QramServer) -> Stre
         }
     }
     let mut queries: Vec<QueryRecord> = Vec::new();
-    let mut finishes: Vec<Layers> = Vec::new();
-    let mut last_start: Option<Layers> = None;
+    let mut core = PipelineCore::new(*server);
     loop {
         // FIFO: pick the pending query that became ready earliest.
         let next = states
@@ -212,18 +215,16 @@ pub fn simulate_streams(streams: &[StreamWorkload], server: &QramServer) -> Stre
             .map(|(s, _)| s);
         let Some(s) = next else { break };
         let ready = states[s].ready;
-        let mut start = ready;
-        if let Some(prev) = last_start {
-            start = start.max(prev + server.interval());
-        }
-        let k = queries.len();
-        let p = server.parallelism() as usize;
-        if k >= p {
-            start = start.max(finishes[k - p]);
-        }
-        let finish = start + server.latency();
-        last_start = Some(start);
-        finishes.push(finish);
+        // Admission through the shared policy-stack core: the ready time
+        // is the request's arrival, and FIFO admits at the earliest
+        // feasible instant.
+        let request = QueryRequest {
+            id: core.admitted(),
+            arrival: ready,
+        };
+        let start = core.earliest_start(ready, server.parallelism());
+        let slot = core.commit(request, start);
+        let finish = slot.finish;
         queries.push(QueryRecord {
             stream: s,
             ready,
@@ -282,6 +283,84 @@ pub fn synthetic_algorithm_depth(
 #[must_use]
 pub fn process_depth_from_ratio(server: &QramServer, ratio: f64) -> Layers {
     Layers::new(server.latency().get() * ratio)
+}
+
+/// Generates `count` arrivals from an on/off-modulated Poisson process
+/// (an *interrupted Poisson process*, the standard bursty-traffic model):
+/// during exponentially distributed ON periods of mean `mean_on` layers,
+/// queries arrive as a Poisson process at `on_rate` requests per layer;
+/// during exponentially distributed OFF periods of mean `mean_off` layers,
+/// none arrive.
+///
+/// The long-run offered rate is `on_rate · mean_on / (mean_on + mean_off)`
+/// and the inter-arrival coefficient of variation exceeds 1 (a plain
+/// Poisson process has exactly 1), so the same average load stresses the
+/// serving layer's queues far harder — the tail-latency workload of the
+/// serving benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use qram_sched::bursty_arrivals;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// // ON at 1 query/layer for ~50 layers, then ~150 layers of silence:
+/// // a 0.25 queries/layer average delivered in bursts.
+/// let arrivals = bursty_arrivals(1.0, 50.0, 150.0, 200, &mut rng);
+/// assert_eq!(arrivals.len(), 200);
+/// assert!(arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `on_rate`, `mean_on`, or `mean_off` is not strictly positive
+/// and finite.
+pub fn bursty_arrivals<R: Rng + ?Sized>(
+    on_rate: f64,
+    mean_on: f64,
+    mean_off: f64,
+    count: usize,
+    rng: &mut R,
+) -> Vec<QueryRequest> {
+    assert!(
+        on_rate > 0.0 && on_rate.is_finite(),
+        "on_rate must be positive"
+    );
+    assert!(
+        mean_on > 0.0 && mean_on.is_finite(),
+        "mean_on must be positive"
+    );
+    assert!(
+        mean_off > 0.0 && mean_off.is_finite(),
+        "mean_off must be positive"
+    );
+    let mut exp = |mean: f64| -> f64 {
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        -u.ln() * mean
+    };
+    let mut t = 0.0;
+    // Remaining ON time before the next OFF period begins.
+    let mut on_left = exp(mean_on);
+    (0..count)
+        .map(|id| {
+            let mut gap = exp(1.0 / on_rate);
+            // Walk the gap through as many ON/OFF cycles as it spans:
+            // arrivals only consume ON time, OFF periods shift them later.
+            while gap > on_left {
+                gap -= on_left;
+                t += on_left + exp(mean_off);
+                on_left = exp(mean_on);
+            }
+            on_left -= gap;
+            t += gap;
+            QueryRequest {
+                id,
+                arrival: Layers::new(t),
+            }
+        })
+        .collect()
 }
 
 /// A Zipf(θ) distribution over the `N` addresses of a QRAM: address `a`
@@ -546,6 +625,73 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn zipf_rejects_negative_theta() {
         let _ = ZipfAddresses::new(Capacity::new(8).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn bursty_arrivals_are_sorted_and_deterministic() {
+        let mut a_rng = StdRng::seed_from_u64(11);
+        let mut b_rng = StdRng::seed_from_u64(11);
+        let a = bursty_arrivals(0.5, 40.0, 120.0, 300, &mut a_rng);
+        let b = bursty_arrivals(0.5, 40.0, 120.0, 300, &mut b_rng);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        for w in a.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        let mut c_rng = StdRng::seed_from_u64(12);
+        assert_ne!(a, bursty_arrivals(0.5, 40.0, 120.0, 300, &mut c_rng));
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_duty_cycle() {
+        // Offered rate = on_rate · mean_on / (mean_on + mean_off).
+        let mut rng = StdRng::seed_from_u64(2024);
+        let (on_rate, mean_on, mean_off) = (1.0, 50.0, 150.0);
+        let n = 20_000usize;
+        let arrivals = bursty_arrivals(on_rate, mean_on, mean_off, n, &mut rng);
+        let span = arrivals.last().unwrap().arrival.get();
+        let rate = n as f64 / span;
+        let expect = on_rate * mean_on / (mean_on + mean_off);
+        assert!(
+            (rate - expect).abs() < 0.15 * expect,
+            "rate {rate} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn bursty_gaps_are_overdispersed_relative_to_poisson() {
+        // The inter-arrival coefficient of variation must exceed 1 — the
+        // defining burstiness property an (unmodulated) Poisson process
+        // cannot produce.
+        let mut rng = StdRng::seed_from_u64(5);
+        let arrivals = bursty_arrivals(2.0, 20.0, 200.0, 20_000, &mut rng);
+        let gaps: Vec<f64> = arrivals
+            .windows(2)
+            .map(|w| w[1].arrival.get() - w[0].arrival.get())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cov = var.sqrt() / mean;
+        assert!(cov > 1.5, "coefficient of variation {cov} not bursty");
+        // And a matched-rate Poisson stream sits near 1.
+        let mut p_rng = StdRng::seed_from_u64(5);
+        let poisson = crate::online::poisson_arrivals(1.0 / mean, 20_000, &mut p_rng);
+        let p_gaps: Vec<f64> = poisson
+            .windows(2)
+            .map(|w| w[1].arrival.get() - w[0].arrival.get())
+            .collect();
+        let p_mean = p_gaps.iter().sum::<f64>() / p_gaps.len() as f64;
+        let p_var = p_gaps.iter().map(|g| (g - p_mean).powi(2)).sum::<f64>() / p_gaps.len() as f64;
+        let p_cov = p_var.sqrt() / p_mean;
+        assert!(p_cov < 1.1, "Poisson control CoV {p_cov}");
+        assert!(cov > 1.5 * p_cov);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_off must be positive")]
+    fn bursty_rejects_non_positive_off_period() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = bursty_arrivals(1.0, 10.0, 0.0, 5, &mut rng);
     }
 
     #[test]

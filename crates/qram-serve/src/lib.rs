@@ -1,0 +1,49 @@
+//! Event-driven online QRAM serving — the §5 quantum-data-center scenario
+//! as a long-running service.
+//!
+//! The paper's §5 imagines a shared QRAM as a data-center appliance:
+//! user queries arrive continuously and the machine admits them under its
+//! architecture's interval and parallelism constraints. This crate is that
+//! serving layer, built on the pluggable scheduling stack of `qram-sched`
+//! and the sharded execution backend of `qram-core`:
+//!
+//! ```text
+//!               requests (open loop: Poisson / bursty, Zipf addresses)
+//!                  │
+//!                  ▼
+//!   ┌──────────────────────────────┐   policy layer (qram-sched)
+//!   │  AdmissionPolicy             │   FifoAdmission / NoiseAwareAdmission
+//!   └──────────────┬───────────────┘
+//!                  ▼
+//!   ┌──────────────────────────────┐   event core (this crate)
+//!   │  EventQueue  +  dispatcher   │   round-robin shard queues,
+//!   │  shard 0 │ shard 1 │ … │ K−1 │   I_shard/K admission spacing,
+//!   └──────────────┬───────────────┘   K·P_shard in-flight backpressure
+//!                  ▼
+//!   ┌──────────────────────────────┐   execution (qram-core)
+//!   │  ShardedQram::execute_queries│   compiled plans + memoization
+//!   └──────────────┬───────────────┘
+//!                  ▼
+//!   ┌──────────────────────────────┐   measurement (qram-metrics)
+//!   │  LatencyHistogram, QueryRate │   p50/p95/p99, throughput
+//!   └──────────────────────────────┘
+//! ```
+//!
+//! * [`EventQueue`] — the hand-rolled discrete-event reactor core: a
+//!   time-ordered queue over virtual circuit-layer time.
+//! * [`QramService`] — the serving loop: per-shard round-robin dispatch
+//!   queues over a `ShardedQram`, admission at the divided `I_shard / K`
+//!   interval, backpressure at the aggregate `K · P_shard` in-flight
+//!   bound (plus an optional bounded arrival queue that sheds load), and
+//!   per-query latency recorded into a log-bucketed histogram.
+//! * [`ServiceReport`] — completions, outcomes, rejections, fairness
+//!   counters, and latency/throughput metrics for one run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reactor;
+pub mod service;
+
+pub use reactor::EventQueue;
+pub use service::{CompletedQuery, QramService, ServiceConfig, ServiceReport, ServiceRequest};

@@ -59,12 +59,21 @@ else:
 
 old_fig = old.get("figure_table_targets", {})
 new_fig = new.get("figure_table_targets", {})
-ids = sorted(set(old_fig) & set(new_fig))
+# Union, not intersection: a bench that exists in only one baseline (a
+# target added or retired between PRs) is reported as new/removed rather
+# than silently dropped.
+ids = sorted(set(old_fig) | set(new_fig))
 if ids:
     width = max(len(i) for i in ids)
     print(f"\n{'figure/table target':<{width}}  {'old wall s':>11}  {'new wall s':>11}")
     for target in ids:
-        o, n = old_fig[target], new_fig[target]
+        o, n = old_fig.get(target), new_fig.get(target)
+        if o is None or n is None:
+            status = "  (new)" if o is None else "  (removed)"
+            o_cell = f"{o['wall_seconds']:11.3f}" if o is not None else f"{'-':>11}"
+            n_cell = f"{n['wall_seconds']:11.3f}" if n is not None else f"{'-':>11}"
+            print(f"{target:<{width}}  {o_cell}  {n_cell}{status}")
+            continue
         flag = "" if o.get("ok") and n.get("ok") else "  (FAILED run)"
         print(f"{target:<{width}}  {o['wall_seconds']:11.3f}  {n['wall_seconds']:11.3f}{flag}")
 EOF

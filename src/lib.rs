@@ -13,7 +13,10 @@
 //!   schedules, query pipelining, and functional execution.
 //! * [`arch`] — resource estimation and physical layout (H-tree, modular,
 //!   on-chip bi-planar).
-//! * [`sched`] — FIFO query scheduling and pipelined-server simulation.
+//! * [`sched`] — the pluggable scheduling stack (FIFO and noise-aware
+//!   policies over one admission core) and pipelined-server simulation.
+//! * [`serve`] — the event-driven online serving layer: the §5
+//!   quantum-data-center service on sharded backends.
 //! * [`noise`] — fidelity bounds, QEC cost models, virtual distillation.
 //! * [`algos`] — parallel-algorithm workloads and per-architecture
 //!   executors.
@@ -42,4 +45,5 @@ pub use qram_core as core;
 pub use qram_metrics as metrics;
 pub use qram_noise as noise;
 pub use qram_sched as sched;
+pub use qram_serve as serve;
 pub use qsim;
