@@ -10,9 +10,9 @@
 //! and produces the resulting [`QueryOutcome`] together with per-class gate
 //! counts used by the fidelity analysis (§8.1).
 //!
-//! # The interpret → intern → compile pipeline
+//! # The interpret → intern → compile → columnar pipeline
 //!
-//! Query execution goes through three stages, each feeding the next:
+//! Query execution goes through four stages, each feeding the next:
 //!
 //! 1. **Interpret** — [`execute_layers`] walks every op of every layer per
 //!    branch through the `BranchMachine` validator. This is the
@@ -39,6 +39,21 @@
 //!    (`execute_query_traced`, `execute_batch`,
 //!    `ShardedQram::execute_queries`, and the Monte-Carlo / extended /
 //!    analytic fidelity estimators) through.
+//! 4. **Columnar** — the SoA batch kernel (`soa` module, reached through
+//!    [`execute_batch`](crate::execute_batch) and
+//!    `ShardedQram::execute_queries` whenever a compiled plan exists)
+//!    restructures a whole *batch* around the plan's O(1) residual:
+//!    every query's `(amplitude, address)` terms are flattened into one
+//!    structure-of-arrays column with per-query offset ranges, memo
+//!    accounting is batched per memory epoch (sort the index column by
+//!    address set once, count distinct sets once — no per-query hashing),
+//!    retrieval parities for 1-bit buses are gathered bit-parallel from a
+//!    packed memory image (64 branches per `u64` word), sharded batches
+//!    radix-partition the column by the low-order shard bits instead of
+//!    building per-shard sub-batch maps, and per-query outcomes are
+//!    constant-size views into one shared term column
+//!    (`QueryOutcome::from_shared_column`) — one column allocation per
+//!    memory epoch instead of one `Vec` per query.
 //!
 //! A corrupted stream is rejected at *compile* time with the same
 //! [`ExecError`] (layer index and message) the interpreter reports, by
@@ -49,10 +64,13 @@
 //! Branch-parallel execution (the `parallel` cargo feature) composes with
 //! the interpreter stage: branches of a superposed query are independent
 //! `BranchMachine` runs, so [`execute_layers`] fans them out across
-//! scoped threads once the branch count crosses
-//! [`PARALLEL_BRANCH_THRESHOLD`]. Compiled plans never spawn threads —
-//! their per-branch residual (one classical memory read) is far below the
-//! cost of a thread handoff.
+//! scoped worker threads once the branch count crosses
+//! [`PARALLEL_BRANCH_THRESHOLD`]. Workers pull branch chunks from a
+//! work-stealing deque (each pops its own queue back, then steals other
+//! queues' fronts), so skewed per-branch costs no longer serialize on the
+//! slowest contiguous chunk. Compiled plans never spawn threads — their
+//! per-branch residual (one classical memory read) is far below the cost
+//! of a thread handoff.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -645,6 +663,15 @@ impl CompiledQuery {
         self.retrieval_layer
     }
 
+    /// Whether the stream's retrieval parity is odd — i.e. whether
+    /// [`Self::read_data`] performs a real memory read rather than
+    /// returning the XOR-cancelled constant `0`. Batch kernels branch on
+    /// this once per batch to pick a gather strategy.
+    #[must_use]
+    pub fn reads_data(&self) -> bool {
+        self.reads_data
+    }
+
     /// The residual per-branch work: the data word branch `address`
     /// carries out of the tree. One memory read when the stream's
     /// retrieval parity is odd; the XOR-cancelled constant `0` otherwise.
@@ -800,6 +827,64 @@ pub(crate) fn parallel_worker_count() -> usize {
     })
 }
 
+/// A hand-rolled work-stealing pool of per-worker deques (`std` only; the
+/// vendored tree has no crossbeam). Items are seeded round-robin; a worker
+/// pops its own queue from the back (LIFO, cache-warm) and, when empty,
+/// steals from other queues' fronts scanning cyclically from its right
+/// neighbour. No item spawns further items, so a full empty scan in
+/// [`Self::next`] is a sound termination condition: the worker simply
+/// exits its drain loop.
+///
+/// Mutex-per-queue is deliberate — work items here are branch *chunks*
+/// worth tens of microseconds, so a ~20ns uncontended lock per item is
+/// noise, and it keeps the implementation safe under the workspace-wide
+/// `forbid(unsafe_code)`.
+#[cfg(feature = "parallel")]
+pub(crate) struct StealQueues<T> {
+    queues: Vec<Mutex<std::collections::VecDeque<T>>>,
+}
+
+#[cfg(feature = "parallel")]
+impl<T> StealQueues<T> {
+    /// Distributes `items` round-robin across `workers` queues.
+    pub(crate) fn seeded(workers: usize, items: impl IntoIterator<Item = T>) -> Self {
+        let workers = workers.max(1);
+        let mut queues: Vec<std::collections::VecDeque<T>> = (0..workers)
+            .map(|_| std::collections::VecDeque::new())
+            .collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push_back(item);
+        }
+        StealQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// The next item for `worker`: its own queue's back, else the first
+    /// successful steal from another queue's front, else `None` (done).
+    pub(crate) fn next(&self, worker: usize) -> Option<T> {
+        if let Some(item) = self.queues[worker]
+            .lock()
+            .expect("steal queue poisoned")
+            .pop_back()
+        {
+            return Some(item);
+        }
+        let k = self.queues.len();
+        for offset in 1..k {
+            let victim = (worker + offset) % k;
+            if let Some(item) = self.queues[victim]
+                .lock()
+                .expect("steal queue poisoned")
+                .pop_front()
+            {
+                return Some(item);
+            }
+        }
+        None
+    }
+}
+
 /// Executes a single-query instruction stream over an address superposition
 /// against a classical memory.
 ///
@@ -876,12 +961,9 @@ pub fn execute_layers_sequential(
     })
 }
 
-/// [`execute_layers`] pinned to the branch-parallel path: branches are
-/// split into contiguous chunks, one scoped worker thread per chunk, and
-/// recombined in address order. Deterministic: the outcome, gate counts,
-/// and any reported error are identical to [`execute_layers_sequential`]
-/// (errors are surfaced for the earliest branch in address order, even
-/// when a later chunk's worker fails first in wall-clock time).
+/// [`execute_layers`] pinned to the branch-parallel path, with the worker
+/// count taken from the process-wide configuration
+/// (`QRAM_NUM_THREADS` / available parallelism).
 ///
 /// # Errors
 ///
@@ -896,6 +978,33 @@ pub fn execute_layers_parallel(
     memory: &ClassicalMemory,
     address: &AddressState,
 ) -> Result<Execution, ExecError> {
+    execute_layers_parallel_with_workers(layers, memory, address, parallel_worker_count())
+}
+
+/// The branch-parallel executor with an explicit worker count: branches
+/// are split into small chunks seeded round-robin into a work-stealing
+/// deque (`StealQueues`), drained by `workers` scoped threads, and
+/// recombined in address order. Deterministic: the outcome, gate counts,
+/// and any reported error are identical to [`execute_layers_sequential`]
+/// for every `workers` value (errors are surfaced for the earliest branch
+/// in address order, even when a later chunk's worker fails first in
+/// wall-clock time), which the skewed-load property tests pin for
+/// `workers ∈ {1, 2, 8}`.
+///
+/// # Errors
+///
+/// See [`execute_layers`].
+///
+/// # Panics
+///
+/// Panics if the address width of `address` does not match the memory.
+#[cfg(feature = "parallel")]
+pub fn execute_layers_parallel_with_workers(
+    layers: &[QueryLayer],
+    memory: &ClassicalMemory,
+    address: &AddressState,
+    workers: usize,
+) -> Result<Execution, ExecError> {
     let n = memory.address_width();
     assert_eq!(
         address.address_width(),
@@ -903,28 +1012,39 @@ pub fn execute_layers_parallel(
         "address width must match memory capacity"
     );
     let branches = address.terms();
-    let workers = parallel_worker_count();
-    // Contiguous chunks, at least a threshold's worth of work per worker.
+    let workers = workers.max(1);
+    // Several chunks per worker so stealing can rebalance skewed
+    // per-branch costs, but never below a quarter-threshold of branches
+    // per chunk — the queue lock must stay amortized.
     let chunk_size = branches
         .len()
-        .div_ceil(workers)
-        .max(PARALLEL_BRANCH_THRESHOLD / 2)
+        .div_ceil(workers * 4)
+        .max(PARALLEL_BRANCH_THRESHOLD / 4)
         .max(1);
     let mut results: Vec<Option<BranchResult>> = vec![None; branches.len()];
-    std::thread::scope(|scope| {
-        for (chunk, slots) in branches
+    // Work items pair each branch chunk with its result slots, so workers
+    // write disjoint regions and order is positional, not temporal.
+    let queues = StealQueues::seeded(
+        workers,
+        branches
             .chunks(chunk_size)
-            .zip(results.chunks_mut(chunk_size))
-        {
+            .zip(results.chunks_mut(chunk_size)),
+    );
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let queues = &queues;
             scope.spawn(move || {
                 // One reusable machine per worker, like the sequential path.
                 let mut machine = BranchMachine::new(n, memory);
-                for (&(_, addr), slot) in chunk.iter().zip(slots.iter_mut()) {
-                    *slot = Some(machine.run(addr, layers));
+                while let Some((chunk, slots)) = queues.next(worker) {
+                    for (&(_, addr), slot) in chunk.iter().zip(slots.iter_mut()) {
+                        *slot = Some(machine.run(addr, layers));
+                    }
                 }
             });
         }
     });
+    drop(queues);
     let mut terms = Vec::with_capacity(branches.len());
     let mut counts: Option<GateCounts> = None;
     for (&(amp, addr), result) in branches.iter().zip(results) {

@@ -128,18 +128,17 @@ impl QramModel for FatTreeQram {
     /// Batched execution additionally validates that the pipelined
     /// schedule is conflict-free before running the shared snapshotting
     /// engine — memory updates must respect the classical-swap time budget
-    /// of §7.2.
+    /// of §7.2. Validation is memoized process-wide per capacity (see
+    /// [`crate::pipeline::ensure_conflict_free`]), so steady-state batches
+    /// pay a lock instead of an `O(gate steps)` sweep.
     fn execute_queries(
         &self,
         memory: &ClassicalMemory,
         addresses: &[AddressState],
         memory_updates: &[(u64, u64, u64)],
     ) -> Result<Vec<QueryOutcome>, ExecError> {
-        if !addresses.is_empty() {
-            self.pipeline(addresses.len())
-                .validate_no_conflicts()
-                .expect("generated pipeline must be conflict-free");
-        }
+        crate::pipeline::ensure_conflict_free(self.capacity(), addresses.len())
+            .expect("generated pipeline must be conflict-free");
         execute_batch(self, memory, addresses, memory_updates)
     }
 }

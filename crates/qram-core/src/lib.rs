@@ -10,8 +10,9 @@
 //!   architectures (Algs. 2 & 3, Figs. 2(a), 6, 12).
 //! * [`exec`] — functional branch-based execution validating Eq. (1) and
 //!   counting gates per hardware class for the fidelity analysis, plus
-//!   the interpret → intern → compile pipeline that partially evaluates
-//!   interned streams into O(1)-per-branch [`CompiledQuery`] plans.
+//!   the interpret → intern → compile → columnar pipeline that partially
+//!   evaluates interned streams into O(1)-per-branch [`CompiledQuery`]
+//!   plans and batches them through a structure-of-arrays kernel.
 //! * [`pipeline`] — query-level pipelining with conflict-freedom proofs
 //!   and diagram rendering.
 //! * [`latency`] — the closed-form latencies of Table 1.
@@ -56,6 +57,7 @@ pub mod tree;
 mod bucket_brigade;
 mod fat_tree;
 mod sharded;
+mod soa;
 
 pub use bucket_brigade::BucketBrigadeQram;
 pub use exec::{
@@ -64,9 +66,10 @@ pub use exec::{
 };
 pub use fat_tree::FatTreeQram;
 pub use model::{
-    execute_batch, execute_batch_traced, execute_batch_unmemoized, BatchCacheStats, QramModel,
+    execute_batch, execute_batch_rowwise, execute_batch_traced, execute_batch_unmemoized,
+    BatchCacheStats, QramModel,
 };
 pub use ops::{GateClass, Op, QubitTag};
-pub use pipeline::{ConflictError, PipelineSchedule, QueryTiming};
-pub use sharded::ShardedQram;
+pub use pipeline::{ensure_conflict_free, ConflictError, PipelineSchedule, QueryTiming};
+pub use sharded::{sub_batch_split_count, ShardedQram};
 pub use tree::{NodeId, RouterId, TreeShape};

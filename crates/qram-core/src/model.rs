@@ -287,6 +287,15 @@ pub fn execute_batch<M: QramModel + ?Sized>(
 /// outcomes — the instrumented entry point behind the Zipf cache-hit-rate
 /// benchmark.
 ///
+/// Backends exposing a [`QramModel::compiled_query`] plan are served by
+/// the columnar structure-of-arrays kernel (`soa` module): one flattened
+/// term column per batch, per-epoch memo accounting, bit-parallel
+/// retrieval for 1-bit buses, and per-query outcomes that are views into
+/// one shared column. Outcomes, panics, and [`BatchCacheStats`] are
+/// bit-equal to the row-at-a-time path ([`execute_batch_rowwise`]), which
+/// remains pinned as the A/B baseline; plan-less backends take the
+/// row-at-a-time interpreter sweep as before.
+///
 /// # Errors
 ///
 /// See [`execute_batch`].
@@ -295,6 +304,56 @@ pub fn execute_batch<M: QramModel + ?Sized>(
 ///
 /// Panics if the memory capacity mismatches the QRAM capacity.
 pub fn execute_batch_traced<M: QramModel + ?Sized>(
+    model: &M,
+    memory: &ClassicalMemory,
+    addresses: &[AddressState],
+    memory_updates: &[(u64, u64, u64)],
+) -> Result<(Vec<QueryOutcome>, BatchCacheStats), ExecError> {
+    assert_eq!(
+        memory.capacity() as u64,
+        model.capacity().get(),
+        "memory capacity must match QRAM capacity"
+    );
+    if let Some(plan) = model.compiled_query() {
+        if addresses.is_empty() {
+            return Ok((Vec::new(), BatchCacheStats::default()));
+        }
+        // Retrieval layers only order queries against memory writes; an
+        // update-free batch is one epoch in query order and needs none.
+        let retrievals: Vec<u64> = if memory_updates.is_empty() {
+            Vec::new()
+        } else {
+            (0..addresses.len())
+                .map(|q| model.retrieval_layer(q))
+                .collect()
+        };
+        return Ok(crate::soa::execute_batch_columnar(
+            &plan,
+            memory,
+            addresses,
+            &retrievals,
+            memory_updates,
+        ));
+    }
+    execute_batch_impl(model, memory, addresses, memory_updates, true, true)
+}
+
+/// The row-at-a-time memoized batch path: the same §7.2 sweep as
+/// [`execute_batch_traced`] with the per-query memo cache and compiled-
+/// plan dispatch, but *without* the columnar kernel — each query probes
+/// the memo hash individually and builds its own outcome terms. Pinned as
+/// the baseline side of the `columnar_exec` A/B benchmark and of the
+/// columnar property tests; behaviourally identical to the columnar path
+/// by construction (outcomes, error surfaces, and [`BatchCacheStats`]).
+///
+/// # Errors
+///
+/// See [`execute_batch`].
+///
+/// # Panics
+///
+/// Panics if the memory capacity mismatches the QRAM capacity.
+pub fn execute_batch_rowwise<M: QramModel + ?Sized>(
     model: &M,
     memory: &ClassicalMemory,
     addresses: &[AddressState],

@@ -8,13 +8,57 @@
 //! proves conflict-freedom ("no conflicting colors in the same layer",
 //! Fig. 6).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use qram_metrics::{Capacity, Layers, TimingModel, Utilization, UtilizationTrace};
 
 /// Process-wide count of [`PipelineSchedule`] constructions.
 static SCHEDULE_CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Per-capacity memo of the largest batch size whose pipeline has already
+/// been proven conflict-free, keyed by `Capacity::get()`.
+static VALIDATED_BATCHES: OnceLock<Mutex<HashMap<u64, usize>>> = OnceLock::new();
+
+/// Proves the pipeline for `num_queries` back-to-back queries at
+/// `capacity` conflict-free, memoizing the result process-wide.
+///
+/// A query's trajectory `position_at(q, t)` depends only on its index,
+/// the gate step, and the capacity — never on the batch size — so a
+/// conflict between queries `i < j` in a `B`-query batch is also a
+/// conflict in every batch of at least `j + 1` queries. Conflict-freedom
+/// is therefore monotone: proving it for `B` proves it for all `B' ≤ B`,
+/// and the memo only has to record the largest batch validated per
+/// capacity. Steady-state batch execution pays one mutex lock here
+/// instead of an `O(gate steps)` sweep per batch.
+///
+/// # Errors
+///
+/// Returns the first conflict found, if any (never, for the Fat-Tree
+/// schedule — the even–odd transposition pattern is conflict-free by
+/// construction, which this check re-proves rather than assumes).
+pub fn ensure_conflict_free(capacity: Capacity, num_queries: usize) -> Result<(), ConflictError> {
+    if num_queries == 0 {
+        return Ok(());
+    }
+    let memo = VALIDATED_BATCHES.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let validated = memo.lock().expect("validation memo poisoned");
+        if validated
+            .get(&capacity.get())
+            .is_some_and(|&max| num_queries <= max)
+        {
+            return Ok(());
+        }
+    }
+    PipelineSchedule::new(capacity, num_queries).validate_no_conflicts()?;
+    let mut validated = memo.lock().expect("validation memo poisoned");
+    let max = validated.entry(capacity.get()).or_insert(0);
+    *max = (*max).max(num_queries);
+    Ok(())
+}
 
 /// Number of [`PipelineSchedule`] values constructed since process start.
 ///
@@ -498,5 +542,25 @@ mod tests {
     #[should_panic(expected = "at least one query")]
     fn empty_batch_rejected() {
         let _ = PipelineSchedule::new(cap(8), 0);
+    }
+
+    #[test]
+    fn validation_memo_builds_at_most_one_schedule_per_growth() {
+        // Distinct capacity from other tests so the process-wide memo
+        // starts cold for this key.
+        let capacity = cap(1 << 9);
+        assert!(ensure_conflict_free(capacity, 64).is_ok());
+        let after_first = schedule_construction_count();
+        // Smaller and equal batches are covered by the recorded maximum.
+        assert!(ensure_conflict_free(capacity, 64).is_ok());
+        assert!(ensure_conflict_free(capacity, 1).is_ok());
+        assert!(ensure_conflict_free(capacity, 0).is_ok());
+        assert_eq!(schedule_construction_count(), after_first);
+        // A larger batch re-validates once, then is memoized too.
+        assert!(ensure_conflict_free(capacity, 128).is_ok());
+        let after_growth = schedule_construction_count();
+        assert_eq!(after_growth, after_first + 1);
+        assert!(ensure_conflict_free(capacity, 100).is_ok());
+        assert_eq!(schedule_construction_count(), after_growth);
     }
 }

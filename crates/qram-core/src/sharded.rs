@@ -11,15 +11,39 @@
 //! monolithic capacity-`N` machine while multiplying admission bandwidth
 //! by `K` under round-robin admission.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use qram_metrics::{Capacity, Layers, TimingModel};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
-use crate::exec::{execute_layers_sequential, CompiledQuery, ExecError, Execution};
+#[cfg(feature = "parallel")]
+use crate::exec::Execution;
+use crate::exec::{execute_layers_sequential, CompiledQuery, ExecError};
 use crate::model::{retrieval_order_sweep, QramModel, SweepEvent};
 use crate::query_ops::QueryLayer;
 use crate::{BucketBrigadeQram, FatTreeQram};
+
+/// Process-wide count of per-shard sub-batch splits (`split_terms`
+/// invocations).
+static SUB_BATCH_SPLITS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of per-shard sub-batch splits performed since process start.
+///
+/// A diagnostic for regression tests, in the same spirit as
+/// [`crate::pipeline::schedule_construction_count`]: a batch whose
+/// queries each occupy a single shard must not build the `K`-entry
+/// per-shard sub-batch vectors at all (the single-shard fast path), and
+/// the compiled/columnar paths never split.
+#[must_use]
+pub fn sub_batch_split_count() -> u64 {
+    SUB_BATCH_SPLITS.load(Ordering::Relaxed)
+}
+
+/// Per-shard sub-query of one split superposition: shard index, the
+/// original `(amplitude, global address)` branches routed to it, and the
+/// local sub-state.
+type ShardSubQuery = (usize, Vec<(qsim::Complex, u64)>, AddressState);
 
 /// `K` capacity-`N/K` QRAM shards behind an address-interleaved router,
 /// serving as one capacity-`N` [`QramModel`] backend.
@@ -204,6 +228,7 @@ impl<M: QramModel> ShardedQram<M> {
     /// per-shard states keep the original (globally normalized) amplitudes
     /// alongside, so outcomes can be recombined exactly.
     fn split_terms(&self, address: &AddressState) -> Vec<Vec<(qsim::Complex, u64)>> {
+        SUB_BATCH_SPLITS.fetch_add(1, Ordering::Relaxed);
         let mut per_shard: Vec<Vec<(qsim::Complex, u64)>> = vec![Vec::new(); self.shards.len()];
         for &(amp, addr) in address.iter() {
             per_shard[self.shard_of(addr) as usize].push((amp, addr));
@@ -252,8 +277,43 @@ impl<M: QramModel> ShardedQram<M> {
                 terms,
             ));
         }
-        // Per-shard (shard index, original branches, local sub-state).
-        type ShardSubQuery = (usize, Vec<(qsim::Complex, u64)>, AddressState);
+        // Single-occupied-shard fast path: when every branch routes to one
+        // shard (always true for classical queries, and for any
+        // superposition whose addresses share their low bits), skip the
+        // `K`-entry sub-batch split entirely and run the one local
+        // sub-state directly — the dispatching executor still provides
+        // branch-level fan-out on the parallel path.
+        let first_shard = self.shard_of(address.iter().next().expect("non-empty state").1);
+        if address
+            .iter()
+            .all(|&(_, addr)| self.shard_of(addr) == first_shard)
+        {
+            let sub = AddressState::new(
+                local_width,
+                address
+                    .iter()
+                    .map(|&(amp, addr)| (amp, self.local_address(addr))),
+            )
+            .expect("shard sub-state is non-empty and duplicate-free");
+            let mem = &shard_mems[first_shard as usize];
+            let exec = if parallel {
+                crate::exec::execute_layers(shard_layers, mem, &sub)?
+            } else {
+                execute_layers_sequential(shard_layers, mem, &sub)?
+            };
+            // Local terms align positionally with the global branches:
+            // equal low bits make the local order the global order.
+            let terms = address
+                .iter()
+                .zip(exec.outcome.iter())
+                .map(|(&(amp, addr), &(_, _, data))| (amp, addr, data))
+                .collect();
+            return Ok(QueryOutcome::from_terms(
+                n,
+                shard_mems[0].bus_width(),
+                terms,
+            ));
+        }
         let sub_queries: Vec<ShardSubQuery> = self
             .split_terms(address)
             .into_iter()
@@ -270,47 +330,110 @@ impl<M: QramModel> ShardedQram<M> {
                 (s, branches, sub)
             })
             .collect();
-        #[cfg_attr(not(feature = "parallel"), allow(unused_mut))]
-        let mut executions: Vec<Option<Result<Execution, ExecError>>> =
-            vec![None; sub_queries.len()];
         #[cfg(feature = "parallel")]
-        if parallel
-            && sub_queries.len() > 1
-            && address.num_branches() >= crate::exec::PARALLEL_BRANCH_THRESHOLD
-        {
-            std::thread::scope(|scope| {
-                for ((s, _, sub), slot) in sub_queries.iter().zip(executions.iter_mut()) {
-                    scope.spawn(move || {
-                        // Branch-level fan-out stays off inside shard
-                        // workers: one thread per shard is the unit here.
-                        *slot = Some(execute_layers_sequential(
-                            shard_layers,
-                            &shard_mems[*s],
-                            sub,
-                        ));
-                    });
-                }
-            });
+        if parallel && address.num_branches() >= crate::exec::PARALLEL_BRANCH_THRESHOLD {
+            return self.run_shards_work_stealing(address, shard_mems, shard_layers, &sub_queries);
         }
         let mut terms = Vec::with_capacity(address.num_branches());
-        for ((s, branches, sub), slot) in sub_queries.iter().zip(executions) {
-            let exec = match slot {
-                Some(done) => done?,
-                // Shard fan-out did not engage (parallel off, one occupied
-                // shard, or below the branch threshold). On the parallel
-                // path, fall through to the dispatching executor so a wide
-                // query concentrated on one shard still gets branch-level
-                // fan-out; the sequential reference path stays pinned.
-                None if parallel => {
-                    crate::exec::execute_layers(shard_layers, &shard_mems[*s], sub)?
-                }
-                None => execute_layers_sequential(shard_layers, &shard_mems[*s], sub)?,
+        for (s, branches, sub) in &sub_queries {
+            // Shard fan-out did not engage (parallel off or below the
+            // branch threshold). On the parallel path, go through the
+            // dispatching executor so a wide query concentrated on few
+            // shards still gets branch-level fan-out; the sequential
+            // reference path stays pinned.
+            let exec = if parallel {
+                crate::exec::execute_layers(shard_layers, &shard_mems[*s], sub)?
+            } else {
+                execute_layers_sequential(shard_layers, &shard_mems[*s], sub)?
             };
             for &(amp, addr) in branches {
                 let data = exec
                     .outcome
                     .data_for(self.local_address(addr))
                     .expect("executed branch present in shard outcome");
+                terms.push((amp, addr, data));
+            }
+        }
+        Ok(QueryOutcome::from_terms(
+            n,
+            shard_mems[0].bus_width(),
+            terms,
+        ))
+    }
+
+    /// The work-stealing interpreter fan-out behind
+    /// [`Self::run_query_across_shards`]: every occupied shard's local
+    /// sub-state is cut into small branch chunks, the chunks are seeded
+    /// round-robin into a [`crate::exec::StealQueues`] deque, and scoped
+    /// workers drain it — so a Zipf-skewed query whose branches pile onto
+    /// one hot shard no longer serializes on that shard's single thread.
+    ///
+    /// Deterministic: chunks are recombined positionally in (shard, chunk)
+    /// order, which is exactly the sequential path's branch order, so
+    /// outcomes and the first surfaced [`ExecError`] are identical to
+    /// [`execute_layers_sequential`] per shard. Chunk sub-states are
+    /// re-normalized by `AddressState::new`, which is harmless: branch
+    /// *data* is amplitude-independent, and recombination takes amplitudes
+    /// from the original global branches.
+    #[cfg(feature = "parallel")]
+    fn run_shards_work_stealing(
+        &self,
+        address: &AddressState,
+        shard_mems: &[ClassicalMemory],
+        shard_layers: &[QueryLayer],
+        sub_queries: &[ShardSubQuery],
+    ) -> Result<QueryOutcome, ExecError> {
+        let n = self.capacity.address_width();
+        let local_width = self.shard_capacity().address_width();
+        let workers = crate::exec::parallel_worker_count();
+        let chunk_size = address
+            .num_branches()
+            .div_ceil(workers * 4)
+            .max(crate::exec::PARALLEL_BRANCH_THRESHOLD / 4)
+            .max(1);
+        // (sub-query index, branch offset, branch count) per chunk, in
+        // (shard, chunk) order.
+        let mut chunk_meta: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, (_, _, sub)) in sub_queries.iter().enumerate() {
+            let branches = sub.num_branches();
+            for start in (0..branches).step_by(chunk_size) {
+                chunk_meta.push((i, start, chunk_size.min(branches - start)));
+            }
+        }
+        let mut slots: Vec<Option<Result<Execution, ExecError>>> = vec![None; chunk_meta.len()];
+        let queues = crate::exec::StealQueues::seeded(
+            workers,
+            chunk_meta.iter().copied().zip(slots.iter_mut()),
+        );
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let queues = &queues;
+                scope.spawn(move || {
+                    while let Some(((i, start, count), slot)) = queues.next(worker) {
+                        let (s, _, sub) = &sub_queries[i];
+                        let chunk = AddressState::new(
+                            local_width,
+                            sub.terms()[start..start + count].iter().copied(),
+                        )
+                        .expect("chunk of a valid sub-state");
+                        *slot = Some(execute_layers_sequential(
+                            shard_layers,
+                            &shard_mems[*s],
+                            &chunk,
+                        ));
+                    }
+                });
+            }
+        });
+        drop(queues);
+        let mut terms = Vec::with_capacity(address.num_branches());
+        for (&(i, start, count), slot) in chunk_meta.iter().zip(slots) {
+            let exec = slot.expect("every chunk executed")?;
+            // Chunk outcome terms align positionally with the original
+            // branches: both are ascending in (equal-low-bits) address
+            // order, so `branches[start + j]` owns outcome term `j`.
+            let branches = &sub_queries[i].1[start..start + count];
+            for (&(amp, addr), &(_, _, data)) in branches.iter().zip(exec.outcome.iter()) {
                 terms.push((amp, addr, data));
             }
         }
@@ -335,15 +458,36 @@ impl<M: QramModel> ShardedQram<M> {
         if addresses.is_empty() {
             return Ok(Vec::new());
         }
-        // Per-batch precomputation: one interned instruction stream and
-        // one compiled plan (shards are identical), and one retrieval
-        // layer per query.
+        // With a compiled shard plan, the whole batch goes through the
+        // columnar structure-of-arrays kernel: radix-partitioned per-epoch
+        // gathers against the interleaved shard memories, outcomes as
+        // views into one shared term column. Bit-equal to the interpreter
+        // sweep below (property-tested), infallible by compile-time proof.
+        if use_plan {
+            if let Some(plan) = self.shards[0].compiled_query() {
+                // Retrieval layers only order queries against memory
+                // writes; an update-free batch needs none.
+                let retrievals: Vec<u64> = if memory_updates.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..addresses.len())
+                        .map(|q| self.retrieval_layer(q))
+                        .collect()
+                };
+                return Ok(crate::soa::execute_sharded_columnar(
+                    &plan,
+                    &mut shard_mems,
+                    self.shard_bits(),
+                    self.capacity.address_width(),
+                    addresses,
+                    &retrievals,
+                    memory_updates,
+                ));
+            }
+        }
+        // Per-batch precomputation: one interned instruction stream
+        // (shards are identical) and one retrieval layer per query.
         let shard_layers = self.shards[0].interned_query_layers();
-        let shard_plan = if use_plan {
-            self.shards[0].compiled_query()
-        } else {
-            None
-        };
         let retrievals: Vec<u64> = (0..addresses.len())
             .map(|q| self.retrieval_layer(q))
             .collect();
@@ -359,7 +503,7 @@ impl<M: QramModel> ShardedQram<M> {
                     &addresses[q],
                     &shard_mems,
                     &shard_layers,
-                    shard_plan.as_deref(),
+                    None,
                     parallel,
                 )?);
                 Ok(())
@@ -504,15 +648,18 @@ impl<M: QramModel> QramModel for ShardedQram<M> {
     /// monolithic machine.
     ///
     /// When the shard architecture exposes a compiled plan
-    /// ([`QramModel::compiled_query`]), each branch routes straight to
-    /// its shard memory for the plan's O(1) residual read — no per-shard
-    /// sub-state construction and no threads. Otherwise, with the
-    /// `parallel` cargo feature, each query's per-shard sub-batches fan
-    /// out across scoped threads (the shard memories are disjoint),
-    /// falling back to sequential below
+    /// ([`QramModel::compiled_query`]), the whole batch runs through the
+    /// columnar structure-of-arrays kernel: per memory epoch, the
+    /// flattened term column is radix-partitioned by the low-order shard
+    /// bits and gathered per shard segment (bit-parallel from packed
+    /// per-shard images for 1-bit buses) — no per-shard sub-state
+    /// construction and no threads. Otherwise, with the `parallel` cargo
+    /// feature, each query's branches are cut into chunks drained from a
+    /// work-stealing deque by scoped threads (the shard memories are
+    /// read-only during a query), falling back to sequential below
     /// [`crate::exec::PARALLEL_BRANCH_THRESHOLD`] branches; outcomes are
-    /// recombined in shard order on every path, so results are identical
-    /// to [`Self::execute_queries_sequential`].
+    /// recombined in deterministic branch order on every path, so results
+    /// are identical to [`Self::execute_queries_sequential`].
     ///
     /// Memory updates route to the owning shard and follow the §7.2
     /// classical-swap tie semantics of [`crate::model::execute_batch`]: an

@@ -334,22 +334,37 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
             .clamp(1, server.parallelism());
         let address_width = self.qram.capacity().address_width();
 
-        let mut events: EventQueue<Event> = EventQueue::new();
-        for r in requests {
-            assert_eq!(
-                r.address.address_width(),
-                address_width,
-                "request address width must match QRAM capacity"
-            );
-            events.push(
-                r.arrival,
-                Event::Arrival(Pending {
+        // Arrivals are all known up front, so they live in a sorted list
+        // merged against the event heap instead of inside it: the heap then
+        // only ever holds the in-flight completions plus at most one poll,
+        // which keeps every push/pop O(log in-flight) rather than
+        // O(log total-requests). The stable sort preserves supply order
+        // among same-instant arrivals — the same FIFO tie-break the heap's
+        // sequence numbers used to provide.
+        let mut arrivals: Vec<Pending> = requests
+            .into_iter()
+            .map(|r| {
+                assert_eq!(
+                    r.address.address_width(),
+                    address_width,
+                    "request address width must match QRAM capacity"
+                );
+                Pending {
                     id: r.id,
                     arrival: r.arrival,
                     address: r.address,
-                }),
-            );
-        }
+                }
+            })
+            .collect();
+        arrivals.sort_by(|a, b| {
+            a.arrival
+                .get()
+                .partial_cmp(&b.arrival.get())
+                .expect("event times are finite")
+        });
+        let total_requests = arrivals.len();
+        let mut arrivals = arrivals.into_iter().peekable();
+        let mut events: EventQueue<Event> = EventQueue::new();
 
         let mut shard_queues: Vec<std::collections::VecDeque<Pending>> =
             (0..k).map(|_| std::collections::VecDeque::new()).collect();
@@ -362,11 +377,28 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
         let mut shard_inflight = vec![0u32; k];
         let mut last_dispatch: Option<Layers> = None;
         let mut poll_at: Option<f64> = None;
-        let mut completed: Vec<CompletedQuery> = Vec::new();
+        let mut completed: Vec<CompletedQuery> = Vec::with_capacity(total_requests);
         let mut latency_hist = LatencyHistogram::new();
         let mut rejected: Vec<usize> = Vec::new();
+        dispatched.reserve(total_requests);
 
-        while let Some((now, event)) = events.pop() {
+        loop {
+            // An arrival at the same instant as a heap event goes first:
+            // arrivals were pushed before any completion or poll under the
+            // old single-heap scheme, so the FIFO tie-break favoured them.
+            let arrival_is_next = match (arrivals.peek(), events.peek_time()) {
+                (Some(pending), Some(next)) => pending.arrival <= next,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let (now, event) = if arrival_is_next {
+                let pending = arrivals.next().expect("peeked arrival exists");
+                (pending.arrival, Event::Arrival(pending))
+            } else if let Some(popped) = events.pop() {
+                popped
+            } else {
+                break;
+            };
             match event {
                 Event::Arrival(pending) => {
                     if self

@@ -14,6 +14,7 @@
 //! paper) that executions are checked against.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::Complex;
 
@@ -150,17 +151,20 @@ impl AddressState {
 
     /// The address register width in bits.
     #[must_use]
+    #[inline]
     pub fn address_width(&self) -> u32 {
         self.address_width
     }
 
     /// Number of branches (distinct addresses with non-zero amplitude).
     #[must_use]
+    #[inline]
     pub fn num_branches(&self) -> usize {
         self.terms.len()
     }
 
     /// Iterates over `(amplitude, address)` terms in address order.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = &(Complex, u64)> {
         self.terms.iter()
     }
@@ -183,13 +187,44 @@ impl AddressState {
     }
 }
 
+/// Backing storage of a [`QueryOutcome`]'s `(amplitude, address, data)`
+/// terms: either owned per outcome (the single-query shape) or a range of
+/// a term column shared across a whole batch (the columnar batch kernel
+/// emits one flat column per memory epoch, so per-query outcomes cost one
+/// reference-count bump instead of one heap allocation each).
+#[derive(Debug, Clone)]
+enum OutcomeTerms {
+    Owned(Vec<(Complex, u64, u64)>),
+    /// A lone term stored inline: the single-branch (classical) query
+    /// shape that dominates serving batches pays neither a heap
+    /// allocation nor a reference-count bump per outcome.
+    Single((Complex, u64, u64)),
+    Shared {
+        column: Arc<[(Complex, u64, u64)]>,
+        start: usize,
+        end: usize,
+    },
+}
+
 /// The outcome of a quantum query: the entangled address–bus state
 /// `Σᵢ αᵢ |i⟩_A |xᵢ⟩_B` of Eq. (1).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality is semantic — two outcomes are equal when their register
+/// widths and term sequences match, regardless of whether the terms are
+/// owned or borrowed from a shared batch column.
+#[derive(Debug, Clone)]
 pub struct QueryOutcome {
     address_width: u32,
     bus_width: u32,
-    terms: Vec<(Complex, u64, u64)>,
+    terms: OutcomeTerms,
+}
+
+impl PartialEq for QueryOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.address_width == other.address_width
+            && self.bus_width == other.bus_width
+            && self.terms() == other.terms()
+    }
 }
 
 impl QueryOutcome {
@@ -216,37 +251,126 @@ impl QueryOutcome {
         QueryOutcome {
             address_width,
             bus_width,
+            terms: OutcomeTerms::Owned(terms),
+        }
+    }
+
+    /// Builds a single-branch (classical) outcome from its lone
+    /// `(amplitude, address, data)` term, stored inline — no heap
+    /// allocation. The batch kernels use this for all-classical batches,
+    /// where even a shared column would cost an allocation and a
+    /// reference-count bump per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data value exceeds the bus width.
+    #[inline]
+    #[must_use]
+    pub fn from_term(address_width: u32, bus_width: u32, term: (Complex, u64, u64)) -> Self {
+        assert!(
+            term.2 < 1u64.checked_shl(bus_width).unwrap_or(u64::MAX),
+            "data value {} does not fit in bus width {bus_width}",
+            term.2
+        );
+        QueryOutcome {
+            address_width,
+            bus_width,
+            terms: OutcomeTerms::Single(term),
+        }
+    }
+
+    /// Builds an outcome as the `[start, end)` slice of a term column
+    /// shared across a batch. The caller (a batch executor) must supply
+    /// terms already sorted ascending by address with data fitting the bus
+    /// width — both invariants hold by construction when the column is
+    /// gathered from an [`AddressState`] (sorted) against a validated
+    /// memory, and are `debug_assert`ed here to keep the hot path free of
+    /// per-term work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[inline]
+    #[must_use]
+    pub fn from_shared_column(
+        address_width: u32,
+        bus_width: u32,
+        column: &Arc<[(Complex, u64, u64)]>,
+        start: usize,
+        end: usize,
+    ) -> Self {
+        assert!(
+            start <= end && end <= column.len(),
+            "term range {start}..{end} out of bounds for column of {}",
+            column.len()
+        );
+        debug_assert!(
+            column[start..end].windows(2).all(|w| w[0].1 <= w[1].1),
+            "shared terms must be sorted by address"
+        );
+        debug_assert!(
+            column[start..end]
+                .iter()
+                .all(|&(_, _, d)| d < 1u64.checked_shl(bus_width).unwrap_or(u64::MAX)),
+            "shared term data must fit the bus width"
+        );
+        let terms = if end - start == 1 {
+            OutcomeTerms::Single(column[start])
+        } else {
+            OutcomeTerms::Shared {
+                column: Arc::clone(column),
+                start,
+                end,
+            }
+        };
+        QueryOutcome {
+            address_width,
+            bus_width,
             terms,
+        }
+    }
+
+    /// The terms as a slice, whichever representation backs them.
+    #[inline]
+    fn terms(&self) -> &[(Complex, u64, u64)] {
+        match &self.terms {
+            OutcomeTerms::Owned(terms) => terms,
+            OutcomeTerms::Single(term) => std::slice::from_ref(term),
+            OutcomeTerms::Shared { column, start, end } => &column[*start..*end],
         }
     }
 
     /// The address register width.
     #[must_use]
+    #[inline]
     pub fn address_width(&self) -> u32 {
         self.address_width
     }
 
     /// The bus register width.
     #[must_use]
+    #[inline]
     pub fn bus_width(&self) -> u32 {
         self.bus_width
     }
 
     /// Iterates over `(amplitude, address, data)` terms in address order.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = &(Complex, u64, u64)> {
-        self.terms.iter()
+        self.terms().iter()
     }
 
     /// Number of branches.
     #[must_use]
+    #[inline]
     pub fn num_branches(&self) -> usize {
-        self.terms.len()
+        self.terms().len()
     }
 
     /// The data value returned for `address`, if that branch exists.
     #[must_use]
     pub fn data_for(&self, address: u64) -> Option<u64> {
-        self.terms
+        self.terms()
             .iter()
             .find(|&&(_, a, _)| a == address)
             .map(|&(_, _, d)| d)
@@ -263,12 +387,12 @@ impl QueryOutcome {
         assert_eq!(self.address_width, other.address_width);
         assert_eq!(self.bus_width, other.bus_width);
         let map: BTreeMap<(u64, u64), Complex> = self
-            .terms
+            .terms()
             .iter()
             .map(|&(amp, a, d)| ((a, d), amp))
             .collect();
         let overlap: Complex = other
-            .terms
+            .terms()
             .iter()
             .filter_map(|&(amp, a, d)| map.get(&(a, d)).map(|mine| mine.conj() * amp))
             .sum();
@@ -392,18 +516,21 @@ impl ClassicalMemory {
 
     /// Number of cells `N`.
     #[must_use]
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.cells.len()
     }
 
     /// The address width `log₂ N`.
     #[must_use]
+    #[inline]
     pub fn address_width(&self) -> u32 {
         self.cells.len().trailing_zeros()
     }
 
     /// The bus width in bits.
     #[must_use]
+    #[inline]
     pub fn bus_width(&self) -> u32 {
         self.bus_width
     }
@@ -414,6 +541,7 @@ impl ClassicalMemory {
     ///
     /// Panics if `address` is out of range.
     #[must_use]
+    #[inline]
     pub fn read(&self, address: u64) -> u64 {
         self.cells[usize::try_from(address).expect("address fits in usize")]
     }
@@ -426,6 +554,7 @@ impl ClassicalMemory {
     /// # Panics
     ///
     /// Panics if the address is out of range or the value overflows the bus.
+    #[inline]
     pub fn write(&mut self, address: u64, value: u64) {
         assert!(
             value < (1u64 << self.bus_width),
@@ -441,12 +570,14 @@ impl ClassicalMemory {
     /// `(write_epoch, address set)` for a given starting memory, which is
     /// what batch-level memoization keys on.
     #[must_use]
+    #[inline]
     pub fn write_epoch(&self) -> u64 {
         self.write_epoch
     }
 
     /// All cells in address order.
     #[must_use]
+    #[inline]
     pub fn cells(&self) -> &[u64] {
         &self.cells
     }

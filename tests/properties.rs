@@ -2,8 +2,9 @@
 
 use fat_tree_qram::core::exec::{execute_layers, execute_layers_sequential};
 use fat_tree_qram::core::{
-    execute_batch, execute_batch_unmemoized, BucketBrigadeQram, CompiledQuery, FatTreeQram, Op,
-    PipelineSchedule, QramModel, QubitTag, ShardedQram,
+    execute_batch, execute_batch_rowwise, execute_batch_traced, execute_batch_unmemoized,
+    BucketBrigadeQram, CompiledQuery, FatTreeQram, Op, PipelineSchedule, QramModel, QubitTag,
+    ShardedQram,
 };
 use fat_tree_qram::metrics::{Capacity, Layers};
 use fat_tree_qram::noise::distilled_infidelity;
@@ -546,6 +547,103 @@ proptest! {
         }
     }
 
+    /// The columnar structure-of-arrays kernel (`execute_batch_traced`,
+    /// taken whenever the backend exposes a compiled plan) is bit-equal to
+    /// the pinned row-at-a-time memoized path (`execute_batch_rowwise`)
+    /// and to the pure interpreter (`execute_batch_unmemoized`) across
+    /// interleaved §7.2 memory writes — outcomes *and* `BatchCacheStats`
+    /// (the columnar kernel computes hit/miss counts analytically per
+    /// epoch; they must match the row memo's probe-by-probe accounting).
+    #[test]
+    fn columnar_kernel_matches_rowwise_and_interpreter(
+        n in 3u32..=5,
+        seed_cells in prop::collection::vec(0u64..2, 1..32),
+        // Few distinct addresses over many queries → plenty of memo hits.
+        query_addrs in prop::collection::vec(0u64..6, 2..12),
+        // Encoded (layer, address, value) triples (the vendored proptest
+        // has no tuple strategies).
+        updates in prop::collection::vec(0u64..(300 * 32 * 2), 0..6),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let addresses: Vec<AddressState> = query_addrs
+            .iter()
+            .map(|&a| AddressState::classical(n, a % capacity).unwrap())
+            .collect();
+        let updates: Vec<(u64, u64, u64)> = updates
+            .into_iter()
+            .map(|enc| (enc / 64, (enc / 2) % capacity, enc % 2))
+            .collect();
+        let cap = Capacity::new(capacity).unwrap();
+        let backends: [Box<dyn QramModel>; 3] = [
+            Box::new(BucketBrigadeQram::new(cap)),
+            Box::new(FatTreeQram::new(cap)),
+            Box::new(ShardedQram::fat_tree(cap, 2)),
+        ];
+        for backend in &backends {
+            let (col_outs, col_stats) =
+                execute_batch_traced(backend.as_ref(), &memory, &addresses, &updates).unwrap();
+            let (row_outs, row_stats) =
+                execute_batch_rowwise(backend.as_ref(), &memory, &addresses, &updates).unwrap();
+            prop_assert!(col_outs == row_outs, "{} columnar outcomes diverge", backend.name());
+            prop_assert!(
+                col_stats == row_stats,
+                "{} columnar stats diverge: {col_stats:?} != {row_stats:?}", backend.name()
+            );
+            let plain =
+                execute_batch_unmemoized(backend.as_ref(), &memory, &addresses, &updates)
+                    .unwrap();
+            prop_assert!(col_outs == plain, "{} diverges from interpreter", backend.name());
+        }
+    }
+
+    /// A Zipf-skewed batch — wide superpositions whose branches pile onto
+    /// one hot shard, mixed with a minority of cross-shard queries — is
+    /// identical under `execute_queries` (columnar kernel; work-stealing
+    /// fan-out on the interpreter path) and the pinned sequential
+    /// reference, with interleaved writes landing on the hot shard.
+    #[test]
+    fn skewed_shard_loads_keep_deterministic_outcomes(
+        n in 5u32..=7,
+        hot_shard in 0u64..4,
+        seed_cells in prop::collection::vec(0u64..2, 1..128),
+        query_strides in prop::collection::vec(1u64..17, 2..6),
+        updates in prop::collection::vec(0u64..(200 * 128 * 2), 0..4),
+    ) {
+        let capacity = 1u64 << n;
+        let mut cells = seed_cells;
+        cells.resize(capacity as usize, 0);
+        let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+        let local = capacity / 4;
+        // Hot queries: every branch ≡ hot_shard (mod 4). One cold query
+        // spans all shards so recombination order is exercised too.
+        let mut addresses: Vec<AddressState> = query_strides
+            .iter()
+            .map(|&stride| {
+                let mut a: Vec<u64> = (0..local)
+                    .map(|i| ((i * stride) % local) * 4 + hot_shard)
+                    .collect();
+                a.sort_unstable();
+                a.dedup();
+                AddressState::uniform(n, &a).unwrap()
+            })
+            .collect();
+        addresses.push(AddressState::full_superposition(n));
+        // Writes target the hot shard's cells.
+        let updates: Vec<(u64, u64, u64)> = updates
+            .into_iter()
+            .map(|enc| (enc / 256, ((enc / 2) % local) * 4 + hot_shard, enc % 2))
+            .collect();
+        let sharded = ShardedQram::fat_tree(Capacity::new(capacity).unwrap(), 4);
+        let fast = sharded.execute_queries(&memory, &addresses, &updates).unwrap();
+        let reference = sharded
+            .execute_queries_sequential(&memory, &addresses, &updates)
+            .unwrap();
+        prop_assert_eq!(fast, reference);
+    }
+
     /// Query outcomes are unitary-consistent: branch amplitudes are
     /// preserved by execution (the QRAM only permutes/labels branches).
     #[test]
@@ -563,6 +661,78 @@ proptest! {
         prop_assert!((total - 1.0).abs() < 1e-9);
         for &(amp, _, _) in outcome.iter() {
             prop_assert!((amp.norm_sqr() - 1.0 / k as f64).abs() < 1e-9);
+        }
+    }
+}
+
+/// Work-stealing determinism. `QRAM_NUM_THREADS` is read once per process
+/// (`OnceLock`), so the worker-count sweep goes through the explicit-count
+/// entry point `execute_layers_parallel_with_workers` — the same deque the
+/// env var configures — for counts 1, 2, and 8.
+#[cfg(feature = "parallel")]
+mod work_stealing {
+    use fat_tree_qram::core::exec::{
+        execute_layers_parallel_with_workers, execute_layers_sequential,
+    };
+    use fat_tree_qram::core::{Op, QramModel, QubitTag};
+    use fat_tree_qram::metrics::Capacity;
+    use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The work-stealing branch fan-out returns the sequential
+        /// interpreter's exact `Execution` — outcomes, gate counts, and,
+        /// on corrupted streams, the same first error — regardless of
+        /// worker count (1 worker degenerates to one thread draining every
+        /// chunk; 8 workers on skewed chunk sizes forces steals).
+        #[test]
+        fn stealing_fan_out_matches_sequential_for_any_worker_count(
+            n in 4u32..=7,
+            arch_pick in 0u64..2,
+            seed_cells in prop::collection::vec(0u64..2, 1..128),
+            stride in 1u64..37,
+            corrupt in 0u64..3,
+            position in 0u64..10_000,
+        ) {
+            let capacity = 1u64 << n;
+            let mut cells = seed_cells;
+            cells.resize(capacity as usize, 0);
+            let memory = ClassicalMemory::from_words(1, &cells).unwrap();
+            // Wide, stride-clustered superpositions: enough branches to
+            // cut into many chunks, unevenly enough to provoke stealing.
+            let mut picks: Vec<u64> = (0..capacity).map(|i| (i * stride) % capacity).collect();
+            picks.sort_unstable();
+            picks.dedup();
+            let address = AddressState::uniform(n, &picks).unwrap();
+            let cap = Capacity::new(capacity).unwrap();
+            let arch: Box<dyn QramModel> = if arch_pick == 1 {
+                Box::new(fat_tree_qram::core::FatTreeQram::new(cap))
+            } else {
+                Box::new(fat_tree_qram::core::BucketBrigadeQram::new(cap))
+            };
+            let mut layers = arch.query_layers();
+            let layer = (position as usize) % layers.len();
+            match corrupt {
+                0 => {} // valid stream
+                1 => layers[layer].ops.push(Op::Store(position as u32 % n)),
+                _ => layers[layer].ops.push(Op::Load(QubitTag::Bus)),
+            }
+            let reference = execute_layers_sequential(&layers, &memory, &address);
+            for workers in [1usize, 2, 8] {
+                let stolen =
+                    execute_layers_parallel_with_workers(&layers, &memory, &address, workers);
+                match (&stolen, &reference) {
+                    (Ok(a), Ok(b)) => prop_assert!(a == b, "{workers} workers diverge"),
+                    (Err(a), Err(b)) => prop_assert!(
+                        a == b,
+                        "{workers} workers surface error {a:?}, sequential {b:?}"
+                    ),
+                    _ => prop_assert!(
+                        false,
+                        "{workers} workers disagree with sequential on Ok/Err"
+                    ),
+                }
+            }
         }
     }
 }
