@@ -56,6 +56,7 @@ pub mod tree;
 
 mod bucket_brigade;
 mod fat_tree;
+mod replication;
 mod sharded;
 mod soa;
 
@@ -71,5 +72,6 @@ pub use model::{
 };
 pub use ops::{GateClass, Op, QubitTag};
 pub use pipeline::{ensure_conflict_free, ConflictError, PipelineSchedule, QueryTiming};
+pub use replication::{ReplicatedMemory, ReplicatedWrite};
 pub use sharded::{sub_batch_split_count, ShardedQram};
 pub use tree::{NodeId, RouterId, TreeShape};

@@ -1,0 +1,314 @@
+//! Epoch-replicated classical memory for a QRAM fleet.
+//!
+//! A fleet serves reads from `R` replicas of one logical memory. Writes
+//! commit at a single *origin* replica and replicate to the others
+//! asynchronously, so replicas can transiently diverge. [`ReplicatedMemory`]
+//! makes that divergence a first-class, checkable quantity by extending the
+//! per-memory [`ClassicalMemory::write_epoch`] machinery one level up:
+//!
+//! * every fleet-visible write bumps a monotone **fleet epoch** and lands
+//!   in a totally ordered write log;
+//! * each replica tracks the **applied epoch** — the log prefix it has
+//!   absorbed. Applying a log entry goes through
+//!   [`ClassicalMemory::write`], so the replica's *local* write epoch
+//!   advances too and any read memoized against the old memory is
+//!   invalidated (the fleet-wide invalidation the batch executor's
+//!   `(write_epoch, address set)` cache key needs).
+//! * a replica whose applied epoch trails the fleet epoch is **stale**
+//!   ([`ReplicatedMemory::is_stale`]); a read dispatched there is
+//!   detectably behind and must be flagged, never silently served as
+//!   fresh.
+//!
+//! The consistency model is deliberately simple and property-testable:
+//! the log is a single total order (no concurrent conflicting writes), so
+//! two replicas at the same applied epoch hold bit-identical memories, and
+//! catching a replica up to the fleet epoch always converges it.
+
+use qsim::branch::ClassicalMemory;
+
+/// One committed fleet write: the log entry replicas replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicatedWrite {
+    /// The fleet epoch this write established (1-based: the `e`-th write).
+    pub epoch: u64,
+    /// The replica the write was applied at synchronously.
+    pub origin: usize,
+    /// The written global cell address.
+    pub address: u64,
+    /// The written value.
+    pub value: u64,
+}
+
+/// `R` replicas of one logical [`ClassicalMemory`] under single-order
+/// write replication with explicit epochs.
+///
+/// # Examples
+///
+/// ```
+/// use qram_core::ReplicatedMemory;
+/// use qsim::branch::ClassicalMemory;
+///
+/// let base = ClassicalMemory::from_words(1, &[0; 8])?;
+/// let mut fleet = ReplicatedMemory::new(base, 3);
+///
+/// // A write at replica 1 is immediately visible there ...
+/// fleet.write_at(1, 5, 1);
+/// assert_eq!(fleet.memory(1).read(5), 1);
+/// assert!(!fleet.is_stale(1));
+/// // ... while the others are detectably stale until they catch up.
+/// assert!(fleet.is_stale(0));
+/// assert_eq!(fleet.memory(0).read(5), 0);
+/// fleet.catch_up(0);
+/// assert_eq!(fleet.memory(0).read(5), 1);
+/// assert!(!fleet.is_stale(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedMemory {
+    replicas: Vec<ClassicalMemory>,
+    /// `applied[r]` = number of log entries replica `r` has absorbed.
+    applied: Vec<u64>,
+    /// The totally ordered write log; entry `e − 1` established epoch `e`.
+    log: Vec<ReplicatedWrite>,
+}
+
+impl ReplicatedMemory {
+    /// `num_replicas` replicas initialized from one base memory, all at
+    /// epoch 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_replicas` is zero.
+    #[must_use]
+    pub fn new(base: ClassicalMemory, num_replicas: usize) -> Self {
+        assert!(num_replicas >= 1, "a fleet needs at least one replica");
+        ReplicatedMemory {
+            replicas: vec![base; num_replicas],
+            applied: vec![0; num_replicas],
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The fleet epoch: total writes committed anywhere.
+    #[must_use]
+    pub fn fleet_epoch(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The epoch replica `replica` has applied up to.
+    #[must_use]
+    pub fn applied_epoch(&self, replica: usize) -> u64 {
+        self.applied[replica]
+    }
+
+    /// True when `replica` trails the fleet epoch: a read served there
+    /// would observe a superseded memory state and must be flagged stale.
+    #[must_use]
+    pub fn is_stale(&self, replica: usize) -> bool {
+        self.applied[replica] < self.fleet_epoch()
+    }
+
+    /// Log entries replica `replica` has yet to apply.
+    #[must_use]
+    pub fn lag(&self, replica: usize) -> u64 {
+        self.fleet_epoch() - self.applied[replica]
+    }
+
+    /// The committed write log, in epoch order.
+    #[must_use]
+    pub fn log(&self) -> &[ReplicatedWrite] {
+        &self.log
+    }
+
+    /// Replica `replica`'s current memory.
+    #[must_use]
+    pub fn memory(&self, replica: usize) -> &ClassicalMemory {
+        &self.replicas[replica]
+    }
+
+    /// Commits a write: appends it to the log at the next fleet epoch and
+    /// applies it at `origin` synchronously (catching `origin` up through
+    /// any earlier entries it had not yet absorbed — the log is applied in
+    /// order, never sparsely). Returns the new fleet epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is out of range or `address` exceeds the memory
+    /// capacity (via [`ClassicalMemory::write`]).
+    pub fn write_at(&mut self, origin: usize, address: u64, value: u64) -> u64 {
+        assert!(
+            origin < self.replicas.len(),
+            "origin replica {origin} out of range (R = {})",
+            self.replicas.len()
+        );
+        let epoch = self.fleet_epoch() + 1;
+        self.log.push(ReplicatedWrite {
+            epoch,
+            origin,
+            address,
+            value,
+        });
+        self.catch_up(origin);
+        epoch
+    }
+
+    /// Applies every committed write replica `replica` has not yet seen,
+    /// in epoch order. Returns the number of entries applied (0 when the
+    /// replica was already current — catch-up is idempotent).
+    pub fn catch_up(&mut self, replica: usize) -> u64 {
+        self.catch_up_to(replica, self.fleet_epoch())
+    }
+
+    /// Applies committed writes at `replica` up to (and including) epoch
+    /// `upto`, in order. Epochs already applied are skipped; `upto` beyond
+    /// the fleet epoch is clamped. Returns the number of entries applied.
+    pub fn catch_up_to(&mut self, replica: usize, upto: u64) -> u64 {
+        let target = upto.min(self.fleet_epoch());
+        let from = self.applied[replica];
+        if target <= from {
+            return 0;
+        }
+        for entry in &self.log[from as usize..target as usize] {
+            self.replicas[replica].write(entry.address, entry.value);
+        }
+        self.applied[replica] = target;
+        target - from
+    }
+
+    /// Catches every replica up to the fleet epoch, converging the fleet.
+    pub fn catch_up_all(&mut self) {
+        for r in 0..self.replicas.len() {
+            self.catch_up(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(r: usize) -> ReplicatedMemory {
+        let base = ClassicalMemory::from_words(8, &[0; 16]).unwrap();
+        ReplicatedMemory::new(base, r)
+    }
+
+    #[test]
+    fn writes_bump_the_fleet_epoch_in_order() {
+        let mut m = fleet(3);
+        assert_eq!(m.fleet_epoch(), 0);
+        assert_eq!(m.write_at(0, 1, 1), 1);
+        assert_eq!(m.write_at(2, 2, 1), 2);
+        assert_eq!(m.write_at(0, 1, 0), 3);
+        assert_eq!(m.fleet_epoch(), 3);
+        let epochs: Vec<u64> = m.log().iter().map(|w| w.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn origin_sees_its_write_synchronously_others_lag() {
+        let mut m = fleet(3);
+        m.write_at(1, 7, 9);
+        assert_eq!(m.memory(1).read(7), 9);
+        assert!(!m.is_stale(1));
+        for r in [0, 2] {
+            assert!(m.is_stale(r));
+            assert_eq!(m.lag(r), 1);
+            assert_eq!(m.memory(r).read(7), 0, "stale replica serves old data");
+        }
+    }
+
+    #[test]
+    fn catch_up_applies_the_log_in_order_and_is_idempotent() {
+        let mut m = fleet(2);
+        m.write_at(0, 3, 5);
+        m.write_at(0, 3, 6); // later write to the same cell wins
+        m.write_at(0, 4, 1);
+        assert_eq!(m.catch_up(1), 3);
+        assert_eq!(m.memory(1).read(3), 6);
+        assert_eq!(m.memory(1).read(4), 1);
+        assert_eq!(m.catch_up(1), 0, "idempotent");
+        assert_eq!(m.memory(0), m.memory(1));
+    }
+
+    #[test]
+    fn partial_catch_up_stops_at_the_requested_epoch() {
+        let mut m = fleet(2);
+        m.write_at(0, 1, 1);
+        m.write_at(0, 2, 2);
+        m.write_at(0, 3, 3);
+        assert_eq!(m.catch_up_to(1, 2), 2);
+        assert_eq!(m.applied_epoch(1), 2);
+        assert!(m.is_stale(1));
+        assert_eq!(m.memory(1).read(2), 2);
+        assert_eq!(m.memory(1).read(3), 0);
+        // Clamped beyond the fleet epoch; converges exactly.
+        assert_eq!(m.catch_up_to(1, 99), 1);
+        assert!(!m.is_stale(1));
+        assert_eq!(m.memory(0), m.memory(1));
+    }
+
+    #[test]
+    fn interleaved_origins_converge_to_one_total_order() {
+        let mut m = fleet(4);
+        // Writes from different origins race on the same cell; the log
+        // order (commit order) decides, everywhere.
+        m.write_at(0, 5, 10);
+        m.write_at(3, 5, 11);
+        m.write_at(1, 5, 12);
+        m.catch_up_all();
+        for r in 0..4 {
+            assert_eq!(m.memory(r).read(5), 12);
+            assert!(!m.is_stale(r));
+        }
+        for r in 1..4 {
+            assert_eq!(m.memory(0), m.memory(r), "replica {r} diverged");
+        }
+    }
+
+    #[test]
+    fn applying_replication_advances_the_local_write_epoch() {
+        // The tie-in that invalidates memoized reads: replication applies
+        // through ClassicalMemory::write, so the replica's local
+        // write_epoch (the batch executor's memo key) advances.
+        let mut m = fleet(2);
+        let before = m.memory(1).write_epoch();
+        m.write_at(0, 2, 2);
+        m.write_at(0, 6, 6);
+        assert_eq!(m.memory(1).write_epoch(), before, "no writes applied yet");
+        m.catch_up(1);
+        assert_eq!(m.memory(1).write_epoch(), before + 2);
+    }
+
+    #[test]
+    fn equal_applied_epochs_mean_equal_memories() {
+        let mut m = fleet(3);
+        for i in 0..10u64 {
+            m.write_at((i % 3) as usize, i % 16, i * i);
+            let e = m.applied_epoch(2);
+            m.catch_up_to(0, e);
+            if m.applied_epoch(0) == m.applied_epoch(2) {
+                assert_eq!(m.memory(0), m.memory(2));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_origin_rejected() {
+        let mut m = fleet(2);
+        m.write_at(2, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let base = ClassicalMemory::zeros(8);
+        let _ = ReplicatedMemory::new(base, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Keyed latency-histogram aggregation for fleet-level serving reports.
+//!
+//! A multi-tenant QRAM fleet observes the same latency stream along two
+//! independent groupings — *which tenant* issued the query and *which
+//! replica* served it. [`HistogramFamily`] maintains one
+//! [`LatencyHistogram`] per key with O(1) keyed recording, and merges the
+//! members into an aggregate view on demand ([`LatencyHistogram::merge`]
+//! does the heavy lifting; the family adds the key bookkeeping).
+
+use std::collections::BTreeMap;
+
+use crate::{LatencyHistogram, Layers};
+
+/// A family of [`LatencyHistogram`]s indexed by an ordered key (a tenant
+/// id, a replica index, …).
+///
+/// Keys materialize lazily on first record; iteration is in ascending key
+/// order, so reports are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::{HistogramFamily, Layers};
+///
+/// let mut by_tenant: HistogramFamily<u32> = HistogramFamily::new();
+/// by_tenant.record(0, Layers::new(10.0));
+/// by_tenant.record(1, Layers::new(400.0));
+/// by_tenant.record(0, Layers::new(12.0));
+/// assert_eq!(by_tenant.get(0).unwrap().count(), 2);
+/// assert_eq!(by_tenant.merged().count(), 3);
+/// assert_eq!(by_tenant.keys().collect::<Vec<_>>(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramFamily<K: Ord + Copy> {
+    members: BTreeMap<K, LatencyHistogram>,
+}
+
+impl<K: Ord + Copy> HistogramFamily<K> {
+    /// An empty family.
+    #[must_use]
+    pub fn new() -> Self {
+        HistogramFamily {
+            members: BTreeMap::new(),
+        }
+    }
+
+    /// Records one observation under `key`, creating the member histogram
+    /// on first use.
+    pub fn record(&mut self, key: K, latency: Layers) {
+        self.members.entry(key).or_default().record(latency);
+    }
+
+    /// The member histogram for `key`, if anything was recorded under it.
+    #[must_use]
+    pub fn get(&self, key: K) -> Option<&LatencyHistogram> {
+        self.members.get(&key)
+    }
+
+    /// Number of keys with at least one observation.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when nothing has been recorded under any key.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// `(key, histogram)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &LatencyHistogram)> {
+        self.members.iter().map(|(&k, h)| (k, h))
+    }
+
+    /// Total observations across all members.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.members.values().map(LatencyHistogram::count).sum()
+    }
+
+    /// Merges every member into one aggregate histogram (empty family →
+    /// empty histogram).
+    #[must_use]
+    pub fn merged(&self) -> LatencyHistogram {
+        let mut total = LatencyHistogram::new();
+        for h in self.members.values() {
+            total.merge(h);
+        }
+        total
+    }
+
+    /// Merges another family into this one, key by key.
+    pub fn merge(&mut self, other: &HistogramFamily<K>) {
+        for (&key, theirs) in &other.members {
+            self.members.entry(key).or_default().merge(theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_key_and_merges() {
+        let mut family: HistogramFamily<u32> = HistogramFamily::new();
+        assert!(family.is_empty());
+        for (key, latency) in [(2, 8.0), (0, 30.0), (2, 9.0), (1, 100.0)] {
+            family.record(key, Layers::new(latency));
+        }
+        assert_eq!(family.len(), 3);
+        assert_eq!(family.total_count(), 4);
+        assert_eq!(family.get(2).unwrap().count(), 2);
+        assert!(family.get(3).is_none());
+        let merged = family.merged();
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.min().get(), 8.0);
+        assert_eq!(merged.max().get(), 100.0);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut family: HistogramFamily<u64> = HistogramFamily::new();
+        for key in [9u64, 3, 7, 1] {
+            family.record(key, Layers::new(1.0));
+        }
+        let keys: Vec<u64> = family.keys().collect();
+        assert_eq!(keys, vec![1, 3, 7, 9]);
+        let iter_keys: Vec<u64> = family.iter().map(|(k, _)| k).collect();
+        assert_eq!(iter_keys, keys);
+    }
+
+    #[test]
+    fn family_merge_combines_members_keywise() {
+        let mut a: HistogramFamily<u8> = HistogramFamily::new();
+        a.record(0, Layers::new(5.0));
+        a.record(1, Layers::new(50.0));
+        let mut b: HistogramFamily<u8> = HistogramFamily::new();
+        b.record(1, Layers::new(60.0));
+        b.record(2, Layers::new(600.0));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1).unwrap().count(), 2);
+        assert_eq!(a.merged().count(), 4);
+    }
+
+    #[test]
+    fn empty_family_merges_to_empty_histogram() {
+        let family: HistogramFamily<u32> = HistogramFamily::new();
+        assert!(family.merged().is_empty());
+        assert_eq!(family.total_count(), 0);
+    }
+}

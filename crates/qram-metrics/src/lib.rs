@@ -15,7 +15,8 @@
 //! * [`Bandwidth`], [`QueryRate`], [`SpaceTimeVolume`], [`MemoryAccessRate`],
 //!   [`Utilization`] — the shared-QRAM metrics defined in §6.2 of the paper.
 //! * [`LatencyHistogram`] — a log-bucketed response-latency histogram for
-//!   the online serving layer (§5).
+//!   the online serving layer (§5), and [`HistogramFamily`] — per-tenant /
+//!   per-replica keyed aggregation of such histograms for fleet reports.
 //!
 //! # Examples
 //!
@@ -36,6 +37,7 @@
 
 mod bandwidth;
 mod capacity;
+mod family;
 mod histogram;
 mod layers;
 mod timing;
@@ -43,6 +45,7 @@ mod utilization;
 
 pub use bandwidth::{Bandwidth, MemoryAccessRate, QueryRate, SpaceTimeVolume};
 pub use capacity::{Capacity, CapacityError};
+pub use family::HistogramFamily;
 pub use histogram::LatencyHistogram;
 pub use layers::{LayerKind, Layers};
 pub use timing::{Clops, TimingModel};

@@ -8,6 +8,10 @@
 //!   [`AdmissionPolicy`] traits, and the [`FifoAdmission`] /
 //!   [`NoiseAwareAdmission`] policies (every other scheduling entry point
 //!   is an adapter over this core).
+//! * [`tenant`] — multi-tenant admission on top of the stack: per-tenant
+//!   outstanding-request quotas and SLO shedding classes via the
+//!   [`QuotaAdmission`] combinator, threaded through the fleet router in
+//!   `qram-serve`.
 //! * [`fifo`] — FIFO scheduling of static request batches, with the
 //!   latency-optimality theorem of Appendix A.2 checked exhaustively and
 //!   property-tested.
@@ -38,6 +42,7 @@ pub mod fifo;
 pub mod online;
 pub mod policy;
 pub mod server;
+pub mod tenant;
 pub mod workload;
 
 pub use fifo::{schedule_fifo, schedule_in_order, QueryRequest, Schedule, ScheduledQuery};
@@ -46,7 +51,9 @@ pub use policy::{
     AdmissionPolicy, FifoAdmission, NoiseAwareAdmission, PipelineCore, PolicyScheduler, Scheduler,
 };
 pub use server::QramServer;
+pub use tenant::{QuotaAdmission, SloClass, TenantId, TenantSpec};
 pub use workload::{
-    bursty_arrivals, process_depth_from_ratio, simulate_streams, synthetic_algorithm_depth, Phase,
-    QueryRecord, StreamReport, StreamWorkload, ZipfAddresses,
+    bursty_arrivals, diurnal_arrivals, flash_crowd_arrivals, process_depth_from_ratio,
+    simulate_streams, synthetic_algorithm_depth, Phase, QueryRecord, StreamReport, StreamWorkload,
+    ZipfAddresses,
 };

@@ -29,6 +29,7 @@ use qram_noise::{distilled_infidelity, query_infidelity_bound, GateErrorRates};
 use crate::fifo::{QueryRequest, Schedule, ScheduledQuery};
 use crate::online::OutOfOrderArrival;
 use crate::server::QramServer;
+use crate::tenant::{SloClass, TenantId};
 
 /// Distillation depth past which admission degenerates to one query at a
 /// time: even the widest architecture in Table 1 has parallelism far below
@@ -159,6 +160,25 @@ pub trait AdmissionPolicy {
     fn admission_time(&mut self, request: &QueryRequest, earliest: Layers) -> Layers {
         let _ = request;
         earliest
+    }
+
+    /// Cap on a tenant's outstanding (queued + in-flight) requests across
+    /// the whole fleet; `None` (the default) is unlimited. Enforced by the
+    /// fleet router at arrival time — excess arrivals are shed, bounding
+    /// the tenant's queue depth. See [`QuotaAdmission`].
+    ///
+    /// [`QuotaAdmission`]: crate::tenant::QuotaAdmission
+    fn tenant_quota(&self, tenant: TenantId) -> Option<u32> {
+        let _ = tenant;
+        None
+    }
+
+    /// The tenant's shedding class under arrival-queue pressure. The
+    /// default, [`SloClass::Interactive`], imposes no constraint beyond
+    /// the queue bound itself.
+    fn tenant_slo(&self, tenant: TenantId) -> SloClass {
+        let _ = tenant;
+        SloClass::Interactive
     }
 }
 

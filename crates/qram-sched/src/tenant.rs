@@ -1,0 +1,321 @@
+//! Multi-tenant admission: per-tenant quotas and SLO classes on top of the
+//! pluggable policy stack.
+//!
+//! The fleet serving layer (`qram-serve`) shares one QRAM fleet among many
+//! tenants. Isolation comes from two constrain-only knobs threaded through
+//! the [`AdmissionPolicy`] stack:
+//!
+//! * an **outstanding-request quota** ([`TenantSpec::quota`]) — a cap on a
+//!   tenant's queued + in-flight requests fleet-wide. Arrivals beyond it
+//!   are shed at the router, so a hot tenant's queue depth (and therefore
+//!   its waiting time) is bounded, and it cannot crowd other tenants out
+//!   of the shared dispatch queues.
+//! * an **SLO class** ([`SloClass`]) — the fraction of a replica's bounded
+//!   arrival queue the tenant may occupy before its arrivals are shed.
+//!   Lower classes yield queue headroom to higher ones under overload;
+//!   [`SloClass::Interactive`] (the default) imposes no extra constraint.
+//!
+//! [`QuotaAdmission`] attaches a tenant table to any inner policy
+//! ([`FifoAdmission`], [`NoiseAwareAdmission`], …): the inner policy keeps
+//! deciding pipeline-level admission (in-flight cap, admission instants)
+//! while the wrapper answers the per-tenant questions — composing the two
+//! orthogonal axes without either knowing about the other. Like every
+//! policy in the stack it can only *constrain*: wrapping a policy never
+//! admits a request the inner policy would have refused.
+//!
+//! [`AdmissionPolicy`]: crate::AdmissionPolicy
+//! [`FifoAdmission`]: crate::FifoAdmission
+//! [`NoiseAwareAdmission`]: crate::NoiseAwareAdmission
+
+use std::collections::BTreeMap;
+
+use qram_metrics::Layers;
+
+use crate::fifo::QueryRequest;
+use crate::policy::AdmissionPolicy;
+use crate::server::QramServer;
+
+/// A tenant of the shared QRAM fleet.
+///
+/// Plain numeric identity: the serving layer threads it through arrivals,
+/// reports, and quota lookups. Untagged traffic belongs to
+/// [`TenantId::DEFAULT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant untagged requests are billed to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// A service-level-objective class: how much of a replica's bounded
+/// arrival queue the tenant's traffic may occupy before being shed.
+///
+/// Classes order by strictness: a lower queue share sheds earlier, leaving
+/// headroom for higher classes during overload. The class never *grants*
+/// anything — with an unbounded arrival queue it has no effect, and
+/// [`SloClass::Interactive`] is indistinguishable from having no class at
+/// all (which keeps the single-tenant fleet bit-equal to the single
+/// service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum SloClass {
+    /// Bulk traffic: may fill at most half the arrival queue.
+    Batch,
+    /// Ordinary traffic: may fill at most ¾ of the arrival queue.
+    Standard,
+    /// Latency-sensitive traffic: may use the whole queue (no extra
+    /// constraint — the default).
+    #[default]
+    Interactive,
+}
+
+impl SloClass {
+    /// The fraction of a bounded arrival queue this class may occupy.
+    #[must_use]
+    pub fn queue_share(&self) -> f64 {
+        match self {
+            SloClass::Batch => 0.5,
+            SloClass::Standard => 0.75,
+            SloClass::Interactive => 1.0,
+        }
+    }
+
+    /// The class's queue bound for a queue of `capacity` slots (at least
+    /// one slot, so a class can never be starved outright while the queue
+    /// is empty).
+    #[must_use]
+    pub fn queue_bound(&self, capacity: usize) -> usize {
+        (((capacity as f64) * self.queue_share()).floor() as usize).max(1)
+    }
+
+    /// The stricter (smaller-share) of two classes — the composition rule
+    /// for stacked policies, mirroring the `min` composition of in-flight
+    /// caps.
+    #[must_use]
+    pub fn stricter(self, other: SloClass) -> SloClass {
+        self.min(other)
+    }
+}
+
+/// Per-tenant admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TenantSpec {
+    /// Cap on the tenant's outstanding (queued + in-flight) requests
+    /// fleet-wide; `None` is unlimited.
+    pub quota: Option<u32>,
+    /// The tenant's shedding class under queue pressure.
+    pub slo: SloClass,
+}
+
+impl TenantSpec {
+    /// An unlimited, interactive-class spec — the behavior of a tenant the
+    /// quota table does not mention.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        TenantSpec {
+            quota: None,
+            slo: SloClass::Interactive,
+        }
+    }
+}
+
+/// Per-tenant quotas and SLO classes layered over any inner
+/// [`AdmissionPolicy`].
+///
+/// Pipeline-level decisions ([`AdmissionPolicy::in_flight_cap`],
+/// [`AdmissionPolicy::admission_time`]) delegate to the inner policy
+/// unchanged; the per-tenant hooks compose constrain-only — a quota is the
+/// `min` of the wrapper's and the inner policy's, an SLO class is the
+/// stricter of the two.
+///
+/// # Examples
+///
+/// ```
+/// use qram_sched::{
+///     AdmissionPolicy, FifoAdmission, QuotaAdmission, SloClass, TenantId,
+/// };
+///
+/// let policy = QuotaAdmission::new(FifoAdmission)
+///     .with_quota(TenantId(7), 4)
+///     .with_slo(TenantId(9), SloClass::Batch);
+/// assert_eq!(policy.tenant_quota(TenantId(7)), Some(4));
+/// // Unlisted tenants are unconstrained.
+/// assert_eq!(policy.tenant_quota(TenantId(1)), None);
+/// assert_eq!(policy.tenant_slo(TenantId(9)), SloClass::Batch);
+/// assert_eq!(policy.tenant_slo(TenantId(7)), SloClass::Interactive);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuotaAdmission<P> {
+    inner: P,
+    tenants: BTreeMap<TenantId, TenantSpec>,
+}
+
+impl<P: AdmissionPolicy> QuotaAdmission<P> {
+    /// Wraps `inner` with an empty tenant table (every tenant unlimited).
+    #[must_use]
+    pub fn new(inner: P) -> Self {
+        QuotaAdmission {
+            inner,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped policy.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Sets the full spec for a tenant (builder style).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId, spec: TenantSpec) -> Self {
+        self.tenants.insert(tenant, spec);
+        self
+    }
+
+    /// Sets a tenant's outstanding-request quota, keeping its class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quota` is zero (a zero quota would shed every request —
+    /// delete the tenant's traffic at the source instead).
+    #[must_use]
+    pub fn with_quota(mut self, tenant: TenantId, quota: u32) -> Self {
+        assert!(quota > 0, "a quota of zero sheds all of {tenant}'s traffic");
+        self.tenants.entry(tenant).or_default().quota = Some(quota);
+        self
+    }
+
+    /// Sets a tenant's SLO class, keeping its quota.
+    #[must_use]
+    pub fn with_slo(mut self, tenant: TenantId, slo: SloClass) -> Self {
+        self.tenants.entry(tenant).or_default().slo = slo;
+        self
+    }
+
+    /// The configured spec for `tenant` (unlimited if unlisted).
+    #[must_use]
+    pub fn spec(&self, tenant: TenantId) -> TenantSpec {
+        self.tenants
+            .get(&tenant)
+            .copied()
+            .unwrap_or_else(TenantSpec::unlimited)
+    }
+
+    /// Tenants with an explicit spec, in id order.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, TenantSpec)> + '_ {
+        self.tenants.iter().map(|(&t, &s)| (t, s))
+    }
+}
+
+impl<P: AdmissionPolicy> AdmissionPolicy for QuotaAdmission<P> {
+    fn in_flight_cap(&self, server: &QramServer) -> u32 {
+        self.inner.in_flight_cap(server)
+    }
+
+    fn admission_time(&mut self, request: &QueryRequest, earliest: Layers) -> Layers {
+        self.inner.admission_time(request, earliest)
+    }
+
+    fn tenant_quota(&self, tenant: TenantId) -> Option<u32> {
+        // min-composition: the wrapper can only tighten the inner quota.
+        match (self.spec(tenant).quota, self.inner.tenant_quota(tenant)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn tenant_slo(&self, tenant: TenantId) -> SloClass {
+        self.spec(tenant)
+            .slo
+            .stricter(self.inner.tenant_slo(tenant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FifoAdmission, NoiseAwareAdmission};
+    use qram_metrics::Capacity;
+
+    #[test]
+    fn default_tenant_is_unlimited_interactive() {
+        let policy = QuotaAdmission::new(FifoAdmission);
+        assert_eq!(policy.tenant_quota(TenantId::DEFAULT), None);
+        assert_eq!(policy.tenant_slo(TenantId::DEFAULT), SloClass::Interactive);
+    }
+
+    #[test]
+    fn quota_and_slo_are_independent_knobs() {
+        let policy = QuotaAdmission::new(FifoAdmission)
+            .with_quota(TenantId(3), 8)
+            .with_slo(TenantId(3), SloClass::Batch)
+            .with_quota(TenantId(4), 2);
+        assert_eq!(policy.tenant_quota(TenantId(3)), Some(8));
+        assert_eq!(policy.tenant_slo(TenantId(3)), SloClass::Batch);
+        assert_eq!(policy.tenant_quota(TenantId(4)), Some(2));
+        assert_eq!(policy.tenant_slo(TenantId(4)), SloClass::Interactive);
+        let listed: Vec<TenantId> = policy.tenants().map(|(t, _)| t).collect();
+        assert_eq!(listed, vec![TenantId(3), TenantId(4)]);
+    }
+
+    #[test]
+    fn pipeline_decisions_delegate_to_inner_policy() {
+        let server = QramServer::fat_tree_integer_layers(Capacity::new(8).unwrap());
+        let noise = NoiseAwareAdmission::from_infidelity(0.16, 1e-3);
+        let mut wrapped = QuotaAdmission::new(noise).with_quota(TenantId(1), 5);
+        assert_eq!(
+            wrapped.in_flight_cap(&server),
+            noise.in_flight_cap(&server),
+            "quota wrapper must not change the pipeline cap"
+        );
+        let request = QueryRequest {
+            id: 0,
+            arrival: Layers::ZERO,
+        };
+        let mut bare = noise;
+        assert_eq!(
+            wrapped.admission_time(&request, Layers::new(3.0)),
+            bare.admission_time(&request, Layers::new(3.0)),
+        );
+    }
+
+    #[test]
+    fn stacked_quota_wrappers_compose_by_min() {
+        let inner = QuotaAdmission::new(FifoAdmission)
+            .with_quota(TenantId(1), 10)
+            .with_slo(TenantId(2), SloClass::Standard);
+        let outer = QuotaAdmission::new(inner)
+            .with_quota(TenantId(1), 25)
+            .with_slo(TenantId(2), SloClass::Interactive);
+        // Constrain-only: the looser outer limits cannot relax the inner.
+        assert_eq!(outer.tenant_quota(TenantId(1)), Some(10));
+        assert_eq!(outer.tenant_slo(TenantId(2)), SloClass::Standard);
+    }
+
+    #[test]
+    fn slo_queue_bounds_scale_with_share() {
+        assert_eq!(SloClass::Interactive.queue_bound(16), 16);
+        assert_eq!(SloClass::Standard.queue_bound(16), 12);
+        assert_eq!(SloClass::Batch.queue_bound(16), 8);
+        // Never starved to zero slots.
+        assert_eq!(SloClass::Batch.queue_bound(1), 1);
+        assert!(SloClass::Batch.queue_share() < SloClass::Standard.queue_share());
+        assert_eq!(
+            SloClass::Interactive.stricter(SloClass::Batch),
+            SloClass::Batch
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sheds all")]
+    fn zero_quota_rejected() {
+        let _ = QuotaAdmission::new(FifoAdmission).with_quota(TenantId(1), 0);
+    }
+}

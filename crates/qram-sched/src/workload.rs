@@ -363,6 +363,193 @@ pub fn bursty_arrivals<R: Rng + ?Sized>(
         .collect()
 }
 
+/// Generates `count` arrivals from a diurnally modulated Poisson process:
+/// the instantaneous rate swings sinusoidally between `trough_rate` and
+/// `peak_rate` with the given `period` (one simulated "day" in layers),
+///
+/// ```text
+///   λ(t) = trough + (peak − trough) · (1 − cos(2πt / period)) / 2
+/// ```
+///
+/// starting at the trough (`λ(0) = trough_rate`) and peaking at
+/// `t = period / 2`. Sampling is Lewis–Shedler thinning against the
+/// constant envelope `peak_rate`, so the output is an exact
+/// non-homogeneous Poisson draw. The long-run offered rate is the mean of
+/// the sinusoid, `(trough_rate + peak_rate) / 2`, and whenever
+/// `peak_rate > trough_rate` the inter-arrival coefficient of variation
+/// exceeds 1 — the day/night load swing every data-center serving stack
+/// must ride out.
+///
+/// # Examples
+///
+/// ```
+/// use qram_sched::diurnal_arrivals;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// // Nights at 0.1 q/layer, midday peaks at 1.9, a 1000-layer day.
+/// let arrivals = diurnal_arrivals(0.1, 1.9, 1000.0, 400, &mut rng);
+/// assert_eq!(arrivals.len(), 400);
+/// assert!(arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `trough_rate` is negative, `peak_rate` or `period` is not
+/// strictly positive and finite, or `peak_rate < trough_rate`.
+pub fn diurnal_arrivals<R: Rng + ?Sized>(
+    trough_rate: f64,
+    peak_rate: f64,
+    period: f64,
+    count: usize,
+    rng: &mut R,
+) -> Vec<QueryRequest> {
+    assert!(
+        trough_rate >= 0.0 && trough_rate.is_finite(),
+        "trough_rate must be non-negative"
+    );
+    assert!(
+        peak_rate > 0.0 && peak_rate.is_finite(),
+        "peak_rate must be positive"
+    );
+    assert!(
+        peak_rate >= trough_rate,
+        "peak_rate {peak_rate} must be at least trough_rate {trough_rate}"
+    );
+    assert!(
+        period > 0.0 && period.is_finite(),
+        "period must be positive"
+    );
+    let rate_at = |t: f64| -> f64 {
+        trough_rate
+            + (peak_rate - trough_rate) * (1.0 - (2.0 * std::f64::consts::PI * t / period).cos())
+                / 2.0
+    };
+    let mut t = 0.0;
+    (0..count)
+        .map(|id| {
+            // Thinning: candidate gaps from the peak-rate envelope are
+            // accepted with probability λ(t) / peak_rate.
+            loop {
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                t += -u.ln() / peak_rate;
+                let accept: f64 = rng.random();
+                if accept < rate_at(t) / peak_rate {
+                    break;
+                }
+            }
+            QueryRequest {
+                id,
+                arrival: Layers::new(t),
+            }
+        })
+        .collect()
+}
+
+/// Generates `count` arrivals from a flash-crowd process: a steady Poisson
+/// baseline at `base_rate`, except that during the window
+/// `[flash_start, flash_start + flash_duration)` the rate jumps to
+/// `flash_rate` — the "everyone queries the same service at once" stampede
+/// that stresses fleet backpressure and per-tenant quotas.
+///
+/// The process is an exact piecewise-constant non-homogeneous Poisson
+/// draw: exponential gaps at the current rate, with the residual gap
+/// re-scaled by the rate ratio whenever it crosses a window boundary
+/// (memorylessness makes the re-scaling exact). With
+/// `flash_rate > base_rate` the inter-arrival coefficient of variation
+/// exceeds 1 over windows spanning the flash.
+///
+/// # Examples
+///
+/// ```
+/// use qram_sched::flash_crowd_arrivals;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// // A 20× stampede 500 layers in, lasting 200 layers.
+/// let arrivals = flash_crowd_arrivals(0.05, 1.0, 500.0, 200.0, 300, &mut rng);
+/// assert_eq!(arrivals.len(), 300);
+/// assert!(arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `base_rate`, `flash_rate`, or `flash_duration` is not
+/// strictly positive and finite, or `flash_start` is negative or not
+/// finite.
+pub fn flash_crowd_arrivals<R: Rng + ?Sized>(
+    base_rate: f64,
+    flash_rate: f64,
+    flash_start: f64,
+    flash_duration: f64,
+    count: usize,
+    rng: &mut R,
+) -> Vec<QueryRequest> {
+    assert!(
+        base_rate > 0.0 && base_rate.is_finite(),
+        "base_rate must be positive"
+    );
+    assert!(
+        flash_rate > 0.0 && flash_rate.is_finite(),
+        "flash_rate must be positive"
+    );
+    assert!(
+        flash_start >= 0.0 && flash_start.is_finite(),
+        "flash_start must be non-negative"
+    );
+    assert!(
+        flash_duration > 0.0 && flash_duration.is_finite(),
+        "flash_duration must be positive"
+    );
+    let flash_end = flash_start + flash_duration;
+    let rate_at = |t: f64| -> f64 {
+        if (flash_start..flash_end).contains(&t) {
+            flash_rate
+        } else {
+            base_rate
+        }
+    };
+    // The next rate-change boundary strictly after `t`, if any.
+    let next_boundary = |t: f64| -> Option<f64> {
+        if t < flash_start {
+            Some(flash_start)
+        } else if t < flash_end {
+            Some(flash_end)
+        } else {
+            None
+        }
+    };
+    let mut t = 0.0;
+    (0..count)
+        .map(|id| {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            // A unit-rate exponential "work" budget, spent at the current
+            // rate: crossing a boundary re-scales the residual exactly.
+            let mut work = -u.ln();
+            loop {
+                let rate = rate_at(t);
+                let gap = work / rate;
+                match next_boundary(t) {
+                    Some(b) if t + gap >= b => {
+                        work -= (b - t) * rate;
+                        t = b;
+                    }
+                    _ => {
+                        t += gap;
+                        break;
+                    }
+                }
+            }
+            QueryRequest {
+                id,
+                arrival: Layers::new(t),
+            }
+        })
+        .collect()
+}
+
 /// A Zipf(θ) distribution over the `N` addresses of a QRAM: address `a`
 /// is drawn with probability proportional to `1 / (a + 1)^θ`, the
 /// standard skewed-popularity model of cache and serving-system analysis
@@ -692,6 +879,189 @@ mod tests {
     fn bursty_rejects_non_positive_off_period() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = bursty_arrivals(1.0, 10.0, 0.0, 5, &mut rng);
+    }
+
+    /// Coefficient of variation of the inter-arrival gaps of a trace.
+    fn interarrival_cov(arrivals: &[QueryRequest]) -> f64 {
+        let gaps: Vec<f64> = arrivals
+            .windows(2)
+            .map(|w| w[1].arrival.get() - w[0].arrival.get())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Arrivals per layer inside `[from, to)`.
+    fn window_rate(arrivals: &[QueryRequest], from: f64, to: f64) -> f64 {
+        let hits = arrivals
+            .iter()
+            .filter(|r| (from..to).contains(&r.arrival.get()))
+            .count();
+        hits as f64 / (to - from)
+    }
+
+    #[test]
+    fn diurnal_arrivals_are_sorted_and_deterministic() {
+        let mut a_rng = StdRng::seed_from_u64(11);
+        let mut b_rng = StdRng::seed_from_u64(11);
+        let a = diurnal_arrivals(0.1, 1.9, 800.0, 400, &mut a_rng);
+        let b = diurnal_arrivals(0.1, 1.9, 800.0, 400, &mut b_rng);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 400);
+        for w in a.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        let mut c_rng = StdRng::seed_from_u64(12);
+        assert_ne!(a, diurnal_arrivals(0.1, 1.9, 800.0, 400, &mut c_rng));
+    }
+
+    #[test]
+    fn diurnal_long_run_rate_is_the_sinusoid_mean() {
+        // Rate envelope: the realized long-run rate must match
+        // (trough + peak) / 2 — the mean of the sinusoidal λ(t).
+        let mut rng = StdRng::seed_from_u64(2026);
+        let (trough, peak, period) = (0.2, 1.8, 500.0);
+        let n = 20_000usize;
+        let arrivals = diurnal_arrivals(trough, peak, period, n, &mut rng);
+        let span = arrivals.last().unwrap().arrival.get();
+        let rate = n as f64 / span;
+        let expect = (trough + peak) / 2.0;
+        assert!(
+            (rate - expect).abs() < 0.1 * expect,
+            "rate {rate} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peak_windows_outdraw_trough_windows() {
+        // Duty-cycle check: the middle half of each day (centered on the
+        // peak at period/2) must receive far more arrivals than the
+        // night quarters — and the instantaneous rates must bracket the
+        // trough/peak envelope.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (trough, peak, period) = (0.1, 1.9, 1000.0);
+        let arrivals = diurnal_arrivals(trough, peak, period, 30_000, &mut rng);
+        let days = (arrivals.last().unwrap().arrival.get() / period).floor() as usize;
+        let mut peak_rate_sum = 0.0;
+        let mut trough_rate_sum = 0.0;
+        for day in 0..days {
+            let start = day as f64 * period;
+            peak_rate_sum += window_rate(&arrivals, start + 0.25 * period, start + 0.75 * period);
+            trough_rate_sum += window_rate(&arrivals, start, start + 0.25 * period)
+                + window_rate(&arrivals, start + 0.75 * period, start + period);
+        }
+        let peak_rate = peak_rate_sum / days as f64;
+        let trough_rate = trough_rate_sum / (2 * days) as f64;
+        assert!(
+            peak_rate > 3.0 * trough_rate,
+            "midday {peak_rate} vs night {trough_rate}"
+        );
+        assert!(peak_rate <= peak, "midday rate cannot exceed the envelope");
+        assert!(trough_rate >= trough * 0.5, "nights cannot go dark");
+    }
+
+    #[test]
+    fn diurnal_gaps_are_overdispersed_relative_to_poisson() {
+        // CoV check: the rate swing makes inter-arrival gaps overdispersed
+        // (CoV > 1); a flat sinusoid (trough = peak) degenerates to plain
+        // Poisson with CoV ≈ 1.
+        let mut rng = StdRng::seed_from_u64(5);
+        let swung = diurnal_arrivals(0.05, 1.95, 400.0, 20_000, &mut rng);
+        let cov = interarrival_cov(&swung);
+        assert!(cov > 1.2, "diurnal CoV {cov} not overdispersed");
+        let mut flat_rng = StdRng::seed_from_u64(5);
+        let flat = diurnal_arrivals(1.0, 1.0, 400.0, 20_000, &mut flat_rng);
+        let flat_cov = interarrival_cov(&flat);
+        assert!((flat_cov - 1.0).abs() < 0.1, "flat control CoV {flat_cov}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least trough_rate")]
+    fn diurnal_rejects_peak_below_trough() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = diurnal_arrivals(2.0, 1.0, 100.0, 5, &mut rng);
+    }
+
+    #[test]
+    fn flash_crowd_arrivals_are_sorted_and_deterministic() {
+        let mut a_rng = StdRng::seed_from_u64(21);
+        let mut b_rng = StdRng::seed_from_u64(21);
+        let a = flash_crowd_arrivals(0.05, 1.0, 400.0, 200.0, 300, &mut a_rng);
+        let b = flash_crowd_arrivals(0.05, 1.0, 400.0, 200.0, 300, &mut b_rng);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        let mut c_rng = StdRng::seed_from_u64(22);
+        assert_ne!(
+            a,
+            flash_crowd_arrivals(0.05, 1.0, 400.0, 200.0, 300, &mut c_rng)
+        );
+    }
+
+    #[test]
+    fn flash_crowd_rate_envelope_matches_piecewise_rates() {
+        // Rate envelope: ~base_rate outside the flash window, ~flash_rate
+        // inside it.
+        let mut rng = StdRng::seed_from_u64(2027);
+        let (base, flash, start, duration) = (0.1, 4.0, 2000.0, 1500.0);
+        let arrivals = flash_crowd_arrivals(base, flash, start, duration, 20_000, &mut rng);
+        let before = window_rate(&arrivals, 0.0, start);
+        let during = window_rate(&arrivals, start, start + duration);
+        let after = window_rate(&arrivals, start + duration, start + duration + 2000.0);
+        assert!(
+            (before - base).abs() < 0.3 * base,
+            "pre-flash rate {before} vs base {base}"
+        );
+        assert!(
+            (during - flash).abs() < 0.15 * flash,
+            "flash rate {during} vs {flash}"
+        );
+        assert!(
+            (after - base).abs() < 0.3 * base,
+            "post-flash rate {after} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_gaps_are_overdispersed_relative_to_poisson() {
+        // CoV check across the stampede: mixing two very different rates
+        // overdisperses the gap distribution; a flash at the base rate is
+        // an unmodulated Poisson control with CoV ≈ 1.
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrivals = flash_crowd_arrivals(0.02, 2.0, 1000.0, 4000.0, 20_000, &mut rng);
+        let cov = interarrival_cov(&arrivals);
+        assert!(cov > 1.3, "flash-crowd CoV {cov} not overdispersed");
+        let mut flat_rng = StdRng::seed_from_u64(3);
+        let flat = flash_crowd_arrivals(1.0, 1.0, 1000.0, 4000.0, 20_000, &mut flat_rng);
+        let flat_cov = interarrival_cov(&flat);
+        assert!((flat_cov - 1.0).abs() < 0.1, "flat control CoV {flat_cov}");
+    }
+
+    #[test]
+    fn flash_crowd_boundary_crossing_is_exact() {
+        // A draw whose gap spans the flash start must land inside the
+        // window (re-scaled), not jump it: with an extreme flash rate the
+        // first post-boundary arrival lands essentially at the boundary.
+        let mut rng = StdRng::seed_from_u64(8);
+        let arrivals = flash_crowd_arrivals(1e-4, 100.0, 50.0, 10.0, 50, &mut rng);
+        let first_in_flash = arrivals
+            .iter()
+            .find(|r| r.arrival.get() >= 50.0)
+            .expect("the stampede produces arrivals");
+        assert!(
+            first_in_flash.arrival.get() < 51.0,
+            "boundary crossing must re-scale the residual gap, got {}",
+            first_in_flash.arrival.get()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "flash_duration must be positive")]
+    fn flash_crowd_rejects_non_positive_duration() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = flash_crowd_arrivals(1.0, 2.0, 10.0, 0.0, 5, &mut rng);
     }
 
     #[test]

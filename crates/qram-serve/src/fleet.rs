@@ -1,0 +1,1001 @@
+//! The multi-tenant QRAM fleet: a routing tier over `R` serving replicas
+//! with epoch-replicated writes.
+//!
+//! [`QramFleet`] scales the §5 quantum-data-center service *out*: it runs
+//! `R` independent [`Replica`] cores — each a full sharded QRAM with its
+//! own dispatcher, admission interval, and pipeline slots — behind a
+//! front-end router, all inside one discrete-event reactor:
+//!
+//! ```text
+//!        tenant streams (quotas, SLO classes — qram-sched)
+//!                     │
+//!                     ▼
+//!   ┌────────────────────────────────────┐  routing tier (this module)
+//!   │ quota / SLO shedding  →  placement │  ConsistentHashPlacement
+//!   └────────┬──────────┬──────────┬─────┘  LeastLoadedPlacement
+//!            ▼          ▼          ▼
+//!       ┌─────────┐┌─────────┐┌─────────┐   R replica cores
+//!       │Replica 0││Replica 1││Replica 2│   (dispatch queues, I/K
+//!       └────┬────┘└────┬────┘└────┬────┘    spacing, backpressure)
+//!            ▼          ▼          ▼
+//!       ┌────────────────────────────────┐  epoch-replicated memory
+//!       │ ReplicatedMemory: fleet epoch, │  (qram-core): stale reads
+//!       │ per-replica applied epochs     │  flagged, never silent
+//!       └────────────────────────────────┘
+//! ```
+//!
+//! * **Placement** is pluggable ([`PlacementPolicy`]):
+//!   [`ConsistentHashPlacement`] routes by the query's principal address
+//!   modulo `R` — the same residue-class interleave `ShardedQram` uses
+//!   for shards, giving exact fairness on uniform address sweeps and
+//!   stable address → replica affinity (memoized-read locality);
+//!   [`LeastLoadedPlacement`] routes to the replica with the fewest
+//!   queued + in-flight queries that still has queue room, so a shedding
+//!   replica is never chosen while another can absorb the arrival.
+//! * **Multi-tenancy** threads through the [`AdmissionPolicy`] stack's
+//!   tenant hooks: a tenant at its outstanding-request quota is shed at
+//!   the router ([`ShedReason::QuotaExceeded`]), and a sub-interactive
+//!   [`SloClass`] only gets its class's share of a bounded replica queue
+//!   ([`ShedReason::SloShed`]).
+//! * **Writes** ([`FleetWrite`]) commit at one origin replica, bump the
+//!   fleet epoch of a [`ReplicatedMemory`], and reach the other replicas
+//!   one replication lag later. Every dispatch is stamped with its
+//!   replica's applied epoch: queries that ran against a superseded
+//!   memory version are reported with [`FleetQuery::stale`] set — the
+//!   consistency contract is *detectability*, not freshness.
+//!
+//! With `R = 1`, no writes, and the default tenant, the fleet reduces
+//! exactly to [`QramService`] — same timings, same outcomes, same
+//! shedding (property-tested in `tests/fleet.rs`).
+//!
+//! [`SloClass`]: qram_sched::SloClass
+//! [`QramService`]: crate::QramService
+
+use std::collections::BTreeMap;
+
+use qram_core::{ExecError, QramModel, ReplicatedMemory, ShardedQram};
+use qram_metrics::{HistogramFamily, LatencyHistogram, Layers, QueryRate, TimingModel};
+use qram_sched::{AdmissionPolicy, FifoAdmission, QramServer, QueryRequest, Schedule, TenantId};
+use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
+
+use crate::reactor::EventQueue;
+use crate::replica::{Replica, ReplicaEvent};
+
+/// A user query arriving at the fleet router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRequest {
+    /// Caller-chosen request identifier (reported back in the
+    /// [`FleetReport`]; need not be unique).
+    pub id: usize,
+    /// The tenant issuing the query (quota and SLO lookups key on this).
+    pub tenant: TenantId,
+    /// Arrival instant in virtual layer time.
+    pub arrival: Layers,
+    /// The queried address superposition.
+    pub address: AddressState,
+}
+
+/// A memory write submitted to the fleet: committed at `origin` when the
+/// reactor reaches `at`, replicated everywhere one replication lag later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetWrite {
+    /// Commit instant in virtual layer time.
+    pub at: Layers,
+    /// The replica the write commits at synchronously.
+    pub origin: usize,
+    /// The written global cell address.
+    pub address: u64,
+    /// The written value.
+    pub value: u64,
+}
+
+/// Configuration of the fleet router.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetConfig {
+    /// Per-replica bound on requests waiting in the dispatch queues.
+    /// Arrivals beyond it (or beyond the tenant's SLO share of it) are
+    /// shed. `None` queues without bound and disables SLO shedding.
+    pub queue_capacity: Option<usize>,
+    /// Delay between a write committing at its origin and every other
+    /// replica applying it. Zero replicates within the same instant.
+    pub replication_lag: Layers,
+}
+
+/// Why the router shed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The placed replica's arrival queue was full.
+    QueueFull,
+    /// The tenant was at its outstanding-request quota.
+    QuotaExceeded,
+    /// The tenant's SLO class exhausted its share of the replica queue.
+    SloShed,
+}
+
+/// One shed request, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedRequest {
+    /// The request identifier.
+    pub id: usize,
+    /// The tenant that issued it.
+    pub tenant: TenantId,
+    /// Why the router refused it.
+    pub reason: ShedReason,
+}
+
+/// The load signal a [`PlacementPolicy`] ranks replicas by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaLoad {
+    /// Requests waiting in the replica's dispatch queues.
+    pub queued: usize,
+    /// Queries in flight in the replica's shard pipelines.
+    pub in_flight: u32,
+    /// True when the replica's bounded arrival queue still has room.
+    pub has_room: bool,
+}
+
+impl ReplicaLoad {
+    /// Queued plus in-flight: the scalar load of the replica.
+    #[must_use]
+    pub fn load(&self) -> usize {
+        self.queued + self.in_flight as usize
+    }
+}
+
+/// Chooses the replica a request is routed to.
+pub trait PlacementPolicy {
+    /// The replica index for `request` given the current per-replica
+    /// loads (`loads.len()` is the fleet size, always ≥ 1). Must return
+    /// an index below `loads.len()`.
+    fn place(&self, request: &FleetRequest, loads: &[ReplicaLoad]) -> usize;
+}
+
+/// Routes by the query's principal (first) basis address modulo the fleet
+/// size — the same residue-class interleave [`ShardedQram`] uses across
+/// shards, one level up.
+///
+/// Uniform cyclic address sweeps land exactly evenly (per-replica
+/// dispatch counts never differ by more than one), and a given address
+/// always revisits the same replica, so its memoized read stays hot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsistentHashPlacement;
+
+impl PlacementPolicy for ConsistentHashPlacement {
+    fn place(&self, request: &FleetRequest, loads: &[ReplicaLoad]) -> usize {
+        let principal = request
+            .address
+            .iter()
+            .next()
+            .map_or(0, |&(_, address)| address);
+        (principal % loads.len() as u64) as usize
+    }
+}
+
+/// Routes to the replica with the smallest queued + in-flight load that
+/// still has queue room (ties break to the lowest index). Only when every
+/// replica is full does it fall back to the least-loaded one overall — a
+/// shedding replica is never chosen while another could absorb the
+/// arrival.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoadedPlacement;
+
+impl PlacementPolicy for LeastLoadedPlacement {
+    fn place(&self, _request: &FleetRequest, loads: &[ReplicaLoad]) -> usize {
+        let least = |indices: &mut dyn Iterator<Item = usize>| {
+            indices.min_by_key(|&r| (loads[r].load(), r))
+        };
+        least(&mut (0..loads.len()).filter(|&r| loads[r].has_room))
+            .or_else(|| least(&mut (0..loads.len())))
+            .expect("a fleet has at least one replica")
+    }
+}
+
+/// One query served by the fleet, in completion order aligned with
+/// [`FleetReport::outcomes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetQuery {
+    /// The request identifier.
+    pub id: usize,
+    /// The tenant that issued it.
+    pub tenant: TenantId,
+    /// Arrival instant at the router.
+    pub arrival: Layers,
+    /// Dispatch (admission) instant at the replica.
+    pub start: Layers,
+    /// Completion instant.
+    pub finish: Layers,
+    /// The replica that served the query.
+    pub replica: usize,
+    /// The shard within that replica.
+    pub shard: usize,
+    /// The memory epoch the replica had applied when the query
+    /// dispatched.
+    pub epoch: u64,
+    /// True when the serving replica trailed the fleet epoch at dispatch:
+    /// the read observed a superseded memory version. Stale results are
+    /// always flagged, never silently reported as fresh.
+    pub stale: bool,
+}
+
+impl FleetQuery {
+    /// The latency the requester experienced: `finish − arrival`.
+    #[must_use]
+    pub fn response_latency(&self) -> Layers {
+        self.finish - self.arrival
+    }
+}
+
+/// Reactor events of the fleet, in virtual layer time. Arrivals live in a
+/// sorted list merged against the heap (arrival-first at ties), exactly
+/// as in the single-replica service.
+#[derive(Debug)]
+enum Event {
+    /// A write commits at its origin replica.
+    Write(FleetWrite),
+    /// The log prefix up to `epoch` reaches every replica.
+    Replicate { epoch: u64 },
+    /// The `index`-th query dispatched at `replica` leaves its pipeline.
+    Completion { replica: usize, index: usize },
+    /// Wake `replica`'s dispatcher at an admission-interval boundary.
+    Poll { replica: usize },
+}
+
+/// The outcome of one fleet serving run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    timing: TimingModel,
+    completed: Vec<FleetQuery>,
+    outcomes: Vec<QueryOutcome>,
+    shed: Vec<ShedRequest>,
+    per_replica_dispatches: Vec<u64>,
+    per_tenant: HistogramFamily<TenantId>,
+    per_replica: HistogramFamily<usize>,
+    stale_served: u64,
+    fleet_epoch: u64,
+}
+
+impl FleetReport {
+    /// Served queries in completion order.
+    #[must_use]
+    pub fn completed(&self) -> &[FleetQuery] {
+        &self.completed
+    }
+
+    /// Query outcomes aligned with [`Self::completed`].
+    #[must_use]
+    pub fn outcomes(&self) -> &[QueryOutcome] {
+        &self.outcomes
+    }
+
+    /// Requests the router shed, in arrival order.
+    #[must_use]
+    pub fn shed(&self) -> &[ShedRequest] {
+        &self.shed
+    }
+
+    /// Shed requests with the given reason.
+    #[must_use]
+    pub fn shed_count(&self, reason: ShedReason) -> usize {
+        self.shed.iter().filter(|s| s.reason == reason).count()
+    }
+
+    /// Queries dispatched per replica.
+    #[must_use]
+    pub fn per_replica_dispatches(&self) -> &[u64] {
+        &self.per_replica_dispatches
+    }
+
+    /// Per-tenant response-latency histograms, tenant-ordered.
+    #[must_use]
+    pub fn per_tenant(&self) -> &HistogramFamily<TenantId> {
+        &self.per_tenant
+    }
+
+    /// Per-replica response-latency histograms, index-ordered.
+    #[must_use]
+    pub fn per_replica(&self) -> &HistogramFamily<usize> {
+        &self.per_replica
+    }
+
+    /// The fleet-wide response-latency histogram (all tenants merged).
+    #[must_use]
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        self.per_tenant.merged()
+    }
+
+    /// A response-latency quantile for one tenant, in the timing model's
+    /// wall-clock microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant completed nothing or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn tenant_latency_micros(&self, tenant: TenantId, q: f64) -> f64 {
+        let histogram = self
+            .per_tenant
+            .get(tenant)
+            .expect("tenant has completed queries");
+        self.timing.layers_to_micros(histogram.quantile(q))
+    }
+
+    /// Queries served against a superseded memory version (and flagged).
+    #[must_use]
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served
+    }
+
+    /// The final fleet epoch: total writes committed during the run.
+    #[must_use]
+    pub fn fleet_epoch(&self) -> u64 {
+        self.fleet_epoch
+    }
+
+    /// Completion instant of the last served query.
+    #[must_use]
+    pub fn makespan(&self) -> Layers {
+        self.completed
+            .iter()
+            .map(|c| c.finish)
+            .fold(Layers::ZERO, Layers::max)
+    }
+
+    /// The observation window: first arrival → last completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing completed.
+    #[must_use]
+    pub fn window(&self) -> Layers {
+        assert!(!self.completed.is_empty(), "window of an empty run");
+        let first_arrival = self
+            .completed
+            .iter()
+            .map(|c| c.arrival)
+            .reduce(Layers::min)
+            .expect("non-empty");
+        self.makespan() - first_arrival
+    }
+
+    /// Aggregate served queries per second under the fleet's timing
+    /// model, over the first-arrival → makespan window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing completed.
+    #[must_use]
+    pub fn query_rate(&self) -> QueryRate {
+        QueryRate::new(self.completed.len() as f64 / self.timing.layers_to_seconds(self.window()))
+    }
+
+    /// The realized timings as a `qram-sched` [`Schedule`], for the
+    /// `R = 1` equivalence pin against [`QramService`].
+    ///
+    /// [`QramService`]: crate::QramService
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        Schedule::from_entries(
+            self.completed
+                .iter()
+                .map(|c| qram_sched::ScheduledQuery {
+                    request: QueryRequest {
+                        id: c.id,
+                        arrival: c.arrival,
+                    },
+                    start: c.start,
+                    finish: c.finish,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A multi-tenant fleet of `R` QRAM serving replicas behind a routing
+/// tier, with epoch-replicated writes.
+///
+/// # Examples
+///
+/// ```
+/// use qram_core::ShardedQram;
+/// use qram_metrics::{Capacity, Layers, TimingModel};
+/// use qram_sched::TenantId;
+/// use qram_serve::{FleetRequest, QramFleet};
+/// use qsim::branch::{AddressState, ClassicalMemory};
+///
+/// let qram = ShardedQram::fat_tree(Capacity::new(16)?, 2);
+/// let mut fleet = QramFleet::fifo(qram, 2, TimingModel::paper_default());
+/// let memory = ClassicalMemory::from_words(1, &[1; 16])?;
+/// let requests: Vec<FleetRequest> = (0..8)
+///     .map(|id| FleetRequest {
+///         id,
+///         tenant: TenantId::DEFAULT,
+///         arrival: Layers::ZERO,
+///         address: AddressState::classical(4, id as u64).unwrap(),
+///     })
+///     .collect();
+/// let report = fleet.serve(&memory, requests, Vec::new())?;
+/// assert_eq!(report.completed().len(), 8);
+/// // The residue-class ring splits a uniform sweep exactly evenly.
+/// assert_eq!(report.per_replica_dispatches(), &[4, 4]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct QramFleet<
+    M: QramModel + Clone,
+    P: AdmissionPolicy = FifoAdmission,
+    L: PlacementPolicy = ConsistentHashPlacement,
+> {
+    backends: Vec<ShardedQram<M>>,
+    timing: TimingModel,
+    policy: P,
+    placement: L,
+    config: FleetConfig,
+}
+
+impl<M: QramModel + Clone> QramFleet<M, FifoAdmission, ConsistentHashPlacement> {
+    /// A FIFO fleet of `replicas` copies of `qram` under consistent-hash
+    /// placement, unbounded queues, and instant replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    #[must_use]
+    pub fn fifo(qram: ShardedQram<M>, replicas: usize, timing: TimingModel) -> Self {
+        QramFleet::new(
+            qram,
+            replicas,
+            timing,
+            FifoAdmission,
+            ConsistentHashPlacement,
+            FleetConfig::default(),
+        )
+    }
+}
+
+impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, P, L> {
+    /// A fleet of `replicas` copies of `qram` with explicit admission
+    /// policy, placement policy, and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    #[must_use]
+    pub fn new(
+        qram: ShardedQram<M>,
+        replicas: usize,
+        timing: TimingModel,
+        policy: P,
+        placement: L,
+        config: FleetConfig,
+    ) -> Self {
+        assert!(replicas >= 1, "a fleet needs at least one replica");
+        QramFleet {
+            backends: vec![qram; replicas],
+            timing,
+            policy,
+            placement,
+            config,
+        }
+    }
+
+    /// The fleet size `R`.
+    #[must_use]
+    pub fn num_replicas(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The backend serving replica `replica`.
+    #[must_use]
+    pub fn backend(&self, replica: usize) -> &ShardedQram<M> {
+        &self.backends[replica]
+    }
+
+    /// The pipelined server equivalent to each replica.
+    #[must_use]
+    pub fn equivalent_server(&self) -> QramServer {
+        QramServer::for_model(&self.backends[0], &self.timing)
+    }
+
+    /// Serves a batch of requests (and write commits) to completion:
+    /// routes every arrival through quota / SLO shedding and the
+    /// placement policy onto a replica core, interleaves write commits
+    /// and replication with dispatching in one discrete-event loop, then
+    /// executes each replica's dispatched queries against the memory
+    /// versions they observed.
+    ///
+    /// Requests and writes may be supplied in any order (the reactor
+    /// orders them by instant; same-instant arrivals precede write
+    /// commits and completions, and writes among themselves keep supply
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if query execution fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request's address width mismatches the QRAM capacity,
+    /// a write's origin replica or cell address is out of range, or the
+    /// placement policy returns an out-of-range replica.
+    pub fn serve(
+        &mut self,
+        memory: &ClassicalMemory,
+        requests: impl IntoIterator<Item = FleetRequest>,
+        writes: impl IntoIterator<Item = FleetWrite>,
+    ) -> Result<FleetReport, ExecError> {
+        let num_replicas = self.backends.len();
+        let server = self.equivalent_server();
+        let aggregate_cap = self
+            .policy
+            .in_flight_cap(&server)
+            .clamp(1, server.parallelism());
+        let address_width = self.backends[0].capacity().address_width();
+        let mut replicas: Vec<Replica> = (0..num_replicas)
+            .map(|_| {
+                Replica::new(
+                    self.backends[0].num_shards() as usize,
+                    self.backends[0].shard_parallelism(),
+                    server.interval(),
+                    server.latency(),
+                    aggregate_cap,
+                    self.config.queue_capacity,
+                )
+            })
+            .collect();
+
+        // Replicated memory + one snapshot per (replica, applied epoch):
+        // a dispatched query executes against the exact memory version its
+        // replica had applied at dispatch time.
+        let mut replicated = ReplicatedMemory::new(memory.clone(), num_replicas);
+        let mut snapshots: Vec<BTreeMap<u64, ClassicalMemory>> = (0..num_replicas)
+            .map(|_| BTreeMap::from([(0, memory.clone())]))
+            .collect();
+        // Per-dispatch annotations, indexed [replica][dispatch index].
+        let mut dispatch_epochs: Vec<Vec<u64>> = vec![Vec::new(); num_replicas];
+        let mut dispatch_stale: Vec<Vec<bool>> = vec![Vec::new(); num_replicas];
+
+        let mut arrivals: Vec<FleetRequest> = requests
+            .into_iter()
+            .inspect(|r| {
+                assert_eq!(
+                    r.address.address_width(),
+                    address_width,
+                    "request address width must match QRAM capacity"
+                );
+            })
+            .collect();
+        arrivals.sort_by(|a, b| {
+            a.arrival
+                .get()
+                .partial_cmp(&b.arrival.get())
+                .expect("event times are finite")
+        });
+        let total_requests = arrivals.len();
+        let mut arrivals = arrivals.into_iter().peekable();
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for write in writes {
+            assert!(
+                write.origin < num_replicas,
+                "write origin replica {} out of range (R = {num_replicas})",
+                write.origin
+            );
+            events.push(write.at, Event::Write(write));
+        }
+
+        let mut completed: Vec<FleetQuery> = Vec::with_capacity(total_requests);
+        let mut shed: Vec<ShedRequest> = Vec::new();
+        let mut outstanding: BTreeMap<TenantId, u32> = BTreeMap::new();
+        let mut per_tenant: HistogramFamily<TenantId> = HistogramFamily::new();
+        let mut per_replica: HistogramFamily<usize> = HistogramFamily::new();
+        let mut stale_served = 0u64;
+
+        loop {
+            let arrival_is_next = match (arrivals.peek(), events.peek_time()) {
+                (Some(request), Some(next)) => request.arrival <= next,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            // Which replica's dispatcher to pump after handling the event
+            // (writes and replication never unblock a dispatcher).
+            let mut pump: Option<usize> = None;
+            let now;
+            if arrival_is_next {
+                let request = arrivals.next().expect("peeked arrival exists");
+                now = request.arrival;
+                let tenant = request.tenant;
+                if self
+                    .policy
+                    .tenant_quota(tenant)
+                    .is_some_and(|quota| outstanding.get(&tenant).copied().unwrap_or(0) >= quota)
+                {
+                    shed.push(ShedRequest {
+                        id: request.id,
+                        tenant,
+                        reason: ShedReason::QuotaExceeded,
+                    });
+                } else {
+                    let loads: Vec<ReplicaLoad> = replicas
+                        .iter()
+                        .map(|r| ReplicaLoad {
+                            queued: r.queued(),
+                            in_flight: r.in_flight(),
+                            has_room: r.has_queue_room(),
+                        })
+                        .collect();
+                    let target = self.placement.place(&request, &loads);
+                    assert!(
+                        target < num_replicas,
+                        "placement returned replica {target} of {num_replicas}"
+                    );
+                    let slo_bound = self
+                        .config
+                        .queue_capacity
+                        .map(|cap| self.policy.tenant_slo(tenant).queue_bound(cap));
+                    if slo_bound.is_some_and(|bound| replicas[target].queued() >= bound) {
+                        let reason = if replicas[target].has_queue_room() {
+                            ShedReason::SloShed
+                        } else {
+                            ShedReason::QueueFull
+                        };
+                        shed.push(ShedRequest {
+                            id: request.id,
+                            tenant,
+                            reason,
+                        });
+                    } else {
+                        let offered = replicas[target].offer(
+                            request.id,
+                            tenant,
+                            request.arrival,
+                            request.address,
+                        );
+                        debug_assert!(offered, "the SLO bound is at most the queue bound");
+                        *outstanding.entry(tenant).or_insert(0) += 1;
+                        pump = Some(target);
+                    }
+                }
+            } else if let Some((at, event)) = events.pop() {
+                now = at;
+                match event {
+                    Event::Write(write) => {
+                        let epoch = replicated.write_at(write.origin, write.address, write.value);
+                        let applied = replicated.applied_epoch(write.origin);
+                        snapshots[write.origin]
+                            .insert(applied, replicated.memory(write.origin).clone());
+                        if num_replicas > 1 {
+                            events.push(
+                                now + self.config.replication_lag,
+                                Event::Replicate { epoch },
+                            );
+                        }
+                    }
+                    Event::Replicate { epoch } => {
+                        for (r, snaps) in snapshots.iter_mut().enumerate() {
+                            if replicated.catch_up_to(r, epoch) > 0 {
+                                snaps.insert(
+                                    replicated.applied_epoch(r),
+                                    replicated.memory(r).clone(),
+                                );
+                            }
+                        }
+                    }
+                    Event::Completion { replica, index } => {
+                        let tenant = replicas[replica].tenant_of(index);
+                        let record = replicas[replica].complete(index, now);
+                        let query = FleetQuery {
+                            id: record.id,
+                            tenant,
+                            arrival: record.arrival,
+                            start: record.start,
+                            finish: record.finish,
+                            replica,
+                            shard: record.shard,
+                            epoch: dispatch_epochs[replica][index],
+                            stale: dispatch_stale[replica][index],
+                        };
+                        stale_served += u64::from(query.stale);
+                        per_tenant.record(tenant, query.response_latency());
+                        per_replica.record(replica, query.response_latency());
+                        *outstanding.get_mut(&tenant).expect("tenant accepted") -= 1;
+                        completed.push(query);
+                        pump = Some(replica);
+                    }
+                    Event::Poll { replica } => {
+                        replicas[replica].ack_poll(now);
+                        pump = Some(replica);
+                    }
+                }
+            } else {
+                break;
+            }
+            if let Some(target) = pump {
+                let range = replicas[target].pump(now, &mut self.policy, |time, ev| {
+                    events.push(
+                        time,
+                        match ev {
+                            ReplicaEvent::Completion { index } => Event::Completion {
+                                replica: target,
+                                index,
+                            },
+                            ReplicaEvent::Poll => Event::Poll { replica: target },
+                        },
+                    );
+                });
+                // Stamp each new dispatch with the memory version its
+                // replica observes and whether that version is stale.
+                for _ in range {
+                    dispatch_epochs[target].push(replicated.applied_epoch(target));
+                    dispatch_stale[target].push(replicated.is_stale(target));
+                }
+            }
+        }
+
+        let per_replica_dispatches: Vec<u64> =
+            replicas.iter().map(|r| r.dispatch_count() as u64).collect();
+        debug_assert!(
+            replicas.iter().all(|r| r.queued() == 0),
+            "every accepted request dispatches"
+        );
+        debug_assert!(outstanding.values().all(|&n| n == 0));
+
+        // Execute per replica: consecutive dispatches that observed the
+        // same applied epoch form one batch against that version's
+        // snapshot, flowing through the backend's compiled-plan hot path.
+        let mut outcomes_by_replica: Vec<Vec<QueryOutcome>> = Vec::with_capacity(num_replicas);
+        for (r, replica) in replicas.into_iter().enumerate() {
+            let addresses = replica.into_addresses();
+            let epochs = &dispatch_epochs[r];
+            let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(addresses.len());
+            let mut lo = 0;
+            while lo < addresses.len() {
+                let mut hi = lo + 1;
+                while hi < addresses.len() && epochs[hi] == epochs[lo] {
+                    hi += 1;
+                }
+                let snapshot = &snapshots[r][&epochs[lo]];
+                outcomes.extend(self.backends[r].execute_queries(
+                    snapshot,
+                    &addresses[lo..hi],
+                    &[],
+                )?);
+                lo = hi;
+            }
+            outcomes_by_replica.push(outcomes);
+        }
+        // Align outcomes with the completion-ordered report: each replica
+        // completes its dispatches in order, so one cursor per replica
+        // walks its outcome list front to back.
+        let mut cursors = vec![0usize; num_replicas];
+        let outcomes: Vec<QueryOutcome> = completed
+            .iter()
+            .map(|c| {
+                let outcome = outcomes_by_replica[c.replica][cursors[c.replica]].clone();
+                cursors[c.replica] += 1;
+                outcome
+            })
+            .collect();
+
+        Ok(FleetReport {
+            timing: self.timing,
+            completed,
+            outcomes,
+            shed,
+            per_replica_dispatches,
+            per_tenant,
+            per_replica,
+            stale_served,
+            fleet_epoch: replicated.fleet_epoch(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_metrics::Capacity;
+    use qram_sched::QuotaAdmission;
+
+    fn cap(n: u64) -> Capacity {
+        Capacity::new(n).unwrap()
+    }
+
+    fn classical_requests(arrivals: &[f64], width: u32, modulus: u64) -> Vec<FleetRequest> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, &a)| FleetRequest {
+                id,
+                tenant: TenantId::DEFAULT,
+                arrival: Layers::new(a),
+                address: AddressState::classical(width, id as u64 % modulus).unwrap(),
+            })
+            .collect()
+    }
+
+    fn checkerboard(n: u64) -> ClassicalMemory {
+        let cells: Vec<u64> = (0..n).map(|i| (i * 5 + 1) % 2).collect();
+        ClassicalMemory::from_words(1, &cells).unwrap()
+    }
+
+    #[test]
+    fn consistent_hash_spreads_a_uniform_sweep_exactly() {
+        let qram = ShardedQram::fat_tree(cap(64), 2);
+        let mut fleet = QramFleet::fifo(qram, 4, TimingModel::paper_default());
+        let requests = classical_requests(&[0.0; 24], 6, 64);
+        let report = fleet
+            .serve(&checkerboard(64), requests, Vec::new())
+            .unwrap();
+        assert_eq!(report.per_replica_dispatches(), &[6, 6, 6, 6]);
+        for c in report.completed() {
+            assert_eq!(c.replica, c.id % 4, "address residue picks the replica");
+        }
+    }
+
+    #[test]
+    fn more_replicas_finish_a_saturated_burst_sooner() {
+        let run = |replicas: usize| {
+            let qram = ShardedQram::fat_tree(cap(256), 2);
+            let mut fleet = QramFleet::fifo(qram, replicas, TimingModel::paper_default());
+            let requests = classical_requests(&[0.0; 64], 8, 256);
+            fleet
+                .serve(&checkerboard(256), requests, Vec::new())
+                .unwrap()
+                .makespan()
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        assert!(two < one, "R = 2 beats R = 1: {two:?} vs {one:?}");
+        assert!(four < two, "R = 4 beats R = 2: {four:?} vs {two:?}");
+    }
+
+    #[test]
+    fn writes_replicate_after_the_lag_and_stale_reads_are_flagged() {
+        let qram = ShardedQram::fat_tree(cap(16), 1);
+        let mut fleet = QramFleet::new(
+            qram,
+            2,
+            TimingModel::paper_default(),
+            FifoAdmission,
+            ConsistentHashPlacement,
+            FleetConfig {
+                queue_capacity: None,
+                replication_lag: Layers::new(1000.0),
+            },
+        );
+        let memory = ClassicalMemory::from_words(1, &[0; 16]).unwrap();
+        // Address 5 routes to replica 1 (5 mod 2); the write commits at
+        // replica 0, so replica 1 serves the old value, flagged stale,
+        // until replication lands at t = 1050.
+        let read = |id: usize, at: f64| FleetRequest {
+            id,
+            tenant: TenantId::DEFAULT,
+            arrival: Layers::new(at),
+            address: AddressState::classical(4, 5).unwrap(),
+        };
+        let write = FleetWrite {
+            at: Layers::new(50.0),
+            origin: 0,
+            address: 5,
+            value: 1,
+        };
+        let report = fleet
+            .serve(
+                &memory,
+                vec![read(0, 0.0), read(1, 100.0), read(2, 2000.0)],
+                vec![write],
+            )
+            .unwrap();
+        assert_eq!(report.fleet_epoch(), 1);
+        let by_id = |id: usize| {
+            report
+                .completed()
+                .iter()
+                .position(|c| c.id == id)
+                .expect("completed")
+        };
+        // Before the write: fresh at epoch 0.
+        assert!(!report.completed()[by_id(0)].stale);
+        assert_eq!(report.outcomes()[by_id(0)].data_for(5), Some(0));
+        // After the write, before replication: flagged stale, old value.
+        assert!(report.completed()[by_id(1)].stale);
+        assert_eq!(report.completed()[by_id(1)].epoch, 0);
+        assert_eq!(report.outcomes()[by_id(1)].data_for(5), Some(0));
+        // After replication: fresh at epoch 1, new value.
+        assert!(!report.completed()[by_id(2)].stale);
+        assert_eq!(report.completed()[by_id(2)].epoch, 1);
+        assert_eq!(report.outcomes()[by_id(2)].data_for(5), Some(1));
+        assert_eq!(report.stale_served(), 1);
+    }
+
+    #[test]
+    fn quota_sheds_the_hot_tenant_only() {
+        let qram = ShardedQram::fat_tree(cap(64), 1);
+        let policy = QuotaAdmission::new(FifoAdmission).with_quota(TenantId(1), 2);
+        let mut fleet = QramFleet::new(
+            qram,
+            1,
+            TimingModel::paper_default(),
+            policy,
+            ConsistentHashPlacement,
+            FleetConfig::default(),
+        );
+        let requests: Vec<FleetRequest> = (0..12)
+            .map(|id| FleetRequest {
+                id,
+                tenant: TenantId(u32::from(id % 2 == 0)),
+                arrival: Layers::ZERO,
+                address: AddressState::classical(6, id as u64).unwrap(),
+            })
+            .collect();
+        let report = fleet
+            .serve(&checkerboard(64), requests, Vec::new())
+            .unwrap();
+        // The hot tenant keeps its 2 outstanding; the unlimited tenant
+        // keeps all 6.
+        assert_eq!(report.shed_count(ShedReason::QuotaExceeded), 4);
+        assert!(report.shed().iter().all(|s| s.tenant == TenantId(1)));
+        assert_eq!(report.per_tenant().get(TenantId(0)).unwrap().count(), 6);
+        assert_eq!(report.per_tenant().get(TenantId(1)).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn slo_class_gets_only_its_queue_share() {
+        let qram = ShardedQram::fat_tree(cap(64), 1);
+        let policy =
+            QuotaAdmission::new(FifoAdmission).with_slo(TenantId(2), qram_sched::SloClass::Batch);
+        let mut fleet = QramFleet::new(
+            qram,
+            1,
+            TimingModel::paper_default(),
+            policy,
+            ConsistentHashPlacement,
+            FleetConfig {
+                queue_capacity: Some(8),
+                replication_lag: Layers::ZERO,
+            },
+        );
+        // A burst at t = 0: one dispatches immediately, the rest queue.
+        // The batch-class tenant only gets floor(8 · 0.5) = 4 queue slots.
+        let requests: Vec<FleetRequest> = (0..12)
+            .map(|id| FleetRequest {
+                id,
+                tenant: TenantId(2),
+                arrival: Layers::ZERO,
+                address: AddressState::classical(6, id as u64).unwrap(),
+            })
+            .collect();
+        let report = fleet
+            .serve(&checkerboard(64), requests, Vec::new())
+            .unwrap();
+        assert_eq!(report.completed().len(), 5);
+        assert_eq!(report.shed_count(ShedReason::SloShed), 7);
+        assert_eq!(report.shed_count(ShedReason::QueueFull), 0);
+    }
+
+    #[test]
+    fn least_loaded_avoids_full_replicas_while_others_have_room() {
+        let qram = ShardedQram::fat_tree(cap(64), 1);
+        let mut fleet = QramFleet::new(
+            qram,
+            2,
+            TimingModel::paper_default(),
+            FifoAdmission,
+            LeastLoadedPlacement,
+            FleetConfig {
+                queue_capacity: Some(2),
+                replication_lag: Layers::ZERO,
+            },
+        );
+        // 6 simultaneous arrivals fill both replicas to the brim (1
+        // dispatched + 2 queued each); nothing sheds until every replica
+        // is actually full.
+        let requests = classical_requests(&[0.0; 7], 6, 64);
+        let report = fleet
+            .serve(&checkerboard(64), requests, Vec::new())
+            .unwrap();
+        assert_eq!(report.completed().len(), 6);
+        assert_eq!(report.shed_count(ShedReason::QueueFull), 1);
+        assert_eq!(report.per_replica_dispatches(), &[3, 3]);
+    }
+}

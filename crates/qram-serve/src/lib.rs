@@ -38,12 +38,27 @@
 //!   per-query latency recorded into a log-bucketed histogram.
 //! * [`ServiceReport`] — completions, outcomes, rejections, fairness
 //!   counters, and latency/throughput metrics for one run.
+//! * [`Replica`] — the replica-generic dispatch core extracted from the
+//!   serving loop: shard queues, capacity accounting, and the pump rule,
+//!   reactor-agnostic so one core drives both the single service and the
+//!   fleet.
+//! * [`QramFleet`] — the multi-tenant routing tier: R replicas behind a
+//!   pluggable [`PlacementPolicy`], per-tenant quotas and SLO classes at
+//!   admission, epoch-replicated memory writes with flagged stale reads,
+//!   and per-tenant/per-replica rollups in a [`FleetReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod reactor;
+pub mod replica;
 pub mod service;
 
+pub use fleet::{
+    ConsistentHashPlacement, FleetConfig, FleetQuery, FleetReport, FleetRequest, FleetWrite,
+    LeastLoadedPlacement, PlacementPolicy, QramFleet, ReplicaLoad, ShedReason, ShedRequest,
+};
 pub use reactor::EventQueue;
-pub use service::{CompletedQuery, QramService, ServiceConfig, ServiceReport, ServiceRequest};
+pub use replica::{CompletedQuery, Replica, ReplicaEvent};
+pub use service::{QramService, ServiceConfig, ServiceReport, ServiceRequest};

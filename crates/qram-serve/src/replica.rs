@@ -1,0 +1,420 @@
+//! The replica-generic serving core: one dispatcher over one sharded
+//! backend.
+//!
+//! [`Replica`] is the pure scheduling state the event loop of
+//! [`QramService`] used to carry inline — per-shard round-robin dispatch
+//! queues, pipeline-slot accounting, divided-interval admission spacing,
+//! and a per-replica response-latency histogram — extracted so the same
+//! core can be driven once by [`QramService`] or `R` times by
+//! [`QramFleet`] behind a routing tier. The reactor stays outside: a
+//! replica never owns an event queue, it *emits* [`ReplicaEvent`]s through
+//! a caller-supplied hook and the caller decides how to tag and enqueue
+//! them (the service maps them 1:1; the fleet wraps them with the replica
+//! index).
+//!
+//! The dispatch rules are bit-identical to the pre-extraction service
+//! loop (and hence to the analytic `OnlineFifoScheduler` recurrence —
+//! property-tested in `tests/serving.rs` and `tests/fleet.rs`):
+//!
+//! * the `j`-th accepted request queues at shard `j mod K`;
+//! * admissions are spaced by the divided interval `I_shard / K`;
+//! * each shard holds at most `P_shard` in-flight queries and the
+//!   aggregate cap bounds the whole replica;
+//! * a capacity slot freed at instant `t` cannot be reused retroactively
+//!   (`earliest = max(earliest, now)` — the `finishes[k − p]` term of the
+//!   recurrence).
+//!
+//! [`QramService`]: crate::QramService
+//! [`QramFleet`]: crate::QramFleet
+
+use std::collections::VecDeque;
+
+use qram_metrics::{LatencyHistogram, Layers};
+use qram_sched::{AdmissionPolicy, QueryRequest, TenantId};
+use qsim::branch::AddressState;
+
+/// One served query: its timings and owning shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedQuery {
+    /// The request identifier.
+    pub id: usize,
+    /// Arrival instant.
+    pub arrival: Layers,
+    /// Dispatch (admission) instant.
+    pub start: Layers,
+    /// Completion instant (`start + latency`).
+    pub finish: Layers,
+    /// The shard whose dispatch queue served the query.
+    pub shard: usize,
+}
+
+impl CompletedQuery {
+    /// The latency the requester experienced: `finish − arrival`.
+    #[must_use]
+    pub fn response_latency(&self) -> Layers {
+        self.finish - self.arrival
+    }
+}
+
+/// A request sitting in a shard's dispatch queue.
+#[derive(Debug)]
+struct Pending {
+    id: usize,
+    tenant: TenantId,
+    arrival: Layers,
+    address: AddressState,
+}
+
+/// A reactor event a replica asks its driver to schedule.
+///
+/// The replica is reactor-agnostic: it hands these to the scheduling hook
+/// passed to [`Replica::pump`] and the driver tags them (e.g. with the
+/// replica index) before pushing them onto its own event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaEvent {
+    /// The `index`-th dispatched query leaves its shard pipeline.
+    Completion {
+        /// Dispatch-order index of the completing query.
+        index: usize,
+    },
+    /// Wake the dispatcher at an admission-interval boundary.
+    Poll,
+}
+
+/// The serving core of one QRAM replica: round-robin shard queues, a
+/// divided-interval dispatcher, in-flight accounting, and a per-replica
+/// latency histogram. Driven from outside by [`Replica::offer`] /
+/// [`Replica::complete`] / [`Replica::ack_poll`] / [`Replica::pump`].
+#[derive(Debug)]
+pub struct Replica {
+    shards: usize,
+    stagger: Layers,
+    latency: Layers,
+    shard_parallelism: u32,
+    aggregate_cap: u32,
+    queue_capacity: Option<usize>,
+    shard_queues: Vec<VecDeque<Pending>>,
+    pending_total: usize,
+    accepted: usize,
+    /// Dispatch-ordered: (request, start, shard).
+    dispatched: Vec<(Pending, Layers, usize)>,
+    per_shard_dispatches: Vec<u64>,
+    inflight: u32,
+    shard_inflight: Vec<u32>,
+    last_dispatch: Option<Layers>,
+    poll_at: Option<f64>,
+    histogram: LatencyHistogram,
+}
+
+impl Replica {
+    /// A replica over `shards` shard queues, dispatching at the divided
+    /// interval `stagger` with per-query latency `latency`, bounded by
+    /// `shard_parallelism` slots per shard and `aggregate_cap` in
+    /// aggregate, with an optional bounded arrival queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn new(
+        shards: usize,
+        shard_parallelism: u32,
+        stagger: Layers,
+        latency: Layers,
+        aggregate_cap: u32,
+        queue_capacity: Option<usize>,
+    ) -> Self {
+        assert!(shards >= 1, "a replica needs at least one shard");
+        Replica {
+            shards,
+            stagger,
+            latency,
+            shard_parallelism,
+            aggregate_cap,
+            queue_capacity,
+            shard_queues: (0..shards).map(|_| VecDeque::new()).collect(),
+            pending_total: 0,
+            accepted: 0,
+            dispatched: Vec::new(),
+            per_shard_dispatches: vec![0; shards],
+            inflight: 0,
+            shard_inflight: vec![0; shards],
+            last_dispatch: None,
+            poll_at: None,
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    /// Requests waiting in the dispatch queues (dispatched queries do not
+    /// count).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.pending_total
+    }
+
+    /// Queries currently in flight in the shard pipelines.
+    #[must_use]
+    pub fn in_flight(&self) -> u32 {
+        self.inflight
+    }
+
+    /// Queued plus in-flight: the load signal placement policies rank by.
+    #[must_use]
+    pub fn load(&self) -> usize {
+        self.pending_total + self.inflight as usize
+    }
+
+    /// True when the bounded arrival queue (if any) still has room — an
+    /// offered request would be accepted rather than shed.
+    #[must_use]
+    pub fn has_queue_room(&self) -> bool {
+        self.queue_capacity
+            .is_none_or(|cap| self.pending_total < cap)
+    }
+
+    /// The arrival-queue bound, if one is configured.
+    #[must_use]
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
+    }
+
+    /// Queries dispatched so far (the next dispatch gets this index).
+    #[must_use]
+    pub fn dispatch_count(&self) -> usize {
+        self.dispatched.len()
+    }
+
+    /// Queries dispatched per shard queue — round-robin fairness means
+    /// these never differ by more than one.
+    #[must_use]
+    pub fn per_shard_dispatches(&self) -> &[u64] {
+        &self.per_shard_dispatches
+    }
+
+    /// The tenant of the `index`-th dispatched query.
+    #[must_use]
+    pub fn tenant_of(&self, index: usize) -> TenantId {
+        self.dispatched[index].0.tenant
+    }
+
+    /// This replica's response-latency histogram (arrival → completion).
+    #[must_use]
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.histogram
+    }
+
+    /// Offers an arrival to the replica: queues it at shard
+    /// `accepted mod K` and returns `true`, or returns `false` when the
+    /// bounded arrival queue is full (the request is shed — the replica
+    /// records nothing).
+    pub fn offer(
+        &mut self,
+        id: usize,
+        tenant: TenantId,
+        arrival: Layers,
+        address: AddressState,
+    ) -> bool {
+        if !self.has_queue_room() {
+            return false;
+        }
+        self.shard_queues[self.accepted % self.shards].push_back(Pending {
+            id,
+            tenant,
+            arrival,
+            address,
+        });
+        self.accepted += 1;
+        self.pending_total += 1;
+        true
+    }
+
+    /// Retires the `index`-th dispatched query at instant `now`: frees its
+    /// pipeline slots, records its response latency, and returns the
+    /// completion record.
+    pub fn complete(&mut self, index: usize, now: Layers) -> CompletedQuery {
+        let (pending, start, shard) = &self.dispatched[index];
+        self.inflight -= 1;
+        self.shard_inflight[*shard] -= 1;
+        let record = CompletedQuery {
+            id: pending.id,
+            arrival: pending.arrival,
+            start: *start,
+            finish: now,
+            shard: *shard,
+        };
+        self.histogram.record(record.response_latency());
+        record
+    }
+
+    /// Acknowledges a [`ReplicaEvent::Poll`] firing at instant `now`,
+    /// clearing the pending-poll latch so [`Replica::pump`] may schedule
+    /// the next one.
+    pub fn ack_poll(&mut self, now: Layers) {
+        if self.poll_at == Some(now.get()) {
+            self.poll_at = None;
+        }
+    }
+
+    /// Runs the dispatcher at instant `now`: drains the shard queues in
+    /// strict FIFO round-robin order as far as capacity and the admission
+    /// interval allow, asking `schedule` to enqueue a
+    /// [`ReplicaEvent::Completion`] per dispatch (and at most one
+    /// [`ReplicaEvent::Poll`] when blocked on the interval). Returns the
+    /// dispatch-order index range of the newly dispatched queries so the
+    /// driver can annotate them (the fleet stamps memory epochs here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` tries to admit earlier than the binding
+    /// constraint (admission policies may only delay).
+    pub fn pump<P: AdmissionPolicy + ?Sized>(
+        &mut self,
+        now: Layers,
+        policy: &mut P,
+        mut schedule: impl FnMut(Layers, ReplicaEvent),
+    ) -> std::ops::Range<usize> {
+        let first_new = self.dispatched.len();
+        loop {
+            let next_index = self.dispatched.len();
+            let shard = next_index % self.shards;
+            let Some(head) = self.shard_queues[shard].front() else {
+                // Strict FIFO: the next accepted query has not arrived.
+                break;
+            };
+            if self.inflight >= self.aggregate_cap
+                || self.shard_inflight[shard] >= self.shard_parallelism
+            {
+                // Blocked on capacity: a pending Completion event will
+                // re-run the dispatcher at exactly the release instant.
+                break;
+            }
+            let mut earliest = head.arrival;
+            if let Some(last) = self.last_dispatch {
+                earliest = earliest.max(last + self.stagger);
+            }
+            // The event instant is itself a constraint: a capacity slot
+            // freed by the completion that triggered this pump cannot be
+            // reused retroactively, so a capacity-blocked query starts
+            // exactly at the release instant — the `finishes[k − p]` term
+            // of the analytic recurrence.
+            earliest = earliest.max(now);
+            let request = QueryRequest {
+                id: head.id,
+                arrival: head.arrival,
+            };
+            let start = policy.admission_time(&request, earliest);
+            assert!(
+                start >= earliest,
+                "admission policy may only delay: {} < {}",
+                start.get(),
+                earliest.get()
+            );
+            if start > now {
+                // Blocked on the admission interval (or a delaying
+                // policy): wake the dispatcher at the boundary.
+                if self.poll_at != Some(start.get()) {
+                    schedule(start, ReplicaEvent::Poll);
+                    self.poll_at = Some(start.get());
+                }
+                break;
+            }
+            let pending = self.shard_queues[shard].pop_front().expect("head exists");
+            self.pending_total -= 1;
+            self.last_dispatch = Some(start);
+            self.inflight += 1;
+            self.shard_inflight[shard] += 1;
+            self.per_shard_dispatches[shard] += 1;
+            schedule(
+                start + self.latency,
+                ReplicaEvent::Completion { index: next_index },
+            );
+            self.dispatched.push((pending, start, shard));
+        }
+        first_new..self.dispatched.len()
+    }
+
+    /// Consumes the replica, returning the dispatched addresses in
+    /// dispatch order — the batch the driver executes through the
+    /// backend's compiled-plan hot path.
+    #[must_use]
+    pub fn into_addresses(self) -> Vec<AddressState> {
+        self.dispatched
+            .into_iter()
+            .map(|(pending, _, _)| pending.address)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qram_sched::FifoAdmission;
+
+    fn classical(width: u32, address: u64) -> AddressState {
+        AddressState::classical(width, address).unwrap()
+    }
+
+    #[test]
+    fn round_robin_offer_and_strict_fifo_pump() {
+        let mut r = Replica::new(2, 4, Layers::new(4.0), Layers::new(10.0), 8, None);
+        for id in 0..4 {
+            assert!(r.offer(id, TenantId::DEFAULT, Layers::ZERO, classical(4, id as u64)));
+        }
+        let mut events = Vec::new();
+        let range = r.pump(Layers::ZERO, &mut FifoAdmission, |t, e| events.push((t, e)));
+        // One immediate dispatch; the second blocks on the interval.
+        assert_eq!(range, 0..1);
+        assert_eq!(r.queued(), 3);
+        assert_eq!(r.in_flight(), 1);
+        assert!(events.contains(&(Layers::new(10.0), ReplicaEvent::Completion { index: 0 })));
+        assert!(events.contains(&(Layers::new(4.0), ReplicaEvent::Poll)));
+    }
+
+    #[test]
+    fn poll_latch_deduplicates_wakeups() {
+        let mut r = Replica::new(1, 4, Layers::new(4.0), Layers::new(10.0), 4, None);
+        for id in 0..3 {
+            r.offer(id, TenantId::DEFAULT, Layers::ZERO, classical(4, 0));
+        }
+        let mut polls = 0;
+        r.pump(Layers::ZERO, &mut FifoAdmission, |_, e| {
+            if e == ReplicaEvent::Poll {
+                polls += 1;
+            }
+        });
+        r.pump(Layers::new(1.0), &mut FifoAdmission, |_, e| {
+            if e == ReplicaEvent::Poll {
+                polls += 1;
+            }
+        });
+        assert_eq!(polls, 1, "a pending poll is never re-scheduled");
+        // The poll fires: the latch clears and the next dispatch happens.
+        r.ack_poll(Layers::new(4.0));
+        let range = r.pump(Layers::new(4.0), &mut FifoAdmission, |_, _| {});
+        assert_eq!(range, 1..2);
+    }
+
+    #[test]
+    fn bounded_queue_refuses_offers_when_full() {
+        let mut r = Replica::new(1, 1, Layers::new(4.0), Layers::new(10.0), 1, Some(2));
+        assert!(r.offer(0, TenantId::DEFAULT, Layers::ZERO, classical(4, 0)));
+        assert!(r.offer(1, TenantId::DEFAULT, Layers::ZERO, classical(4, 1)));
+        assert!(!r.has_queue_room());
+        assert!(!r.offer(2, TenantId::DEFAULT, Layers::ZERO, classical(4, 2)));
+        assert_eq!(r.queued(), 2);
+    }
+
+    #[test]
+    fn completion_frees_slots_and_records_latency() {
+        let mut r = Replica::new(1, 1, Layers::new(4.0), Layers::new(10.0), 1, None);
+        r.offer(7, TenantId(3), Layers::new(1.0), classical(4, 5));
+        r.pump(Layers::new(1.0), &mut FifoAdmission, |_, _| {});
+        assert_eq!(r.load(), 1);
+        let rec = r.complete(0, Layers::new(11.0));
+        assert_eq!(rec.id, 7);
+        assert_eq!(rec.response_latency(), Layers::new(10.0));
+        assert_eq!(r.tenant_of(0), TenantId(3));
+        assert_eq!(r.in_flight(), 0);
+        assert_eq!(r.histogram().count(), 1);
+    }
+}

@@ -31,10 +31,13 @@
 
 use qram_core::{ExecError, QramModel, ShardedQram};
 use qram_metrics::{LatencyHistogram, Layers, QueryRate, TimingModel};
-use qram_sched::{AdmissionPolicy, FifoAdmission, QramServer, QueryRequest, Schedule};
+use qram_sched::{AdmissionPolicy, FifoAdmission, QramServer, QueryRequest, Schedule, TenantId};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
 use crate::reactor::EventQueue;
+use crate::replica::{Replica, ReplicaEvent};
+
+pub use crate::replica::CompletedQuery;
 
 /// A user query arriving at the service: an address superposition plus its
 /// arrival instant.
@@ -56,30 +59,6 @@ pub struct ServiceConfig {
     /// queries do not count). Arrivals beyond it are shed and reported in
     /// [`ServiceReport::rejected`]. `None` queues without bound.
     pub queue_capacity: Option<usize>,
-}
-
-/// One served query: its timings and owning shard, in dispatch order
-/// aligned with [`ServiceReport::outcomes`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CompletedQuery {
-    /// The request identifier.
-    pub id: usize,
-    /// Arrival instant.
-    pub arrival: Layers,
-    /// Dispatch (admission) instant.
-    pub start: Layers,
-    /// Completion instant (`start + latency`).
-    pub finish: Layers,
-    /// The shard whose dispatch queue served the query.
-    pub shard: usize,
-}
-
-impl CompletedQuery {
-    /// The latency the requester experienced: `finish − arrival`.
-    #[must_use]
-    pub fn response_latency(&self) -> Layers {
-        self.finish - self.arrival
-    }
 }
 
 /// The outcome of one serving run.
@@ -207,19 +186,11 @@ impl ServiceReport {
     }
 }
 
-/// A request sitting in a shard's dispatch queue.
-#[derive(Debug)]
-struct Pending {
-    id: usize,
-    arrival: Layers,
-    address: AddressState,
-}
-
 /// Reactor events, in virtual layer time.
 #[derive(Debug)]
 enum Event {
     /// A request reaches the service.
-    Arrival(Pending),
+    Arrival(ServiceRequest),
     /// The `index`-th dispatched query leaves its shard pipeline.
     Completion { index: usize },
     /// Wake the dispatcher at an admission-interval boundary.
@@ -324,15 +295,19 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
         requests: impl IntoIterator<Item = ServiceRequest>,
     ) -> Result<ServiceReport, ExecError> {
         let server = self.equivalent_server();
-        let k = self.qram.num_shards() as usize;
-        let stagger = server.interval();
-        let latency = server.latency();
-        let shard_parallelism = self.qram.shard_parallelism();
         let aggregate_cap = self
             .policy
             .in_flight_cap(&server)
             .clamp(1, server.parallelism());
         let address_width = self.qram.capacity().address_width();
+        let mut replica = Replica::new(
+            self.qram.num_shards() as usize,
+            self.qram.shard_parallelism(),
+            server.interval(),
+            server.latency(),
+            aggregate_cap,
+            self.config.queue_capacity,
+        );
 
         // Arrivals are all known up front, so they live in a sorted list
         // merged against the event heap instead of inside it: the heap then
@@ -341,19 +316,14 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
         // O(log total-requests). The stable sort preserves supply order
         // among same-instant arrivals — the same FIFO tie-break the heap's
         // sequence numbers used to provide.
-        let mut arrivals: Vec<Pending> = requests
+        let mut arrivals: Vec<ServiceRequest> = requests
             .into_iter()
-            .map(|r| {
+            .inspect(|r| {
                 assert_eq!(
                     r.address.address_width(),
                     address_width,
                     "request address width must match QRAM capacity"
                 );
-                Pending {
-                    id: r.id,
-                    arrival: r.arrival,
-                    address: r.address,
-                }
             })
             .collect();
         arrivals.sort_by(|a, b| {
@@ -365,22 +335,8 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
         let total_requests = arrivals.len();
         let mut arrivals = arrivals.into_iter().peekable();
         let mut events: EventQueue<Event> = EventQueue::new();
-
-        let mut shard_queues: Vec<std::collections::VecDeque<Pending>> =
-            (0..k).map(|_| std::collections::VecDeque::new()).collect();
-        let mut pending_total = 0usize;
-        let mut accepted = 0usize;
-        // Dispatch-ordered: (request, start, shard), completions fill in.
-        let mut dispatched: Vec<(Pending, Layers, usize)> = Vec::new();
-        let mut per_shard_dispatches = vec![0u64; k];
-        let mut inflight = 0u32;
-        let mut shard_inflight = vec![0u32; k];
-        let mut last_dispatch: Option<Layers> = None;
-        let mut poll_at: Option<f64> = None;
         let mut completed: Vec<CompletedQuery> = Vec::with_capacity(total_requests);
-        let mut latency_hist = LatencyHistogram::new();
         let mut rejected: Vec<usize> = Vec::new();
-        dispatched.reserve(total_requests);
 
         loop {
             // An arrival at the same instant as a heap event goes first:
@@ -400,103 +356,43 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
                 break;
             };
             match event {
-                Event::Arrival(pending) => {
-                    if self
-                        .config
-                        .queue_capacity
-                        .is_some_and(|cap| pending_total >= cap)
-                    {
-                        rejected.push(pending.id);
-                    } else {
-                        shard_queues[accepted % k].push_back(pending);
-                        accepted += 1;
-                        pending_total += 1;
+                Event::Arrival(request) => {
+                    if !replica.offer(
+                        request.id,
+                        TenantId::DEFAULT,
+                        request.arrival,
+                        request.address,
+                    ) {
+                        rejected.push(request.id);
                     }
                 }
                 Event::Completion { index } => {
-                    let (pending, start, shard) = &dispatched[index];
-                    inflight -= 1;
-                    shard_inflight[*shard] -= 1;
-                    let record = CompletedQuery {
-                        id: pending.id,
-                        arrival: pending.arrival,
-                        start: *start,
-                        finish: now,
-                        shard: *shard,
-                    };
-                    latency_hist.record(record.response_latency());
-                    completed.push(record);
+                    completed.push(replica.complete(index, now));
                 }
-                Event::Poll => {
-                    if poll_at == Some(now.get()) {
-                        poll_at = None;
-                    }
-                }
+                Event::Poll => replica.ack_poll(now),
             }
             // Dispatcher: drain the shard queues in strict FIFO round-robin
             // order as far as capacity and the admission interval allow.
-            loop {
-                let next_index = dispatched.len();
-                let shard = next_index % k;
-                let Some(head) = shard_queues[shard].front() else {
-                    // Strict FIFO: the next accepted query has not arrived.
-                    break;
-                };
-                if inflight >= aggregate_cap || shard_inflight[shard] >= shard_parallelism {
-                    // Blocked on capacity: a pending Completion event will
-                    // re-run the dispatcher at exactly the release instant.
-                    break;
-                }
-                let mut earliest = head.arrival;
-                if let Some(last) = last_dispatch {
-                    earliest = earliest.max(last + stagger);
-                }
-                // The event instant is itself a constraint: a capacity
-                // slot freed by the completion that triggered this pump
-                // cannot be reused retroactively, so a capacity-blocked
-                // query starts exactly at the release instant — the
-                // `finishes[k − p]` term of the analytic recurrence.
-                earliest = earliest.max(now);
-                let request = QueryRequest {
-                    id: head.id,
-                    arrival: head.arrival,
-                };
-                let start = self.policy.admission_time(&request, earliest);
-                assert!(
-                    start >= earliest,
-                    "admission policy may only delay: {} < {}",
-                    start.get(),
-                    earliest.get()
+            let _ = replica.pump(now, &mut self.policy, |time, ev| {
+                events.push(
+                    time,
+                    match ev {
+                        ReplicaEvent::Completion { index } => Event::Completion { index },
+                        ReplicaEvent::Poll => Event::Poll,
+                    },
                 );
-                if start > now {
-                    // Blocked on the admission interval (or a delaying
-                    // policy): wake the dispatcher at the boundary.
-                    if poll_at != Some(start.get()) {
-                        events.push(start, Event::Poll);
-                        poll_at = Some(start.get());
-                    }
-                    break;
-                }
-                let pending = shard_queues[shard].pop_front().expect("head exists");
-                pending_total -= 1;
-                last_dispatch = Some(start);
-                inflight += 1;
-                shard_inflight[shard] += 1;
-                per_shard_dispatches[shard] += 1;
-                events.push(start + latency, Event::Completion { index: next_index });
-                dispatched.push((pending, start, shard));
-            }
+            });
         }
-        debug_assert_eq!(pending_total, 0, "every accepted request dispatches");
-        debug_assert_eq!(completed.len(), dispatched.len());
+        debug_assert_eq!(replica.queued(), 0, "every accepted request dispatches");
+        debug_assert_eq!(completed.len(), replica.dispatch_count());
+
+        let latency_hist = replica.histogram().clone();
+        let per_shard_dispatches = replica.per_shard_dispatches().to_vec();
 
         // Execute the dispatched queries in admission order through the
         // backend's batch hot path (compiled plans + epoch-keyed
         // memoization), recombining per-query outcomes.
-        let addresses: Vec<AddressState> = dispatched
-            .into_iter()
-            .map(|(pending, _, _)| pending.address)
-            .collect();
+        let addresses: Vec<AddressState> = replica.into_addresses();
         let outcomes = self.qram.execute_queries(memory, &addresses, &[])?;
 
         Ok(ServiceReport {

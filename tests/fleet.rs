@@ -1,0 +1,460 @@
+//! Fleet-layer integration properties: the routing tier must degenerate
+//! exactly to the single service at `R = 1`, the epoch-replication
+//! consistency model must hold under arbitrary write/read interleavings,
+//! and placement must honour its fairness and no-needless-shed pins.
+
+use fat_tree_qram::core::ShardedQram;
+use fat_tree_qram::metrics::{Capacity, Layers, TimingModel};
+use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+use fat_tree_qram::sched::{FifoAdmission, QueryRequest, QuotaAdmission, TenantId};
+use fat_tree_qram::serve::{
+    ConsistentHashPlacement, FleetConfig, FleetQuery, FleetRequest, FleetWrite,
+    LeastLoadedPlacement, PlacementPolicy, QramFleet, QramService, ReplicaLoad, ServiceConfig,
+    ServiceRequest, ShedReason,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random arrivals (already sorted) from integer
+/// strategy inputs, shaped like a mildly bursty open-loop trace.
+fn arrivals_from_gaps(gaps: &[u16]) -> Vec<QueryRequest> {
+    let mut t = 0.0;
+    gaps.iter()
+        .enumerate()
+        .map(|(id, &g)| {
+            t += f64::from(g) / 16.0;
+            QueryRequest {
+                id,
+                arrival: Layers::new(t),
+            }
+        })
+        .collect()
+}
+
+fn checkerboard(n: u64) -> ClassicalMemory {
+    let cells: Vec<u64> = (0..n).map(|i| (i * 5 + 1) % 2).collect();
+    ClassicalMemory::from_words(1, &cells).unwrap()
+}
+
+proptest! {
+    /// The ISSUE-7 reduction pin: a single-replica fleet under the default
+    /// tenant is bit-equal to `QramService` — identical dispatch timings,
+    /// identical query outcomes, identical shedding — for K ∈ {1, 2, 4, 8}
+    /// and with or without a bounded arrival queue.
+    #[test]
+    fn single_replica_fleet_is_bit_equal_to_the_service(
+        gaps in prop::collection::vec(0u16..100, 1..40),
+        addr_seeds in prop::collection::vec(0u64..256, 1..40),
+        k_exp in 0u32..=3,
+        queue_cap_raw in 0usize..12,
+    ) {
+        // 0 means "unbounded"; bounded caps are 1..=11.
+        let queue_cap = (queue_cap_raw > 0).then_some(queue_cap_raw);
+        let capacity = Capacity::new(256).unwrap();
+        let timing = TimingModel::paper_default();
+        let k = 1u32 << k_exp;
+        let requests = arrivals_from_gaps(&gaps);
+        let memory = checkerboard(256);
+        let address = |id: usize| {
+            AddressState::classical(8, addr_seeds[id % addr_seeds.len()]).unwrap()
+        };
+
+        let mut service = QramService::new(
+            ShardedQram::fat_tree(capacity, k),
+            timing,
+            FifoAdmission,
+            ServiceConfig { queue_capacity: queue_cap },
+        );
+        let service_report = service
+            .serve(
+                &memory,
+                requests.iter().map(|r| ServiceRequest {
+                    id: r.id,
+                    arrival: r.arrival,
+                    address: address(r.id),
+                }),
+            )
+            .unwrap();
+
+        let mut fleet = QramFleet::new(
+            ShardedQram::fat_tree(capacity, k),
+            1,
+            timing,
+            FifoAdmission,
+            ConsistentHashPlacement,
+            FleetConfig {
+                queue_capacity: queue_cap,
+                replication_lag: Layers::ZERO,
+            },
+        );
+        let fleet_report = fleet
+            .serve(
+                &memory,
+                requests.iter().map(|r| FleetRequest {
+                    id: r.id,
+                    tenant: TenantId::DEFAULT,
+                    arrival: r.arrival,
+                    address: address(r.id),
+                }),
+                Vec::new(),
+            )
+            .unwrap();
+
+        // Timings: the realized schedules match entry for entry.
+        let fleet_schedule = fleet_report.schedule();
+        let service_schedule = service_report.schedule();
+        prop_assert_eq!(fleet_schedule.entries(), service_schedule.entries());
+        // Outcomes: semantically equal, pairwise, in the same order.
+        prop_assert_eq!(fleet_report.outcomes(), service_report.outcomes());
+        // Shedding: the same requests are refused, in the same order.
+        let fleet_shed: Vec<usize> = fleet_report.shed().iter().map(|s| s.id).collect();
+        prop_assert_eq!(&fleet_shed[..], service_report.rejected());
+        prop_assert!(fleet_report
+            .shed()
+            .iter()
+            .all(|s| s.reason == ShedReason::SloShed || s.reason == ShedReason::QueueFull));
+        // Every fleet query ran at epoch 0, fresh.
+        prop_assert!(fleet_report.completed().iter().all(|c| c.epoch == 0 && !c.stale));
+        prop_assert_eq!(fleet_report.stale_served(), 0);
+    }
+
+    /// The epoch-replication consistency model, against an independent
+    /// replay oracle. For every served query: the recorded epoch is
+    /// exactly the log prefix its replica had applied at dispatch (own
+    /// writes synchronously, remote writes one lag later, and an origin
+    /// commit drags the whole earlier prefix with it); the outcome is the
+    /// value under exactly that prefix; and the stale flag is set iff the
+    /// prefix trailed the fleet epoch — a write at any replica makes every
+    /// later fleet read either observe the new epoch or be flagged, never
+    /// silently served as fresh.
+    #[test]
+    fn replication_epochs_and_stale_flags_match_the_oracle(
+        gaps in prop::collection::vec(0u16..120, 4..32),
+        addr_seeds in prop::collection::vec(0u64..16, 4..32),
+        write_seeds in prop::collection::vec(0u64..9_000_000, 1..6),
+        r in 2usize..=4,
+        lag in 0u16..400,
+    ) {
+        let capacity = Capacity::new(16).unwrap();
+        let timing = TimingModel::paper_default();
+        let lag = Layers::new(f64::from(lag));
+        // Strictly increasing, non-binary-fraction commit instants: never
+        // tie with an arrival or a dispatch instant (those are sums of
+        // binary fractions), so the strict-inequality oracle is exact.
+        let mut t = 0.0;
+        let writes: Vec<FleetWrite> = write_seeds
+            .iter()
+            .map(|&seed| {
+                t += (seed % 1500) as f64 / 16.0 + 0.333;
+                FleetWrite {
+                    at: Layers::new(t),
+                    origin: (seed / 1500) as usize % r,
+                    address: (seed / 6000) % 16,
+                    value: 1 + (seed / 96_000) % 199,
+                }
+            })
+            .collect();
+
+        let base: Vec<u64> = (0..16).map(|i| i % 2).collect();
+        let memory = ClassicalMemory::from_words(8, &base).unwrap();
+        let requests: Vec<FleetRequest> = arrivals_from_gaps(&gaps)
+            .into_iter()
+            .map(|q| FleetRequest {
+                id: q.id,
+                tenant: TenantId::DEFAULT,
+                arrival: q.arrival,
+                address: AddressState::classical(4, addr_seeds[q.id % addr_seeds.len()]).unwrap(),
+            })
+            .collect();
+
+        let mut fleet = QramFleet::new(
+            ShardedQram::fat_tree(capacity, 1),
+            r,
+            timing,
+            FifoAdmission,
+            ConsistentHashPlacement,
+            FleetConfig {
+                queue_capacity: None,
+                replication_lag: lag,
+            },
+        );
+        let report = fleet.serve(&memory, requests, writes.clone()).unwrap();
+
+        prop_assert_eq!(report.completed().len(), gaps.len());
+        prop_assert_eq!(report.fleet_epoch(), writes.len() as u64);
+
+        // Oracle: the applied epoch of `replica` at instant `t` is the
+        // larger of (a) the epoch of its last own-origin commit before
+        // `t` (committing applies the full log prefix) and (b) the number
+        // of writes whose replication instant `at + lag` has passed.
+        let applied_at = |replica: usize, t: Layers| -> u64 {
+            let own = writes
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.origin == replica && w.at < t)
+                .map(|(i, _)| i as u64 + 1)
+                .max()
+                .unwrap_or(0);
+            let replicated = writes.iter().filter(|w| w.at + lag < t).count() as u64;
+            own.max(replicated)
+        };
+        let committed_at = |t: Layers| -> u64 {
+            writes.iter().filter(|w| w.at < t).count() as u64
+        };
+        let value_at = |address: u64, epoch: u64| -> u64 {
+            writes[..epoch as usize]
+                .iter()
+                .rev()
+                .find(|w| w.address == address)
+                .map_or(base[address as usize], |w| w.value)
+        };
+
+        for (query, outcome) in report.completed().iter().zip(report.outcomes()) {
+            let expected_epoch = applied_at(query.replica, query.start);
+            prop_assert_eq!(query.epoch, expected_epoch);
+            let expected_stale = expected_epoch < committed_at(query.start);
+            prop_assert_eq!(query.stale, expected_stale);
+            let address = addr_seeds[query.id % addr_seeds.len()];
+            prop_assert_eq!(
+                outcome.data_for(address),
+                Some(value_at(address, expected_epoch))
+            );
+        }
+        let flagged = report.completed().iter().filter(|c| c.stale).count() as u64;
+        prop_assert_eq!(report.stale_served(), flagged);
+    }
+
+    /// The ISSUE-7 fairness pin: consistent-hash placement over a uniform
+    /// cyclic address sweep dispatches within one query of evenly across
+    /// every fleet size R ∈ {1, 2, 4, 8}, whatever the arrival pattern.
+    #[test]
+    fn consistent_hash_is_exactly_fair_on_uniform_addresses(
+        gaps in prop::collection::vec(0u16..50, 1..80),
+        r_exp in 0u32..=3,
+    ) {
+        let r = 1usize << r_exp;
+        let capacity = Capacity::new(64).unwrap();
+        let timing = TimingModel::paper_default();
+        let mut fleet = QramFleet::fifo(ShardedQram::fat_tree(capacity, 2), r, timing);
+        let requests: Vec<FleetRequest> = arrivals_from_gaps(&gaps)
+            .into_iter()
+            .map(|q| FleetRequest {
+                id: q.id,
+                tenant: TenantId::DEFAULT,
+                arrival: q.arrival,
+                address: AddressState::classical(6, q.id as u64 % 64).unwrap(),
+            })
+            .collect();
+        let total = requests.len() as u64;
+        let report = fleet.serve(&checkerboard(64), requests, Vec::new()).unwrap();
+        let counts = report.per_replica_dispatches();
+        prop_assert_eq!(counts.len(), r);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        let max = counts.iter().copied().max().unwrap();
+        let min = counts.iter().copied().min().unwrap();
+        prop_assert!(max - min <= 1, "unfair placement: {:?}", counts);
+    }
+
+    /// The no-needless-shed regression: least-loaded placement never
+    /// routes to a replica whose queue is full while another still has
+    /// room — checked at every single placement decision under random
+    /// burst traffic, and globally by conservation of requests.
+    #[test]
+    fn least_loaded_never_routes_to_a_full_replica_while_another_has_room(
+        gaps in prop::collection::vec(0u16..30, 4..60),
+        r in 2usize..=4,
+        queue_cap in 1usize..6,
+    ) {
+        /// Wraps the production policy and pins the invariant at the exact
+        /// moment of each decision.
+        struct PinnedLeastLoaded;
+        impl PlacementPolicy for PinnedLeastLoaded {
+            fn place(&self, request: &FleetRequest, loads: &[ReplicaLoad]) -> usize {
+                let choice = LeastLoadedPlacement.place(request, loads);
+                assert!(
+                    loads[choice].has_room || loads.iter().all(|l| !l.has_room),
+                    "routed to a shedding replica while another had room: {loads:?}"
+                );
+                choice
+            }
+        }
+
+        let capacity = Capacity::new(64).unwrap();
+        let timing = TimingModel::paper_default();
+        let mut fleet = QramFleet::new(
+            ShardedQram::fat_tree(capacity, 2),
+            r,
+            timing,
+            FifoAdmission,
+            PinnedLeastLoaded,
+            FleetConfig {
+                queue_capacity: Some(queue_cap),
+                replication_lag: Layers::ZERO,
+            },
+        );
+        let requests: Vec<FleetRequest> = arrivals_from_gaps(&gaps)
+            .into_iter()
+            .map(|q| FleetRequest {
+                id: q.id,
+                tenant: TenantId::DEFAULT,
+                arrival: q.arrival,
+                address: AddressState::classical(6, (q.id as u64 * 37) % 64).unwrap(),
+            })
+            .collect();
+        let total = requests.len();
+        let report = fleet.serve(&checkerboard(64), requests, Vec::new()).unwrap();
+        prop_assert_eq!(report.completed().len() + report.shed().len(), total);
+        // A queue-full shed can only coexist with every replica saturated,
+        // so until the first shed, dispatch counts track placement.
+        prop_assert!(report
+            .shed()
+            .iter()
+            .all(|s| s.reason == ShedReason::QueueFull));
+    }
+
+    /// Tenant quotas bound the hot tenant's footprint: across any flood,
+    /// its accepted queries never overlap more than `quota` deep in
+    /// [arrival, finish) — the queueing depth behind its p99 — while the
+    /// well-behaved tenant is never shed for quota.
+    #[test]
+    fn quota_bounds_the_hot_tenants_outstanding_overlap(
+        hot_burst in 8usize..40,
+        quota in 1u32..6,
+    ) {
+        let capacity = Capacity::new(64).unwrap();
+        let timing = TimingModel::paper_default();
+        let hot = TenantId(1);
+        let cold = TenantId(0);
+        let policy = QuotaAdmission::new(FifoAdmission).with_quota(hot, quota);
+        let mut fleet = QramFleet::new(
+            ShardedQram::fat_tree(capacity, 2),
+            2,
+            timing,
+            policy,
+            ConsistentHashPlacement,
+            FleetConfig::default(),
+        );
+        // The hot tenant floods at t = 0; the cold tenant trickles.
+        let mut requests: Vec<FleetRequest> = (0..hot_burst)
+            .map(|id| FleetRequest {
+                id,
+                tenant: hot,
+                arrival: Layers::ZERO,
+                address: AddressState::classical(6, id as u64 % 64).unwrap(),
+            })
+            .collect();
+        for i in 0..8usize {
+            requests.push(FleetRequest {
+                id: hot_burst + i,
+                tenant: cold,
+                arrival: Layers::new(20.0 * i as f64),
+                address: AddressState::classical(6, (i as u64 * 11) % 64).unwrap(),
+            });
+        }
+        let report = fleet.serve(&checkerboard(64), requests, Vec::new()).unwrap();
+
+        // Sweep the hot tenant's [arrival, finish) intervals for the peak
+        // overlap — the router must have kept it at or below the quota.
+        let hot_queries: Vec<&FleetQuery> = report
+            .completed()
+            .iter()
+            .filter(|c| c.tenant == hot)
+            .collect();
+        let peak = hot_queries
+            .iter()
+            .map(|q| {
+                hot_queries
+                    .iter()
+                    .filter(|o| o.arrival <= q.arrival && q.arrival < o.finish)
+                    .count() as u32
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(peak <= quota, "hot tenant overlap {} exceeds quota {}", peak, quota);
+        // Quota sheds hit the hot tenant only; the cold tenant completes
+        // everything.
+        prop_assert!(report.shed().iter().all(|s| s.tenant == hot
+            && s.reason == ShedReason::QuotaExceeded));
+        prop_assert_eq!(report.per_tenant().get(cold).unwrap().count(), 8);
+    }
+}
+
+#[test]
+fn flash_crowd_with_quota_keeps_the_hot_tenant_p99_bounded() {
+    // The §5 multi-tenant story end to end: a flash crowd from one tenant
+    // under quota cannot build an unbounded queue, so its p99 stays within
+    // the quota-depth bound while an unlimited flood's p99 blows past it.
+    use fat_tree_qram::sched::flash_crowd_arrivals;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let capacity = Capacity::new(4096).unwrap();
+    let timing = TimingModel::paper_default();
+    let hot = TenantId(7);
+    let run = |quota: Option<u32>| {
+        let mut policy = QuotaAdmission::new(FifoAdmission);
+        if let Some(q) = quota {
+            policy = policy.with_quota(hot, q);
+        }
+        let mut fleet = QramFleet::new(
+            ShardedQram::fat_tree(capacity, 4),
+            2,
+            timing,
+            policy,
+            ConsistentHashPlacement,
+            FleetConfig::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(20260808);
+        // Aggregate fleet service rate ≈ R · K / I_shard; flash at 6×.
+        let aggregate = 2.0 * 4.0 / 8.25;
+        let arrivals = flash_crowd_arrivals(
+            0.2 * aggregate,
+            6.0 * aggregate,
+            200.0,
+            400.0,
+            300,
+            &mut rng,
+        );
+        let requests: Vec<FleetRequest> = arrivals
+            .iter()
+            .map(|r| FleetRequest {
+                id: r.id,
+                tenant: hot,
+                arrival: r.arrival,
+                address: AddressState::classical(12, (r.id as u64 * 1103) % 4096).unwrap(),
+            })
+            .collect();
+        fleet
+            .serve(&ClassicalMemory::zeros(4096), requests, Vec::new())
+            .unwrap()
+    };
+
+    let quota = 8u32;
+    let capped = run(Some(quota));
+    let uncapped = run(None);
+    assert_eq!(
+        uncapped.completed().len(),
+        300,
+        "unlimited tenant queues everything"
+    );
+    assert!(
+        capped.shed_count(ShedReason::QuotaExceeded) > 0,
+        "the flash crowd must hit the quota"
+    );
+
+    // With at most `quota` outstanding, a query waits behind fewer than
+    // `quota` own dispatches: p99 < quota · I/K + latency.
+    let server = QramFleet::fifo(ShardedQram::fat_tree(capacity, 4), 2, timing).equivalent_server();
+    let bound = server.interval().get() * f64::from(quota) + server.latency().get();
+    let capped_p99 = capped.per_tenant().get(hot).unwrap().p99();
+    let uncapped_p99 = uncapped.per_tenant().get(hot).unwrap().p99();
+    assert!(
+        capped_p99.get() <= bound,
+        "quota-capped p99 {} must stay within the quota-depth bound {}",
+        capped_p99.get(),
+        bound
+    );
+    assert!(
+        uncapped_p99 > capped_p99,
+        "the unlimited flood must queue deeper: {uncapped_p99:?} vs {capped_p99:?}"
+    );
+}
