@@ -158,7 +158,8 @@ fn print_fleet_rows(_c: &mut Criterion) {
                 report
                     .per_tenant()
                     .get(tenant)
-                    .map_or(0.0, |h| timing.layers_to_micros(h.p99()))
+                    .and_then(|h| h.p99())
+                    .map_or(0.0, |p99| timing.layers_to_micros(p99))
             };
             println!(
                 "{:>3} {:>7} {:>11.0} {:>11.0} {:>6} {:>13.1} {:>13.1}",

@@ -135,13 +135,16 @@ fn print_section5_rows(_c: &mut Criterion) {
                 label,
                 offered,
                 report.query_rate().get(),
-                hist.p50().get(),
-                hist.p95().get(),
-                hist.p99().get(),
+                hist.quantile(0.50).get(),
+                hist.quantile(0.95).get(),
+                hist.quantile(0.99).get(),
                 report.latency_micros(0.99),
             );
             if k == 8 && label == "poisson" {
-                record_scalar("serving/k8_n4096_poisson_zipf_p95_layers", hist.p95().get());
+                record_scalar(
+                    "serving/k8_n4096_poisson_zipf_p95_layers",
+                    hist.quantile(0.95).get(),
+                );
             }
         }
     }

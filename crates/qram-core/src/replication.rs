@@ -181,6 +181,16 @@ impl ReplicatedMemory {
         target - from
     }
 
+    /// Applies at most `max_entries` pending writes at `replica`, in epoch
+    /// order — the chunked-replay primitive a Recovering replica uses to
+    /// drain its backlog across several replay steps (new writes may keep
+    /// landing in the log between chunks; they simply extend the backlog).
+    /// Returns the number of entries applied.
+    pub fn catch_up_by(&mut self, replica: usize, max_entries: u64) -> u64 {
+        let target = self.applied[replica].saturating_add(max_entries);
+        self.catch_up_to(replica, target)
+    }
+
     /// Catches every replica up to the fleet epoch, converging the fleet.
     pub fn catch_up_all(&mut self) {
         for r in 0..self.replicas.len() {
@@ -296,6 +306,68 @@ mod tests {
                 assert_eq!(m.memory(0), m.memory(2));
             }
         }
+    }
+
+    #[test]
+    fn lag_larger_than_any_single_replication_step_still_converges() {
+        // A replica that slept through many epochs: its lag exceeds every
+        // chunk it replays, yet ordered prefix replay converges it.
+        let mut m = fleet(2);
+        for i in 0..12u64 {
+            m.write_at(0, i % 16, i + 1);
+        }
+        assert_eq!(m.lag(1), 12);
+        // Requesting far more than the log holds clamps to the log.
+        assert_eq!(m.catch_up_by(1, 1_000), 12);
+        assert_eq!(m.lag(1), 0);
+        assert_eq!(m.memory(0), m.memory(1));
+    }
+
+    #[test]
+    fn multi_epoch_backlog_drains_in_one_catch_up_step() {
+        // Several epochs behind, caught up in a single call: the replica
+        // lands exactly at the fleet epoch with the last-writer value.
+        let mut m = fleet(3);
+        m.write_at(0, 5, 1);
+        m.write_at(0, 5, 2);
+        m.write_at(0, 5, 3);
+        m.write_at(0, 9, 4);
+        assert_eq!(m.applied_epoch(2), 0);
+        assert_eq!(m.catch_up(2), 4, "all four epochs in one step");
+        assert_eq!(m.applied_epoch(2), 4);
+        assert_eq!(m.memory(2).read(5), 3);
+        assert_eq!(m.memory(2).read(9), 4);
+    }
+
+    #[test]
+    fn writes_landing_during_chunked_recovery_extend_the_backlog() {
+        // A Recovering replica replays in chunks while new writes keep
+        // committing: each chunk applies the oldest pending entries, the
+        // backlog absorbs the new tail, and replay still converges.
+        let mut m = fleet(2);
+        for i in 0..6u64 {
+            m.write_at(0, i, 10 + i);
+        }
+        assert_eq!(m.catch_up_by(1, 2), 2);
+        assert_eq!(m.applied_epoch(1), 2);
+        // Two more writes land mid-recovery.
+        m.write_at(0, 6, 100);
+        m.write_at(0, 2, 200);
+        assert_eq!(m.lag(1), 6, "backlog grew while recovering");
+        assert_eq!(m.catch_up_by(1, 4), 4);
+        assert!(m.is_stale(1), "still one chunk short");
+        assert_eq!(m.catch_up_by(1, 4), 2);
+        assert!(!m.is_stale(1));
+        assert_eq!(m.memory(1).read(2), 200, "mid-recovery write applied");
+        assert_eq!(m.memory(0), m.memory(1));
+    }
+
+    #[test]
+    fn catch_up_by_zero_is_a_no_op() {
+        let mut m = fleet(2);
+        m.write_at(0, 1, 1);
+        assert_eq!(m.catch_up_by(1, 0), 0);
+        assert!(m.is_stale(1));
     }
 
     #[test]

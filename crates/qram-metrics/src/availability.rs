@@ -1,0 +1,122 @@
+//! Availability counters for a fault-tolerant serving fleet.
+//!
+//! A fleet that injects failures needs to account for what its tolerance
+//! machinery actually did: how many dispatches were retried after a loss,
+//! how many hedges were launched (and won), how many in-flight queries
+//! were failed over off a dead replica, how many corrupted outcomes the
+//! parity check caught, and how long replicas spent out of rotation.
+//! [`AvailabilityCounters`] is that ledger — plain monotone counters the
+//! fleet report carries alongside its latency histograms, so a chaos run
+//! is summarized by the same report type as a healthy one.
+
+use std::fmt;
+
+use crate::Layers;
+
+/// Monotone counters describing the fault-tolerance work of one serving
+/// run, plus the accumulated replica downtime for MTTR.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::{AvailabilityCounters, Layers};
+///
+/// let mut counters = AvailabilityCounters::default();
+/// counters.retries += 2;
+/// counters.crashes += 1;
+/// counters.recoveries += 1;
+/// counters.record_downtime(Layers::new(500.0));
+/// assert_eq!(counters.mttr(), Some(Layers::new(500.0)));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AvailabilityCounters {
+    /// Dispatch attempts re-issued after a loss (crash, corruption, or an
+    /// unplaceable retry), each spaced by the backoff schedule.
+    pub retries: u64,
+    /// Duplicate dispatches launched for still-outstanding queries of
+    /// hedge-eligible tenants.
+    pub hedges: u64,
+    /// Hedged queries whose duplicate completed first.
+    pub hedge_wins: u64,
+    /// In-flight or queued queries moved off a replica after it was
+    /// detected Down.
+    pub failovers: u64,
+    /// Corrupted outcomes caught by the parity check (and re-served).
+    pub corruptions_detected: u64,
+    /// Replica crash faults that fired.
+    pub crashes: u64,
+    /// Replicas that finished log replay and rejoined rotation.
+    pub recoveries: u64,
+    /// Queries shed because their deadline passed before dispatch.
+    pub deadline_expirations: u64,
+    /// Total replica out-of-rotation time (crash → rejoin), summed over
+    /// completed recoveries.
+    pub downtime: Layers,
+}
+
+impl AvailabilityCounters {
+    /// Accumulates one completed crash → rejoin interval.
+    pub fn record_downtime(&mut self, out_of_rotation: Layers) {
+        self.downtime += out_of_rotation;
+    }
+
+    /// Mean time to repair: average crash → rejoin interval, or `None`
+    /// when no replica completed a recovery.
+    #[must_use]
+    pub fn mttr(&self) -> Option<Layers> {
+        (self.recoveries > 0).then(|| Layers::new(self.downtime.get() / self.recoveries as f64))
+    }
+}
+
+impl fmt::Display for AvailabilityCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries={} hedges={}/{} failovers={} corruptions={} crashes={} recoveries={}",
+            self.retries,
+            self.hedge_wins,
+            self.hedges,
+            self.failovers,
+            self.corruptions_detected,
+            self.crashes,
+            self.recoveries,
+        )?;
+        match self.mttr() {
+            Some(mttr) => write!(f, " mttr={:.1} layers", mttr.get()),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mttr_averages_completed_recoveries() {
+        let mut c = AvailabilityCounters::default();
+        assert_eq!(c.mttr(), None, "no recoveries, no MTTR");
+        c.crashes = 2;
+        c.recoveries = 2;
+        c.record_downtime(Layers::new(100.0));
+        c.record_downtime(Layers::new(300.0));
+        assert_eq!(c.mttr(), Some(Layers::new(200.0)));
+    }
+
+    #[test]
+    fn display_summarizes_the_ledger() {
+        let mut c = AvailabilityCounters {
+            retries: 3,
+            hedges: 2,
+            hedge_wins: 1,
+            ..Default::default()
+        };
+        let shown = c.to_string();
+        assert!(shown.contains("retries=3"));
+        assert!(shown.contains("hedges=1/2"));
+        assert!(!shown.contains("mttr"), "no MTTR before any recovery");
+        c.recoveries = 1;
+        c.record_downtime(Layers::new(50.0));
+        assert!(c.to_string().contains("mttr=50.0 layers"));
+    }
+}

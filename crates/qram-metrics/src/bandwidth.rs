@@ -10,6 +10,10 @@ use std::fmt;
 pub struct QueryRate(f64);
 
 impl QueryRate {
+    /// The rate of a run that served nothing — what a fully degraded or
+    /// all-shed fleet reports instead of dividing zero by zero.
+    pub const ZERO: QueryRate = QueryRate(0.0);
+
     /// Creates a query rate in queries per second.
     ///
     /// # Panics

@@ -197,34 +197,34 @@ impl LatencyHistogram {
         Layers::new(self.max)
     }
 
-    /// Median (`p50`) latency.
+    /// The `q`-quantile, or `None` when nothing has been recorded — the
+    /// total version of [`Self::quantile`] for reports that may cover an
+    /// all-shed or otherwise empty run.
     ///
     /// # Panics
     ///
-    /// Panics if the histogram is empty.
+    /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
-    pub fn p50(&self) -> Layers {
-        self.quantile(0.50)
+    pub fn try_quantile(&self, q: f64) -> Option<Layers> {
+        (self.count > 0).then(|| self.quantile(q))
     }
 
-    /// 95th-percentile latency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histogram is empty.
+    /// Median (`p50`) latency, or `None` when nothing has been recorded.
     #[must_use]
-    pub fn p95(&self) -> Layers {
-        self.quantile(0.95)
+    pub fn p50(&self) -> Option<Layers> {
+        self.try_quantile(0.50)
     }
 
-    /// 99th-percentile latency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histogram is empty.
+    /// 95th-percentile latency, or `None` when nothing has been recorded.
     #[must_use]
-    pub fn p99(&self) -> Layers {
-        self.quantile(0.99)
+    pub fn p95(&self) -> Option<Layers> {
+        self.try_quantile(0.95)
+    }
+
+    /// 99th-percentile latency, or `None` when nothing has been recorded.
+    #[must_use]
+    pub fn p99(&self) -> Option<Layers> {
+        self.try_quantile(0.99)
     }
 
     /// Merges another histogram into this one (e.g. per-shard histograms
@@ -266,9 +266,9 @@ impl fmt::Display for LatencyHistogram {
             f,
             "n={} p50={:.2} p95={:.2} p99={:.2} max={:.2} layers",
             self.count,
-            self.p50().get(),
-            self.p95().get(),
-            self.p99().get(),
+            self.quantile(0.50).get(),
+            self.quantile(0.95).get(),
+            self.quantile(0.99).get(),
             self.max().get()
         )
     }
@@ -320,8 +320,8 @@ mod tests {
         h.record(Layers::new(82.375));
         // Clamped into [min, max], so every quantile is the value itself.
         assert_eq!(h.quantile(0.0).get(), 82.375);
-        assert_eq!(h.p50().get(), 82.375);
-        assert_eq!(h.p99().get(), 82.375);
+        assert_eq!(h.p50(), Some(Layers::new(82.375)));
+        assert_eq!(h.p99(), Some(Layers::new(82.375)));
     }
 
     #[test]
@@ -332,7 +332,7 @@ mod tests {
         h.record(Layers::new(1.0));
         assert_eq!(h.count(), 3);
         // All in bucket 0: quantile clamps to the exact max.
-        assert_eq!(h.p99().get(), 1.0);
+        assert_eq!(h.p99().unwrap().get(), 1.0);
         assert_eq!(h.min().get(), 0.0);
     }
 
@@ -367,7 +367,7 @@ mod tests {
         assert_eq!(a.min().get(), 1.0);
         assert_eq!(a.mean().get(), 1111.0 / 4.0);
         let bound = LatencyHistogram::relative_error_bound();
-        assert!(a.p99().get() <= 1000.0 * (1.0 + bound));
+        assert!(a.p99().unwrap().get() <= 1000.0 * (1.0 + bound));
     }
 
     #[test]
@@ -382,6 +382,17 @@ mod tests {
     #[should_panic(expected = "empty histogram")]
     fn quantile_of_empty_rejected() {
         let _ = LatencyHistogram::new().quantile(0.5);
+    }
+
+    #[test]
+    fn empty_percentiles_are_none_not_panics() {
+        // An all-shed serving run records nothing; its report must still
+        // render without panicking or producing NaN.
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.try_quantile(0.25), None);
     }
 
     #[test]

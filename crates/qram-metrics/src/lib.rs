@@ -17,6 +17,8 @@
 //! * [`LatencyHistogram`] — a log-bucketed response-latency histogram for
 //!   the online serving layer (§5), and [`HistogramFamily`] — per-tenant /
 //!   per-replica keyed aggregation of such histograms for fleet reports.
+//! * [`AvailabilityCounters`] — the fault-tolerance ledger of a serving
+//!   run: retries, hedges, failovers, detected corruptions, and MTTR.
 //!
 //! # Examples
 //!
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod availability;
 mod bandwidth;
 mod capacity;
 mod family;
@@ -43,6 +46,7 @@ mod layers;
 mod timing;
 mod utilization;
 
+pub use availability::AvailabilityCounters;
 pub use bandwidth::{Bandwidth, MemoryAccessRate, QueryRate, SpaceTimeVolume};
 pub use capacity::{Capacity, CapacityError};
 pub use family::HistogramFamily;

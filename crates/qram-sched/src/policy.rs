@@ -180,6 +180,17 @@ pub trait AdmissionPolicy {
         let _ = tenant;
         SloClass::Interactive
     }
+
+    /// Per-query response deadline for the tenant, measured from arrival:
+    /// a query still undispatched at `arrival + deadline` is shed as
+    /// deadline-exceeded instead of waiting without bound. `None` (the
+    /// default) waits forever. See [`QuotaAdmission::with_deadline`].
+    ///
+    /// [`QuotaAdmission::with_deadline`]: crate::tenant::QuotaAdmission::with_deadline
+    fn tenant_deadline(&self, tenant: TenantId) -> Option<Layers> {
+        let _ = tenant;
+        None
+    }
 }
 
 /// First-come-first-served admission at full pipeline parallelism — the

@@ -111,17 +111,98 @@ pub struct TenantSpec {
     pub quota: Option<u32>,
     /// The tenant's shedding class under queue pressure.
     pub slo: SloClass,
+    /// Per-query response deadline, measured from arrival: a query not
+    /// dispatched by `arrival + deadline` is shed as deadline-exceeded
+    /// rather than waiting without bound. `None` waits forever.
+    pub deadline: Option<Layers>,
 }
 
 impl TenantSpec {
-    /// An unlimited, interactive-class spec — the behavior of a tenant the
-    /// quota table does not mention.
+    /// An unlimited, interactive-class, no-deadline spec — the behavior of
+    /// a tenant the quota table does not mention.
     #[must_use]
     pub fn unlimited() -> Self {
         TenantSpec {
             quota: None,
             slo: SloClass::Interactive,
+            deadline: None,
         }
+    }
+}
+
+/// Capped exponential backoff for re-dispatching queries lost to a
+/// replica failure (or caught corrupted): the `a`-th loss of a query is
+/// retried `min(base·2^(a−1), max)` layers later, up to `max_attempts`
+/// total dispatch attempts, after which the query is shed as
+/// retries-exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::Layers;
+/// use qram_sched::RetryPolicy;
+///
+/// let retry = RetryPolicy::new(3, Layers::new(50.0), Layers::new(400.0));
+/// assert_eq!(retry.backoff(1), Layers::new(50.0));
+/// assert_eq!(retry.backoff(2), Layers::new(100.0));
+/// assert_eq!(retry.backoff(20), Layers::new(400.0), "capped");
+/// assert!(!retry.budget_exhausted(2));
+/// assert!(retry.budget_exhausted(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total dispatch attempts allowed per query (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Layers,
+    /// Ceiling the exponential schedule saturates at.
+    pub max_backoff: Layers,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with backoff
+    /// doubling from `base_backoff` up to `max_backoff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero (the first dispatch is already an
+    /// attempt) or `max_backoff < base_backoff`.
+    #[must_use]
+    pub fn new(max_attempts: u32, base_backoff: Layers, max_backoff: Layers) -> Self {
+        assert!(max_attempts >= 1, "the first dispatch is an attempt");
+        assert!(
+            max_backoff >= base_backoff,
+            "backoff ceiling below its base"
+        );
+        RetryPolicy {
+            max_attempts,
+            base_backoff,
+            max_backoff,
+        }
+    }
+
+    /// The delay before the retry following the `attempts_so_far`-th
+    /// attempt (1-based): `min(base·2^(attempts_so_far − 1), max)`.
+    #[must_use]
+    pub fn backoff(&self, attempts_so_far: u32) -> Layers {
+        let doublings = attempts_so_far.saturating_sub(1).min(52);
+        let raw = self.base_backoff.get() * (1u64 << doublings) as f64;
+        Layers::new(raw.min(self.max_backoff.get()))
+    }
+
+    /// True when `attempts_so_far` used up the budget: no further retry
+    /// may be scheduled.
+    #[must_use]
+    pub fn budget_exhausted(&self, attempts_so_far: u32) -> bool {
+        attempts_so_far >= self.max_attempts
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, backoff doubling from 64 layers up to 1024 —
+    /// a few admission intervals at the paper's timing scale.
+    fn default() -> Self {
+        RetryPolicy::new(3, Layers::new(64.0), Layers::new(1024.0))
     }
 }
 
@@ -199,6 +280,23 @@ impl<P: AdmissionPolicy> QuotaAdmission<P> {
         self
     }
 
+    /// Sets a tenant's per-query deadline (measured from arrival),
+    /// keeping its quota and class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero (nothing dispatches in zero layers —
+    /// every query would be shed on arrival).
+    #[must_use]
+    pub fn with_deadline(mut self, tenant: TenantId, deadline: Layers) -> Self {
+        assert!(
+            deadline > Layers::ZERO,
+            "a zero deadline sheds all of {tenant}'s traffic"
+        );
+        self.tenants.entry(tenant).or_default().deadline = Some(deadline);
+        self
+    }
+
     /// The configured spec for `tenant` (unlimited if unlisted).
     #[must_use]
     pub fn spec(&self, tenant: TenantId) -> TenantSpec {
@@ -235,6 +333,17 @@ impl<P: AdmissionPolicy> AdmissionPolicy for QuotaAdmission<P> {
         self.spec(tenant)
             .slo
             .stricter(self.inner.tenant_slo(tenant))
+    }
+
+    fn tenant_deadline(&self, tenant: TenantId) -> Option<Layers> {
+        // min-composition: the tighter (earlier) deadline wins.
+        match (
+            self.spec(tenant).deadline,
+            self.inner.tenant_deadline(tenant),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 
@@ -317,5 +426,41 @@ mod tests {
     #[should_panic(expected = "sheds all")]
     fn zero_quota_rejected() {
         let _ = QuotaAdmission::new(FifoAdmission).with_quota(TenantId(1), 0);
+    }
+
+    #[test]
+    fn deadlines_compose_to_the_tighter_bound() {
+        let inner =
+            QuotaAdmission::new(FifoAdmission).with_deadline(TenantId(1), Layers::new(500.0));
+        let outer = QuotaAdmission::new(inner)
+            .with_deadline(TenantId(1), Layers::new(900.0))
+            .with_deadline(TenantId(2), Layers::new(40.0));
+        assert_eq!(outer.tenant_deadline(TenantId(1)), Some(Layers::new(500.0)));
+        assert_eq!(outer.tenant_deadline(TenantId(2)), Some(Layers::new(40.0)));
+        assert_eq!(outer.tenant_deadline(TenantId(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sheds all")]
+    fn zero_deadline_rejected() {
+        let _ = QuotaAdmission::new(FifoAdmission).with_deadline(TenantId(1), Layers::ZERO);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_saturates() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff(1), Layers::new(64.0));
+        assert_eq!(retry.backoff(2), Layers::new(128.0));
+        assert_eq!(retry.backoff(3), Layers::new(256.0));
+        assert_eq!(retry.backoff(100), Layers::new(1024.0), "ceiling holds");
+        assert!(retry.backoff(0) >= retry.base_backoff);
+        assert!(!retry.budget_exhausted(2));
+        assert!(retry.budget_exhausted(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling below")]
+    fn inverted_backoff_bounds_rejected() {
+        let _ = RetryPolicy::new(2, Layers::new(100.0), Layers::new(10.0));
     }
 }

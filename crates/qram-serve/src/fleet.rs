@@ -48,16 +48,41 @@
 //! exactly to [`QramService`] — same timings, same outcomes, same
 //! shedding (property-tested in `tests/fleet.rs`).
 //!
+//! **Fault tolerance.** [`QramFleet::serve_with_faults`] runs the same
+//! loop under a deterministic [`FaultPlan`]: a per-replica health state
+//! machine ([`ReplicaHealth`]) fed by heartbeat misses and
+//! completion-latency assertions steers health-aware placement around
+//! `Down` replicas; queries lost to a crash or a corrupted outcome are
+//! re-dispatched under a capped exponential-backoff [`RetryPolicy`];
+//! Interactive tenants may hedge; per-tenant deadlines convert unbounded
+//! waiting into [`ShedReason::DeadlineExceeded`]; and an optional
+//! [`BrownoutController`] sheds whole SLO classes, cheapest first, when
+//! the routable fleet runs hot. Recovering replicas replay the
+//! replication log before rejoining, so stale reads stay flagged across
+//! failures. The empty plan with the default [`FaultConfig`] is
+//! bit-identical to [`QramFleet::serve`]'s fault-free loop (pinned by
+//! `tests/fleet_faults.rs` against [`QramFleet::serve_reference`]).
+//!
 //! [`SloClass`]: qram_sched::SloClass
 //! [`QramService`]: crate::QramService
+//! [`RetryPolicy`]: qram_sched::RetryPolicy
 
 use std::collections::BTreeMap;
 
 use qram_core::{ExecError, QramModel, ReplicatedMemory, ShardedQram};
-use qram_metrics::{HistogramFamily, LatencyHistogram, Layers, QueryRate, TimingModel};
-use qram_sched::{AdmissionPolicy, FifoAdmission, QramServer, QueryRequest, Schedule, TenantId};
+use qram_metrics::{
+    AvailabilityCounters, HistogramFamily, LatencyHistogram, Layers, QueryRate, TimingModel,
+};
+use qram_sched::{
+    AdmissionPolicy, FifoAdmission, QramServer, QueryRequest, RetryPolicy, Schedule, SloClass,
+    TenantId,
+};
 use qsim::branch::{AddressState, ClassicalMemory, QueryOutcome};
 
+use crate::fault::{
+    corrupt_outcome, parity_bit, BrownoutController, Fault, FaultConfig, FaultPlan, ReplicaHealth,
+    ReplicationFate,
+};
 use crate::reactor::EventQueue;
 use crate::replica::{Replica, ReplicaEvent};
 
@@ -102,7 +127,7 @@ pub struct FleetConfig {
 }
 
 /// Why the router shed a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ShedReason {
     /// The placed replica's arrival queue was full.
     QueueFull,
@@ -110,9 +135,20 @@ pub enum ShedReason {
     QuotaExceeded,
     /// The tenant's SLO class exhausted its share of the replica queue.
     SloShed,
+    /// The query's per-tenant deadline passed before it could dispatch.
+    DeadlineExceeded,
+    /// Every dispatch attempt was lost (crash or corruption) and the
+    /// retry backoff budget ran out.
+    RetriesExhausted,
+    /// The brownout controller was shedding the tenant's SLO class.
+    Brownout,
+    /// No routable (`Healthy` or `Suspect`) replica could take the query.
+    NoHealthyReplica,
 }
 
-/// One shed request, in arrival order.
+/// One shed request. Router sheds (quota, queue, SLO, brownout, no
+/// healthy replica) append in arrival order; retry-budget and deadline
+/// sheds append when they resolve, later in virtual time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShedRequest {
     /// The request identifier.
@@ -132,6 +168,9 @@ pub struct ReplicaLoad {
     pub in_flight: u32,
     /// True when the replica's bounded arrival queue still has room.
     pub has_room: bool,
+    /// The replica's health as seen by the fleet's failure detector
+    /// (always [`ReplicaHealth::Healthy`] in the fault-free loop).
+    pub health: ReplicaHealth,
 }
 
 impl ReplicaLoad {
@@ -139,6 +178,12 @@ impl ReplicaLoad {
     #[must_use]
     pub fn load(&self) -> usize {
         self.queued + self.in_flight as usize
+    }
+
+    /// True when the router may place new queries here.
+    #[must_use]
+    pub fn routable(&self) -> bool {
+        self.health.routable()
     }
 }
 
@@ -157,6 +202,11 @@ pub trait PlacementPolicy {
 /// Uniform cyclic address sweeps land exactly evenly (per-replica
 /// dispatch counts never differ by more than one), and a given address
 /// always revisits the same replica, so its memoized read stays hot.
+/// When the home replica is not routable (`Down` or `Recovering`), the
+/// ring probes linearly to the next routable replica — address affinity
+/// degrades gracefully around failures and snaps back on rejoin. With
+/// every replica healthy the probe never moves, so the fault-free route
+/// is unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConsistentHashPlacement;
 
@@ -167,24 +217,37 @@ impl PlacementPolicy for ConsistentHashPlacement {
             .iter()
             .next()
             .map_or(0, |&(_, address)| address);
-        (principal % loads.len() as u64) as usize
+        let home = (principal % loads.len() as u64) as usize;
+        (0..loads.len())
+            .map(|step| (home + step) % loads.len())
+            .find(|&r| loads[r].routable())
+            .unwrap_or(home)
     }
 }
 
 /// Routes to the replica with the smallest queued + in-flight load that
-/// still has queue room (ties break to the lowest index). Only when every
-/// replica is full does it fall back to the least-loaded one overall — a
-/// shedding replica is never chosen while another could absorb the
-/// arrival.
+/// still has queue room (ties break deterministically to the lowest
+/// index). `Suspect` replicas rank after healthy ones at equal load, and
+/// non-routable replicas are excluded while any routable one exists; only
+/// when every routable replica is full does it fall back to the
+/// least-loaded routable one — a shedding replica is never chosen while
+/// another could absorb the arrival.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LeastLoadedPlacement;
 
 impl PlacementPolicy for LeastLoadedPlacement {
     fn place(&self, _request: &FleetRequest, loads: &[ReplicaLoad]) -> usize {
         let least = |indices: &mut dyn Iterator<Item = usize>| {
-            indices.min_by_key(|&r| (loads[r].load(), r))
+            indices.min_by_key(|&r| {
+                (
+                    loads[r].health == ReplicaHealth::Suspect,
+                    loads[r].load(),
+                    r,
+                )
+            })
         };
-        least(&mut (0..loads.len()).filter(|&r| loads[r].has_room))
+        least(&mut (0..loads.len()).filter(|&r| loads[r].routable() && loads[r].has_room))
+            .or_else(|| least(&mut (0..loads.len()).filter(|&r| loads[r].routable())))
             .or_else(|| least(&mut (0..loads.len())))
             .expect("a fleet has at least one replica")
     }
@@ -215,6 +278,10 @@ pub struct FleetQuery {
     /// the read observed a superseded memory version. Stale results are
     /// always flagged, never silently reported as fresh.
     pub stale: bool,
+    /// Dispatch attempts this query consumed, counting the first: `1` in
+    /// fault-free serving, more when crashes or corrupted outcomes forced
+    /// retries (hedges do not count against the attempt budget).
+    pub attempts: u32,
 }
 
 impl FleetQuery {
@@ -238,6 +305,24 @@ enum Event {
     Completion { replica: usize, index: usize },
     /// Wake `replica`'s dispatcher at an admission-interval boundary.
     Poll { replica: usize },
+    /// An injected [`Fault::Crash`] fires at `replica`.
+    Crash { replica: usize },
+    /// An injected [`Fault::Recover`] restarts `replica`.
+    Recover { replica: usize },
+    /// `replica` finished replaying the replication log and rejoins.
+    RejoinDone { replica: usize },
+    /// An injected [`Fault::StallShard`] window opens.
+    StallStart { replica: usize, shard: usize },
+    /// An injected [`Fault::StallShard`] window closes.
+    StallEnd { replica: usize, shard: usize },
+    /// The health monitor samples heartbeats and brownout occupancy.
+    MonitorTick,
+    /// A lost query's backoff elapsed: re-place and re-dispatch it.
+    Retry { qid: usize },
+    /// An Interactive query may deserve a duplicate dispatch.
+    HedgeCheck { qid: usize },
+    /// A queued copy of query `qid` expired at its deadline.
+    Expired { qid: usize },
 }
 
 /// The outcome of one fleet serving run.
@@ -252,6 +337,7 @@ pub struct FleetReport {
     per_replica: HistogramFamily<usize>,
     stale_served: u64,
     fleet_epoch: u64,
+    availability: AvailabilityCounters,
 }
 
 impl FleetReport {
@@ -267,7 +353,7 @@ impl FleetReport {
         &self.outcomes
     }
 
-    /// Requests the router shed, in arrival order.
+    /// Requests that were shed (see [`ShedRequest`] for ordering).
     #[must_use]
     pub fn shed(&self) -> &[ShedRequest] {
         &self.shed
@@ -277,6 +363,32 @@ impl FleetReport {
     #[must_use]
     pub fn shed_count(&self, reason: ShedReason) -> usize {
         self.shed.iter().filter(|s| s.reason == reason).count()
+    }
+
+    /// Shed counts rolled up per reason (reasons that shed nothing are
+    /// absent).
+    #[must_use]
+    pub fn shed_by_reason(&self) -> BTreeMap<ShedReason, usize> {
+        let mut rollup = BTreeMap::new();
+        for s in &self.shed {
+            *rollup.entry(s.reason).or_insert(0) += 1;
+        }
+        rollup
+    }
+
+    /// The fault-tolerance ledger of the run: retries, hedges, failovers,
+    /// detected corruptions, crashes, recoveries, and downtime. All zero
+    /// for a fault-free run.
+    #[must_use]
+    pub fn availability(&self) -> &AvailabilityCounters {
+        &self.availability
+    }
+
+    /// Mean time to repair (crash → rejoin), or `None` when no replica
+    /// completed a recovery.
+    #[must_use]
+    pub fn mttr(&self) -> Option<Layers> {
+        self.availability.mttr()
     }
 
     /// Queries dispatched per replica.
@@ -340,30 +452,24 @@ impl FleetReport {
     }
 
     /// The observation window: first arrival → last completion.
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing completed.
+    /// [`Layers::ZERO`] when nothing completed.
     #[must_use]
     pub fn window(&self) -> Layers {
-        assert!(!self.completed.is_empty(), "window of an empty run");
-        let first_arrival = self
-            .completed
-            .iter()
-            .map(|c| c.arrival)
-            .reduce(Layers::min)
-            .expect("non-empty");
+        let Some(first_arrival) = self.completed.iter().map(|c| c.arrival).reduce(Layers::min)
+        else {
+            return Layers::ZERO;
+        };
         self.makespan() - first_arrival
     }
 
     /// Aggregate served queries per second under the fleet's timing
-    /// model, over the first-arrival → makespan window.
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing completed.
+    /// model, over the first-arrival → makespan window;
+    /// [`QueryRate::ZERO`] when nothing completed (never `NaN`).
     #[must_use]
     pub fn query_rate(&self) -> QueryRate {
+        if self.completed.is_empty() {
+            return QueryRate::ZERO;
+        }
         QueryRate::new(self.completed.len() as f64 / self.timing.layers_to_seconds(self.window()))
     }
 
@@ -522,6 +628,32 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
         requests: impl IntoIterator<Item = FleetRequest>,
         writes: impl IntoIterator<Item = FleetWrite>,
     ) -> Result<FleetReport, ExecError> {
+        self.serve_with_faults(
+            memory,
+            requests,
+            writes,
+            &FaultPlan::none(),
+            &FaultConfig::default(),
+        )
+    }
+
+    /// The fault-free serving loop exactly as it stood before fault
+    /// injection existed, kept verbatim as the bit-equality oracle:
+    /// `tests/fleet_faults.rs` pins [`QramFleet::serve`] (which routes
+    /// through [`QramFleet::serve_with_faults`] with an empty plan)
+    /// against this loop — same schedules, same outcomes — for
+    /// `R ∈ {1, 2, 4}`. Not part of the supported API.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if query execution fails.
+    #[doc(hidden)]
+    pub fn serve_reference(
+        &mut self,
+        memory: &ClassicalMemory,
+        requests: impl IntoIterator<Item = FleetRequest>,
+        writes: impl IntoIterator<Item = FleetWrite>,
+    ) -> Result<FleetReport, ExecError> {
         let num_replicas = self.backends.len();
         let server = self.equivalent_server();
         let aggregate_cap = self
@@ -620,6 +752,7 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                             queued: r.queued(),
                             in_flight: r.in_flight(),
                             has_room: r.has_queue_room(),
+                            health: ReplicaHealth::Healthy,
                         })
                         .collect();
                     let target = self.placement.place(&request, &loads);
@@ -645,8 +778,10 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                     } else {
                         let offered = replicas[target].offer(
                             request.id,
+                            request.id,
                             tenant,
                             request.arrival,
+                            None,
                             request.address,
                         );
                         debug_assert!(offered, "the SLO bound is at most the queue bound");
@@ -692,6 +827,7 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                             shard: record.shard,
                             epoch: dispatch_epochs[replica][index],
                             stale: dispatch_stale[replica][index],
+                            attempts: 1,
                         };
                         stale_served += u64::from(query.stale);
                         per_tenant.record(tenant, query.response_latency());
@@ -703,6 +839,17 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                     Event::Poll { replica } => {
                         replicas[replica].ack_poll(now);
                         pump = Some(replica);
+                    }
+                    Event::Crash { .. }
+                    | Event::Recover { .. }
+                    | Event::RejoinDone { .. }
+                    | Event::StallStart { .. }
+                    | Event::StallEnd { .. }
+                    | Event::MonitorTick
+                    | Event::Retry { .. }
+                    | Event::HedgeCheck { .. }
+                    | Event::Expired { .. } => {
+                        unreachable!("the reference loop schedules no fault events")
                     }
                 }
             } else {
@@ -718,6 +865,9 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                                 index,
                             },
                             ReplicaEvent::Poll => Event::Poll { replica: target },
+                            ReplicaEvent::Expired { .. } => {
+                                unreachable!("the reference loop offers no deadlines")
+                            }
                         },
                     );
                 });
@@ -785,8 +935,849 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
             per_replica,
             stale_served,
             fleet_epoch: replicated.fleet_epoch(),
+            availability: AvailabilityCounters::default(),
         })
     }
+
+    /// Serves a batch of requests under a deterministic [`FaultPlan`]:
+    /// the fault-free loop of [`QramFleet::serve`] extended with a
+    /// per-replica health state machine, crash failover, capped
+    /// exponential-backoff retries, optional hedged dispatch for
+    /// Interactive tenants, per-tenant deadlines, and brownout shedding
+    /// (see the module docs). Every admitted query ends exactly once in
+    /// [`FleetReport::completed`] or [`FleetReport::shed`] — faults lose
+    /// dispatch *attempts*, never queries.
+    ///
+    /// With the empty plan and the default [`FaultConfig`] this is
+    /// bit-identical to the fault-free loop: no monitor or fault events
+    /// enter the reactor, so the event heap pops in the same order and
+    /// the schedules and outcomes match [`QramFleet::serve_reference`]
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if query execution fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`QramFleet::serve`], if the plan
+    /// names an out-of-range replica or shard, or if monitoring is active
+    /// (non-empty plan or a brownout controller) with a non-positive
+    /// `monitor_interval`.
+    #[allow(clippy::too_many_lines)]
+    pub fn serve_with_faults(
+        &mut self,
+        memory: &ClassicalMemory,
+        requests: impl IntoIterator<Item = FleetRequest>,
+        writes: impl IntoIterator<Item = FleetWrite>,
+        plan: &FaultPlan,
+        fault_config: &FaultConfig,
+    ) -> Result<FleetReport, ExecError> {
+        let num_replicas = self.backends.len();
+        let num_shards = self.backends[0].num_shards() as usize;
+        let server = self.equivalent_server();
+        let aggregate_cap = self
+            .policy
+            .in_flight_cap(&server)
+            .clamp(1, server.parallelism());
+        let latency = server.latency();
+        let address_width = self.backends[0].capacity().address_width();
+        let mut replicas: Vec<Replica> = (0..num_replicas)
+            .map(|_| {
+                Replica::new(
+                    num_shards,
+                    self.backends[0].shard_parallelism(),
+                    server.interval(),
+                    latency,
+                    aggregate_cap,
+                    self.config.queue_capacity,
+                )
+            })
+            .collect();
+
+        let mut replicated = ReplicatedMemory::new(memory.clone(), num_replicas);
+        let mut snapshots: Vec<BTreeMap<u64, ClassicalMemory>> = (0..num_replicas)
+            .map(|_| BTreeMap::from([(0, memory.clone())]))
+            .collect();
+        let mut dispatch_epochs: Vec<Vec<u64>> = vec![Vec::new(); num_replicas];
+        let mut dispatch_stale: Vec<Vec<bool>> = vec![Vec::new(); num_replicas];
+        // Which admitted query each dispatch belongs to, and whether its
+        // completion has been consumed (or invalidated by a crash).
+        let mut dispatch_qids: Vec<Vec<usize>> = vec![Vec::new(); num_replicas];
+        let mut handled: Vec<Vec<bool>> = vec![Vec::new(); num_replicas];
+
+        let mut arrivals: Vec<FleetRequest> = requests
+            .into_iter()
+            .inspect(|r| {
+                assert_eq!(
+                    r.address.address_width(),
+                    address_width,
+                    "request address width must match QRAM capacity"
+                );
+            })
+            .collect();
+        arrivals.sort_by(|a, b| {
+            a.arrival
+                .get()
+                .partial_cmp(&b.arrival.get())
+                .expect("event times are finite")
+        });
+        let total_requests = arrivals.len();
+        let mut arrivals = arrivals.into_iter().peekable();
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for write in writes {
+            assert!(
+                write.origin < num_replicas,
+                "write origin replica {} out of range (R = {num_replicas})",
+                write.origin
+            );
+            events.push(write.at, Event::Write(write));
+        }
+
+        // Fault-tolerance state. Nothing below schedules an event unless
+        // the plan is non-empty or a brownout controller is configured —
+        // the empty plan keeps the reactor's event sequence (and so its
+        // FIFO tie-breaking) identical to the fault-free loop.
+        let retry = &fault_config.retry;
+        let mut brownout: Option<BrownoutController> =
+            fault_config.brownout.map(BrownoutController::new);
+        let monitoring = !plan.is_empty() || brownout.is_some();
+        let has_slow = plan.has_slow_faults();
+        let keep_address = !plan.is_empty() || fault_config.hedge_delay.is_some();
+        let replica_slots = aggregate_cap as usize
+            + self
+                .config
+                .queue_capacity
+                .unwrap_or(4 * aggregate_cap as usize);
+        let mut states: Vec<QueryState> = Vec::with_capacity(total_requests);
+        let mut health = vec![ReplicaHealth::Healthy; num_replicas];
+        let mut alive = vec![true; num_replicas];
+        let mut misses = vec![0u32; num_replicas];
+        let mut down_since: Vec<Option<Layers>> = vec![None; num_replicas];
+        let mut rejoin_at: Vec<Option<f64>> = vec![None; num_replicas];
+        // Queries stranded on a crashed replica, re-dispatched when the
+        // detector declares it Down (or it recovers, whichever first).
+        let mut pending_failover: Vec<Vec<usize>> = vec![Vec::new(); num_replicas];
+        let mut counters = AvailabilityCounters::default();
+        let mut completed_dispatch: Vec<(usize, usize)> = Vec::with_capacity(total_requests);
+        let mut corrupted_served: Vec<(usize, usize)> = Vec::new();
+        let mut open = 0usize;
+
+        if monitoring {
+            assert!(
+                fault_config.monitor_interval.get() > 0.0,
+                "monitoring needs a positive monitor interval"
+            );
+            for fault in plan.faults() {
+                match *fault {
+                    Fault::Crash { replica, at } => {
+                        assert!(replica < num_replicas, "crash names replica {replica}");
+                        events.push(at, Event::Crash { replica });
+                    }
+                    Fault::Recover { replica, at } => {
+                        assert!(replica < num_replicas, "recover names replica {replica}");
+                        events.push(at, Event::Recover { replica });
+                    }
+                    Fault::StallShard {
+                        replica,
+                        shard,
+                        from,
+                        until,
+                    } => {
+                        assert!(replica < num_replicas, "stall names replica {replica}");
+                        assert!(shard < num_shards, "stall names shard {shard}");
+                        events.push(from, Event::StallStart { replica, shard });
+                        events.push(until, Event::StallEnd { replica, shard });
+                    }
+                    Fault::SlowReplica { replica, .. } | Fault::CorruptOutcome { replica, .. } => {
+                        assert!(replica < num_replicas, "fault names replica {replica}");
+                    }
+                    Fault::DropReplication { .. } | Fault::DelayReplication { .. } => {}
+                }
+            }
+            events.push(fault_config.monitor_interval, Event::MonitorTick);
+        }
+
+        let mut completed: Vec<FleetQuery> = Vec::with_capacity(total_requests);
+        let mut shed: Vec<ShedRequest> = Vec::new();
+        let mut outstanding: BTreeMap<TenantId, u32> = BTreeMap::new();
+        let mut per_tenant: HistogramFamily<TenantId> = HistogramFamily::new();
+        let mut per_replica: HistogramFamily<usize> = HistogramFamily::new();
+        let mut stale_served = 0u64;
+
+        loop {
+            let arrival_is_next = match (arrivals.peek(), events.peek_time()) {
+                (Some(request), Some(next)) => request.arrival <= next,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let mut pump: Option<usize> = None;
+            let now;
+            if arrival_is_next {
+                let request = arrivals.next().expect("peeked arrival exists");
+                now = request.arrival;
+                let tenant = request.tenant;
+                if brownout
+                    .as_ref()
+                    .is_some_and(|controller| controller.sheds(self.policy.tenant_slo(tenant)))
+                {
+                    shed.push(ShedRequest {
+                        id: request.id,
+                        tenant,
+                        reason: ShedReason::Brownout,
+                    });
+                } else if self
+                    .policy
+                    .tenant_quota(tenant)
+                    .is_some_and(|quota| outstanding.get(&tenant).copied().unwrap_or(0) >= quota)
+                {
+                    shed.push(ShedRequest {
+                        id: request.id,
+                        tenant,
+                        reason: ShedReason::QuotaExceeded,
+                    });
+                } else {
+                    let loads = snapshot_loads(&replicas, &health);
+                    let target = self.placement.place(&request, &loads);
+                    assert!(
+                        target < num_replicas,
+                        "placement returned replica {target} of {num_replicas}"
+                    );
+                    let slo_bound = self
+                        .config
+                        .queue_capacity
+                        .map(|cap| self.policy.tenant_slo(tenant).queue_bound(cap));
+                    if !loads[target].routable() {
+                        shed.push(ShedRequest {
+                            id: request.id,
+                            tenant,
+                            reason: ShedReason::NoHealthyReplica,
+                        });
+                    } else if slo_bound.is_some_and(|bound| replicas[target].queued() >= bound) {
+                        let reason = if replicas[target].has_queue_room() {
+                            ShedReason::SloShed
+                        } else {
+                            ShedReason::QueueFull
+                        };
+                        shed.push(ShedRequest {
+                            id: request.id,
+                            tenant,
+                            reason,
+                        });
+                    } else {
+                        let qid = states.len();
+                        let deadline = self
+                            .policy
+                            .tenant_deadline(tenant)
+                            .map(|budget| request.arrival + budget);
+                        let address = keep_address.then(|| request.address.clone());
+                        let offered = replicas[target].offer(
+                            request.id,
+                            qid,
+                            tenant,
+                            request.arrival,
+                            deadline,
+                            request.address,
+                        );
+                        debug_assert!(offered, "the SLO bound is at most the queue bound");
+                        states.push(QueryState {
+                            id: request.id,
+                            tenant,
+                            arrival: request.arrival,
+                            deadline,
+                            address,
+                            attempts: 1,
+                            outstanding: 1,
+                            done: false,
+                            last_replica: target,
+                            hedged: false,
+                            hedge_replica: None,
+                        });
+                        *outstanding.entry(tenant).or_insert(0) += 1;
+                        open += 1;
+                        if let Some(delay) = fault_config.hedge_delay {
+                            if self.policy.tenant_slo(tenant) == SloClass::Interactive {
+                                events.push(request.arrival + delay, Event::HedgeCheck { qid });
+                            }
+                        }
+                        pump = Some(target);
+                    }
+                }
+            } else if let Some((at, event)) = events.pop() {
+                now = at;
+                match event {
+                    Event::Write(write) => {
+                        // A write addressed at a dead origin commits at
+                        // the first live replica instead: writes survive
+                        // crashes even when the client's affinity target
+                        // is down.
+                        let origin = if alive[write.origin] {
+                            write.origin
+                        } else {
+                            (0..num_replicas)
+                                .find(|&r| alive[r])
+                                .unwrap_or(write.origin)
+                        };
+                        let epoch = replicated.write_at(origin, write.address, write.value);
+                        let applied = replicated.applied_epoch(origin);
+                        snapshots[origin].insert(applied, replicated.memory(origin).clone());
+                        if num_replicas > 1 {
+                            match plan.replication_fate(epoch) {
+                                ReplicationFate::Deliver => {
+                                    events.push(
+                                        now + self.config.replication_lag,
+                                        Event::Replicate { epoch },
+                                    );
+                                }
+                                ReplicationFate::Drop => {}
+                                ReplicationFate::Delay(by) => {
+                                    events.push(
+                                        now + self.config.replication_lag + by,
+                                        Event::Replicate { epoch },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Event::Replicate { epoch } => {
+                        // Dead replicas miss the catch-up; recovery replay
+                        // carries them past it before they rejoin.
+                        for (r, snaps) in snapshots.iter_mut().enumerate() {
+                            if alive[r] && replicated.catch_up_to(r, epoch) > 0 {
+                                snaps.insert(
+                                    replicated.applied_epoch(r),
+                                    replicated.memory(r).clone(),
+                                );
+                            }
+                        }
+                    }
+                    Event::Completion { replica, index } => {
+                        if handled[replica][index] {
+                            // A crash already failed this dispatch over.
+                        } else {
+                            handled[replica][index] = true;
+                            let qid = dispatch_qids[replica][index];
+                            let tenant = replicas[replica].tenant_of(index);
+                            let record = replicas[replica].complete(index, now);
+                            if monitoring
+                                && health[replica] == ReplicaHealth::Healthy
+                                && (record.finish - record.start).get()
+                                    > latency.get() * fault_config.latency_margin
+                            {
+                                // Completion-latency assertion: a replica
+                                // serving far over nominal is suspect.
+                                health[replica] = ReplicaHealth::Suspect;
+                            }
+                            if plan.corrupts(replica, index) {
+                                corrupted_served.push((replica, index));
+                                lose_attempt(
+                                    qid,
+                                    now,
+                                    retry,
+                                    &mut states,
+                                    &mut events,
+                                    &mut shed,
+                                    &mut outstanding,
+                                    &mut counters,
+                                    &mut open,
+                                );
+                            } else if states[qid].done {
+                                // The hedge's other copy already won.
+                                states[qid].outstanding = states[qid].outstanding.saturating_sub(1);
+                            } else {
+                                let state = &mut states[qid];
+                                state.done = true;
+                                state.outstanding = state.outstanding.saturating_sub(1);
+                                if state.hedge_replica == Some(replica) {
+                                    counters.hedge_wins += 1;
+                                }
+                                let query = FleetQuery {
+                                    id: state.id,
+                                    tenant,
+                                    arrival: state.arrival,
+                                    start: record.start,
+                                    finish: record.finish,
+                                    replica,
+                                    shard: record.shard,
+                                    epoch: dispatch_epochs[replica][index],
+                                    stale: dispatch_stale[replica][index],
+                                    attempts: state.attempts,
+                                };
+                                stale_served += u64::from(query.stale);
+                                per_tenant.record(tenant, query.response_latency());
+                                per_replica.record(replica, query.response_latency());
+                                *outstanding.get_mut(&tenant).expect("tenant accepted") -= 1;
+                                open -= 1;
+                                completed.push(query);
+                                completed_dispatch.push((replica, index));
+                            }
+                            pump = Some(replica);
+                        }
+                    }
+                    Event::Poll { replica } => {
+                        if alive[replica] {
+                            replicas[replica].ack_poll(now);
+                            pump = Some(replica);
+                        }
+                    }
+                    Event::Crash { replica } => {
+                        if alive[replica] {
+                            alive[replica] = false;
+                            counters.crashes += 1;
+                            down_since[replica] = Some(now);
+                            rejoin_at[replica] = None;
+                            for qid in replicas[replica].fail() {
+                                strand(qid, &mut states, &mut pending_failover[replica]);
+                            }
+                            for index in 0..dispatch_qids[replica].len() {
+                                if !handled[replica][index] {
+                                    handled[replica][index] = true;
+                                    strand(
+                                        dispatch_qids[replica][index],
+                                        &mut states,
+                                        &mut pending_failover[replica],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Event::Recover { replica } => {
+                        if !alive[replica] {
+                            alive[replica] = true;
+                            health[replica] = ReplicaHealth::Recovering;
+                            misses[replica] = 0;
+                            for qid in std::mem::take(&mut pending_failover[replica]) {
+                                counters.failovers += 1;
+                                lose_attempt(
+                                    qid,
+                                    now,
+                                    retry,
+                                    &mut states,
+                                    &mut events,
+                                    &mut shed,
+                                    &mut outstanding,
+                                    &mut counters,
+                                    &mut open,
+                                );
+                            }
+                            let replay = Layers::new(
+                                fault_config.replay_per_entry.get()
+                                    * replicated.lag(replica) as f64,
+                            );
+                            rejoin_at[replica] = Some((now + replay).get());
+                            events.push(now + replay, Event::RejoinDone { replica });
+                        }
+                    }
+                    Event::RejoinDone { replica } => {
+                        // The token guards against a crash during replay:
+                        // a re-crash clears it and this firing is stale.
+                        if alive[replica] && rejoin_at[replica] == Some(now.get()) {
+                            rejoin_at[replica] = None;
+                            let chunk = fault_config.replay_chunk.max(1);
+                            while replicated.catch_up_by(replica, chunk) > 0 {}
+                            snapshots[replica].insert(
+                                replicated.applied_epoch(replica),
+                                replicated.memory(replica).clone(),
+                            );
+                            health[replica] = ReplicaHealth::Healthy;
+                            counters.recoveries += 1;
+                            if let Some(since) = down_since[replica].take() {
+                                counters.record_downtime(now - since);
+                            }
+                            pump = Some(replica);
+                        }
+                    }
+                    Event::StallStart { replica, shard } => {
+                        replicas[replica].set_shard_stall(shard, true);
+                    }
+                    Event::StallEnd { replica, shard } => {
+                        replicas[replica].set_shard_stall(shard, false);
+                        if alive[replica] {
+                            pump = Some(replica);
+                        }
+                    }
+                    Event::MonitorTick => {
+                        for r in 0..num_replicas {
+                            if alive[r] {
+                                misses[r] = 0;
+                                if health[r] == ReplicaHealth::Suspect {
+                                    health[r] = ReplicaHealth::Healthy;
+                                }
+                            } else {
+                                misses[r] += 1;
+                                if misses[r] >= 2 && health[r] != ReplicaHealth::Down {
+                                    health[r] = ReplicaHealth::Down;
+                                    // Scoop queries offered between the
+                                    // crash and its detection, then fail
+                                    // everything stranded here over.
+                                    for qid in replicas[r].fail() {
+                                        strand(qid, &mut states, &mut pending_failover[r]);
+                                    }
+                                    for qid in std::mem::take(&mut pending_failover[r]) {
+                                        counters.failovers += 1;
+                                        lose_attempt(
+                                            qid,
+                                            now,
+                                            retry,
+                                            &mut states,
+                                            &mut events,
+                                            &mut shed,
+                                            &mut outstanding,
+                                            &mut counters,
+                                            &mut open,
+                                        );
+                                    }
+                                } else if misses[r] == 1 && health[r] != ReplicaHealth::Down {
+                                    health[r] = ReplicaHealth::Suspect;
+                                }
+                            }
+                        }
+                        if let Some(controller) = brownout.as_mut() {
+                            let routable: Vec<usize> = (0..num_replicas)
+                                .filter(|&r| health[r].routable())
+                                .collect();
+                            let occupancy = if routable.is_empty() {
+                                1.0
+                            } else {
+                                routable.iter().map(|&r| replicas[r].load()).sum::<usize>() as f64
+                                    / (routable.len() * replica_slots) as f64
+                            };
+                            controller.observe(occupancy);
+                        }
+                        if open > 0 || arrivals.peek().is_some() {
+                            events.push(now + fault_config.monitor_interval, Event::MonitorTick);
+                        }
+                    }
+                    Event::Retry { qid } => {
+                        if !states[qid].done {
+                            let loads = snapshot_loads(&replicas, &health);
+                            let probe = FleetRequest {
+                                id: states[qid].id,
+                                tenant: states[qid].tenant,
+                                arrival: states[qid].arrival,
+                                address: states[qid]
+                                    .address
+                                    .clone()
+                                    .expect("faulty runs keep addresses"),
+                            };
+                            let target = self.placement.place(&probe, &loads);
+                            assert!(
+                                target < num_replicas,
+                                "placement returned replica {target} of {num_replicas}"
+                            );
+                            let offered = loads[target].routable()
+                                && replicas[target].offer(
+                                    probe.id,
+                                    qid,
+                                    probe.tenant,
+                                    probe.arrival,
+                                    states[qid].deadline,
+                                    probe.address,
+                                );
+                            states[qid].attempts += 1;
+                            if offered {
+                                states[qid].outstanding += 1;
+                                states[qid].last_replica = target;
+                                pump = Some(target);
+                            } else {
+                                // Nowhere routable (or the queue was
+                                // full): the failed placement consumes an
+                                // attempt so the budget still bounds the
+                                // loop.
+                                lose_attempt(
+                                    qid,
+                                    now,
+                                    retry,
+                                    &mut states,
+                                    &mut events,
+                                    &mut shed,
+                                    &mut outstanding,
+                                    &mut counters,
+                                    &mut open,
+                                );
+                            }
+                        }
+                    }
+                    Event::HedgeCheck { qid } => {
+                        let eligible = !states[qid].done
+                            && states[qid].outstanding == 1
+                            && !states[qid].hedged;
+                        if eligible {
+                            let candidate = (0..num_replicas)
+                                .filter(|&r| {
+                                    health[r].routable()
+                                        && replicas[r].has_queue_room()
+                                        && r != states[qid].last_replica
+                                })
+                                .min_by_key(|&r| (replicas[r].load(), r));
+                            if let Some(target) = candidate {
+                                let offered = replicas[target].offer(
+                                    states[qid].id,
+                                    qid,
+                                    states[qid].tenant,
+                                    states[qid].arrival,
+                                    states[qid].deadline,
+                                    states[qid]
+                                        .address
+                                        .clone()
+                                        .expect("hedging runs keep addresses"),
+                                );
+                                if offered {
+                                    let state = &mut states[qid];
+                                    state.hedged = true;
+                                    state.hedge_replica = Some(target);
+                                    state.outstanding += 1;
+                                    counters.hedges += 1;
+                                    pump = Some(target);
+                                }
+                            }
+                        }
+                    }
+                    Event::Expired { qid } => {
+                        states[qid].outstanding = states[qid].outstanding.saturating_sub(1);
+                        if !states[qid].done && states[qid].outstanding == 0 {
+                            counters.deadline_expirations += 1;
+                            finish_shed(
+                                qid,
+                                ShedReason::DeadlineExceeded,
+                                &mut states,
+                                &mut shed,
+                                &mut outstanding,
+                                &mut open,
+                            );
+                        }
+                    }
+                }
+            } else {
+                break;
+            }
+            if let Some(target) = pump {
+                if alive[target] {
+                    let range = replicas[target].pump(now, &mut self.policy, |time, ev| {
+                        match ev {
+                            ReplicaEvent::Completion { index } => {
+                                // A slow-replica window stretches the
+                                // service time of completions starting
+                                // inside it (guarded so the fault-free
+                                // path never round-trips the timestamp
+                                // through float arithmetic).
+                                let mut at = time;
+                                if has_slow {
+                                    let start = time - latency;
+                                    let factor = plan.slow_factor(target, start);
+                                    if factor != 1.0 {
+                                        at = start + Layers::new(latency.get() * factor);
+                                    }
+                                }
+                                events.push(
+                                    at,
+                                    Event::Completion {
+                                        replica: target,
+                                        index,
+                                    },
+                                );
+                            }
+                            ReplicaEvent::Poll => {
+                                events.push(time, Event::Poll { replica: target });
+                            }
+                            ReplicaEvent::Expired { tag } => {
+                                events.push(time, Event::Expired { qid: tag });
+                            }
+                        }
+                    });
+                    for idx in range {
+                        dispatch_epochs[target].push(replicated.applied_epoch(target));
+                        dispatch_stale[target].push(replicated.is_stale(target));
+                        dispatch_qids[target].push(replicas[target].tag_of(idx));
+                        handled[target].push(false);
+                    }
+                }
+            }
+        }
+
+        let per_replica_dispatches: Vec<u64> =
+            replicas.iter().map(|r| r.dispatch_count() as u64).collect();
+        // The no-lost-queries invariant: every admitted query resolved as
+        // Completed or Shed. (Queued hedge-loser copies may legitimately
+        // strand on a crashed-and-never-detected replica, so queue
+        // emptiness is NOT asserted here, unlike the fault-free loop.)
+        debug_assert!(
+            states.iter().all(|s| s.done),
+            "every admitted query completes or sheds"
+        );
+        debug_assert!(outstanding.values().all(|&n| n == 0));
+
+        let mut outcomes_by_replica: Vec<Vec<QueryOutcome>> = Vec::with_capacity(num_replicas);
+        for (r, replica) in replicas.into_iter().enumerate() {
+            let addresses = replica.into_addresses();
+            let epochs = &dispatch_epochs[r];
+            let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(addresses.len());
+            let mut lo = 0;
+            while lo < addresses.len() {
+                let mut hi = lo + 1;
+                while hi < addresses.len() && epochs[hi] == epochs[lo] {
+                    hi += 1;
+                }
+                let snapshot = &snapshots[r][&epochs[lo]];
+                outcomes.extend(self.backends[r].execute_queries(
+                    snapshot,
+                    &addresses[lo..hi],
+                    &[],
+                )?);
+                lo = hi;
+            }
+            outcomes_by_replica.push(outcomes);
+        }
+        // Align outcomes with the completion-ordered report. Unlike the
+        // fault-free cursor walk, crashed and corrupted dispatches leave
+        // holes in a replica's completion order, so each completed query
+        // fetches its outcome by its recorded dispatch index (identical
+        // to the cursor walk when nothing faults).
+        let outcomes: Vec<QueryOutcome> = completed_dispatch
+            .iter()
+            .map(|&(r, index)| outcomes_by_replica[r][index].clone())
+            .collect();
+
+        // Corrupted completions were re-served under the retry budget;
+        // verify the parity check would indeed have caught each one.
+        for &(r, index) in &corrupted_served {
+            let clean = &outcomes_by_replica[r][index];
+            let delivered = corrupt_outcome(clean);
+            if parity_bit(&delivered) != parity_bit(clean) {
+                counters.corruptions_detected += 1;
+            }
+        }
+
+        Ok(FleetReport {
+            timing: self.timing,
+            completed,
+            outcomes,
+            shed,
+            per_replica_dispatches,
+            per_tenant,
+            per_replica,
+            stale_served,
+            fleet_epoch: replicated.fleet_epoch(),
+            availability: counters,
+        })
+    }
+}
+
+/// Driver-private bookkeeping for one admitted query in the
+/// fault-tolerant loop.
+#[derive(Debug)]
+struct QueryState {
+    id: usize,
+    tenant: TenantId,
+    arrival: Layers,
+    deadline: Option<Layers>,
+    /// The queried address, kept for re-dispatch. `None` in fault-free
+    /// runs without hedging (no clone on the hot path).
+    address: Option<AddressState>,
+    /// Dispatch attempts consumed, counting the first.
+    attempts: u32,
+    /// Live copies: queued or in-flight offers of this query.
+    outstanding: u32,
+    /// Resolved — completed or shed. Terminal.
+    done: bool,
+    last_replica: usize,
+    hedged: bool,
+    hedge_replica: Option<usize>,
+}
+
+fn snapshot_loads(replicas: &[Replica], health: &[ReplicaHealth]) -> Vec<ReplicaLoad> {
+    replicas
+        .iter()
+        .zip(health)
+        .map(|(r, &h)| ReplicaLoad {
+            queued: r.queued(),
+            in_flight: r.in_flight(),
+            has_room: r.has_queue_room(),
+            health: h,
+        })
+        .collect()
+}
+
+/// A copy of query `qid` was lost on a crashed replica: already-resolved
+/// queries just drop the copy, live ones wait in `pending` for failover.
+fn strand(qid: usize, states: &mut [QueryState], pending: &mut Vec<usize>) {
+    if states[qid].done {
+        states[qid].outstanding = states[qid].outstanding.saturating_sub(1);
+    } else {
+        pending.push(qid);
+    }
+}
+
+/// Resolves query `qid` as shed, releasing its quota slot.
+fn finish_shed(
+    qid: usize,
+    reason: ShedReason,
+    states: &mut [QueryState],
+    shed: &mut Vec<ShedRequest>,
+    outstanding_map: &mut BTreeMap<TenantId, u32>,
+    open: &mut usize,
+) {
+    debug_assert!(!states[qid].done, "a query resolves exactly once");
+    states[qid].done = true;
+    shed.push(ShedRequest {
+        id: states[qid].id,
+        tenant: states[qid].tenant,
+        reason,
+    });
+    *outstanding_map
+        .get_mut(&states[qid].tenant)
+        .expect("tenant admitted") -= 1;
+    *open -= 1;
+}
+
+/// One dispatch attempt of query `qid` was lost (crash, corruption, or an
+/// unplaceable retry). When no other copy is live, schedule a retry after
+/// the backoff — or shed if the budget is exhausted or the backoff would
+/// overrun the deadline.
+#[allow(clippy::too_many_arguments)]
+fn lose_attempt(
+    qid: usize,
+    now: Layers,
+    retry: &RetryPolicy,
+    states: &mut [QueryState],
+    events: &mut EventQueue<Event>,
+    shed: &mut Vec<ShedRequest>,
+    outstanding_map: &mut BTreeMap<TenantId, u32>,
+    counters: &mut AvailabilityCounters,
+    open: &mut usize,
+) {
+    states[qid].outstanding = states[qid].outstanding.saturating_sub(1);
+    if states[qid].done || states[qid].outstanding > 0 {
+        return;
+    }
+    let attempts = states[qid].attempts;
+    if retry.budget_exhausted(attempts) {
+        finish_shed(
+            qid,
+            ShedReason::RetriesExhausted,
+            states,
+            shed,
+            outstanding_map,
+            open,
+        );
+        return;
+    }
+    let at = now + retry.backoff(attempts);
+    if states[qid].deadline.is_some_and(|deadline| at > deadline) {
+        counters.deadline_expirations += 1;
+        finish_shed(
+            qid,
+            ShedReason::DeadlineExceeded,
+            states,
+            shed,
+            outstanding_map,
+            open,
+        );
+        return;
+    }
+    counters.retries += 1;
+    events.push(at, Event::Retry { qid });
 }
 
 #[cfg(test)]
@@ -997,5 +1988,86 @@ mod tests {
         assert_eq!(report.completed().len(), 6);
         assert_eq!(report.shed_count(ShedReason::QueueFull), 1);
         assert_eq!(report.per_replica_dispatches(), &[3, 3]);
+    }
+
+    fn load(queued: usize, in_flight: u32, health: ReplicaHealth) -> ReplicaLoad {
+        ReplicaLoad {
+            queued,
+            in_flight,
+            has_room: true,
+            health,
+        }
+    }
+
+    fn probe() -> FleetRequest {
+        FleetRequest {
+            id: 0,
+            tenant: TenantId::DEFAULT,
+            arrival: Layers::ZERO,
+            address: AddressState::classical(6, 0).unwrap(),
+        }
+    }
+
+    #[test]
+    fn least_loaded_breaks_load_ties_to_the_lowest_index() {
+        // Regression: equal loads must pick the lowest index
+        // deterministically, not whichever the iterator happened to
+        // yield — replicas 1 and 3 tie below replica 0's load.
+        let h = ReplicaHealth::Healthy;
+        let loads = [load(2, 1, h), load(1, 1, h), load(4, 0, h), load(0, 2, h)];
+        assert_eq!(LeastLoadedPlacement.place(&probe(), &loads), 1);
+        // A full tie across the fleet picks replica 0.
+        let tied = [load(1, 1, h), load(2, 0, h), load(0, 2, h)];
+        assert_eq!(LeastLoadedPlacement.place(&probe(), &tied), 0);
+    }
+
+    #[test]
+    fn least_loaded_ranks_suspects_after_healthy_and_skips_the_down() {
+        let loads = [
+            load(0, 0, ReplicaHealth::Suspect),
+            load(3, 1, ReplicaHealth::Healthy),
+            load(1, 0, ReplicaHealth::Down),
+        ];
+        // The idle suspect loses to the loaded healthy replica; the even
+        // less loaded Down replica is not routable at all.
+        assert_eq!(LeastLoadedPlacement.place(&probe(), &loads), 1);
+        // With every routable replica suspect, the least-loaded suspect
+        // wins; only a fully unroutable fleet falls back to anyone.
+        let suspects = [
+            load(2, 0, ReplicaHealth::Suspect),
+            load(1, 0, ReplicaHealth::Suspect),
+            load(0, 0, ReplicaHealth::Down),
+        ];
+        assert_eq!(LeastLoadedPlacement.place(&probe(), &suspects), 1);
+        let unroutable = [
+            load(2, 0, ReplicaHealth::Down),
+            load(1, 0, ReplicaHealth::Recovering),
+        ];
+        assert_eq!(LeastLoadedPlacement.place(&probe(), &unroutable), 1);
+    }
+
+    #[test]
+    fn consistent_hash_probes_the_ring_past_down_replicas() {
+        // Address 0 homes at replica 0; with it Down the probe walks the
+        // ring to the next routable replica.
+        let loads = [
+            load(0, 0, ReplicaHealth::Down),
+            load(5, 2, ReplicaHealth::Recovering),
+            load(9, 3, ReplicaHealth::Healthy),
+        ];
+        assert_eq!(ConsistentHashPlacement.place(&probe(), &loads), 2);
+        // Fully healthy, the probe never moves off the home replica.
+        let healthy = [
+            load(9, 3, ReplicaHealth::Healthy),
+            load(0, 0, ReplicaHealth::Healthy),
+        ];
+        assert_eq!(ConsistentHashPlacement.place(&probe(), &healthy), 0);
+        // Nothing routable: fall back to the home replica (the arrival is
+        // then shed as NoHealthyReplica by the router).
+        let dead = [
+            load(0, 0, ReplicaHealth::Down),
+            load(0, 0, ReplicaHealth::Down),
+        ];
+        assert_eq!(ConsistentHashPlacement.place(&probe(), &dead), 0);
     }
 }

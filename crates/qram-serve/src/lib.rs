@@ -46,15 +46,27 @@
 //!   pluggable [`PlacementPolicy`], per-tenant quotas and SLO classes at
 //!   admission, epoch-replicated memory writes with flagged stale reads,
 //!   and per-tenant/per-replica rollups in a [`FleetReport`].
+//! * [`FaultPlan`] — deterministic fault injection for the fleet: crashes
+//!   and recoveries, slow replicas, stalled shard queues, dropped or
+//!   delayed replication catch-ups, and corrupted outcomes, driven
+//!   through the same event reactor for replayable chaos runs. The
+//!   serving loop answers with health-driven failover, backoff retries,
+//!   hedged dispatch, deadlines, and [`BrownoutController`] degradation
+//!   (see [`QramFleet::serve_with_faults`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod fleet;
 pub mod reactor;
 pub mod replica;
 pub mod service;
 
+pub use fault::{
+    corrupt_outcome, parity_bit, BrownoutConfig, BrownoutController, Fault, FaultConfig, FaultPlan,
+    ReplicaHealth, ReplicationFate,
+};
 pub use fleet::{
     ConsistentHashPlacement, FleetConfig, FleetQuery, FleetReport, FleetRequest, FleetWrite,
     LeastLoadedPlacement, PlacementPolicy, QramFleet, ReplicaLoad, ShedReason, ShedRequest,

@@ -60,8 +60,17 @@ impl CompletedQuery {
 #[derive(Debug)]
 struct Pending {
     id: usize,
+    /// Driver-private handle reported back through [`ReplicaEvent::Expired`]
+    /// and [`Replica::fail`] — unlike `id` it must be unique per offer
+    /// (the fleet uses its query-state index; the service reuses `id`).
+    tag: usize,
+    /// Accepted-order sequence number: drives round-robin shard selection
+    /// even when expiries consume a slot without dispatching.
+    seq: usize,
     tenant: TenantId,
     arrival: Layers,
+    /// Absolute instant after which the request may no longer dispatch.
+    deadline: Option<Layers>,
     address: AddressState,
 }
 
@@ -79,6 +88,13 @@ pub enum ReplicaEvent {
     },
     /// Wake the dispatcher at an admission-interval boundary.
     Poll,
+    /// A queued request's deadline passed before it could dispatch: the
+    /// replica dropped it (it consumes its round-robin slot but never
+    /// dispatches, completes, or executes).
+    Expired {
+        /// The driver-private handle passed to [`Replica::offer`].
+        tag: usize,
+    },
 }
 
 /// The serving core of one QRAM replica: round-robin shard queues, a
@@ -96,6 +112,12 @@ pub struct Replica {
     shard_queues: Vec<VecDeque<Pending>>,
     pending_total: usize,
     accepted: usize,
+    /// Accepted-order index of the next request to consume (dispatch or
+    /// expire) — equals `dispatched.len()` only while nothing expires.
+    next_seq: usize,
+    /// Per-shard stall flags (injected faults): a stalled shard at the
+    /// round-robin head blocks the whole strict-FIFO dispatcher.
+    stalled: Vec<bool>,
     /// Dispatch-ordered: (request, start, shard).
     dispatched: Vec<(Pending, Layers, usize)>,
     per_shard_dispatches: Vec<u64>,
@@ -135,6 +157,8 @@ impl Replica {
             shard_queues: (0..shards).map(|_| VecDeque::new()).collect(),
             pending_total: 0,
             accepted: 0,
+            next_seq: 0,
+            stalled: vec![false; shards],
             dispatched: Vec::new(),
             per_shard_dispatches: vec![0; shards],
             inflight: 0,
@@ -197,6 +221,44 @@ impl Replica {
         self.dispatched[index].0.tenant
     }
 
+    /// The driver-private tag of the `index`-th dispatched query.
+    #[must_use]
+    pub fn tag_of(&self, index: usize) -> usize {
+        self.dispatched[index].0.tag
+    }
+
+    /// Freezes or thaws one shard's dispatch queue (an injected fault).
+    /// While the round-robin head sits on a stalled shard the whole
+    /// dispatcher blocks — strict FIFO admits nothing out of order. The
+    /// driver must re-pump when the stall lifts.
+    pub fn set_shard_stall(&mut self, shard: usize, stalled: bool) {
+        self.stalled[shard] = stalled;
+    }
+
+    /// Takes the replica offline (a crash fault): drains the queued
+    /// requests — returning their tags in accepted order so the driver
+    /// can fail them over — zeroes the in-flight accounting (those
+    /// queries are lost; the driver discards their completion events),
+    /// and clears the poll latch. The dispatch history survives so
+    /// already-completed work keeps its indices, and the round-robin
+    /// cursor advances past the drained requests so dispatch stays
+    /// aligned if the replica later rejoins.
+    pub fn fail(&mut self) -> Vec<usize> {
+        let mut drained: Vec<(usize, usize)> = Vec::with_capacity(self.pending_total);
+        for queue in &mut self.shard_queues {
+            for pending in queue.drain(..) {
+                drained.push((pending.seq, pending.tag));
+            }
+        }
+        drained.sort_unstable();
+        self.pending_total = 0;
+        self.inflight = 0;
+        self.shard_inflight = vec![0; self.shards];
+        self.poll_at = None;
+        self.next_seq = self.accepted;
+        drained.into_iter().map(|(_, tag)| tag).collect()
+    }
+
     /// This replica's response-latency histogram (arrival → completion).
     #[must_use]
     pub fn histogram(&self) -> &LatencyHistogram {
@@ -206,12 +268,17 @@ impl Replica {
     /// Offers an arrival to the replica: queues it at shard
     /// `accepted mod K` and returns `true`, or returns `false` when the
     /// bounded arrival queue is full (the request is shed — the replica
-    /// records nothing).
+    /// records nothing). `tag` is a driver-private handle echoed back by
+    /// [`ReplicaEvent::Expired`] and [`Replica::fail`]; `deadline`, if
+    /// set, is the absolute instant past which the request expires
+    /// instead of dispatching.
     pub fn offer(
         &mut self,
         id: usize,
+        tag: usize,
         tenant: TenantId,
         arrival: Layers,
+        deadline: Option<Layers>,
         address: AddressState,
     ) -> bool {
         if !self.has_queue_room() {
@@ -219,8 +286,11 @@ impl Replica {
         }
         self.shard_queues[self.accepted % self.shards].push_back(Pending {
             id,
+            tag,
+            seq: self.accepted,
             tenant,
             arrival,
+            deadline,
             address,
         });
         self.accepted += 1;
@@ -276,7 +346,13 @@ impl Replica {
         let first_new = self.dispatched.len();
         loop {
             let next_index = self.dispatched.len();
-            let shard = next_index % self.shards;
+            let shard = self.next_seq % self.shards;
+            if self.stalled[shard] {
+                // An injected stall at the round-robin head: strict FIFO
+                // blocks the whole dispatcher until the driver thaws the
+                // shard and re-pumps.
+                break;
+            }
             let Some(head) = self.shard_queues[shard].front() else {
                 // Strict FIFO: the next accepted query has not arrived.
                 break;
@@ -309,6 +385,17 @@ impl Replica {
                 start.get(),
                 earliest.get()
             );
+            if head.deadline.is_some_and(|deadline| start > deadline) {
+                // The earliest admissible start already overruns the
+                // deadline: the request can never dispatch in time, so it
+                // expires now instead of waiting unboundedly. It consumes
+                // its round-robin slot but leaves no dispatch record.
+                let pending = self.shard_queues[shard].pop_front().expect("head exists");
+                self.pending_total -= 1;
+                self.next_seq += 1;
+                schedule(now, ReplicaEvent::Expired { tag: pending.tag });
+                continue;
+            }
             if start > now {
                 // Blocked on the admission interval (or a delaying
                 // policy): wake the dispatcher at the boundary.
@@ -320,6 +407,7 @@ impl Replica {
             }
             let pending = self.shard_queues[shard].pop_front().expect("head exists");
             self.pending_total -= 1;
+            self.next_seq += 1;
             self.last_dispatch = Some(start);
             self.inflight += 1;
             self.shard_inflight[shard] += 1;
@@ -358,7 +446,14 @@ mod tests {
     fn round_robin_offer_and_strict_fifo_pump() {
         let mut r = Replica::new(2, 4, Layers::new(4.0), Layers::new(10.0), 8, None);
         for id in 0..4 {
-            assert!(r.offer(id, TenantId::DEFAULT, Layers::ZERO, classical(4, id as u64)));
+            assert!(r.offer(
+                id,
+                id,
+                TenantId::DEFAULT,
+                Layers::ZERO,
+                None,
+                classical(4, id as u64)
+            ));
         }
         let mut events = Vec::new();
         let range = r.pump(Layers::ZERO, &mut FifoAdmission, |t, e| events.push((t, e)));
@@ -374,7 +469,14 @@ mod tests {
     fn poll_latch_deduplicates_wakeups() {
         let mut r = Replica::new(1, 4, Layers::new(4.0), Layers::new(10.0), 4, None);
         for id in 0..3 {
-            r.offer(id, TenantId::DEFAULT, Layers::ZERO, classical(4, 0));
+            r.offer(
+                id,
+                id,
+                TenantId::DEFAULT,
+                Layers::ZERO,
+                None,
+                classical(4, 0),
+            );
         }
         let mut polls = 0;
         r.pump(Layers::ZERO, &mut FifoAdmission, |_, e| {
@@ -397,17 +499,17 @@ mod tests {
     #[test]
     fn bounded_queue_refuses_offers_when_full() {
         let mut r = Replica::new(1, 1, Layers::new(4.0), Layers::new(10.0), 1, Some(2));
-        assert!(r.offer(0, TenantId::DEFAULT, Layers::ZERO, classical(4, 0)));
-        assert!(r.offer(1, TenantId::DEFAULT, Layers::ZERO, classical(4, 1)));
+        assert!(r.offer(0, 0, TenantId::DEFAULT, Layers::ZERO, None, classical(4, 0)));
+        assert!(r.offer(1, 1, TenantId::DEFAULT, Layers::ZERO, None, classical(4, 1)));
         assert!(!r.has_queue_room());
-        assert!(!r.offer(2, TenantId::DEFAULT, Layers::ZERO, classical(4, 2)));
+        assert!(!r.offer(2, 2, TenantId::DEFAULT, Layers::ZERO, None, classical(4, 2)));
         assert_eq!(r.queued(), 2);
     }
 
     #[test]
     fn completion_frees_slots_and_records_latency() {
         let mut r = Replica::new(1, 1, Layers::new(4.0), Layers::new(10.0), 1, None);
-        r.offer(7, TenantId(3), Layers::new(1.0), classical(4, 5));
+        r.offer(7, 7, TenantId(3), Layers::new(1.0), None, classical(4, 5));
         r.pump(Layers::new(1.0), &mut FifoAdmission, |_, _| {});
         assert_eq!(r.load(), 1);
         let rec = r.complete(0, Layers::new(11.0));
@@ -416,5 +518,106 @@ mod tests {
         assert_eq!(r.tenant_of(0), TenantId(3));
         assert_eq!(r.in_flight(), 0);
         assert_eq!(r.histogram().count(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_skips_dispatch_but_keeps_round_robin_aligned() {
+        // One pipeline slot, 10-layer queries: the second offer cannot
+        // start before t = 10, past its deadline of 5 — it expires and
+        // the third offer (same shard, deadline met) dispatches next.
+        let mut r = Replica::new(1, 1, Layers::new(4.0), Layers::new(10.0), 1, None);
+        r.offer(
+            0,
+            100,
+            TenantId::DEFAULT,
+            Layers::ZERO,
+            None,
+            classical(4, 0),
+        );
+        r.offer(
+            1,
+            101,
+            TenantId::DEFAULT,
+            Layers::ZERO,
+            Some(Layers::new(5.0)),
+            classical(4, 1),
+        );
+        r.offer(
+            2,
+            102,
+            TenantId::DEFAULT,
+            Layers::ZERO,
+            None,
+            classical(4, 2),
+        );
+        r.pump(Layers::ZERO, &mut FifoAdmission, |_, _| {});
+        r.complete(0, Layers::new(10.0));
+        let mut events = Vec::new();
+        let range = r.pump(Layers::new(10.0), &mut FifoAdmission, |t, e| {
+            events.push((t, e));
+        });
+        assert!(events.contains(&(Layers::new(10.0), ReplicaEvent::Expired { tag: 101 })));
+        assert_eq!(range, 1..2, "the survivor takes the next dispatch index");
+        assert_eq!(r.tag_of(1), 102);
+        assert_eq!(r.queued(), 0);
+    }
+
+    #[test]
+    fn stalled_shard_blocks_the_strict_fifo_dispatcher() {
+        let mut r = Replica::new(2, 4, Layers::new(4.0), Layers::new(10.0), 8, None);
+        for id in 0..4 {
+            r.offer(
+                id,
+                id,
+                TenantId::DEFAULT,
+                Layers::ZERO,
+                None,
+                classical(4, id as u64),
+            );
+        }
+        r.set_shard_stall(0, true);
+        let range = r.pump(Layers::ZERO, &mut FifoAdmission, |_, _| {});
+        assert_eq!(range, 0..0, "head shard stalled: nothing dispatches");
+        r.set_shard_stall(0, false);
+        let range = r.pump(Layers::ZERO, &mut FifoAdmission, |_, _| {});
+        assert_eq!(range, 0..1, "thawed: dispatch resumes in FIFO order");
+    }
+
+    #[test]
+    fn fail_drains_queued_tags_in_accepted_order_and_zeroes_in_flight() {
+        let mut r = Replica::new(2, 4, Layers::new(4.0), Layers::new(10.0), 8, None);
+        for id in 0..5 {
+            r.offer(
+                id,
+                50 + id,
+                TenantId::DEFAULT,
+                Layers::ZERO,
+                None,
+                classical(4, id as u64),
+            );
+        }
+        r.pump(Layers::ZERO, &mut FifoAdmission, |_, _| {});
+        assert_eq!(r.in_flight(), 1);
+        let stranded = r.fail();
+        assert_eq!(
+            stranded,
+            vec![51, 52, 53, 54],
+            "queued tags, accepted order"
+        );
+        assert_eq!(r.queued(), 0);
+        assert_eq!(r.in_flight(), 0);
+        // The replica can rejoin: new offers dispatch with aligned
+        // round-robin and fresh dispatch indices.
+        r.offer(
+            9,
+            59,
+            TenantId::DEFAULT,
+            Layers::new(20.0),
+            None,
+            classical(4, 9),
+        );
+        let range = r.pump(Layers::new(20.0), &mut FifoAdmission, |_, _| {});
+        assert_eq!(range, 1..2);
+        assert_eq!(r.tag_of(1), 59);
     }
 }

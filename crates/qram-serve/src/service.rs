@@ -128,41 +128,34 @@ impl ServiceReport {
 
     /// The observation window of the run: first arrival → last completion
     /// (a trace starting deep into virtual time is not billed for the
-    /// idle prefix).
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing completed.
+    /// idle prefix). [`Layers::ZERO`] when nothing completed.
     #[must_use]
     pub fn window(&self) -> Layers {
-        assert!(!self.completed.is_empty(), "window of an empty run");
-        let first_arrival = self
-            .completed
-            .iter()
-            .map(|c| c.arrival)
-            .reduce(Layers::min)
-            .expect("non-empty");
+        let Some(first_arrival) = self.completed.iter().map(|c| c.arrival).reduce(Layers::min)
+        else {
+            return Layers::ZERO;
+        };
         self.makespan() - first_arrival
     }
 
-    /// Served queries per layer over the run (first arrival → makespan).
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing completed.
+    /// Served queries per layer over the run (first arrival → makespan);
+    /// `0.0` when nothing completed (never a division by zero).
     #[must_use]
     pub fn queries_per_layer(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
         self.completed.len() as f64 / self.window().get()
     }
 
     /// Served queries per second under the service's timing model, over
-    /// the same first-arrival → makespan window.
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing completed.
+    /// the same first-arrival → makespan window; [`QueryRate::ZERO`] when
+    /// nothing completed (never `NaN`).
     #[must_use]
     pub fn query_rate(&self) -> QueryRate {
+        if self.completed.is_empty() {
+            return QueryRate::ZERO;
+        }
         QueryRate::new(self.completed.len() as f64 / self.timing.layers_to_seconds(self.window()))
     }
 
@@ -359,8 +352,10 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
                 Event::Arrival(request) => {
                     if !replica.offer(
                         request.id,
+                        request.id,
                         TenantId::DEFAULT,
                         request.arrival,
+                        None,
                         request.address,
                     ) {
                         rejected.push(request.id);
@@ -379,6 +374,9 @@ impl<M: QramModel, P: AdmissionPolicy> QramService<M, P> {
                     match ev {
                         ReplicaEvent::Completion { index } => Event::Completion { index },
                         ReplicaEvent::Poll => Event::Poll,
+                        ReplicaEvent::Expired { .. } => {
+                            unreachable!("the service offers no deadlines")
+                        }
                     },
                 );
             });
@@ -577,6 +575,17 @@ mod tests {
         assert!((delayed.window() - at_zero.window()).get().abs() < 1e-9);
         assert!((delayed.queries_per_layer() - at_zero.queries_per_layer()).abs() < 1e-12);
         assert!((delayed.query_rate().get() - at_zero.query_rate().get()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_run_reports_zero_rates_without_panicking() {
+        let qram = ShardedQram::fat_tree(cap(64), 2);
+        let mut service = QramService::fifo(qram, TimingModel::paper_default());
+        let report = service.serve(&checkerboard(64), Vec::new()).unwrap();
+        assert_eq!(report.window(), Layers::ZERO);
+        assert_eq!(report.queries_per_layer(), 0.0);
+        assert_eq!(report.query_rate(), QueryRate::ZERO);
+        assert_eq!(report.latency_histogram().p99(), None);
     }
 
     #[test]

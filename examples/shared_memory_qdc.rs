@@ -105,9 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<10} {:>8} {:>14.1} {:>14.1} {:>14.1}",
             tenant.to_string(),
             histogram.count(),
-            timing.layers_to_micros(histogram.p50()),
-            timing.layers_to_micros(histogram.p95()),
-            timing.layers_to_micros(histogram.p99()),
+            timing.layers_to_micros(histogram.quantile(0.50)),
+            timing.layers_to_micros(histogram.quantile(0.95)),
+            timing.layers_to_micros(histogram.quantile(0.99)),
         );
     }
     println!();
@@ -117,7 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<10} {:>10} {:>14.1}",
             format!("replica{replica}"),
             report.per_replica_dispatches()[replica],
-            timing.layers_to_micros(histogram.p99()),
+            timing.layers_to_micros(histogram.quantile(0.99)),
         );
     }
     println!();

@@ -445,8 +445,8 @@ fn flash_crowd_with_quota_keeps_the_hot_tenant_p99_bounded() {
     // `quota` own dispatches: p99 < quota · I/K + latency.
     let server = QramFleet::fifo(ShardedQram::fat_tree(capacity, 4), 2, timing).equivalent_server();
     let bound = server.interval().get() * f64::from(quota) + server.latency().get();
-    let capped_p99 = capped.per_tenant().get(hot).unwrap().p99();
-    let uncapped_p99 = uncapped.per_tenant().get(hot).unwrap().p99();
+    let capped_p99 = capped.per_tenant().get(hot).unwrap().p99().unwrap();
+    let uncapped_p99 = uncapped.per_tenant().get(hot).unwrap().p99().unwrap();
     assert!(
         capped_p99.get() <= bound,
         "quota-capped p99 {} must stay within the quota-depth bound {}",
