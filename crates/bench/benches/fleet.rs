@@ -111,8 +111,8 @@ fn fleet(
     )
 }
 
-/// Appends one id/value line to the `CRITERION_JSON` baseline in the same
-/// shape the vendored criterion harness writes, so scalar measurements
+/// Appends one id/value line to the `CRITERION_JSON` stream with the
+/// `scalar` key (not `ns_per_iter`), so scalar measurements
 /// (here: served rates and latency percentiles) land in the same JSON
 /// record as the timings.
 fn record_scalar(id: &str, value: f64) {
@@ -122,7 +122,7 @@ fn record_scalar(id: &str, value: f64) {
             .append(true)
             .open(path)
         {
-            let _ = writeln!(f, "{{\"id\":\"{id}\",\"ns_per_iter\":{value:.1}}}");
+            let _ = writeln!(f, "{{\"id\":\"{id}\",\"scalar\":{value:.1}}}");
         }
     }
 }

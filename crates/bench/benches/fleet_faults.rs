@@ -117,10 +117,10 @@ fn crash_plan() -> FaultPlan {
         })
 }
 
-/// Appends one id/value line to the `CRITERION_JSON` baseline in the same
-/// shape the vendored criterion harness writes, so scalar measurements
-/// (here: per-phase availability and p99) land in the same JSON record
-/// as the timings.
+/// Appends one id/value line to the `CRITERION_JSON` stream with the
+/// `scalar` key (not `ns_per_iter`), so scalar measurements
+/// (here: per-phase availability and p99) land in the baseline's
+/// `scalars` section instead of the timing table.
 fn record_scalar(id: &str, value: f64) {
     if let Ok(path) = std::env::var("CRITERION_JSON") {
         if let Ok(mut f) = std::fs::OpenOptions::new()
@@ -128,7 +128,7 @@ fn record_scalar(id: &str, value: f64) {
             .append(true)
             .open(path)
         {
-            let _ = writeln!(f, "{{\"id\":\"{id}\",\"ns_per_iter\":{value:.1}}}");
+            let _ = writeln!(f, "{{\"id\":\"{id}\",\"scalar\":{value:.1}}}");
         }
     }
 }

@@ -18,6 +18,10 @@
 //! * [`latency`] — the closed-form latencies of Table 1.
 //! * [`model`] — the [`QramModel`] backend trait unifying all
 //!   architectures behind one lookup interface.
+//! * [`store`] — crash-consistent persistence for the fleet's
+//!   replicated write stream: a CRC32-framed write-ahead log, atomic
+//!   checkpoints with WAL compaction, kill-point-tested recovery, and
+//!   the chunked digests behind anti-entropy scrubbing.
 //! * [`BucketBrigadeQram`] / [`FatTreeQram`] — the two architectures as
 //!   ready-to-use types.
 //! * [`ShardedQram`] — `K` shards of either architecture behind an
@@ -52,6 +56,7 @@ pub mod model;
 pub mod ops;
 pub mod pipeline;
 pub mod query_ops;
+pub mod store;
 pub mod tree;
 
 mod bucket_brigade;

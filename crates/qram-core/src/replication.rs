@@ -185,10 +185,51 @@ impl ReplicatedMemory {
     /// order — the chunked-replay primitive a Recovering replica uses to
     /// drain its backlog across several replay steps (new writes may keep
     /// landing in the log between chunks; they simply extend the backlog).
+    /// A `max_entries` of `0` means "no limit": the entire backlog drains
+    /// in one step, so a caller-supplied chunk size of zero degrades to
+    /// full catch-up instead of replaying nothing per step forever.
     /// Returns the number of entries applied.
     pub fn catch_up_by(&mut self, replica: usize, max_entries: u64) -> u64 {
+        if max_entries == 0 {
+            return self.catch_up(replica);
+        }
         let target = self.applied[replica].saturating_add(max_entries);
         self.catch_up_to(replica, target)
+    }
+
+    /// Installs an externally recovered memory image at `replica`, as of
+    /// `epoch` — the rejoin path for a replica that rebuilt its state
+    /// from a durable checkpoint + WAL replay (or a scrub repair that
+    /// re-derives a diverged replica from the durable chain). The
+    /// replica continues from `epoch` through ordinary catch-up; writes
+    /// it had applied before the reset are superseded wholesale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range or `epoch` exceeds the fleet
+    /// epoch (a recovered image cannot be ahead of the committed log).
+    pub fn reset_replica(&mut self, replica: usize, memory: ClassicalMemory, epoch: u64) {
+        assert!(
+            epoch <= self.fleet_epoch(),
+            "recovered epoch {epoch} is ahead of the fleet epoch {}",
+            self.fleet_epoch()
+        );
+        self.replicas[replica] = memory;
+        self.applied[replica] = epoch;
+    }
+
+    /// Flips the lowest bit of one cell at `replica`, bypassing the write
+    /// log — a **fault-injection hook** modeling silent media corruption,
+    /// for exercising the anti-entropy scrubber. The replica's applied
+    /// epoch is untouched: the divergence is invisible to staleness
+    /// tracking and only a digest comparison can find it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` or `address` is out of range.
+    pub fn corrupt_replica_cell(&mut self, replica: usize, address: u64) {
+        let flipped = self.replicas[replica].read(address) ^ 1;
+        self.replicas[replica].write(address, flipped);
     }
 
     /// Catches every replica up to the fleet epoch, converging the fleet.
@@ -363,11 +404,53 @@ mod tests {
     }
 
     #[test]
-    fn catch_up_by_zero_is_a_no_op() {
+    fn catch_up_by_zero_means_drain_everything() {
+        // A chunk size of zero would otherwise replay nothing per step
+        // and loop a chunked-recovery driver forever; it is pinned to
+        // mean "no limit" instead.
         let mut m = fleet(2);
         m.write_at(0, 1, 1);
-        assert_eq!(m.catch_up_by(1, 0), 0);
+        m.write_at(0, 2, 2);
+        m.write_at(0, 3, 3);
+        assert_eq!(m.catch_up_by(1, 0), 3, "0 = the whole backlog");
+        assert!(!m.is_stale(1));
+        assert_eq!(m.memory(0), m.memory(1));
+        assert_eq!(m.catch_up_by(1, 0), 0, "idempotent once current");
+    }
+
+    #[test]
+    fn reset_replica_installs_a_recovered_image() {
+        let mut m = fleet(2);
+        m.write_at(0, 1, 7);
+        m.write_at(0, 2, 9);
+        // Replica 1 "restarts" with a disk image as of epoch 1.
+        let mut image = ClassicalMemory::from_words(8, &[0; 16]).unwrap();
+        image.write(1, 7);
+        m.reset_replica(1, image, 1);
+        assert_eq!(m.applied_epoch(1), 1);
         assert!(m.is_stale(1));
+        // Ordinary catch-up replays the non-durable suffix and converges.
+        assert_eq!(m.catch_up(1), 1);
+        assert_eq!(m.memory(0), m.memory(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ahead of the fleet epoch")]
+    fn reset_replica_cannot_outrun_the_log() {
+        let mut m = fleet(2);
+        m.write_at(0, 1, 1);
+        m.reset_replica(1, ClassicalMemory::from_words(8, &[0; 16]).unwrap(), 5);
+    }
+
+    #[test]
+    fn corrupt_replica_cell_diverges_silently() {
+        let mut m = fleet(2);
+        m.write_at(0, 3, 4);
+        m.catch_up(1);
+        m.corrupt_replica_cell(1, 3);
+        assert_eq!(m.memory(1).read(3), 5, "low bit flipped");
+        assert!(!m.is_stale(1), "staleness tracking cannot see corruption");
+        assert_ne!(m.memory(0), m.memory(1));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Checkpoint images: a full memory snapshot plus its epoch watermark.
+//!
+//! A checkpoint bounds recovery time (replay starts from the watermark,
+//! not epoch zero) and bounds WAL growth (compaction drops the absorbed
+//! prefix). The image is one [`frame`]-wrapped payload:
+//!
+//! ```text
+//!   magic "QCKP" · version u32 · epoch u64 · bus_width u32 · cells u64
+//!   · cell words …                               (all little-endian)
+//! ```
+//!
+//! Installation is crash-atomic: the image is written to
+//! [`CHECKPOINT_TMP`], synced, and renamed onto [`CHECKPOINT_FILE`]. A
+//! crash before the rename leaves the old checkpoint authoritative and
+//! at worst some scratch debris; a bit-flipped installed image fails its
+//! CRC on load and is reported as *detected* corruption, never silently
+//! replayed as state.
+
+use qsim::branch::ClassicalMemory;
+
+use super::dir::Dir;
+use super::frame;
+use super::StoreError;
+
+/// The installed (authoritative) checkpoint image.
+pub const CHECKPOINT_FILE: &str = "checkpoint.img";
+/// The install scratch file; only ever observed after a crash.
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+const MAGIC: &[u8; 4] = b"QCKP";
+const VERSION: u32 = 1;
+const HEADER: usize = 4 + 4 + 8 + 4 + 8;
+
+/// Serializes `memory` at `epoch` as an unframed checkpoint payload.
+#[must_use]
+pub fn encode(memory: &ClassicalMemory, epoch: u64) -> Vec<u8> {
+    let cells = memory.cells();
+    let mut out = Vec::with_capacity(HEADER + 8 * cells.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&memory.bus_width().to_le_bytes());
+    out.extend_from_slice(&(cells.len() as u64).to_le_bytes());
+    for &c in cells {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out
+}
+
+/// Parses an unframed checkpoint payload back into `(memory, epoch)`.
+///
+/// # Errors
+/// [`StoreError::CorruptCheckpoint`] on any shape violation — wrong
+/// magic, unknown version, or a cell count that disagrees with the
+/// payload length or memory-geometry rules.
+pub fn decode(payload: &[u8]) -> Result<(ClassicalMemory, u64), StoreError> {
+    if payload.len() < HEADER {
+        return Err(StoreError::CorruptCheckpoint("payload shorter than header"));
+    }
+    if &payload[..4] != MAGIC {
+        return Err(StoreError::CorruptCheckpoint("bad magic"));
+    }
+    let word32 = |at: usize| u32::from_le_bytes(payload[at..at + 4].try_into().expect("4B"));
+    let word64 = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("8B"));
+    if word32(4) != VERSION {
+        return Err(StoreError::CorruptCheckpoint("unknown version"));
+    }
+    let epoch = word64(8);
+    let bus_width = word32(16);
+    let cell_count = word64(20);
+    let Ok(cell_count) = usize::try_from(cell_count) else {
+        return Err(StoreError::CorruptCheckpoint("cell count overflows"));
+    };
+    if payload.len() != HEADER + 8 * cell_count {
+        return Err(StoreError::CorruptCheckpoint(
+            "cell count vs payload length",
+        ));
+    }
+    let cells: Vec<u64> = (0..cell_count).map(|i| word64(HEADER + 8 * i)).collect();
+    let memory = ClassicalMemory::from_words(bus_width, &cells)
+        .map_err(|_| StoreError::CorruptCheckpoint("invalid memory geometry"))?;
+    Ok((memory, epoch))
+}
+
+/// Atomically installs `memory` at `epoch` as the checkpoint: frame,
+/// write to scratch, sync, rename, sync.
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory fails.
+pub fn install(dir: &mut dyn Dir, memory: &ClassicalMemory, epoch: u64) -> Result<(), StoreError> {
+    let framed = frame::encode_record(&encode(memory, epoch));
+    dir.replace(CHECKPOINT_TMP, &framed)?;
+    dir.sync()?;
+    dir.rename(CHECKPOINT_TMP, CHECKPOINT_FILE)?;
+    dir.sync()?;
+    Ok(())
+}
+
+/// Loads the installed checkpoint. `Ok(None)` when no image exists.
+///
+/// # Errors
+/// [`StoreError::CorruptCheckpoint`] when the image exists but fails
+/// framing (CRC), decoding, or holds trailing bytes; [`StoreError::Io`]
+/// when the directory fails.
+pub fn load(dir: &dyn Dir) -> Result<Option<(ClassicalMemory, u64)>, StoreError> {
+    let bytes = match dir.read(CHECKPOINT_FILE) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let scanned = frame::scan(&bytes);
+    if scanned.payloads.len() != 1 || scanned.valid_len != bytes.len() {
+        return Err(StoreError::CorruptCheckpoint(
+            "image is not exactly one intact frame",
+        ));
+    }
+    decode(&scanned.payloads[0]).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::dir::SimDir;
+
+    fn memory() -> ClassicalMemory {
+        let cells: Vec<u64> = (0..16).map(|i| i * 3 + 1).collect();
+        ClassicalMemory::from_words(16, &cells).unwrap()
+    }
+
+    #[test]
+    fn install_then_load_roundtrips() {
+        let mut d = SimDir::new();
+        assert!(load(&d).unwrap().is_none());
+        install(&mut d, &memory(), 7).unwrap();
+        assert!(!d.exists(CHECKPOINT_TMP), "scratch cleaned by rename");
+        let (m, epoch) = load(&d).unwrap().unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(m, memory());
+    }
+
+    #[test]
+    fn reinstall_supersedes_the_old_image() {
+        let mut d = SimDir::new();
+        install(&mut d, &memory(), 1).unwrap();
+        let mut newer = memory();
+        newer.write(0, 999);
+        install(&mut d, &newer, 9).unwrap();
+        let (m, epoch) = load(&d).unwrap().unwrap();
+        assert_eq!((m.read(0), epoch), (999, 9));
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_the_image_is_detected() {
+        let mut d = SimDir::new();
+        install(&mut d, &memory(), 3).unwrap();
+        let len = d.len_of(CHECKPOINT_FILE).unwrap();
+        for offset in 0..len {
+            let mut dirty = d.clone();
+            dirty.flip_bit(CHECKPOINT_FILE, offset, offset as u32 % 8);
+            assert!(
+                matches!(load(&dirty), Err(StoreError::CorruptCheckpoint(_))),
+                "flip at byte {offset} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_every_header_lie() {
+        let good = encode(&memory(), 5);
+        assert!(decode(&good).is_ok());
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(decode(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(decode(&bad_version).is_err());
+        let mut bad_count = good.clone();
+        bad_count[20] ^= 1;
+        assert!(decode(&bad_count).is_err());
+        assert!(decode(&good[..10]).is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! The durable fleet store: WAL + checkpoint lifecycle and recovery.
+//!
+//! [`DurableFleet`] owns a store directory and maintains one invariant:
+//! *the directory always recovers to exactly the acknowledged write
+//! prefix*. It keeps a **shadow memory** — the checkpoint image plus
+//! every appended write — so checkpoints are taken from the durable
+//! chain itself, never from a live replica that might have silently
+//! diverged (the scrubber's job is to catch exactly that divergence, so
+//! the durable chain must not inherit it).
+//!
+//! Lifecycle:
+//!
+//! 1. [`DurableFleet::create`] anchors a fresh directory with a
+//!    checkpoint of the base memory at epoch 0.
+//! 2. [`DurableFleet::append`] logs each fleet epoch (WAL append +
+//!    sync = the acknowledgment point), and every
+//!    [`CheckpointPolicy::every`] appends installs a new checkpoint and
+//!    compacts the WAL behind it.
+//! 3. [`DurableFleet::recover`] (or [`DurableFleet::open`]) rebuilds
+//!    state from any crash debris: load the checkpoint, scan the WAL
+//!    (truncating torn/corrupt tails), skip entries the checkpoint
+//!    already absorbed, replay the rest.
+//! 4. [`DurableFleet::rescan`] re-reads the WAL underneath a live store
+//!    — the anti-entropy primitive that notices a lying disk (torn
+//!    write acknowledged but not persisted) and rolls the durable
+//!    watermark back so the caller can re-append from the fleet log.
+
+use qsim::branch::ClassicalMemory;
+
+use super::checkpoint;
+use super::dir::Dir;
+use super::wal;
+use super::StoreError;
+use crate::replication::ReplicatedWrite;
+
+/// How often [`DurableFleet::append`] installs a checkpoint: after
+/// every `every` WAL entries since the last one. `0` disables automatic
+/// checkpoints (the WAL grows until [`DurableFleet::checkpoint`] is
+/// called explicitly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Appends between automatic checkpoints; `0` = never.
+    pub every: u64,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `every` appends (`0` = never).
+    #[must_use]
+    pub fn every(every: u64) -> Self {
+        CheckpointPolicy { every }
+    }
+
+    /// No automatic checkpoints; the WAL grows unboundedly.
+    #[must_use]
+    pub fn never() -> Self {
+        CheckpointPolicy { every: 0 }
+    }
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy { every: 64 }
+    }
+}
+
+/// Fleet state rebuilt from a store directory by
+/// [`DurableFleet::recover`]: everything a restarted replica needs to
+/// rejoin without the in-memory log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredState {
+    /// The memory image at [`RecoveredState::epoch`].
+    pub memory: ClassicalMemory,
+    /// The durable fleet epoch: checkpoint watermark + replayed WAL.
+    pub epoch: u64,
+    /// The epoch the recovered checkpoint image was taken at.
+    pub checkpoint_epoch: u64,
+    /// The WAL writes replayed on top of the checkpoint, in epoch order.
+    pub writes: Vec<ReplicatedWrite>,
+    /// Torn/corrupt WAL tail bytes truncated during recovery (crash
+    /// debris from an unacknowledged write; never part of the durable
+    /// prefix).
+    pub truncated_bytes: usize,
+}
+
+/// Summary of a [`DurableFleet::rescan`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RescanSummary {
+    /// Torn/corrupt tail bytes truncated from the on-disk WAL.
+    pub truncated_bytes: usize,
+    /// Acknowledged epochs the disk lost (durable watermark rollback);
+    /// the caller re-appends them from the fleet's in-memory log.
+    pub lost_epochs: u64,
+}
+
+/// A crash-consistent store for one fleet's replicated write stream.
+#[derive(Debug)]
+pub struct DurableFleet {
+    dir: Box<dyn Dir>,
+    policy: CheckpointPolicy,
+    /// Watermark of the installed checkpoint image.
+    checkpoint_epoch: u64,
+    /// Cached copy of the installed checkpoint image.
+    checkpoint_image: ClassicalMemory,
+    /// WAL entries after the checkpoint: epochs
+    /// `checkpoint_epoch + 1 ..= durable_epoch()`, in order.
+    suffix: Vec<ReplicatedWrite>,
+    /// `checkpoint_image` + `suffix` applied: the durable chain's own
+    /// view of memory at the durable epoch.
+    shadow: ClassicalMemory,
+}
+
+impl DurableFleet {
+    /// Anchors a fresh store: installs `base` as the epoch-0 checkpoint
+    /// and clears any leftover WAL, under the default policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the directory fails.
+    pub fn create(dir: Box<dyn Dir>, base: &ClassicalMemory) -> Result<Self, StoreError> {
+        Self::create_with(dir, base, CheckpointPolicy::default())
+    }
+
+    /// [`DurableFleet::create`] with an explicit checkpoint policy.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the directory fails.
+    pub fn create_with(
+        mut dir: Box<dyn Dir>,
+        base: &ClassicalMemory,
+        policy: CheckpointPolicy,
+    ) -> Result<Self, StoreError> {
+        checkpoint::install(dir.as_mut(), base, 0)?;
+        dir.remove(wal::WAL_FILE)?;
+        dir.remove(wal::WAL_TMP)?;
+        dir.sync()?;
+        Ok(DurableFleet {
+            dir,
+            policy,
+            checkpoint_epoch: 0,
+            checkpoint_image: base.clone(),
+            suffix: Vec::new(),
+            shadow: base.clone(),
+        })
+    }
+
+    /// Opens an existing store, repairing crash debris: leftover scratch
+    /// files are removed, torn/corrupt WAL tails truncated, and WAL
+    /// entries the checkpoint already absorbed skipped.
+    ///
+    /// # Errors
+    /// [`StoreError::MissingCheckpoint`] when the directory was never
+    /// [`DurableFleet::create`]d, [`StoreError::CorruptCheckpoint`] when
+    /// the installed image fails its CRC (detected, never replayed),
+    /// [`StoreError::NonContiguousEpoch`] when the WAL starts past the
+    /// checkpoint watermark (acknowledged epochs are unrecoverable), or
+    /// [`StoreError::Io`].
+    pub fn open(dir: Box<dyn Dir>, policy: CheckpointPolicy) -> Result<Self, StoreError> {
+        let (store, _) = Self::open_inner(dir, policy)?;
+        Ok(store)
+    }
+
+    /// Rebuilds fleet state from a store directory: checkpoint image +
+    /// WAL replay. The one-call recovery path a restarted replica uses
+    /// to rejoin from disk instead of the in-memory log.
+    ///
+    /// # Errors
+    /// As [`DurableFleet::open`].
+    pub fn recover(dir: Box<dyn Dir>) -> Result<RecoveredState, StoreError> {
+        let (store, truncated_bytes) = Self::open_inner(dir, CheckpointPolicy::default())?;
+        Ok(RecoveredState {
+            memory: store.shadow,
+            epoch: store.checkpoint_epoch + store.suffix.len() as u64,
+            checkpoint_epoch: store.checkpoint_epoch,
+            writes: store.suffix,
+            truncated_bytes,
+        })
+    }
+
+    fn open_inner(
+        mut dir: Box<dyn Dir>,
+        policy: CheckpointPolicy,
+    ) -> Result<(Self, usize), StoreError> {
+        // Scratch files are pre-crash debris: an install that never
+        // reached its rename. The authoritative files win.
+        dir.remove(checkpoint::CHECKPOINT_TMP)?;
+        dir.remove(wal::WAL_TMP)?;
+        let (checkpoint_image, checkpoint_epoch) =
+            checkpoint::load(dir.as_ref())?.ok_or(StoreError::MissingCheckpoint)?;
+        let scan = wal::load(dir.as_mut())?;
+        // A crash between checkpoint install and WAL compaction leaves
+        // absorbed entries at the log head; skip them.
+        let suffix: Vec<ReplicatedWrite> = scan
+            .writes
+            .into_iter()
+            .filter(|w| w.epoch > checkpoint_epoch)
+            .collect();
+        if let Some(first) = suffix.first() {
+            if first.epoch != checkpoint_epoch + 1 {
+                return Err(StoreError::NonContiguousEpoch {
+                    expected: checkpoint_epoch + 1,
+                    found: first.epoch,
+                });
+            }
+        }
+        let mut shadow = checkpoint_image.clone();
+        for w in &suffix {
+            shadow.write(w.address, w.value);
+        }
+        Ok((
+            DurableFleet {
+                dir,
+                policy,
+                checkpoint_epoch,
+                checkpoint_image,
+                suffix,
+                shadow,
+            },
+            scan.truncated_bytes,
+        ))
+    }
+
+    /// The durable fleet epoch: every epoch at or below it is
+    /// acknowledged on stable storage (as far as the store knows — see
+    /// [`DurableFleet::rescan`] for the lying-disk audit).
+    #[must_use]
+    pub fn durable_epoch(&self) -> u64 {
+        self.checkpoint_epoch + self.suffix.len() as u64
+    }
+
+    /// The epoch of the installed checkpoint image.
+    #[must_use]
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.checkpoint_epoch
+    }
+
+    /// The WAL suffix after the checkpoint, in epoch order.
+    #[must_use]
+    pub fn suffix(&self) -> &[ReplicatedWrite] {
+        &self.suffix
+    }
+
+    /// The durable chain's memory image at [`DurableFleet::durable_epoch`].
+    #[must_use]
+    pub fn shadow(&self) -> &ClassicalMemory {
+        &self.shadow
+    }
+
+    /// The durable chain's memory image at `epoch`, or `None` when the
+    /// epoch predates the checkpoint (compacted away) or exceeds the
+    /// durable watermark. This is the scrubber's expected state.
+    #[must_use]
+    pub fn state_at(&self, epoch: u64) -> Option<ClassicalMemory> {
+        if epoch < self.checkpoint_epoch || epoch > self.durable_epoch() {
+            return None;
+        }
+        let mut image = self.checkpoint_image.clone();
+        for w in self.suffix.iter().take_while(|w| w.epoch <= epoch) {
+            image.write(w.address, w.value);
+        }
+        Some(image)
+    }
+
+    /// Logs one fleet write durably (append + sync: the acknowledgment
+    /// point), then installs a checkpoint if the policy says so.
+    /// Returns `true` when a checkpoint was taken.
+    ///
+    /// # Errors
+    /// [`StoreError::NonContiguousEpoch`] when `w.epoch` does not extend
+    /// the durable prefix by one, or [`StoreError::Io`].
+    pub fn append(&mut self, w: &ReplicatedWrite) -> Result<bool, StoreError> {
+        let expected = self.durable_epoch() + 1;
+        if w.epoch != expected {
+            return Err(StoreError::NonContiguousEpoch {
+                expected,
+                found: w.epoch,
+            });
+        }
+        wal::append(self.dir.as_mut(), w)?;
+        self.suffix.push(*w);
+        self.shadow.write(w.address, w.value);
+        if self.policy.every > 0 && self.suffix.len() as u64 >= self.policy.every {
+            self.checkpoint()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Installs a checkpoint of the durable chain at the durable epoch
+    /// and compacts the WAL behind it.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the directory fails.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        let watermark = self.checkpoint_epoch + self.suffix.len() as u64;
+        checkpoint::install(self.dir.as_mut(), &self.shadow, watermark)?;
+        wal::compact(self.dir.as_mut(), &[])?;
+        self.checkpoint_epoch = watermark;
+        self.checkpoint_image = self.shadow.clone();
+        self.suffix.clear();
+        Ok(())
+    }
+
+    /// Audits the on-disk WAL against the store's in-memory view: a torn
+    /// or corrupt tail (e.g. a write the disk acknowledged but never
+    /// persisted) is truncated, and the durable watermark rolls back to
+    /// what the disk actually holds. The caller re-appends the lost
+    /// epochs from the fleet's in-memory log.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the directory fails.
+    pub fn rescan(&mut self) -> Result<RescanSummary, StoreError> {
+        let before = self.durable_epoch();
+        let scan = wal::load(self.dir.as_mut())?;
+        let disk_suffix: Vec<ReplicatedWrite> = scan
+            .writes
+            .into_iter()
+            .filter(|w| w.epoch > self.checkpoint_epoch)
+            .collect();
+        if disk_suffix != self.suffix {
+            self.suffix = disk_suffix;
+            self.shadow = self.checkpoint_image.clone();
+            for w in &self.suffix {
+                self.shadow.write(w.address, w.value);
+            }
+        }
+        Ok(RescanSummary {
+            truncated_bytes: scan.truncated_bytes,
+            lost_epochs: before.saturating_sub(self.durable_epoch()),
+        })
+    }
+
+    /// The underlying directory — the hook tests use to inject torn
+    /// writes and bit flips (downcast via [`Dir::as_any_mut`]).
+    pub fn dir_mut(&mut self) -> &mut dyn Dir {
+        self.dir.as_mut()
+    }
+
+    /// Consumes the store, returning the directory (e.g. to hand to
+    /// [`DurableFleet::recover`] as a simulated restart).
+    #[must_use]
+    pub fn into_dir(self) -> Box<dyn Dir> {
+        self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::dir::SimDir;
+    use crate::store::{frame, CHECKPOINT_FILE, WAL_FILE};
+
+    fn base() -> ClassicalMemory {
+        ClassicalMemory::from_words(16, &(0..16).collect::<Vec<u64>>()).unwrap()
+    }
+
+    fn w(epoch: u64) -> ReplicatedWrite {
+        ReplicatedWrite {
+            epoch,
+            origin: (epoch % 3) as usize,
+            address: epoch % 16,
+            value: (epoch * 13) % 65_536,
+        }
+    }
+
+    fn sim(store: &mut DurableFleet) -> &mut SimDir {
+        store
+            .dir_mut()
+            .as_any_mut()
+            .downcast_mut::<SimDir>()
+            .expect("test store runs on SimDir")
+    }
+
+    #[test]
+    fn create_append_recover_roundtrips() {
+        let mut store =
+            DurableFleet::create_with(Box::new(SimDir::new()), &base(), CheckpointPolicy::never())
+                .unwrap();
+        for e in 1..=10 {
+            assert!(!store.append(&w(e)).unwrap());
+        }
+        assert_eq!(store.durable_epoch(), 10);
+        let recovered = DurableFleet::recover(store.into_dir()).unwrap();
+        assert_eq!(recovered.epoch, 10);
+        assert_eq!(recovered.checkpoint_epoch, 0);
+        assert_eq!(recovered.writes.len(), 10);
+        assert_eq!(recovered.truncated_bytes, 0);
+        let mut expect = base();
+        for e in 1..=10 {
+            expect.write(w(e).address, w(e).value);
+        }
+        assert_eq!(recovered.memory.cells(), expect.cells());
+    }
+
+    #[test]
+    fn policy_checkpoints_compact_the_wal() {
+        let mut store =
+            DurableFleet::create_with(Box::new(SimDir::new()), &base(), CheckpointPolicy::every(4))
+                .unwrap();
+        let mut checkpoints = 0;
+        for e in 1..=10 {
+            if store.append(&w(e)).unwrap() {
+                checkpoints += 1;
+            }
+        }
+        assert_eq!(checkpoints, 2, "epochs 4 and 8");
+        assert_eq!(store.checkpoint_epoch(), 8);
+        assert_eq!(store.suffix().len(), 2);
+        let wal_len = sim(&mut store).len_of(WAL_FILE).unwrap();
+        assert_eq!(
+            wal_len,
+            2 * (frame::HEADER_LEN + wal::RECORD_PAYLOAD_LEN),
+            "WAL holds only the post-checkpoint suffix"
+        );
+        let recovered = DurableFleet::recover(store.into_dir()).unwrap();
+        assert_eq!(recovered.epoch, 10);
+        assert_eq!(recovered.checkpoint_epoch, 8);
+        assert_eq!(recovered.writes.len(), 2);
+    }
+
+    #[test]
+    fn non_contiguous_append_is_rejected() {
+        let mut store = DurableFleet::create(Box::new(SimDir::new()), &base()).unwrap();
+        store.append(&w(1)).unwrap();
+        let err = store.append(&w(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::NonContiguousEpoch {
+                expected: 2,
+                found: 3
+            }
+        ));
+        assert_eq!(store.durable_epoch(), 1, "rejected append changes nothing");
+    }
+
+    #[test]
+    fn state_at_walks_the_durable_chain() {
+        let mut store =
+            DurableFleet::create_with(Box::new(SimDir::new()), &base(), CheckpointPolicy::never())
+                .unwrap();
+        for e in 1..=5 {
+            store.append(&w(e)).unwrap();
+        }
+        let at3 = store.state_at(3).unwrap();
+        let mut expect = base();
+        for e in 1..=3 {
+            expect.write(w(e).address, w(e).value);
+        }
+        assert_eq!(at3.cells(), expect.cells());
+        assert_eq!(store.state_at(0).unwrap().cells(), base().cells());
+        assert!(store.state_at(6).is_none(), "beyond the durable epoch");
+        store.checkpoint().unwrap();
+        assert!(store.state_at(3).is_none(), "compacted away");
+        assert_eq!(store.state_at(5).unwrap().cells(), store.shadow().cells());
+    }
+
+    #[test]
+    fn rescan_rolls_back_a_lying_disk_and_reappend_recovers() {
+        let mut store =
+            DurableFleet::create_with(Box::new(SimDir::new()), &base(), CheckpointPolicy::never())
+                .unwrap();
+        for e in 1..=3 {
+            store.append(&w(e)).unwrap();
+        }
+        // Epoch 4's append tears on the platter while reporting success.
+        sim(&mut store).tear_next_write(frame::HEADER_LEN + 7);
+        store.append(&w(4)).unwrap();
+        assert_eq!(store.durable_epoch(), 4, "the store believes the disk");
+        let summary = store.rescan().unwrap();
+        assert_eq!(summary.lost_epochs, 1);
+        assert_eq!(summary.truncated_bytes, frame::HEADER_LEN + 7);
+        assert_eq!(store.durable_epoch(), 3, "watermark rolled back");
+        // The fleet log still has epoch 4: re-append and recover clean.
+        store.append(&w(4)).unwrap();
+        assert_eq!(store.rescan().unwrap(), RescanSummary::default());
+        let recovered = DurableFleet::recover(store.into_dir()).unwrap();
+        assert_eq!(recovered.epoch, 4);
+    }
+
+    #[test]
+    fn recover_rejects_a_bit_flipped_checkpoint_not_silently() {
+        let mut store = DurableFleet::create(Box::new(SimDir::new()), &base()).unwrap();
+        store.append(&w(1)).unwrap();
+        let mut dir = store.into_dir();
+        dir.as_any_mut()
+            .downcast_mut::<SimDir>()
+            .unwrap()
+            .flip_bit(CHECKPOINT_FILE, 30, 2);
+        assert!(matches!(
+            DurableFleet::recover(dir),
+            Err(StoreError::CorruptCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn recover_of_an_unanchored_dir_is_a_missing_checkpoint() {
+        assert!(matches!(
+            DurableFleet::recover(Box::new(SimDir::new())),
+            Err(StoreError::MissingCheckpoint)
+        ));
+    }
+}

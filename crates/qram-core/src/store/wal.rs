@@ -1,0 +1,238 @@
+//! The write-ahead log: one framed record per fleet epoch.
+//!
+//! Each [`ReplicatedWrite`] serializes to a fixed 32-byte payload —
+//! four little-endian `u64`s `(epoch, origin, address, value)`, the
+//! compact `#[repr(C)]`-style flat record shape of binary trace formats
+//! — wrapped in the [`frame`] header. The log is pure
+//! appends; compaction after a checkpoint rewrites the surviving suffix
+//! through a temp file + atomic rename so a crash mid-compaction leaves
+//! either the old log or the new one, never a hybrid.
+//!
+//! [`load`] enforces the log's one structural invariant beyond framing:
+//! epochs must be *contiguous* (each record extends its predecessor by
+//! exactly one). A record that breaks contiguity marks the start of
+//! debris — everything from it onward is truncated, exactly like a CRC
+//! defect.
+
+use super::dir::Dir;
+use super::frame::{self, TailDefect};
+use super::StoreError;
+use crate::replication::ReplicatedWrite;
+
+/// The live log file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+/// The compaction scratch file; only ever observed after a crash.
+pub const WAL_TMP: &str = "wal.tmp";
+
+/// Serialized payload size of one WAL record.
+pub const RECORD_PAYLOAD_LEN: usize = 32;
+
+/// Serializes one write as the fixed 32-byte WAL payload.
+#[must_use]
+pub fn encode_write(w: &ReplicatedWrite) -> [u8; RECORD_PAYLOAD_LEN] {
+    let mut out = [0u8; RECORD_PAYLOAD_LEN];
+    out[..8].copy_from_slice(&w.epoch.to_le_bytes());
+    out[8..16].copy_from_slice(&(w.origin as u64).to_le_bytes());
+    out[16..24].copy_from_slice(&w.address.to_le_bytes());
+    out[24..].copy_from_slice(&w.value.to_le_bytes());
+    out
+}
+
+/// Deserializes a WAL payload; `None` when the length or origin field
+/// is malformed (treated as a tail defect by [`load`]).
+#[must_use]
+pub fn decode_write(payload: &[u8]) -> Option<ReplicatedWrite> {
+    if payload.len() != RECORD_PAYLOAD_LEN {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(payload[8 * i..8 * (i + 1)].try_into().expect("8B"));
+    let origin = usize::try_from(word(1)).ok()?;
+    Some(ReplicatedWrite {
+        epoch: word(0),
+        origin,
+        address: word(2),
+        value: word(3),
+    })
+}
+
+/// Outcome of scanning (and repairing) the on-disk log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Every intact, contiguous write in the log, in epoch order.
+    pub writes: Vec<ReplicatedWrite>,
+    /// Bytes of torn/corrupt tail truncated away, 0 for a clean log.
+    pub truncated_bytes: usize,
+    /// The defect that ended the scan, `None` for a clean log.
+    pub defect: Option<TailDefect>,
+}
+
+/// Scans `WAL_FILE`, truncating any torn or corrupt tail in place so the
+/// log is left scannable. A missing file is an empty log.
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory fails.
+pub fn load(dir: &mut dyn Dir) -> Result<WalScan, StoreError> {
+    let bytes = match dir.read(WAL_FILE) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                writes: Vec::new(),
+                truncated_bytes: 0,
+                defect: None,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let scanned = frame::scan(&bytes);
+    let mut defect = scanned.defect;
+    let mut writes = Vec::with_capacity(scanned.payloads.len());
+    for payload in &scanned.payloads {
+        let parsed = decode_write(payload);
+        let contiguous = parsed.is_some_and(|w| {
+            writes
+                .last()
+                .is_none_or(|prev: &ReplicatedWrite| w.epoch == prev.epoch + 1)
+        });
+        match parsed {
+            Some(w) if contiguous => writes.push(w),
+            // A record that decodes wrong or skips an epoch is the
+            // start of debris: cut here, like any other defect.
+            _ => {
+                defect = Some(TailDefect::BadCrc);
+                break;
+            }
+        }
+    }
+    let valid_len = wal_prefix_len(writes.len(), &scanned);
+    let truncated_bytes = bytes.len() - valid_len;
+    if truncated_bytes > 0 {
+        dir.truncate(WAL_FILE, valid_len as u64)?;
+        dir.sync()?;
+    }
+    Ok(WalScan {
+        writes,
+        truncated_bytes,
+        defect,
+    })
+}
+
+/// Byte length of the first `records` framed records in a scan.
+fn wal_prefix_len(records: usize, scanned: &frame::ScanOutcome) -> usize {
+    scanned.payloads[..records]
+        .iter()
+        .map(|p| frame::HEADER_LEN + p.len())
+        .sum()
+}
+
+/// Appends one write and syncs: when this returns, the write is durable
+/// and counts as *acknowledged* for the recovery contract.
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory fails.
+pub fn append(dir: &mut dyn Dir, w: &ReplicatedWrite) -> Result<(), StoreError> {
+    dir.append(WAL_FILE, &frame::encode_record(&encode_write(w)))?;
+    dir.sync()?;
+    Ok(())
+}
+
+/// Rewrites the log to exactly `suffix` (the writes a fresh checkpoint
+/// did not absorb), via temp file + atomic rename.
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory fails.
+pub fn compact(dir: &mut dyn Dir, suffix: &[ReplicatedWrite]) -> Result<(), StoreError> {
+    let mut bytes = Vec::with_capacity(suffix.len() * (frame::HEADER_LEN + RECORD_PAYLOAD_LEN));
+    for w in suffix {
+        bytes.extend_from_slice(&frame::encode_record(&encode_write(w)));
+    }
+    dir.replace(WAL_TMP, &bytes)?;
+    dir.sync()?;
+    dir.rename(WAL_TMP, WAL_FILE)?;
+    dir.sync()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::dir::SimDir;
+
+    fn w(epoch: u64) -> ReplicatedWrite {
+        ReplicatedWrite {
+            epoch,
+            origin: (epoch % 3) as usize,
+            address: epoch % 16,
+            value: epoch * 7,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let write = w(42);
+        assert_eq!(decode_write(&encode_write(&write)), Some(write));
+        assert_eq!(decode_write(b"short"), None);
+    }
+
+    #[test]
+    fn append_then_load_roundtrips_and_missing_log_is_empty() {
+        let mut d = SimDir::new();
+        assert_eq!(load(&mut d).unwrap().writes, Vec::new());
+        for e in 1..=5 {
+            append(&mut d, &w(e)).unwrap();
+        }
+        let scan = load(&mut d).unwrap();
+        assert_eq!(scan.writes, (1..=5).map(w).collect::<Vec<_>>());
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.defect, None);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_in_place() {
+        let mut d = SimDir::new();
+        append(&mut d, &w(1)).unwrap();
+        append(&mut d, &w(2)).unwrap();
+        let full = d.len_of(WAL_FILE).unwrap();
+        // Tear the third append mid-record.
+        d.tear_next_write(frame::HEADER_LEN + 5);
+        append(&mut d, &w(3)).unwrap();
+        let scan = load(&mut d).unwrap();
+        assert_eq!(scan.writes, vec![w(1), w(2)]);
+        assert_eq!(scan.truncated_bytes, frame::HEADER_LEN + 5);
+        assert!(scan.defect.is_some());
+        // The truncation repaired the file: a second load is clean.
+        assert_eq!(d.len_of(WAL_FILE).unwrap(), full);
+        let again = load(&mut d).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(again.defect, None);
+    }
+
+    #[test]
+    fn non_contiguous_epoch_cuts_the_log_there() {
+        let mut d = SimDir::new();
+        append(&mut d, &w(1)).unwrap();
+        append(&mut d, &w(3)).unwrap(); // skips epoch 2: debris
+        append(&mut d, &w(4)).unwrap();
+        let scan = load(&mut d).unwrap();
+        assert_eq!(scan.writes, vec![w(1)]);
+        assert!(scan.truncated_bytes > 0);
+        assert_eq!(
+            load(&mut d).unwrap().writes,
+            vec![w(1)],
+            "truncation left a clean contiguous log"
+        );
+    }
+
+    #[test]
+    fn compact_keeps_exactly_the_suffix() {
+        let mut d = SimDir::new();
+        for e in 1..=6 {
+            append(&mut d, &w(e)).unwrap();
+        }
+        compact(&mut d, &[w(5), w(6)]).unwrap();
+        assert!(!d.exists(WAL_TMP));
+        let scan = load(&mut d).unwrap();
+        assert_eq!(scan.writes, vec![w(5), w(6)]);
+        compact(&mut d, &[]).unwrap();
+        assert_eq!(load(&mut d).unwrap().writes, Vec::new());
+    }
+}

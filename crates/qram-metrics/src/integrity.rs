@@ -1,0 +1,112 @@
+//! Integrity counters for a durable, self-auditing serving fleet.
+//!
+//! Where [`AvailabilityCounters`](crate::AvailabilityCounters) account
+//! for what the fault-*tolerance* machinery did (retries, failovers,
+//! rejoins), [`IntegrityCounters`] account for what the fault-*auditing*
+//! machinery did: how often the anti-entropy scrubber ran, how many
+//! memory chunks it digested against the durable chain, how many
+//! diverged, and how many repairs — replica image resets and re-appended
+//! write-ahead-log tails — it performed. A report with non-zero
+//! `mismatches` and matching `repairs` is a run where silent corruption
+//! happened *and was driven back out*; a report with zero everything is
+//! a run the scrubber certified clean.
+
+use std::fmt;
+
+/// Monotone counters describing the durability and anti-entropy work of
+/// one serving run.
+///
+/// # Examples
+///
+/// ```
+/// use qram_metrics::IntegrityCounters;
+///
+/// let mut counters = IntegrityCounters::default();
+/// counters.scrub_cycles += 1;
+/// counters.chunks_verified += 64;
+/// assert!(counters.clean(), "verified chunks alone are not divergence");
+/// counters.mismatches += 1;
+/// counters.repairs += 1;
+/// assert!(!counters.clean());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityCounters {
+    /// Anti-entropy scrub passes completed (scheduled ticks plus the
+    /// final end-of-run sweep).
+    pub scrub_cycles: u64,
+    /// Per-replica memory chunks whose digest was compared against the
+    /// durable chain's expected state.
+    pub chunks_verified: u64,
+    /// Chunks whose digest diverged from the durable chain.
+    pub mismatches: u64,
+    /// Repair actions taken: diverged replica images re-derived from the
+    /// durable chain, and lost acknowledged WAL epochs re-appended.
+    pub repairs: u64,
+    /// Torn or corrupt WAL tails truncated by a scrub's disk audit.
+    pub torn_tails_truncated: u64,
+    /// Write-ahead-log records appended (one per durable fleet epoch,
+    /// plus any re-appends after a tail truncation).
+    pub wal_appends: u64,
+    /// Checkpoint images installed (each compacts the WAL behind it).
+    pub checkpoints: u64,
+}
+
+impl IntegrityCounters {
+    /// True when no divergence was observed and nothing needed repair —
+    /// the scrubber's clean bill of health (vacuously true when no
+    /// scrubbing ran).
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0 && self.repairs == 0 && self.torn_tails_truncated == 0
+    }
+}
+
+impl fmt::Display for IntegrityCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scrubs={} chunks={} mismatches={} repairs={} torn_tails={} wal_appends={} checkpoints={}",
+            self.scrub_cycles,
+            self.chunks_verified,
+            self.mismatches,
+            self.repairs,
+            self.torn_tails_truncated,
+            self.wal_appends,
+            self.checkpoints,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_tracks_divergence_not_activity() {
+        let mut c = IntegrityCounters::default();
+        assert!(c.clean(), "an idle run is clean");
+        c.scrub_cycles = 5;
+        c.chunks_verified = 500;
+        c.wal_appends = 40;
+        c.checkpoints = 2;
+        assert!(c.clean(), "activity without divergence stays clean");
+        c.torn_tails_truncated = 1;
+        assert!(!c.clean(), "a truncated tail is a divergence event");
+    }
+
+    #[test]
+    fn display_summarizes_the_ledger() {
+        let c = IntegrityCounters {
+            scrub_cycles: 3,
+            chunks_verified: 96,
+            mismatches: 2,
+            repairs: 2,
+            ..Default::default()
+        };
+        let shown = c.to_string();
+        assert!(shown.contains("scrubs=3"));
+        assert!(shown.contains("chunks=96"));
+        assert!(shown.contains("mismatches=2"));
+        assert!(shown.contains("repairs=2"));
+    }
+}

@@ -19,6 +19,9 @@
 //!   per-replica keyed aggregation of such histograms for fleet reports.
 //! * [`AvailabilityCounters`] — the fault-tolerance ledger of a serving
 //!   run: retries, hedges, failovers, detected corruptions, and MTTR.
+//! * [`IntegrityCounters`] — the durability/anti-entropy ledger: scrub
+//!   cycles, digested chunks, divergence, repairs, WAL appends, and
+//!   checkpoints.
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@ mod bandwidth;
 mod capacity;
 mod family;
 mod histogram;
+mod integrity;
 mod layers;
 mod timing;
 mod utilization;
@@ -51,6 +55,7 @@ pub use bandwidth::{Bandwidth, MemoryAccessRate, QueryRate, SpaceTimeVolume};
 pub use capacity::{Capacity, CapacityError};
 pub use family::HistogramFamily;
 pub use histogram::LatencyHistogram;
+pub use integrity::IntegrityCounters;
 pub use layers::{LayerKind, Layers};
 pub use timing::{Clops, TimingModel};
 pub use utilization::{Utilization, UtilizationTrace};

@@ -139,6 +139,28 @@ pub enum Fault {
         /// Dispatch-order index of the corrupted query.
         dispatch: usize,
     },
+    /// The durable write-ahead-log append for `epoch` tears on the
+    /// platter while reporting success — a lying disk. The anti-entropy
+    /// scrubber's disk audit finds the torn tail, truncates it, and
+    /// re-appends the lost acknowledged epochs from the fleet's
+    /// in-memory log. Activates the durability tier even without an
+    /// external store (an ephemeral in-memory store is used).
+    TornWrite {
+        /// The fleet epoch whose durable append tears.
+        epoch: u64,
+    },
+    /// A bit silently flips in one memory cell of `replica` at `at` —
+    /// media corruption invisible to staleness tracking, caught only by
+    /// the scrubber's digest comparison against the durable chain (which
+    /// then repairs the replica from checkpoint + WAL state).
+    DiskCorrupt {
+        /// The replica whose memory corrupts.
+        replica: usize,
+        /// Corruption instant in virtual layer time.
+        at: Layers,
+        /// The corrupted cell (reduced modulo the memory capacity).
+        cell: u64,
+    },
 }
 
 /// What happens to the replication catch-up of one epoch.
@@ -255,6 +277,21 @@ impl FaultPlan {
                     .push(Fault::CorruptOutcome { replica, dispatch });
             }
         }
+        // Disk faults: a torn durable append on an early epoch, and up to
+        // two silent bit flips for the scrubber to find and repair.
+        for epoch in 1..=4u64 {
+            if uniform(&mut state) < 0.15 {
+                plan.faults.push(Fault::TornWrite { epoch });
+            }
+        }
+        for _ in 0..2 {
+            if uniform(&mut state) < 0.3 {
+                let replica = (splitmix64(&mut state) % replicas as u64) as usize;
+                let at = Layers::new(span * (0.1 + 0.7 * uniform(&mut state)));
+                let cell = splitmix64(&mut state);
+                plan.faults.push(Fault::DiskCorrupt { replica, at, cell });
+            }
+        }
         plan
     }
 
@@ -295,6 +332,25 @@ impl FaultPlan {
                 } if *r == replica && *d == dispatch
             )
         })
+    }
+
+    /// True when the plan contains any disk fault ([`Fault::TornWrite`]
+    /// or [`Fault::DiskCorrupt`]) — such plans activate the durability
+    /// tier (with an ephemeral store if none was supplied) so the faults
+    /// have a durable chain to lie against and be audited by.
+    #[must_use]
+    pub fn has_disk_faults(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::TornWrite { .. } | Fault::DiskCorrupt { .. }))
+    }
+
+    /// True when the durable append for `epoch` tears on the platter.
+    #[must_use]
+    pub fn tears(&self, epoch: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::TornWrite { epoch: e } if *e == epoch))
     }
 
     /// The fate of the replication catch-up for `epoch` (first matching
@@ -452,6 +508,16 @@ pub struct FaultConfig {
     pub replay_per_entry: Layers,
     /// Enables the brownout controller with the given thresholds.
     pub brownout: Option<BrownoutConfig>,
+    /// Cadence of the anti-entropy scrubber: each tick audits the
+    /// durable WAL against the disk (truncating torn tails and
+    /// re-appending lost epochs from the in-memory log) and compares
+    /// every live replica's chunked memory digest against the durable
+    /// chain's expected state, repairing divergence. `None` (the
+    /// default) disables scrubbing and keeps the loop passive.
+    pub scrub_interval: Option<Layers>,
+    /// Memory cells per digest chunk in scrub comparisons (granularity
+    /// of divergence localization).
+    pub scrub_chunk_cells: usize,
 }
 
 impl Default for FaultConfig {
@@ -464,6 +530,8 @@ impl Default for FaultConfig {
             replay_chunk: 8,
             replay_per_entry: Layers::new(1.0),
             brownout: None,
+            scrub_interval: None,
+            scrub_chunk_cells: 64,
         }
     }
 }
@@ -521,9 +589,54 @@ mod tests {
                     assert!(shard < 2);
                 }
                 Fault::CorruptOutcome { replica, .. } => assert!(replica < 4),
-                Fault::DropReplication { .. } | Fault::DelayReplication { .. } => {}
+                Fault::DiskCorrupt { replica, at, .. } => {
+                    assert!(replica < 4);
+                    assert!(at > Layers::ZERO);
+                }
+                Fault::DropReplication { .. }
+                | Fault::DelayReplication { .. }
+                | Fault::TornWrite { .. } => {}
             }
         }
+    }
+
+    #[test]
+    fn seeded_disk_faults_appear_across_seeds() {
+        // The chaos generator must actually exercise the durability
+        // tier: across a modest seed range both disk fault kinds occur.
+        let horizon = Layers::new(5_000.0);
+        let mut torn = 0;
+        let mut corrupt = 0;
+        for seed in 0..64 {
+            let plan = FaultPlan::from_seed(seed, 4, 2, horizon);
+            if plan
+                .faults()
+                .iter()
+                .any(|f| matches!(f, Fault::TornWrite { .. }))
+            {
+                torn += 1;
+                assert!(plan.has_disk_faults());
+            }
+            if plan
+                .faults()
+                .iter()
+                .any(|f| matches!(f, Fault::DiskCorrupt { .. }))
+            {
+                corrupt += 1;
+                assert!(plan.has_disk_faults());
+            }
+        }
+        assert!(torn > 5, "torn writes too rare: {torn}/64");
+        assert!(corrupt > 5, "disk corruption too rare: {corrupt}/64");
+        assert!(!FaultPlan::none().has_disk_faults());
+    }
+
+    #[test]
+    fn tears_matches_only_the_planned_epoch() {
+        let plan = FaultPlan::none().with(Fault::TornWrite { epoch: 3 });
+        assert!(plan.tears(3));
+        assert!(!plan.tears(2));
+        assert!(plan.has_disk_faults());
     }
 
     #[test]
@@ -603,6 +716,53 @@ mod tests {
             "batch shed first, restored last"
         );
         assert!(!ctrl.sheds(SloClass::Standard));
+    }
+
+    #[test]
+    fn brownout_boundary_occupancy_exactly_at_thresholds() {
+        // The shed threshold is inclusive: occupancy exactly at `high`
+        // escalates. The restore threshold is inclusive too: occupancy
+        // exactly at `low` de-escalates. One epsilon inside the band
+        // holds the level in both directions.
+        let config = BrownoutConfig::default();
+        let mut ctrl = BrownoutController::new(config);
+        ctrl.observe(config.high);
+        assert_eq!(ctrl.level(), 1, "occupancy == high must escalate");
+        ctrl.observe(config.high - 1e-9);
+        assert_eq!(ctrl.level(), 1, "just under high holds the level");
+        ctrl.observe(config.low + 1e-9);
+        assert_eq!(ctrl.level(), 1, "just above low holds the level");
+        ctrl.observe(config.low);
+        assert_eq!(ctrl.level(), 0, "occupancy == low must restore");
+        ctrl.observe(config.low);
+        assert_eq!(ctrl.level(), 0, "restore saturates at level 0");
+    }
+
+    #[test]
+    fn brownout_single_tick_spike_does_not_flap_classes() {
+        // A one-tick occupancy spike escalates at most one level (Batch
+        // only); Standard and Interactive never flap, and the level
+        // holds — rather than oscillating — until occupancy actually
+        // drains to the restore threshold.
+        let mut ctrl = BrownoutController::new(BrownoutConfig::default());
+        ctrl.observe(1.0); // the spike
+        assert_eq!(ctrl.level(), 1, "one tick moves at most one level");
+        assert!(ctrl.sheds(SloClass::Batch));
+        assert!(
+            !ctrl.sheds(SloClass::Standard),
+            "spike must not reach Standard"
+        );
+        assert!(!ctrl.sheds(SloClass::Interactive));
+        // The spike passes; mid-band occupancy must hold, not flap back.
+        for _ in 0..5 {
+            ctrl.observe(0.6);
+            assert_eq!(ctrl.level(), 1, "mid-band holds: no flapping");
+            assert!(ctrl.sheds(SloClass::Batch));
+        }
+        // Only a real drain restores, and only one level per tick.
+        ctrl.observe(0.1);
+        assert_eq!(ctrl.level(), 0);
+        assert!(!ctrl.sheds(SloClass::Batch));
     }
 
     #[test]

@@ -68,10 +68,13 @@
 //! [`RetryPolicy`]: qram_sched::RetryPolicy
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-use qram_core::{ExecError, QramModel, ReplicatedMemory, ShardedQram};
+use qram_core::store::{chunk_digests, frame, CheckpointPolicy, DurableFleet, SimDir, StoreError};
+use qram_core::{ExecError, QramModel, ReplicatedMemory, ReplicatedWrite, ShardedQram};
 use qram_metrics::{
-    AvailabilityCounters, HistogramFamily, LatencyHistogram, Layers, QueryRate, TimingModel,
+    AvailabilityCounters, HistogramFamily, IntegrityCounters, LatencyHistogram, Layers, QueryRate,
+    TimingModel,
 };
 use qram_sched::{
     AdmissionPolicy, FifoAdmission, QramServer, QueryRequest, RetryPolicy, Schedule, SloClass,
@@ -317,6 +320,11 @@ enum Event {
     StallEnd { replica: usize, shard: usize },
     /// The health monitor samples heartbeats and brownout occupancy.
     MonitorTick,
+    /// The anti-entropy scrubber audits the WAL and replica digests.
+    ScrubTick,
+    /// An injected [`Fault::DiskCorrupt`] flips a bit in one replica
+    /// memory cell, bypassing the replication log.
+    DiskCorrupt { replica: usize, cell: u64 },
     /// A lost query's backoff elapsed: re-place and re-dispatch it.
     Retry { qid: usize },
     /// An Interactive query may deserve a duplicate dispatch.
@@ -338,6 +346,7 @@ pub struct FleetReport {
     stale_served: u64,
     fleet_epoch: u64,
     availability: AvailabilityCounters,
+    integrity: IntegrityCounters,
 }
 
 impl FleetReport {
@@ -382,6 +391,14 @@ impl FleetReport {
     #[must_use]
     pub fn availability(&self) -> &AvailabilityCounters {
         &self.availability
+    }
+
+    /// The durability ledger of the run: WAL appends, checkpoints, scrub
+    /// cycles, digest mismatches, and repairs. All zero for runs without
+    /// disk faults, scrubbing, or an external durable store.
+    #[must_use]
+    pub fn integrity(&self) -> &IntegrityCounters {
+        &self.integrity
     }
 
     /// Mean time to repair (crash → rejoin), or `None` when no replica
@@ -846,6 +863,8 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                     | Event::StallStart { .. }
                     | Event::StallEnd { .. }
                     | Event::MonitorTick
+                    | Event::ScrubTick
+                    | Event::DiskCorrupt { .. }
                     | Event::Retry { .. }
                     | Event::HedgeCheck { .. }
                     | Event::Expired { .. } => {
@@ -936,6 +955,7 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
             stale_served,
             fleet_epoch: replicated.fleet_epoch(),
             availability: AvailabilityCounters::default(),
+            integrity: IntegrityCounters::default(),
         })
     }
 
@@ -964,7 +984,6 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
     /// names an out-of-range replica or shard, or if monitoring is active
     /// (non-empty plan or a brownout controller) with a non-positive
     /// `monitor_interval`.
-    #[allow(clippy::too_many_lines)]
     pub fn serve_with_faults(
         &mut self,
         memory: &ClassicalMemory,
@@ -973,6 +992,62 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
         plan: &FaultPlan,
         fault_config: &FaultConfig,
     ) -> Result<FleetReport, ExecError> {
+        match self.serve_faulty(memory, requests, writes, plan, fault_config, None) {
+            Ok(report) => Ok(report),
+            Err(DurableServeError::Exec(e)) => Err(e),
+            // Without an external store the durability tier (when disk
+            // faults or scrubbing activate it) runs on an in-memory
+            // `SimDir`, which cannot fail I/O, and appends are contiguous
+            // by construction.
+            Err(DurableServeError::Store(e)) => {
+                unreachable!("the ephemeral in-memory store cannot fail: {e}")
+            }
+        }
+    }
+
+    /// [`QramFleet::serve_with_faults`] backed by a crash-consistent
+    /// [`DurableFleet`] store: every committed write is appended to the
+    /// store's write-ahead log (and checkpointed per its policy) before
+    /// replication fans out, the Recovering → rejoin flow replays a
+    /// restarted replica from the durable chain instead of the in-memory
+    /// log, and [`FaultConfig::scrub_interval`] schedules anti-entropy
+    /// scrubs that audit the WAL and replica digests against the chain.
+    ///
+    /// The store's durable chain must end at `memory` (a fresh
+    /// [`DurableFleet::create`] from the same image, or a recovered store
+    /// whose shadow equals it); this run's fleet epoch `e` is persisted
+    /// at store epoch `durable_epoch + e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableServeError::Exec`] if query execution fails and
+    /// [`DurableServeError::Store`] if the store's directory fails.
+    ///
+    /// # Panics
+    ///
+    /// As [`QramFleet::serve_with_faults`].
+    pub fn serve_durable(
+        &mut self,
+        memory: &ClassicalMemory,
+        requests: impl IntoIterator<Item = FleetRequest>,
+        writes: impl IntoIterator<Item = FleetWrite>,
+        plan: &FaultPlan,
+        fault_config: &FaultConfig,
+        store: &mut DurableFleet,
+    ) -> Result<FleetReport, DurableServeError> {
+        self.serve_faulty(memory, requests, writes, plan, fault_config, Some(store))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn serve_faulty(
+        &mut self,
+        memory: &ClassicalMemory,
+        requests: impl IntoIterator<Item = FleetRequest>,
+        writes: impl IntoIterator<Item = FleetWrite>,
+        plan: &FaultPlan,
+        fault_config: &FaultConfig,
+        store: Option<&mut DurableFleet>,
+    ) -> Result<FleetReport, DurableServeError> {
         let num_replicas = self.backends.len();
         let num_shards = self.backends[0].num_shards() as usize;
         let server = self.equivalent_server();
@@ -1064,6 +1139,35 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
         let mut corrupted_served: Vec<(usize, usize)> = Vec::new();
         let mut open = 0usize;
 
+        // The durability tier. An external store (serve_durable) always
+        // activates it; otherwise disk faults or a scrub interval spin up
+        // an ephemeral in-memory store so the faults have a durable chain
+        // to lie against and be audited by. Like monitoring, a run that
+        // activates none of this schedules no events and touches no disk,
+        // keeping the empty-plan reactor bit-identical to the fault-free
+        // loop.
+        let total_cells = memory.cells().len() as u64;
+        let mut ephemeral: Option<DurableFleet> = None;
+        let mut durability: Option<Durability<'_>> = match store {
+            Some(s) => {
+                debug_assert_eq!(
+                    s.shadow().cells(),
+                    memory.cells(),
+                    "the durable chain must end at the run's starting memory"
+                );
+                Some(Durability::new(s))
+            }
+            None if plan.has_disk_faults() || fault_config.scrub_interval.is_some() => {
+                let fresh = DurableFleet::create_with(
+                    Box::new(SimDir::new()),
+                    memory,
+                    CheckpointPolicy::never(),
+                )?;
+                Some(Durability::new(ephemeral.insert(fresh)))
+            }
+            None => None,
+        };
+
         if monitoring {
             assert!(
                 fault_config.monitor_interval.get() > 0.0,
@@ -1093,10 +1197,25 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                     Fault::SlowReplica { replica, .. } | Fault::CorruptOutcome { replica, .. } => {
                         assert!(replica < num_replicas, "fault names replica {replica}");
                     }
-                    Fault::DropReplication { .. } | Fault::DelayReplication { .. } => {}
+                    Fault::DiskCorrupt { replica, at, cell } => {
+                        assert!(replica < num_replicas, "corruption names replica {replica}");
+                        events.push(at, Event::DiskCorrupt { replica, cell });
+                    }
+                    Fault::DropReplication { .. }
+                    | Fault::DelayReplication { .. }
+                    | Fault::TornWrite { .. } => {}
                 }
             }
             events.push(fault_config.monitor_interval, Event::MonitorTick);
+        }
+        if durability.is_some() {
+            if let Some(interval) = fault_config.scrub_interval {
+                assert!(
+                    interval.get() > 0.0,
+                    "scrubbing needs a positive scrub interval"
+                );
+                events.push(interval, Event::ScrubTick);
+            }
         }
 
         let mut completed: Vec<FleetQuery> = Vec::with_capacity(total_requests);
@@ -1220,6 +1339,22 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                                 .unwrap_or(write.origin)
                         };
                         let epoch = replicated.write_at(origin, write.address, write.value);
+                        if let Some(d) = durability.as_mut() {
+                            // Log the write durably before replication
+                            // fans out: append + sync is the
+                            // acknowledgment point. A planned torn write
+                            // arms the lying-disk hook — the append
+                            // reports success, the platter keeps only a
+                            // partial record, and a later scrub's rescan
+                            // finds and repairs the damage.
+                            let w = ReplicatedWrite {
+                                epoch,
+                                origin,
+                                address: write.address,
+                                value: write.value,
+                            };
+                            d.append(&w, plan.tears(epoch))?;
+                        }
                         let applied = replicated.applied_epoch(origin);
                         snapshots[origin].insert(applied, replicated.memory(origin).clone());
                         if num_replicas > 1 {
@@ -1374,8 +1509,24 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                         // a re-crash clears it and this firing is stale.
                         if alive[replica] && rejoin_at[replica] == Some(now.get()) {
                             rejoin_at[replica] = None;
-                            let chunk = fault_config.replay_chunk.max(1);
+                            if let Some(d) = durability.as_mut() {
+                                // Replay from disk, not the in-memory
+                                // log: audit the WAL, then reset the
+                                // restarted replica to the durable
+                                // chain's image at its watermark.
+                                d.rejoin_from_disk(replica, &mut replicated)?;
+                            }
+                            // Drain whatever the durable chain did not
+                            // cover from the in-memory log (everything,
+                            // when no durability tier is active; chunk 0
+                            // means "all in one call").
+                            let chunk = fault_config.replay_chunk;
                             while replicated.catch_up_by(replica, chunk) > 0 {}
+                            debug_assert_eq!(
+                                replicated.lag(replica),
+                                0,
+                                "a rejoined replica is fully caught up"
+                            );
                             snapshots[replica].insert(
                                 replicated.applied_epoch(replica),
                                 replicated.memory(replica).clone(),
@@ -1448,6 +1599,35 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                         if open > 0 || arrivals.peek().is_some() {
                             events.push(now + fault_config.monitor_interval, Event::MonitorTick);
                         }
+                    }
+                    Event::ScrubTick => {
+                        if let Some(d) = durability.as_mut() {
+                            d.scrub(
+                                &mut replicated,
+                                &alive,
+                                fault_config.scrub_chunk_cells,
+                                &mut snapshots,
+                            )?;
+                        }
+                        if let Some(interval) = fault_config.scrub_interval {
+                            if open > 0 || arrivals.peek().is_some() {
+                                events.push(now + interval, Event::ScrubTick);
+                            }
+                        }
+                    }
+                    Event::DiskCorrupt { replica, cell } => {
+                        // Media corruption: one bit flips in the live
+                        // replica image, bypassing the replication log —
+                        // invisible to staleness tracking, caught only by
+                        // a scrub's digest comparison. The snapshot at
+                        // the replica's applied epoch is poisoned too, so
+                        // queries batched against that version observe
+                        // the corruption until a scrub repairs it (the
+                        // snapshot table keys on epoch, so the version's
+                        // final image decides what its dispatches serve).
+                        replicated.corrupt_replica_cell(replica, cell % total_cells);
+                        let applied = replicated.applied_epoch(replica);
+                        snapshots[replica].insert(applied, replicated.memory(replica).clone());
                     }
                     Event::Retry { qid } => {
                         if !states[qid].done {
@@ -1596,6 +1776,20 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
             }
         }
 
+        // A final anti-entropy sweep: divergence injected after the last
+        // scheduled tick (or in runs too short to reach one) is still
+        // found and repaired before the report closes.
+        if fault_config.scrub_interval.is_some() {
+            if let Some(d) = durability.as_mut() {
+                d.scrub(
+                    &mut replicated,
+                    &alive,
+                    fault_config.scrub_chunk_cells,
+                    &mut snapshots,
+                )?;
+            }
+        }
+
         let per_replica_dispatches: Vec<u64> =
             replicas.iter().map(|r| r.dispatch_count() as u64).collect();
         // The no-lost-queries invariant: every admitted query resolved as
@@ -1660,7 +1854,178 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
             stale_served,
             fleet_epoch: replicated.fleet_epoch(),
             availability: counters,
+            integrity: durability.map(|d| d.counters).unwrap_or_default(),
         })
+    }
+}
+
+/// Error from a durable serving run ([`QramFleet::serve_durable`]).
+#[derive(Debug)]
+pub enum DurableServeError {
+    /// Query execution against a memory snapshot failed.
+    Exec(ExecError),
+    /// The durable store's directory failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for DurableServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableServeError::Exec(e) => write!(f, "query execution failed: {e}"),
+            DurableServeError::Store(e) => write!(f, "durable store failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableServeError::Exec(e) => Some(e),
+            DurableServeError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExecError> for DurableServeError {
+    fn from(e: ExecError) -> Self {
+        DurableServeError::Exec(e)
+    }
+}
+
+impl From<StoreError> for DurableServeError {
+    fn from(e: StoreError) -> Self {
+        DurableServeError::Store(e)
+    }
+}
+
+/// Bytes of a torn WAL append the lying disk keeps: header plus part of
+/// the record payload, so the defect lands mid-frame.
+const TORN_KEEP_BYTES: usize = frame::HEADER_LEN + 7;
+
+/// Durability bookkeeping for one serving run: the WAL + checkpoint
+/// store, the epoch offset between this run's fleet epochs and the
+/// store's chain, and the integrity ledger.
+struct Durability<'a> {
+    store: &'a mut DurableFleet,
+    /// The store's durable epoch when the run started: fleet epoch `e`
+    /// of this run lives at store epoch `wal_base + e`.
+    wal_base: u64,
+    counters: IntegrityCounters,
+}
+
+impl<'a> Durability<'a> {
+    fn new(store: &'a mut DurableFleet) -> Self {
+        let wal_base = store.durable_epoch();
+        Durability {
+            store,
+            wal_base,
+            counters: IntegrityCounters::default(),
+        }
+    }
+
+    /// Logs one committed fleet write durably; `torn` arms the
+    /// lying-disk hook so the append reports success while the platter
+    /// keeps only [`TORN_KEEP_BYTES`].
+    fn append(&mut self, w: &ReplicatedWrite, torn: bool) -> Result<(), StoreError> {
+        if torn {
+            self.store.dir_mut().tear_next_write(TORN_KEEP_BYTES);
+        }
+        let stored = ReplicatedWrite {
+            epoch: self.wal_base + w.epoch,
+            ..*w
+        };
+        let checkpointed = self.store.append(&stored)?;
+        self.counters.wal_appends += 1;
+        if checkpointed {
+            self.counters.checkpoints += 1;
+        }
+        Ok(())
+    }
+
+    /// Audits the on-disk WAL against the store's view: a torn tail is
+    /// truncated, the watermark rolled back, and the lost acknowledged
+    /// epochs re-appended from the fleet's in-memory log (each counted
+    /// as a repair).
+    fn audit_disk(&mut self, replicated: &ReplicatedMemory) -> Result<(), StoreError> {
+        let summary = self.store.rescan()?;
+        if summary.truncated_bytes > 0 {
+            self.counters.torn_tails_truncated += 1;
+        }
+        if summary.lost_epochs > 0 {
+            let from = self.store.durable_epoch();
+            for w in replicated.log() {
+                let stored_epoch = self.wal_base + w.epoch;
+                if stored_epoch > from {
+                    let stored = ReplicatedWrite {
+                        epoch: stored_epoch,
+                        ..*w
+                    };
+                    let checkpointed = self.store.append(&stored)?;
+                    self.counters.wal_appends += 1;
+                    self.counters.repairs += 1;
+                    if checkpointed {
+                        self.counters.checkpoints += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays a restarted replica from the durable chain: disk audit,
+    /// then a reset to the chain's image at its watermark. The caller
+    /// drains any remaining in-memory log suffix afterwards.
+    fn rejoin_from_disk(
+        &mut self,
+        replica: usize,
+        replicated: &mut ReplicatedMemory,
+    ) -> Result<(), StoreError> {
+        self.audit_disk(replicated)?;
+        let durable_fleet_epoch = self.store.durable_epoch() - self.wal_base;
+        if durable_fleet_epoch > replicated.applied_epoch(replica) {
+            replicated.reset_replica(replica, self.store.shadow().clone(), durable_fleet_epoch);
+        }
+        Ok(())
+    }
+
+    /// One anti-entropy scrub cycle: audit the WAL, then compare each
+    /// live replica's chunked memory digest against the durable chain's
+    /// expected state at that replica's applied epoch, repairing
+    /// divergence by resetting the replica to the expected image.
+    fn scrub(
+        &mut self,
+        replicated: &mut ReplicatedMemory,
+        alive: &[bool],
+        chunk_cells: usize,
+        snapshots: &mut [BTreeMap<u64, ClassicalMemory>],
+    ) -> Result<(), StoreError> {
+        self.counters.scrub_cycles += 1;
+        self.audit_disk(replicated)?;
+        for r in 0..replicated.num_replicas() {
+            if !alive[r] {
+                continue;
+            }
+            let applied = replicated.applied_epoch(r);
+            // An epoch already compacted behind a checkpoint is not
+            // reconstructible — the replica is audited next cycle, once
+            // catch-up moves it past the checkpoint watermark.
+            let Some(expected) = self.store.state_at(self.wal_base + applied) else {
+                continue;
+            };
+            let want = chunk_digests(&expected, chunk_cells);
+            let have = chunk_digests(replicated.memory(r), chunk_cells);
+            self.counters.chunks_verified += have.len() as u64;
+            let diverged = want.iter().zip(&have).filter(|(w, h)| w != h).count() as u64;
+            if diverged > 0 {
+                self.counters.mismatches += diverged;
+                self.counters.repairs += 1;
+                replicated.reset_replica(r, expected, applied);
+                // Un-poison the snapshot so the repaired version serves
+                // clean reads again.
+                snapshots[r].insert(applied, replicated.memory(r).clone());
+            }
+        }
+        Ok(())
     }
 }
 

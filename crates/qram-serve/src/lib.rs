@@ -53,6 +53,14 @@
 //!   serving loop answers with health-driven failover, backoff retries,
 //!   hedged dispatch, deadlines, and [`BrownoutController`] degradation
 //!   (see [`QramFleet::serve_with_faults`]).
+//! * **Durability** — [`QramFleet::serve_durable`] backs the fleet's
+//!   write stream with a crash-consistent `qram-core` store (CRC-framed
+//!   write-ahead log + atomic checkpoints): writes are logged before
+//!   replication fans out, restarted replicas replay from disk instead
+//!   of the in-memory log, and an anti-entropy scrubber audits replica
+//!   digests against the durable chain, repairing silent divergence
+//!   ([`Fault::TornWrite`], [`Fault::DiskCorrupt`]) and reporting it in
+//!   the report's [`IntegrityCounters`](qram_metrics::IntegrityCounters).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,8 +76,9 @@ pub use fault::{
     ReplicaHealth, ReplicationFate,
 };
 pub use fleet::{
-    ConsistentHashPlacement, FleetConfig, FleetQuery, FleetReport, FleetRequest, FleetWrite,
-    LeastLoadedPlacement, PlacementPolicy, QramFleet, ReplicaLoad, ShedReason, ShedRequest,
+    ConsistentHashPlacement, DurableServeError, FleetConfig, FleetQuery, FleetReport, FleetRequest,
+    FleetWrite, LeastLoadedPlacement, PlacementPolicy, QramFleet, ReplicaLoad, ShedReason,
+    ShedRequest,
 };
 pub use reactor::EventQueue;
 pub use replica::{CompletedQuery, Replica, ReplicaEvent};

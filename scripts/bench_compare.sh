@@ -57,6 +57,26 @@ if ids:
 else:
     print("\n(no criterion measurements in either baseline)")
 
+# Scalar rows (hit rates, availability, percentiles). Baselines written
+# before the scalars section existed simply lack the key — .get() with a
+# default keeps the diff working against any mix of old and new files.
+old_scalars = old.get("scalars", {})
+new_scalars = new.get("scalars", {})
+ids = sorted(set(old_scalars) | set(new_scalars))
+if ids:
+    width = max(len(i) for i in ids)
+    print(f"\n{'scalar':<{width}}  {'old':>14}  {'new':>14}")
+    for scalar_id in ids:
+        o, n = old_scalars.get(scalar_id), new_scalars.get(scalar_id)
+        o_cell = f"{o:14.2f}" if o is not None else f"{'-':>14}"
+        n_cell = f"{n:14.2f}" if n is not None else f"{'-':>14}"
+        status = ""
+        if o is None:
+            status = "  (new)"
+        elif n is None:
+            status = "  (removed)"
+        print(f"{scalar_id:<{width}}  {o_cell}  {n_cell}{status}")
+
 old_fig = old.get("figure_table_targets", {})
 new_fig = new.get("figure_table_targets", {})
 # Union, not intersection: a bench that exists in only one baseline (a

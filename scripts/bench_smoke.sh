@@ -6,7 +6,7 @@
 #   output.json defaults to BENCH_seed.json.
 #   --targets filters both the figure/table targets and the criterion
 #   targets (perf, sharded, parallel_exec, cache_hit, compiled_exec,
-#   columnar_exec, serving, fleet, fleet_faults) by name, e.g.
+#   columnar_exec, serving, fleet, fleet_faults, recovery) by name, e.g.
 #   --targets fig9,sharded. The parallel_exec target is built with the
 #   `parallel` cargo feature so its A/B pairs compare the scoped-thread
 #   executor against the sequential reference in one binary.
@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 FIGURE_TARGETS=(fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
                 table1 table2 table3 table4 table5 ablation)
-CRITERION_TARGETS=(perf sharded parallel_exec cache_hit compiled_exec columnar_exec serving fleet fleet_faults)
+CRITERION_TARGETS=(perf sharded parallel_exec cache_hit compiled_exec columnar_exec serving fleet fleet_faults recovery)
 
 # Cargo feature flags needed by specific criterion targets.
 target_features() {
@@ -130,12 +130,21 @@ with open(wall_path) as f:
         name, ok, secs = line.split()
         targets[name] = {"ok": ok == "true", "wall_seconds": float(secs)}
 
+# Criterion timing rows carry "ns_per_iter"; bench-emitted scalar rows
+# (hit rates, availability, percentiles) carry "scalar" and land in
+# their own baseline section.
 criterion = []
+scalars = {}
 with open(crit_path) as f:
     for line in f:
         line = line.strip()
-        if line:
-            criterion.append(json.loads(line))
+        if not line:
+            continue
+        row = json.loads(line)
+        if "scalar" in row:
+            scalars[row["id"]] = row["scalar"]
+        else:
+            criterion.append(row)
 
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
@@ -146,9 +155,13 @@ baseline = {
     "commit": commit,
     "figure_table_targets": targets,
     "criterion_ns_per_iter": {c["id"]: c["ns_per_iter"] for c in criterion},
+    "scalars": scalars,
 }
 with open(out_path, "w") as f:
     json.dump(baseline, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {out_path}: {len(targets)} targets, {len(criterion)} criterion benches")
+print(
+    f"wrote {out_path}: {len(targets)} targets, "
+    f"{len(criterion)} criterion benches, {len(scalars)} scalars"
+)
 EOF

@@ -1,0 +1,334 @@
+//! Durability suite for the fleet: the crash-consistent WAL + checkpoint
+//! store behind `serve_durable`, rejoin-from-disk, and the anti-entropy
+//! scrubber. The headline properties:
+//!
+//! * A replica whose memory silently diverges ([`Fault::DiskCorrupt`])
+//!   is driven back to digest equality with the durable chain, and the
+//!   repair shows up in the report's [`IntegrityCounters`]. Without a
+//!   scrubber the corruption is *served*.
+//! * A lying disk ([`Fault::TornWrite`]) is caught by the scrub's WAL
+//!   audit: the torn tail is truncated and the acknowledged epochs are
+//!   re-appended from the fleet's in-memory log.
+//! * An external [`DurableFleet`] store accumulates the write stream
+//!   across serving runs, and recovery from its directory rebuilds
+//!   exactly the final memory image.
+
+use fat_tree_qram::core::store::{CheckpointPolicy, DurableFleet, SimDir};
+use fat_tree_qram::core::{FatTreeQram, ShardedQram};
+use fat_tree_qram::metrics::{Capacity, Layers, TimingModel};
+use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
+use fat_tree_qram::sched::{FifoAdmission, TenantId};
+use fat_tree_qram::serve::{
+    ConsistentHashPlacement, Fault, FaultConfig, FaultPlan, FleetConfig, FleetRequest, FleetWrite,
+    QramFleet,
+};
+
+fn checkerboard(n: u64) -> ClassicalMemory {
+    let cells: Vec<u64> = (0..n).map(|i| (i * 5 + 1) % 2).collect();
+    ClassicalMemory::from_words(1, &cells).unwrap()
+}
+
+fn request(id: usize, arrival: f64, address: u64) -> FleetRequest {
+    FleetRequest {
+        id,
+        tenant: TenantId::DEFAULT,
+        arrival: Layers::new(arrival),
+        address: AddressState::classical(6, address % 64).unwrap(),
+    }
+}
+
+fn fifo_fleet(replicas: usize, shards: u32) -> QramFleet<FatTreeQram> {
+    QramFleet::new(
+        ShardedQram::fat_tree(Capacity::new(64).unwrap(), shards),
+        replicas,
+        TimingModel::paper_default(),
+        FifoAdmission,
+        ConsistentHashPlacement,
+        FleetConfig {
+            queue_capacity: None,
+            replication_lag: Layers::new(30.0),
+        },
+    )
+}
+
+fn scrub_config(interval: f64) -> FaultConfig {
+    FaultConfig {
+        scrub_interval: Some(Layers::new(interval)),
+        scrub_chunk_cells: 16,
+        ..FaultConfig::default()
+    }
+}
+
+/// checkerboard(64)[5] = (5·5 + 1) % 2 = 0; the corruption flips it.
+const PROBE_CELL: u64 = 5;
+
+fn corruption_run(config: &FaultConfig) -> fat_tree_qram::serve::FleetReport {
+    let mut fleet = fifo_fleet(1, 2);
+    let plan = FaultPlan::none().with(Fault::DiskCorrupt {
+        replica: 0,
+        at: Layers::new(50.0),
+        cell: PROBE_CELL,
+    });
+    let requests = vec![request(0, 100.0, PROBE_CELL)];
+    fleet
+        .serve_with_faults(&checkerboard(64), requests, Vec::new(), &plan, config)
+        .unwrap()
+}
+
+#[test]
+fn without_a_scrubber_silent_corruption_is_served() {
+    // The control arm: the disk fault activates the durability tier, but
+    // no scrub ever compares digests, so the flipped bit reaches the
+    // query and the ledger shows no repair.
+    let report = corruption_run(&FaultConfig::default());
+    assert_eq!(report.completed().len(), 1);
+    assert_eq!(
+        report.outcomes()[0].data_for(PROBE_CELL),
+        Some(1),
+        "the flipped cell is served verbatim"
+    );
+    let integrity = report.integrity();
+    assert!(integrity.clean(), "nothing audited, nothing repaired");
+    assert_eq!(integrity.scrub_cycles, 0);
+}
+
+#[test]
+fn the_scrubber_repairs_divergence_back_to_digest_equality() {
+    // The treatment arm: same fault, scrubbing on. The digest comparison
+    // against the durable chain localizes the divergence, the replica is
+    // reset to the chain's image, and the served read is clean again.
+    let report = corruption_run(&scrub_config(75.0));
+    assert_eq!(report.completed().len(), 1);
+    assert_eq!(
+        report.outcomes()[0].data_for(PROBE_CELL),
+        Some(0),
+        "the repaired replica serves the durable chain's value"
+    );
+    let integrity = report.integrity();
+    assert!(integrity.scrub_cycles >= 1, "{integrity}");
+    assert!(integrity.chunks_verified >= 4, "{integrity}");
+    assert_eq!(integrity.mismatches, 1, "one 16-cell chunk diverged");
+    assert_eq!(integrity.repairs, 1, "{integrity}");
+    assert!(!integrity.clean());
+}
+
+#[test]
+fn a_clean_run_gets_a_clean_bill_of_health() {
+    // Scrubbing an undamaged fleet verifies chunks and repairs nothing —
+    // and the writes it audits are all in the WAL ledger.
+    let mut fleet = fifo_fleet(2, 2);
+    let requests: Vec<FleetRequest> = (0..8)
+        .map(|i| request(i, 40.0 * i as f64, i as u64))
+        .collect();
+    let writes = vec![
+        FleetWrite {
+            at: Layers::new(35.0),
+            origin: 0,
+            address: 3,
+            value: 1,
+        },
+        FleetWrite {
+            at: Layers::new(95.0),
+            origin: 1,
+            address: 9,
+            value: 0,
+        },
+    ];
+    let report = fleet
+        .serve_with_faults(
+            &checkerboard(64),
+            requests,
+            writes,
+            &FaultPlan::none(),
+            &scrub_config(60.0),
+        )
+        .unwrap();
+    assert_eq!(report.completed().len(), 8);
+    assert_eq!(report.fleet_epoch(), 2);
+    let integrity = report.integrity();
+    assert!(integrity.clean(), "{integrity}");
+    assert!(integrity.scrub_cycles >= 2, "{integrity}");
+    assert!(integrity.chunks_verified > 0);
+    assert_eq!(integrity.wal_appends, 2, "one WAL record per fleet epoch");
+}
+
+#[test]
+fn a_torn_write_is_truncated_and_reappended_by_the_scrub_audit() {
+    // Epoch 1's durable append tears on the platter while reporting
+    // success. The scrub's rescan finds the damage, truncates the torn
+    // tail (which also costs the fully-written epoch 2 behind it — a
+    // frame scan never resynchronizes past damage), and re-appends both
+    // acknowledged epochs from the fleet's in-memory log.
+    let mut fleet = fifo_fleet(1, 2);
+    let plan = FaultPlan::none().with(Fault::TornWrite { epoch: 1 });
+    let requests: Vec<FleetRequest> = (0..4)
+        .map(|i| request(i, 60.0 * i as f64, i as u64))
+        .collect();
+    let writes = vec![
+        FleetWrite {
+            at: Layers::new(20.0),
+            origin: 0,
+            address: 3,
+            value: 1,
+        },
+        FleetWrite {
+            at: Layers::new(40.0),
+            origin: 0,
+            address: 7,
+            value: 0,
+        },
+    ];
+    let report = fleet
+        .serve_with_faults(
+            &checkerboard(64),
+            requests,
+            writes,
+            &plan,
+            &scrub_config(50.0),
+        )
+        .unwrap();
+    assert_eq!(report.completed().len(), 4);
+    let integrity = report.integrity();
+    assert_eq!(integrity.torn_tails_truncated, 1, "{integrity}");
+    assert_eq!(integrity.repairs, 2, "epochs 1 and 2 re-appended");
+    assert_eq!(
+        integrity.wal_appends, 4,
+        "2 original appends + 2 re-appends"
+    );
+    assert_eq!(integrity.mismatches, 0, "replica memories never diverged");
+}
+
+#[test]
+fn a_restarted_replica_rejoins_from_the_durable_chain() {
+    // Replica 1 crashes before either write lands, and its rejoin
+    // replays from disk: the durability tier is active (the plan has a
+    // disk fault), so recovery resets the replica to the durable chain's
+    // image — including the epoch whose append tore and was re-appended
+    // by the rejoin's WAL audit.
+    let mut fleet = fifo_fleet(2, 2);
+    let plan = FaultPlan::none()
+        .with(Fault::Crash {
+            replica: 1,
+            at: Layers::new(10.0),
+        })
+        .with(Fault::TornWrite { epoch: 1 })
+        .with(Fault::Recover {
+            replica: 1,
+            at: Layers::new(400.0),
+        });
+    let requests: Vec<FleetRequest> = (0..12)
+        .map(|i| request(i, 70.0 * i as f64, i as u64))
+        .collect();
+    let total = requests.len();
+    let writes = vec![
+        FleetWrite {
+            at: Layers::new(50.0),
+            origin: 0,
+            address: 3,
+            value: 1,
+        },
+        FleetWrite {
+            at: Layers::new(120.0),
+            origin: 0,
+            address: 9,
+            value: 0,
+        },
+    ];
+    let report = fleet
+        .serve_with_faults(
+            &checkerboard(64),
+            requests,
+            writes,
+            &plan,
+            &FaultConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(report.completed().len(), total);
+    assert_eq!(report.availability().crashes, 1);
+    assert_eq!(report.availability().recoveries, 1);
+    assert_eq!(report.fleet_epoch(), 2);
+    let integrity = report.integrity();
+    assert_eq!(
+        integrity.torn_tails_truncated, 1,
+        "the rejoin audit caught the lying disk: {integrity}"
+    );
+    assert!(integrity.repairs >= 1, "{integrity}");
+}
+
+#[test]
+fn serve_durable_persists_the_write_stream_across_runs() {
+    // An external store accumulates the WAL across two serving runs. The
+    // second run starts where the first left off (its fleet epochs are
+    // offset by the store's durable watermark), and recovery from the
+    // directory alone rebuilds the final image.
+    let memory = checkerboard(64);
+    let mut store =
+        DurableFleet::create_with(Box::new(SimDir::new()), &memory, CheckpointPolicy::every(3))
+            .unwrap();
+
+    let writes_a = vec![
+        FleetWrite {
+            at: Layers::new(10.0),
+            origin: 0,
+            address: 3,
+            value: 1,
+        },
+        FleetWrite {
+            at: Layers::new(30.0),
+            origin: 1,
+            address: 9,
+            value: 0,
+        },
+    ];
+    let mut fleet = fifo_fleet(2, 2);
+    let report_a = fleet
+        .serve_durable(
+            &memory,
+            vec![request(0, 5.0, 1)],
+            writes_a,
+            &FaultPlan::none(),
+            &FaultConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+    assert_eq!(report_a.fleet_epoch(), 2);
+    assert_eq!(report_a.integrity().wal_appends, 2);
+    assert_eq!(store.durable_epoch(), 2);
+
+    // Run two starts from the durable chain's image, as a restarted
+    // fleet would.
+    let resumed = store.shadow().clone();
+    let writes_b = vec![FleetWrite {
+        at: Layers::new(10.0),
+        origin: 0,
+        address: 12,
+        value: 1,
+    }];
+    let mut fleet_b = fifo_fleet(2, 2);
+    let report_b = fleet_b
+        .serve_durable(
+            &resumed,
+            vec![request(0, 5.0, 2)],
+            writes_b,
+            &FaultPlan::none(),
+            &FaultConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+    assert_eq!(report_b.fleet_epoch(), 1, "run-local epochs restart at 1");
+    assert_eq!(store.durable_epoch(), 3, "the store's chain keeps growing");
+    assert_eq!(
+        report_b.integrity().checkpoints,
+        1,
+        "the policy checkpointed at store epoch 3"
+    );
+
+    // Crash the whole fleet: the directory alone rebuilds the image.
+    let recovered = DurableFleet::recover(store.into_dir()).unwrap();
+    assert_eq!(recovered.epoch, 3);
+    let mut expect = checkerboard(64);
+    expect.write(3, 1);
+    expect.write(9, 0);
+    expect.write(12, 1);
+    assert_eq!(recovered.memory.cells(), expect.cells());
+}

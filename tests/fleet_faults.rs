@@ -113,9 +113,11 @@ proptest! {
 
     /// The no-lost-queries invariant under seeded chaos: whatever the
     /// fault plan does — crashes, recoveries, slowdowns, stalls, dropped
-    /// replication, corrupted outcomes — every request resolves exactly
-    /// once, every completed query's attempt count respects the retry
-    /// budget, and the run terminates.
+    /// replication, corrupted outcomes, torn durable writes, silent disk
+    /// corruption — every request resolves exactly once, every completed
+    /// query's attempt count respects the retry budget, and the run
+    /// terminates. Half the runs scrub, so crash + disk-corrupt +
+    /// scrub-repair all compose under the same invariant.
     #[test]
     fn seeded_chaos_never_loses_a_query(
         seed in 0u64..u64::MAX,
@@ -124,6 +126,7 @@ proptest! {
         r in 1usize..=4,
         queue_cap_raw in 0usize..8,
         hedge_raw in 0u32..2,
+        scrub_raw in 0u32..2,
     ) {
         let queue_cap = (queue_cap_raw > 0).then_some(queue_cap_raw + 3);
         let mut t = 0.0;
@@ -144,6 +147,7 @@ proptest! {
         let config = FaultConfig {
             hedge_delay: (hedge_raw == 1).then(|| Layers::new(25.0)),
             monitor_interval: Layers::new(32.0),
+            scrub_interval: (scrub_raw == 1).then(|| Layers::new(48.0)),
             ..FaultConfig::default()
         };
 
@@ -182,6 +186,21 @@ proptest! {
         if planned_crashes == 0 {
             prop_assert_eq!(report.availability().failovers, 0);
         }
+        // The integrity ledger is consistent with the durability tier:
+        // when it is active every committed epoch is WAL-logged (plus
+        // re-appends after torn-tail truncations), and a repaired
+        // divergence always pairs a mismatch or truncation with a
+        // repair.
+        let integrity = report.integrity();
+        if plan.has_disk_faults() || scrub_raw == 1 {
+            prop_assert!(integrity.wal_appends >= report.fleet_epoch());
+        } else {
+            prop_assert_eq!(integrity, &fat_tree_qram::metrics::IntegrityCounters::default());
+        }
+        if scrub_raw == 1 {
+            prop_assert!(integrity.scrub_cycles >= 1);
+        }
+        prop_assert!(integrity.clean() || integrity.repairs > 0 || integrity.mismatches > 0);
     }
 }
 
