@@ -15,6 +15,25 @@
 //! at worst some scratch debris; a bit-flipped installed image fails its
 //! CRC on load and is reported as *detected* corruption, never silently
 //! replayed as state.
+//!
+//! # Delta chains
+//!
+//! A full image costs the whole memory every interval. A *delta*
+//! ([`Delta`]) records only the cells written since the previous
+//! checkpoint, chained off the base image by epoch:
+//!
+//! ```text
+//!   checkpoint.img ── delta.0001 ── delta.0002 ── … ── WAL tail
+//!   (base, epoch B)   (base B,      (base E₁,
+//!                      epoch E₁)     epoch E₂)
+//! ```
+//!
+//! Each delta names the epoch of the state it extends (`base_epoch`);
+//! [`load_chain`] applies deltas only while that linkage is contiguous,
+//! so debris from a crashed fold — which removes deltas *descending*,
+//! leaving only a contiguous stale prefix at `delta.0001…` — is detected
+//! by the epoch mismatch and swept. Each delta installs with the same
+//! tmp-sync-rename dance as the base image.
 
 use qsim::branch::ClassicalMemory;
 
@@ -26,10 +45,169 @@ use super::StoreError;
 pub const CHECKPOINT_FILE: &str = "checkpoint.img";
 /// The install scratch file; only ever observed after a crash.
 pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+/// The delta install scratch file; only ever observed after a crash.
+pub const DELTA_TMP: &str = "delta.tmp";
 
 const MAGIC: &[u8; 4] = b"QCKP";
 const VERSION: u32 = 1;
 const HEADER: usize = 4 + 4 + 8 + 4 + 8;
+
+const DELTA_MAGIC: &[u8; 4] = b"QDLT";
+const DELTA_HEADER: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Name of the `index`-th delta in the chain (1-based: `delta.0001` is
+/// the first delta off the base image).
+#[must_use]
+pub fn delta_file(index: usize) -> String {
+    format!("delta.{index:04}")
+}
+
+/// One incremental checkpoint: the cells written between two epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Epoch of the state this delta extends (the previous link).
+    pub base_epoch: u64,
+    /// Epoch of the state after applying this delta.
+    pub epoch: u64,
+    /// `(address, value)` pairs, last write wins, ascending address.
+    pub cells: Vec<(u64, u64)>,
+}
+
+/// Serializes `delta` as an unframed payload:
+/// `magic "QDLT" · version u32 · base_epoch u64 · epoch u64 · count u64
+/// · (address u64 · value u64) …` (all little-endian).
+#[must_use]
+pub fn encode_delta(delta: &Delta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(DELTA_HEADER + 16 * delta.cells.len());
+    out.extend_from_slice(DELTA_MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&delta.base_epoch.to_le_bytes());
+    out.extend_from_slice(&delta.epoch.to_le_bytes());
+    out.extend_from_slice(&(delta.cells.len() as u64).to_le_bytes());
+    for &(address, value) in &delta.cells {
+        out.extend_from_slice(&address.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out
+}
+
+/// Parses an unframed delta payload.
+///
+/// # Errors
+/// [`StoreError::CorruptCheckpoint`] on any shape violation.
+pub fn decode_delta(payload: &[u8]) -> Result<Delta, StoreError> {
+    if payload.len() < DELTA_HEADER {
+        return Err(StoreError::CorruptCheckpoint("delta shorter than header"));
+    }
+    if &payload[..4] != DELTA_MAGIC {
+        return Err(StoreError::CorruptCheckpoint("bad delta magic"));
+    }
+    let word32 = |at: usize| u32::from_le_bytes(payload[at..at + 4].try_into().expect("4B"));
+    let word64 = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().expect("8B"));
+    if word32(4) != VERSION {
+        return Err(StoreError::CorruptCheckpoint("unknown delta version"));
+    }
+    let base_epoch = word64(8);
+    let epoch = word64(16);
+    let Ok(count) = usize::try_from(word64(24)) else {
+        return Err(StoreError::CorruptCheckpoint("delta count overflows"));
+    };
+    if payload.len() != DELTA_HEADER + 16 * count {
+        return Err(StoreError::CorruptCheckpoint("delta count vs length"));
+    }
+    if epoch <= base_epoch {
+        return Err(StoreError::CorruptCheckpoint("delta epoch not after base"));
+    }
+    let cells = (0..count)
+        .map(|i| {
+            (
+                word64(DELTA_HEADER + 16 * i),
+                word64(DELTA_HEADER + 16 * i + 8),
+            )
+        })
+        .collect();
+    Ok(Delta {
+        base_epoch,
+        epoch,
+        cells,
+    })
+}
+
+/// Atomically installs `delta` as the `index`-th chain link: frame,
+/// write to scratch, sync, rename, sync.
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory fails.
+pub fn install_delta(dir: &mut dyn Dir, index: usize, delta: &Delta) -> Result<(), StoreError> {
+    let framed = frame::encode_record(&encode_delta(delta));
+    dir.replace(DELTA_TMP, &framed)?;
+    dir.sync()?;
+    dir.rename(DELTA_TMP, &delta_file(index))?;
+    dir.sync()?;
+    Ok(())
+}
+
+/// Loads the base image and replays every delta whose linkage is
+/// contiguous. Returns `(memory, epoch, chain_len)`, or `None` when no
+/// base image exists. Deltas that don't link (debris from a crashed
+/// fold: a stale contiguous prefix at `delta.0001…`) are removed.
+///
+/// # Errors
+/// [`StoreError::CorruptCheckpoint`] on a damaged image or delta;
+/// [`StoreError::Io`] when the directory fails.
+pub fn load_chain(dir: &mut dyn Dir) -> Result<Option<(ClassicalMemory, u64, usize)>, StoreError> {
+    let Some((mut memory, mut epoch)) = load(dir)? else {
+        return Ok(None);
+    };
+    let mut chain = 0usize;
+    loop {
+        let name = delta_file(chain + 1);
+        let bytes = match dir.read(&name) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+            Err(e) => return Err(e.into()),
+        };
+        let scanned = frame::scan(&bytes);
+        if scanned.payloads.len() != 1 || scanned.valid_len != bytes.len() {
+            return Err(StoreError::CorruptCheckpoint(
+                "delta is not exactly one intact frame",
+            ));
+        }
+        let delta = decode_delta(&scanned.payloads[0])?;
+        if delta.base_epoch != epoch {
+            // Stale prefix from a crashed fold: the new base superseded
+            // these links. Sweep ascending until the first gap.
+            let mut stale = chain + 1;
+            while dir.exists(&delta_file(stale)) {
+                dir.remove(&delta_file(stale))?;
+                stale += 1;
+            }
+            break;
+        }
+        for &(address, value) in &delta.cells {
+            memory.write(address, value);
+        }
+        epoch = delta.epoch;
+        chain += 1;
+    }
+    Ok(Some((memory, epoch, chain)))
+}
+
+/// Removes a delta chain of length `len`, highest index first, so a
+/// crash mid-removal leaves only a contiguous prefix at `delta.0001…`
+/// that the next [`load_chain`] detects (epoch mismatch) and sweeps.
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory fails.
+pub fn remove_chain(dir: &mut dyn Dir, len: usize) -> Result<(), StoreError> {
+    for index in (1..=len).rev() {
+        let name = delta_file(index);
+        if dir.exists(&name) {
+            dir.remove(&name)?;
+        }
+    }
+    Ok(())
+}
 
 /// Serializes `memory` at `epoch` as an unframed checkpoint payload.
 #[must_use]
@@ -178,5 +356,157 @@ mod tests {
         bad_count[20] ^= 1;
         assert!(decode(&bad_count).is_err());
         assert!(decode(&good[..10]).is_err());
+    }
+
+    #[test]
+    fn delta_encode_decode_roundtrips() {
+        let delta = Delta {
+            base_epoch: 7,
+            epoch: 11,
+            cells: vec![(0, 42), (3, 9), (15, u64::MAX)],
+        };
+        assert_eq!(decode_delta(&encode_delta(&delta)).unwrap(), delta);
+    }
+
+    #[test]
+    fn decode_delta_rejects_every_header_lie() {
+        let good = encode_delta(&Delta {
+            base_epoch: 1,
+            epoch: 2,
+            cells: vec![(0, 5)],
+        });
+        assert!(decode_delta(&good).is_ok());
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(decode_delta(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(decode_delta(&bad_version).is_err());
+        let mut bad_count = good.clone();
+        bad_count[24] ^= 1;
+        assert!(decode_delta(&bad_count).is_err());
+        assert!(decode_delta(&good[..10]).is_err());
+        // An epoch that fails to advance past its base is nonsense.
+        let stuck = encode_delta(&Delta {
+            base_epoch: 2,
+            epoch: 2,
+            cells: Vec::new(),
+        });
+        assert!(decode_delta(&stuck).is_err());
+    }
+
+    #[test]
+    fn a_delta_chain_replays_onto_the_base_image() {
+        let mut d = SimDir::new();
+        install(&mut d, &memory(), 4).unwrap();
+        install_delta(
+            &mut d,
+            1,
+            &Delta {
+                base_epoch: 4,
+                epoch: 6,
+                cells: vec![(0, 100), (2, 200)],
+            },
+        )
+        .unwrap();
+        install_delta(
+            &mut d,
+            2,
+            &Delta {
+                base_epoch: 6,
+                epoch: 7,
+                cells: vec![(0, 111)],
+            },
+        )
+        .unwrap();
+        assert!(!d.exists(DELTA_TMP), "scratch cleaned by rename");
+        let (m, epoch, chain) = load_chain(&mut d).unwrap().unwrap();
+        assert_eq!((epoch, chain), (7, 2));
+        assert_eq!(m.read(0), 111, "later delta wins");
+        assert_eq!(m.read(2), 200);
+        assert_eq!(m.read(1), memory().read(1), "untouched cells survive");
+    }
+
+    #[test]
+    fn a_bit_flipped_delta_is_detected_not_replayed() {
+        let mut d = SimDir::new();
+        install(&mut d, &memory(), 1).unwrap();
+        install_delta(
+            &mut d,
+            1,
+            &Delta {
+                base_epoch: 1,
+                epoch: 2,
+                cells: vec![(0, 9)],
+            },
+        )
+        .unwrap();
+        let len = d.len_of(&delta_file(1)).unwrap();
+        for offset in 0..len {
+            let mut dirty = d.clone();
+            dirty.flip_bit(&delta_file(1), offset, offset as u32 % 8);
+            assert!(
+                matches!(
+                    load_chain(&mut dirty),
+                    Err(StoreError::CorruptCheckpoint(_))
+                ),
+                "flip at byte {offset} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn a_stale_chain_prefix_is_swept_not_replayed() {
+        // A fold crashed after installing the new base but before
+        // removing delta.0001: its base_epoch no longer matches.
+        let mut d = SimDir::new();
+        install_delta(
+            &mut d,
+            1,
+            &Delta {
+                base_epoch: 3,
+                epoch: 5,
+                cells: vec![(0, 666)],
+            },
+        )
+        .unwrap();
+        install(&mut d, &memory(), 5).unwrap();
+        let (m, epoch, chain) = load_chain(&mut d).unwrap().unwrap();
+        assert_eq!((epoch, chain), (5, 0));
+        assert_eq!(m, memory(), "stale delta must not apply");
+        assert!(!d.exists(&delta_file(1)), "stale delta swept");
+    }
+
+    #[test]
+    fn remove_chain_deletes_highest_index_first() {
+        let mut d = SimDir::new();
+        install(&mut d, &memory(), 1).unwrap();
+        for (i, epochs) in [(1usize, (1u64, 2u64)), (2, (2, 3)), (3, (3, 4))] {
+            install_delta(
+                &mut d,
+                i,
+                &Delta {
+                    base_epoch: epochs.0,
+                    epoch: epochs.1,
+                    cells: Vec::new(),
+                },
+            )
+            .unwrap();
+        }
+        let before = d.journal().len();
+        remove_chain(&mut d, 3).unwrap();
+        for i in 1..=3 {
+            assert!(!d.exists(&delta_file(i)));
+        }
+        // Descending removal: any crash prefix leaves delta.0001… as a
+        // contiguous run, never a gap hiding orphans.
+        let removed: Vec<String> = d.journal()[before..]
+            .iter()
+            .filter_map(|op| match op {
+                crate::store::dir::DirOp::Remove { name } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(removed, vec![delta_file(3), delta_file(2), delta_file(1)]);
     }
 }

@@ -21,10 +21,28 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 pub fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET ^ seed;
     for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
+        h = fnv1a64_step(h, b);
     }
     h
+}
+
+/// FNV-1a over a cell slice, seeded, hashing each word's little-endian
+/// bytes in place — equal to [`fnv1a64`] of the concatenated encoding
+/// without materializing it (scrub passes digest every chunk of every
+/// replica every cycle; a per-chunk buffer would be pure overhead).
+#[must_use]
+pub fn fnv1a64_words(seed: u64, words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h = fnv1a64_step(h, b);
+        }
+    }
+    h
+}
+
+fn fnv1a64_step(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
 }
 
 /// Digests `memory` in chunks of `chunk_cells` cells (the last chunk may
@@ -40,13 +58,7 @@ pub fn chunk_digests(memory: &ClassicalMemory, chunk_cells: usize) -> Vec<u64> {
         .cells()
         .chunks(chunk_cells)
         .enumerate()
-        .map(|(i, chunk)| {
-            let mut bytes = Vec::with_capacity(8 * chunk.len());
-            for &c in chunk {
-                bytes.extend_from_slice(&c.to_le_bytes());
-            }
-            fnv1a64(i as u64, &bytes)
-        })
+        .map(|(i, chunk)| fnv1a64_words(i as u64, chunk))
         .collect()
 }
 
@@ -105,6 +117,17 @@ mod tests {
         let moved: Vec<usize> = (0..4).filter(|&i| clean[i] != dirty[i]).collect();
         assert_eq!(moved, vec![2], "cell 19 lives in chunk 2");
         assert_ne!(merkle_root(&clean), merkle_root(&dirty));
+    }
+
+    #[test]
+    fn word_hashing_matches_the_byte_encoding() {
+        let words = [0u64, 7, u64::MAX, 0x0102_0304_0506_0708];
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(fnv1a64_words(9, &words), fnv1a64(9, &bytes));
+        assert_eq!(fnv1a64_words(0, &[]), fnv1a64(0, &[]));
     }
 
     #[test]

@@ -38,6 +38,22 @@ pub trait Dir: fmt::Debug {
     /// `NotFound` if the file does not exist, or the underlying I/O error.
     fn read(&self, name: &str) -> io::Result<Vec<u8>>;
 
+    /// Current size of `name` in bytes.
+    ///
+    /// # Errors
+    /// `NotFound` if the file does not exist, or the underlying I/O error.
+    fn size(&self, name: &str) -> io::Result<u64>;
+
+    /// Reads up to `buf.len()` bytes of `name` starting at byte
+    /// `offset`, returning how many were read (`0` at or past the end
+    /// of the file). The streaming-recovery surface: a scan replays a
+    /// large log through one reused window instead of materializing the
+    /// whole file.
+    ///
+    /// # Errors
+    /// `NotFound` if the file does not exist, or the underlying I/O error.
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+
     /// Whether `name` currently exists.
     fn exists(&self, name: &str) -> bool;
 
@@ -134,6 +150,25 @@ impl OsDir {
 impl Dir for OsDir {
     fn read(&self, name: &str) -> io::Result<Vec<u8>> {
         fs::read(self.path(name))
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        fs::metadata(self.path(name)).map(|m| m.len())
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut f = fs::File::open(self.path(name))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let n = f.read(&mut buf[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        Ok(filled)
     }
 
     fn exists(&self, name: &str) -> bool {
@@ -394,6 +429,26 @@ impl Dir for SimDir {
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}")))
     }
 
+    fn size(&self, name: &str) -> io::Result<u64> {
+        self.files
+            .get(name)
+            .map(|f| f.bytes().len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}")))
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let f = self.files.get(name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}"))
+        })?;
+        let bytes = f.bytes();
+        let start = usize::try_from(offset)
+            .unwrap_or(usize::MAX)
+            .min(bytes.len());
+        let n = (bytes.len() - start).min(buf.len());
+        buf[..n].copy_from_slice(&bytes[start..start + n]);
+        Ok(n)
+    }
+
     fn exists(&self, name: &str) -> bool {
         self.files.contains_key(name)
     }
@@ -545,6 +600,24 @@ mod tests {
     }
 
     #[test]
+    fn read_at_windows_the_file_without_journaling() {
+        let mut d = SimDir::new();
+        d.append("f", b"0123456789").unwrap();
+        let ops_before = d.journal().len();
+        assert_eq!(d.size("f").unwrap(), 10);
+        let mut buf = [0u8; 4];
+        assert_eq!(d.read_at("f", 0, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"0123");
+        assert_eq!(d.read_at("f", 8, &mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"89");
+        assert_eq!(d.read_at("f", 10, &mut buf).unwrap(), 0, "at EOF");
+        assert_eq!(d.read_at("f", 99, &mut buf).unwrap(), 0, "past EOF");
+        assert!(d.size("missing").is_err());
+        assert!(d.read_at("missing", 0, &mut buf).is_err());
+        assert_eq!(d.journal().len(), ops_before, "reads are not mutations");
+    }
+
+    #[test]
     fn osdir_roundtrip_in_tempdir() {
         let root =
             std::env::temp_dir().join(format!("qram-store-osdir-test-{}", std::process::id()));
@@ -553,6 +626,11 @@ mod tests {
         d.append("wal", b"abc").unwrap();
         d.append("wal", b"def").unwrap();
         assert_eq!(d.read("wal").unwrap(), b"abcdef");
+        assert_eq!(d.size("wal").unwrap(), 6);
+        let mut buf = [0u8; 4];
+        assert_eq!(d.read_at("wal", 2, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"cdef");
+        assert_eq!(d.read_at("wal", 6, &mut buf).unwrap(), 0);
         d.truncate("wal", 4).unwrap();
         assert_eq!(d.read("wal").unwrap(), b"abcd");
         d.replace("tmp", b"img").unwrap();

@@ -55,11 +55,19 @@ fn table_entry(idx: u32) -> u32 {
 /// Frames `payload` as `[len][crc][payload]`.
 #[must_use]
 pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_record_into(&mut out, payload);
+    out
+}
+
+/// Appends the frame `[len][crc][payload]` onto `out` without an
+/// intermediate allocation — the group-commit encoder reuses one buffer
+/// across every record of a commit group.
+pub fn encode_record_into(out: &mut Vec<u8>, payload: &[u8]) {
     assert!(
         payload.len() <= MAX_PAYLOAD_LEN,
         "frame payload exceeds MAX_PAYLOAD_LEN"
     );
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(
         &u32::try_from(payload.len())
             .expect("bounded above")
@@ -67,7 +75,6 @@ pub fn encode_record(payload: &[u8]) -> Vec<u8> {
     );
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// Why a [`scan`] stopped before the end of the buffer.
@@ -105,36 +112,104 @@ pub struct ScanOutcome {
 /// after the first defect are unreachable debris by construction (the
 /// store is append-only), so resynchronising past them would risk
 /// resurrecting a record that was never acknowledged.
+///
+/// This is the materializing convenience over [`frames`]; streaming
+/// consumers (WAL recovery) walk the borrowed iterator directly.
 #[must_use]
 pub fn scan(bytes: &[u8]) -> ScanOutcome {
+    let mut it = frames(bytes);
     let mut payloads = Vec::new();
-    let mut at = 0usize;
-    let defect = loop {
-        if at == bytes.len() {
-            break None;
-        }
-        if bytes.len() - at < HEADER_LEN {
-            break Some(TailDefect::TornHeader);
-        }
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
-        if len > MAX_PAYLOAD_LEN {
-            break Some(TailDefect::BadLength);
-        }
-        if bytes.len() - at - HEADER_LEN < len {
-            break Some(TailDefect::TornPayload);
-        }
-        let payload = &bytes[at + HEADER_LEN..at + HEADER_LEN + len];
-        if crc32(payload) != crc {
-            break Some(TailDefect::BadCrc);
-        }
+    for payload in it.by_ref() {
         payloads.push(payload.to_vec());
-        at += HEADER_LEN + len;
-    };
+    }
     ScanOutcome {
         payloads,
-        valid_len: at,
-        defect,
+        valid_len: it.valid_len(),
+        defect: it.defect(),
+    }
+}
+
+/// Walks `bytes` frame by frame, yielding each intact payload as a
+/// *borrowed* slice of the input — no per-record allocation. After the
+/// iterator returns `None`, [`FrameIter::valid_len`] is the byte length
+/// of the intact prefix and [`FrameIter::defect`] says why the walk
+/// stopped.
+#[must_use]
+pub fn frames(bytes: &[u8]) -> FrameIter<'_> {
+    FrameIter {
+        bytes,
+        at: 0,
+        defect: None,
+    }
+}
+
+/// Borrowing frame cursor over a byte buffer; see [`frames`].
+#[derive(Debug)]
+pub struct FrameIter<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    defect: Option<TailDefect>,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.defect.is_some() || self.at == self.bytes.len() {
+            return None;
+        }
+        let remaining = self.bytes.len() - self.at;
+        if remaining < HEADER_LEN {
+            self.defect = Some(TailDefect::TornHeader);
+            return None;
+        }
+        let header = &self.bytes[self.at..self.at + HEADER_LEN];
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_LEN {
+            self.defect = Some(TailDefect::BadLength);
+            return None;
+        }
+        if remaining - HEADER_LEN < len {
+            self.defect = Some(TailDefect::TornPayload);
+            return None;
+        }
+        let payload = &self.bytes[self.at + HEADER_LEN..self.at + HEADER_LEN + len];
+        if crc32(payload) != crc {
+            self.defect = Some(TailDefect::BadCrc);
+            return None;
+        }
+        self.at += HEADER_LEN + len;
+        Some(payload)
+    }
+}
+
+impl FrameIter<'_> {
+    /// Byte length of the intact prefix walked so far: truncating the
+    /// buffer here leaves exactly the records already yielded.
+    #[must_use]
+    pub fn valid_len(&self) -> usize {
+        self.at
+    }
+
+    /// The defect that stopped the walk, or `None` while the walk is
+    /// clean (still running, or ended exactly at the buffer end).
+    #[must_use]
+    pub fn defect(&self) -> Option<TailDefect> {
+        self.defect
+    }
+
+    /// True when the walk stopped only because the buffer ended
+    /// mid-frame — more bytes appended to the buffer could complete the
+    /// record. `BadLength`/`BadCrc` are hard defects no refill repairs;
+    /// the streaming scanner uses this to tell "read more" from "cut
+    /// here".
+    #[must_use]
+    pub fn incomplete(&self) -> bool {
+        matches!(
+            self.defect,
+            Some(TailDefect::TornHeader | TailDefect::TornPayload)
+        )
     }
 }
 
@@ -199,6 +274,44 @@ mod tests {
                 assert_eq!(out.defect, Some(TailDefect::BadCrc));
             }
         }
+    }
+
+    #[test]
+    fn borrowed_frames_match_the_materializing_scan() {
+        let mut bytes = Vec::new();
+        for p in [b"first".as_slice(), b"second", b""] {
+            encode_record_into(&mut bytes, p);
+        }
+        bytes.extend_from_slice(&encode_record(b"torn")[..HEADER_LEN + 2]);
+        let mut it = frames(&bytes);
+        let borrowed: Vec<&[u8]> = it.by_ref().collect();
+        assert_eq!(
+            borrowed,
+            vec![b"first".as_slice(), b"second", b""],
+            "payloads borrow straight from the input"
+        );
+        let out = scan(&bytes);
+        assert_eq!(it.valid_len(), out.valid_len);
+        assert_eq!(it.defect(), out.defect);
+        assert!(it.incomplete(), "a torn payload is refillable");
+        // A hard defect is not refillable.
+        let mut rotten = encode_record(b"payload");
+        rotten[HEADER_LEN] ^= 1;
+        let mut it = frames(&rotten);
+        assert_eq!(it.next(), None);
+        assert_eq!(it.defect(), Some(TailDefect::BadCrc));
+        assert!(!it.incomplete());
+    }
+
+    #[test]
+    fn an_exhausted_iterator_stays_exhausted() {
+        let bytes = encode_record(b"only");
+        let mut it = frames(&bytes);
+        assert_eq!(it.next(), Some(b"only".as_slice()));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None, "fused after a clean end");
+        assert_eq!(it.valid_len(), bytes.len());
+        assert_eq!(it.defect(), None);
     }
 
     #[test]

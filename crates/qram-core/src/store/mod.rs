@@ -10,16 +10,22 @@
 //!        │                                │
 //!        ▼                                ▼
 //!   ┌──────────────────────────────────────────────┐
-//!   │ wal.log   [len][crc32][epoch origin addr val]│  append + fsync per epoch
+//!   │ commit group  (buffered frames, NOT durable) │  ≤ max_records or
+//!   └──────────────────────────────────────────────┘  max_delay deadline
+//!        │ one append + one fsync per group = the ack point
+//!        ▼
+//!   ┌──────────────────────────────────────────────┐
+//!   │ wal.log   [len][crc32][epoch origin addr val]│
 //!   └──────────────────────────────────────────────┘
-//!        │ every `checkpoint_every` epochs
+//!        │ every `checkpoint_every` synced records
 //!        ▼
-//!   ┌──────────────┐   tmp + atomic rename   ┌──────────────┐
-//!   │checkpoint.tmp│ ───────────────────────▶│checkpoint.img│
-//!   └──────────────┘                         └──────────────┘
-//!        │ then rewrite the surviving WAL suffix (compaction)
+//!   ┌──────────────┐ tmp+rename ┌──────────────┐┌──────┐  ┌──────┐
+//!   │checkpoint.tmp│ ──────────▶│checkpoint.img││d.0001│──│d.0002│…
+//!   └──────────────┘            └──────────────┘└──────┘  └──────┘
+//!        │ deltas chain up to `max_chain`, then fold to a new base;
+//!        │ the WAL suffix rewrites behind each install (compaction)
 //!        ▼
-//!   recovery = checkpoint image + WAL replay of epochs > watermark
+//!   recovery = base image + delta chain + WAL replay of epochs > watermark
 //! ```
 //!
 //! * [`frame`] — CRC32-framed, length-prefixed record encoding shared by
@@ -63,12 +69,12 @@ pub mod durable;
 pub mod frame;
 pub mod wal;
 
-pub use checkpoint::{CHECKPOINT_FILE, CHECKPOINT_TMP};
-pub use digest::{chunk_digests, fnv1a64, merkle_root};
+pub use checkpoint::{delta_file, Delta, CHECKPOINT_FILE, CHECKPOINT_TMP, DELTA_TMP};
+pub use digest::{chunk_digests, fnv1a64, fnv1a64_words, merkle_root};
 pub use dir::{Dir, DirOp, FaultyFile, OsDir, SimDir};
-pub use durable::{CheckpointPolicy, DurableFleet, RecoveredState};
-pub use frame::{crc32, ScanOutcome, TailDefect};
-pub use wal::{WalScan, WAL_FILE, WAL_TMP};
+pub use durable::{CheckpointPolicy, DurableFleet, RecoveredState, SyncSummary};
+pub use frame::{crc32, frames, FrameIter, ScanOutcome, TailDefect};
+pub use wal::{GroupCommitPolicy, WalScan, WAL_FILE, WAL_TMP};
 
 use std::fmt;
 use std::io;

@@ -1,4 +1,5 @@
-//! The write-ahead log: one framed record per fleet epoch.
+//! The write-ahead log: one framed record per fleet epoch, appended in
+//! commit groups.
 //!
 //! Each [`ReplicatedWrite`] serializes to a fixed 32-byte payload —
 //! four little-endian `u64`s `(epoch, origin, address, value)`, the
@@ -8,11 +9,22 @@
 //! through a temp file + atomic rename so a crash mid-compaction leaves
 //! either the old log or the new one, never a hybrid.
 //!
+//! **Group commit.** The expensive part of an append is the sync, not
+//! the bytes. [`GroupCommitPolicy`] batches records into a commit group
+//! that [`append_group`] lands as *one* byte-stream append and *one*
+//! durability barrier — the acknowledgment point for every record in
+//! the group. A crash between buffering and the group sync loses only
+//! those unacknowledged records, exactly as a single torn append does;
+//! `max_records = 1` degenerates to the per-record path bit-for-bit.
+//!
 //! [`load`] enforces the log's one structural invariant beyond framing:
 //! epochs must be *contiguous* (each record extends its predecessor by
 //! exactly one). A record that breaks contiguity marks the start of
 //! debris — everything from it onward is truncated, exactly like a CRC
-//! defect.
+//! defect. The scan streams the file through one reused window
+//! ([`Dir::read_at`]) and borrows each record from it, so recovery of a
+//! long log allocates no per-record buffers and never materializes the
+//! file.
 
 use super::dir::Dir;
 use super::frame::{self, TailDefect};
@@ -26,6 +38,57 @@ pub const WAL_TMP: &str = "wal.tmp";
 
 /// Serialized payload size of one WAL record.
 pub const RECORD_PAYLOAD_LEN: usize = 32;
+
+/// How WAL appends batch into commit groups.
+///
+/// A group is flushed — one appended frame run + one sync, the
+/// acknowledgment point for every record in it — when it reaches
+/// `max_records`, or when the serving reactor's flush deadline
+/// (`max_delay` of virtual time after the group opened) fires first.
+/// The store itself has no clock, so `max_delay` is advisory plumbing
+/// for the reactor; `0.0` means "no deadline".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupCommitPolicy {
+    /// Records per commit group; `1` is the per-record path,
+    /// bit-identical on disk and in acknowledgment order.
+    pub max_records: usize,
+    /// Virtual-time bound on how long a non-empty group may wait for
+    /// more records before the reactor flushes it anyway. `0.0`
+    /// disables the deadline.
+    pub max_delay: f64,
+}
+
+impl GroupCommitPolicy {
+    /// One record per group: sync-per-append, the ungrouped baseline.
+    #[must_use]
+    pub fn per_record() -> Self {
+        GroupCommitPolicy {
+            max_records: 1,
+            max_delay: 0.0,
+        }
+    }
+
+    /// Groups of up to `max_records`, flushed after at most `max_delay`
+    /// virtual layers by the serving reactor.
+    ///
+    /// # Panics
+    /// Panics when `max_records` is zero or `max_delay` is negative.
+    #[must_use]
+    pub fn group(max_records: usize, max_delay: f64) -> Self {
+        assert!(max_records >= 1, "a commit group holds at least 1 record");
+        assert!(max_delay >= 0.0, "the flush deadline cannot be negative");
+        GroupCommitPolicy {
+            max_records,
+            max_delay,
+        }
+    }
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        GroupCommitPolicy::per_record()
+    }
+}
 
 /// Serializes one write as the fixed 32-byte WAL payload.
 #[must_use]
@@ -66,14 +129,24 @@ pub struct WalScan {
     pub defect: Option<TailDefect>,
 }
 
+/// Initial window of the streaming scan. It grows (doubling) only when
+/// a single frame outsizes it — never for WAL records, which are 40
+/// bytes framed.
+const SCAN_WINDOW: usize = 8 << 10;
+
 /// Scans `WAL_FILE`, truncating any torn or corrupt tail in place so the
 /// log is left scannable. A missing file is an empty log.
+///
+/// The scan is streaming: the file is pulled through one reused window
+/// via [`Dir::read_at`] and each record is decoded from a borrowed
+/// slice of it ([`frame::frames`]), so a multi-megabyte log costs one
+/// window-sized buffer, not a whole-file materialization.
 ///
 /// # Errors
 /// [`StoreError::Io`] when the directory fails.
 pub fn load(dir: &mut dyn Dir) -> Result<WalScan, StoreError> {
-    let bytes = match dir.read(WAL_FILE) {
-        Ok(b) => b,
+    let total = match dir.size(WAL_FILE) {
+        Ok(n) => n,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(WalScan {
                 writes: Vec::new(),
@@ -83,30 +156,72 @@ pub fn load(dir: &mut dyn Dir) -> Result<WalScan, StoreError> {
         }
         Err(e) => return Err(e.into()),
     };
-    let scanned = frame::scan(&bytes);
-    let mut defect = scanned.defect;
-    let mut writes = Vec::with_capacity(scanned.payloads.len());
-    for payload in &scanned.payloads {
-        let parsed = decode_write(payload);
-        let contiguous = parsed.is_some_and(|w| {
-            writes
-                .last()
-                .is_none_or(|prev: &ReplicatedWrite| w.epoch == prev.epoch + 1)
-        });
-        match parsed {
-            Some(w) if contiguous => writes.push(w),
-            // A record that decodes wrong or skips an epoch is the
-            // start of debris: cut here, like any other defect.
-            _ => {
-                defect = Some(TailDefect::BadCrc);
+    let mut writes: Vec<ReplicatedWrite> = Vec::new();
+    let mut buf = vec![0u8; SCAN_WINDOW];
+    // File offset of `buf[0]`, valid bytes in the window, and the
+    // window offset just past the last intact record.
+    let mut start = 0u64;
+    let mut in_buf = 0usize;
+    let mut good;
+    let defect = loop {
+        while in_buf < buf.len() {
+            let n = dir.read_at(WAL_FILE, start + in_buf as u64, &mut buf[in_buf..])?;
+            if n == 0 {
                 break;
             }
+            in_buf += n;
         }
-    }
-    let valid_len = wal_prefix_len(writes.len(), &scanned);
-    let truncated_bytes = bytes.len() - valid_len;
+        let exhausted = in_buf < buf.len() || start + in_buf as u64 >= total;
+        let mut it = frame::frames(&buf[..in_buf]);
+        good = 0;
+        let mut debris = false;
+        // Not a `for` loop: `valid_len` is read between iterations, and
+        // the iterator only counts *yielded* frames — a frame that
+        // decodes wrong must stay out of the accepted prefix.
+        #[allow(clippy::while_let_on_iterator)]
+        while let Some(payload) = it.next() {
+            let parsed = decode_write(payload);
+            let contiguous = parsed.is_some_and(|w| {
+                writes
+                    .last()
+                    .is_none_or(|prev: &ReplicatedWrite| w.epoch == prev.epoch + 1)
+            });
+            match parsed {
+                Some(w) if contiguous => {
+                    writes.push(w);
+                    good = it.valid_len();
+                }
+                // A record that decodes wrong or skips an epoch is the
+                // start of debris: cut here, like any other defect.
+                _ => {
+                    debris = true;
+                    break;
+                }
+            }
+        }
+        if debris {
+            break Some(TailDefect::BadCrc);
+        }
+        match it.defect() {
+            None if exhausted => break None,
+            None => {}
+            Some(_) if it.incomplete() && !exhausted => {}
+            Some(d) => break Some(d),
+        }
+        // Shift the unconsumed tail to the window front and read on.
+        buf.copy_within(good..in_buf, 0);
+        start += good as u64;
+        in_buf -= good;
+        if in_buf == buf.len() {
+            // One frame outsizes the window (bounded by the header's
+            // MAX_PAYLOAD_LEN check): grow and retry.
+            buf.resize(buf.len() * 2, 0);
+        }
+    };
+    let valid = start + good as u64;
+    let truncated_bytes = usize::try_from(total.saturating_sub(valid)).expect("tail fits usize");
     if truncated_bytes > 0 {
-        dir.truncate(WAL_FILE, valid_len as u64)?;
+        dir.truncate(WAL_FILE, valid)?;
         dir.sync()?;
     }
     Ok(WalScan {
@@ -116,16 +231,15 @@ pub fn load(dir: &mut dyn Dir) -> Result<WalScan, StoreError> {
     })
 }
 
-/// Byte length of the first `records` framed records in a scan.
-fn wal_prefix_len(records: usize, scanned: &frame::ScanOutcome) -> usize {
-    scanned.payloads[..records]
-        .iter()
-        .map(|p| frame::HEADER_LEN + p.len())
-        .sum()
+/// Frames one write onto `out` without allocating — the group-buffer
+/// encoder ([`append_group`] lands the accumulated frames in one call).
+pub fn encode_frame_into(out: &mut Vec<u8>, w: &ReplicatedWrite) {
+    frame::encode_record_into(out, &encode_write(w));
 }
 
 /// Appends one write and syncs: when this returns, the write is durable
-/// and counts as *acknowledged* for the recovery contract.
+/// and counts as *acknowledged* for the recovery contract. (The
+/// single-record commit group.)
 ///
 /// # Errors
 /// [`StoreError::Io`] when the directory fails.
@@ -135,20 +249,45 @@ pub fn append(dir: &mut dyn Dir, w: &ReplicatedWrite) -> Result<(), StoreError> 
     Ok(())
 }
 
+/// Appends one pre-framed commit group and syncs: one byte-stream
+/// append + one durability barrier for the whole group. When this
+/// returns, every record in the group is acknowledged. An empty group
+/// touches the directory not at all — the `max_records = 1`
+/// bit-compatibility guarantee leans on that.
+///
+/// # Errors
+/// [`StoreError::Io`] when the directory fails.
+pub fn append_group(dir: &mut dyn Dir, frames: &[u8]) -> Result<(), StoreError> {
+    if frames.is_empty() {
+        return Ok(());
+    }
+    dir.append(WAL_FILE, frames)?;
+    dir.sync()?;
+    Ok(())
+}
+
 /// Rewrites the log to exactly `suffix` (the writes a fresh checkpoint
 /// did not absorb), via temp file + atomic rename.
+///
+/// One sync, between the replace and the rename: it orders the temp
+/// file's *bytes* before the rename makes them live, so a real
+/// filesystem can never expose a renamed-but-torn log. No sync follows
+/// the rename — if the rename itself is lost to a crash, the old log
+/// is authoritative again, and every record the new log kept is also in
+/// the old one (compaction only drops entries the just-installed
+/// checkpoint absorbed, and the checkpoint install ends with its own
+/// barrier). The kill-point sweep covers both orders.
 ///
 /// # Errors
 /// [`StoreError::Io`] when the directory fails.
 pub fn compact(dir: &mut dyn Dir, suffix: &[ReplicatedWrite]) -> Result<(), StoreError> {
     let mut bytes = Vec::with_capacity(suffix.len() * (frame::HEADER_LEN + RECORD_PAYLOAD_LEN));
     for w in suffix {
-        bytes.extend_from_slice(&frame::encode_record(&encode_write(w)));
+        frame::encode_record_into(&mut bytes, &encode_write(w));
     }
     dir.replace(WAL_TMP, &bytes)?;
     dir.sync()?;
     dir.rename(WAL_TMP, WAL_FILE)?;
-    dir.sync()?;
     Ok(())
 }
 
@@ -234,5 +373,109 @@ mod tests {
         assert_eq!(scan.writes, vec![w(5), w(6)]);
         compact(&mut d, &[]).unwrap();
         assert_eq!(load(&mut d).unwrap().writes, Vec::new());
+    }
+
+    #[test]
+    fn compact_syncs_once_between_replace_and_rename() {
+        use crate::store::dir::DirOp;
+        let mut d = SimDir::new();
+        append(&mut d, &w(1)).unwrap();
+        let at = d.journal().len();
+        compact(&mut d, &[w(1)]).unwrap();
+        let ops: Vec<&DirOp> = d.journal()[at..].iter().collect();
+        assert!(
+            matches!(
+                ops[..],
+                [DirOp::Replace { .. }, DirOp::Sync, DirOp::Rename { .. }]
+            ),
+            "exactly one barrier, ordering bytes before the rename: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn a_commit_group_lands_as_one_append_and_one_sync() {
+        use crate::store::dir::DirOp;
+        let mut d = SimDir::new();
+        let mut frames = Vec::new();
+        for e in 1..=3 {
+            encode_frame_into(&mut frames, &w(e));
+        }
+        append_group(&mut d, &frames).unwrap();
+        assert!(
+            matches!(
+                d.journal(),
+                [DirOp::Append { name, bytes }, DirOp::Sync]
+                    if name == WAL_FILE
+                        && bytes.len() == 3 * (frame::HEADER_LEN + RECORD_PAYLOAD_LEN)
+            ),
+            "got {:?}",
+            d.journal()
+        );
+        assert_eq!(
+            load(&mut d).unwrap().writes,
+            (1..=3).map(w).collect::<Vec<_>>()
+        );
+        let before = d.journal().len();
+        append_group(&mut d, &[]).unwrap();
+        assert_eq!(
+            d.journal().len(),
+            before,
+            "an empty group must not touch the directory"
+        );
+    }
+
+    #[test]
+    fn a_group_torn_mid_flush_keeps_its_completed_prefix() {
+        let mut d = SimDir::new();
+        let mut frames = Vec::new();
+        for e in 1..=4 {
+            encode_frame_into(&mut frames, &w(e));
+        }
+        // The tear lands inside record 3: records 1-2 survive whole.
+        d.tear_next_write(2 * (frame::HEADER_LEN + RECORD_PAYLOAD_LEN) + 11);
+        append_group(&mut d, &frames).unwrap();
+        let scan = load(&mut d).unwrap();
+        assert_eq!(scan.writes, vec![w(1), w(2)]);
+        assert_eq!(scan.truncated_bytes, 11);
+        assert!(scan.defect.is_some());
+    }
+
+    #[test]
+    fn streaming_scan_crosses_window_boundaries() {
+        // Enough records that the log spans several scan windows, with
+        // frame boundaries landing at every alignment relative to the
+        // window edge.
+        let mut d = SimDir::new();
+        let mut frames = Vec::new();
+        let count = (3 * SCAN_WINDOW) / (frame::HEADER_LEN + RECORD_PAYLOAD_LEN) + 7;
+        for e in 1..=count as u64 {
+            encode_frame_into(&mut frames, &w(e));
+        }
+        append_group(&mut d, &frames).unwrap();
+        let scan = load(&mut d).unwrap();
+        assert_eq!(scan.writes.len(), count);
+        assert_eq!(scan.writes.last(), Some(&w(count as u64)));
+        assert_eq!(scan.truncated_bytes, 0);
+        // A tear far past the first window is still found and repaired.
+        d.tear_next_write(frame::HEADER_LEN + 3);
+        append(&mut d, &w(count as u64 + 1)).unwrap();
+        let scan = load(&mut d).unwrap();
+        assert_eq!(scan.writes.len(), count);
+        assert_eq!(scan.truncated_bytes, frame::HEADER_LEN + 3);
+    }
+
+    #[test]
+    fn streaming_scan_grows_past_an_oversized_frame() {
+        // A single frame larger than the initial window must not wedge
+        // the scan: the window doubles until the frame fits. The WAL
+        // never writes such frames, but the scanner is shared plumbing.
+        let mut d = SimDir::new();
+        let big = vec![0xA5u8; 2 * SCAN_WINDOW];
+        d.append(WAL_FILE, &frame::encode_record(&big)).unwrap();
+        let scan = load(&mut d).unwrap();
+        // The record decodes as a frame but not as a WAL write: debris.
+        assert_eq!(scan.writes, Vec::new());
+        assert_eq!(scan.defect, Some(TailDefect::BadCrc));
+        assert_eq!(scan.truncated_bytes, frame::HEADER_LEN + 2 * SCAN_WINDOW);
     }
 }

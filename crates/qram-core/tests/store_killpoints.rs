@@ -24,7 +24,8 @@
 //! error), never silently replayed as state.
 
 use qram_core::store::{
-    frame, CheckpointPolicy, DurableFleet, SimDir, StoreError, CHECKPOINT_FILE, WAL_FILE,
+    delta_file, frame, CheckpointPolicy, DurableFleet, GroupCommitPolicy, SimDir, StoreError,
+    CHECKPOINT_FILE, WAL_FILE,
 };
 use qram_core::ReplicatedWrite;
 use qsim::branch::ClassicalMemory;
@@ -209,6 +210,198 @@ fn every_crash_point_recovers_the_acknowledged_prefix() {
             .any(|op| matches!(op, qram_core::store::DirOp::Rename { to, .. } if to == WAL_FILE)),
         "workload must include WAL compactions"
     );
+}
+
+/// Group-commit variant of the workload: appends buffer into commit
+/// groups of [`GROUP`] records, checkpoints are incremental deltas that
+/// fold at [`MAX_CHAIN`]. A buffered append touches no I/O at all, so
+/// every epoch of a group shares its group's `start` (the journal index
+/// of the single group `Append`) and `acked` (the index after the
+/// group's one sync).
+const GROUP: usize = 3;
+const GROUP_EPOCHS: u64 = 18;
+const MAX_CHAIN: usize = 2;
+
+fn run_grouped_workload() -> (SimDir, Vec<EpochOps>, usize) {
+    let mut store = DurableFleet::create_with(
+        Box::new(SimDir::new()),
+        &base(),
+        CheckpointPolicy::deltas(CHECKPOINT_EVERY, MAX_CHAIN),
+    )
+    .expect("create store")
+    .with_group_commit(GroupCommitPolicy::group(GROUP, 0.0));
+    let create_done = journal_len(&mut store);
+    let mut epochs = Vec::new();
+    for e in 1..=GROUP_EPOCHS {
+        let start = journal_len(&mut store);
+        store.append(&write(e)).expect("append");
+        // A buffered append leaves the journal untouched, so every
+        // epoch of one group records the same `start`: the index where
+        // the group's single [Append, Sync] eventually lands.
+        epochs.push(EpochOps {
+            start,
+            acked: start + 2,
+        });
+    }
+    assert_eq!(
+        store.pending_records(),
+        0,
+        "GROUP_EPOCHS divides by GROUP: the last group landed"
+    );
+    let journal = store
+        .dir_mut()
+        .as_any_mut()
+        .downcast_mut::<SimDir>()
+        .expect("SimDir")
+        .clone();
+    (journal, epochs, create_done)
+}
+
+/// Resurrection ceiling for a torn cut of `cut` bytes inside op `k`: a
+/// group `Append` is `GROUP` back-to-back records, so the cut completes
+/// `cut / record_bytes` of the records the op was carrying — earlier
+/// records of a half-flushed group legitimately survive even though
+/// none of the group was acknowledged.
+fn grouped_ceiling(epochs: &[EpochOps], k: usize, cut: usize, record_bytes: usize) -> u64 {
+    let full = epochs.iter().filter(|e| e.start < k).count();
+    let in_op = epochs.iter().filter(|e| e.start == k).count();
+    (full + in_op.min(cut / record_bytes)) as u64
+}
+
+#[test]
+fn every_crash_point_under_group_commit_recovers_the_acknowledged_prefix() {
+    let (journal_dir, epochs, create_done) = run_grouped_workload();
+    let journal = journal_dir.journal();
+    // One record's framed length, derived from the first group append
+    // (a single op carrying GROUP back-to-back frames).
+    let record_bytes = journal[epochs[0].start].write_len() / GROUP;
+    assert!(record_bytes > frame::HEADER_LEN, "frames carry payloads");
+    let mut crash_points = 0usize;
+    for k in 0..=journal.len() {
+        let acked = acked_by(&epochs, k);
+        // Clean kill between op k−1 and op k: buffered records of a
+        // group whose flush has not started are in no journal op at
+        // all, so a kill here proves the buffer-to-sync window loses
+        // only unacknowledged writes.
+        let ceiling = grouped_ceiling(&epochs, k, 0, record_bytes);
+        let crashed = journal_dir.replay_prefix(k, None);
+        if k < create_done {
+            match DurableFleet::recover(Box::new(crashed)) {
+                Ok(state) => assert_eq!(state.epoch, 0, "pre-create crash has no writes"),
+                Err(StoreError::MissingCheckpoint) => {}
+                Err(e) => panic!("pre-create crash at op {k}: unexpected {e}"),
+            }
+        } else {
+            check_recovery(
+                crashed,
+                acked,
+                ceiling,
+                &format!("grouped clean kill at op {k}"),
+            );
+        }
+        crash_points += 1;
+        if let Some(op) = journal.get(k) {
+            if op.can_tear() {
+                let len = op.write_len();
+                let mut cuts = vec![0, 1, len / 2, len.saturating_sub(1)];
+                // Mid-group record boundaries: exactly at and one past
+                // the first record of a group flush.
+                if len > record_bytes {
+                    cuts.push(record_bytes);
+                    cuts.push(record_bytes + 1);
+                }
+                cuts.sort_unstable();
+                cuts.dedup();
+                for cut in cuts {
+                    let ceiling = grouped_ceiling(&epochs, k, cut, record_bytes);
+                    let crashed = journal_dir.replay_prefix(k, Some(cut));
+                    let label = format!("grouped torn write at op {k}, {cut}/{len} bytes");
+                    if k < create_done {
+                        let _ = DurableFleet::recover(Box::new(crashed));
+                    } else {
+                        check_recovery(crashed, acked, ceiling, &label);
+                    }
+                    crash_points += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        crash_points > 100,
+        "the grouped workload must expose a rich crash surface, got {crash_points}"
+    );
+    // The sweep must have crossed the interesting delta-chain
+    // structure: incremental installs, a full-image fold, compactions.
+    let renames_to = |name: &str| {
+        journal
+            .iter()
+            .any(|op| matches!(op, qram_core::store::DirOp::Rename { to, .. } if *to == name))
+    };
+    assert!(
+        renames_to(&delta_file(1)) && renames_to(&delta_file(2)),
+        "workload must install a delta chain"
+    );
+    assert!(
+        renames_to(CHECKPOINT_FILE),
+        "workload must fold the chain into a full image"
+    );
+    assert!(renames_to(WAL_FILE), "workload must compact the WAL");
+}
+
+#[test]
+fn bit_flips_inside_a_partially_flushed_group_are_detected_never_misread() {
+    // One synced group of three, then a second group whose flush the
+    // lying disk cuts mid-record: the platter keeps the first record of
+    // the group whole plus a fragment of the second. Every single-bit
+    // flip anywhere in that WAL — including inside the partial group —
+    // must cost at most the tail, never misread as state.
+    let mut store =
+        DurableFleet::create_with(Box::new(SimDir::new()), &base(), CheckpointPolicy::never())
+            .expect("create")
+            .with_group_commit(GroupCommitPolicy::group(3, 0.0));
+    for e in 1..=3 {
+        store.append(&write(e)).expect("append");
+    }
+    let record_bytes = {
+        let sim = store
+            .dir_mut()
+            .as_any_mut()
+            .downcast_mut::<SimDir>()
+            .expect("SimDir");
+        sim.len_of(WAL_FILE).expect("first group landed") / 3
+    };
+    store.append(&write(4)).expect("buffered");
+    store.append(&write(5)).expect("buffered");
+    store
+        .dir_mut()
+        .tear_next_write(record_bytes + frame::HEADER_LEN + 3);
+    store.flush().expect("flush believes the disk");
+    let mut dir = store.into_dir();
+    let sim = dir
+        .as_any_mut()
+        .downcast_mut::<SimDir>()
+        .expect("SimDir")
+        .clone();
+    let baseline = DurableFleet::recover(Box::new(sim.clone())).expect("recover");
+    assert_eq!(
+        baseline.epoch, 4,
+        "the completed first record of the torn group survives"
+    );
+    let wal_len = sim.len_of(WAL_FILE).expect("wal exists");
+    for offset in 0..wal_len {
+        for bit in [0u32, 5] {
+            let mut dirty = sim.clone();
+            dirty.flip_bit(WAL_FILE, offset, bit);
+            let recovered = DurableFleet::recover(Box::new(dirty))
+                .unwrap_or_else(|e| panic!("bit flip at byte {offset}: recovery failed: {e}"));
+            assert!(recovered.epoch <= 4);
+            assert_eq!(
+                recovered.memory.cells(),
+                expected_memory(recovered.epoch).cells(),
+                "bit {bit} of byte {offset} was silently misread"
+            );
+        }
+    }
 }
 
 #[test]

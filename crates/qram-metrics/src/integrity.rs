@@ -47,8 +47,23 @@ pub struct IntegrityCounters {
     /// Write-ahead-log records appended (one per durable fleet epoch,
     /// plus any re-appends after a tail truncation).
     pub wal_appends: u64,
-    /// Checkpoint images installed (each compacts the WAL behind it).
+    /// Commit-group syncs: durability barriers actually paid. Under
+    /// per-record commit this equals `wal_appends`; under group commit
+    /// the gap between the two is the fsyncs saved.
+    pub wal_syncs: u64,
+    /// Largest commit group landed by a single sync.
+    pub max_group_records: u64,
+    /// Full checkpoint images installed (each compacts the WAL behind
+    /// it and folds any delta chain).
     pub checkpoints: u64,
+    /// Incremental delta checkpoints installed (each also compacts the
+    /// WAL, but writes only the cells dirtied since the last one).
+    pub delta_checkpoints: u64,
+    /// Length of the delta chain at end of run — a gauge, not a
+    /// counter. `None` when no checkpoint work ran at all, which is
+    /// *not* the same as a chain of zero deltas (that means a full
+    /// image is installed and current).
+    pub delta_chain_len: Option<u64>,
 }
 
 impl IntegrityCounters {
@@ -65,15 +80,25 @@ impl fmt::Display for IntegrityCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scrubs={} chunks={} mismatches={} repairs={} torn_tails={} wal_appends={} checkpoints={}",
+            "scrubs={} chunks={} mismatches={} repairs={} torn_tails={} wal_appends={} \
+             wal_syncs={} max_group={} checkpoints={} deltas={} chain=",
             self.scrub_cycles,
             self.chunks_verified,
             self.mismatches,
             self.repairs,
             self.torn_tails_truncated,
             self.wal_appends,
+            self.wal_syncs,
+            self.max_group_records,
             self.checkpoints,
-        )
+            self.delta_checkpoints,
+        )?;
+        // A run that never checkpointed has no chain to speak of — `-`
+        // rather than a `0` that would read as "full image, current".
+        match self.delta_chain_len {
+            Some(len) => write!(f, "{len}"),
+            None => write!(f, "-"),
+        }
     }
 }
 
@@ -101,6 +126,9 @@ mod tests {
             chunks_verified: 96,
             mismatches: 2,
             repairs: 2,
+            wal_syncs: 7,
+            max_group_records: 32,
+            delta_checkpoints: 4,
             ..Default::default()
         };
         let shown = c.to_string();
@@ -108,5 +136,28 @@ mod tests {
         assert!(shown.contains("chunks=96"));
         assert!(shown.contains("mismatches=2"));
         assert!(shown.contains("repairs=2"));
+        assert!(shown.contains("wal_syncs=7"));
+        assert!(shown.contains("max_group=32"));
+        assert!(shown.contains("deltas=4"));
+    }
+
+    #[test]
+    fn a_chainless_run_reports_dash_not_zero() {
+        // No checkpoint ever ran: a 0 here would claim "full image,
+        // current" — the zero-state lie this field exists to avoid.
+        let none = IntegrityCounters::default();
+        assert!(none.to_string().ends_with("chain=-"));
+        let zero = IntegrityCounters {
+            checkpoints: 1,
+            delta_chain_len: Some(0),
+            ..Default::default()
+        };
+        assert!(zero.to_string().ends_with("chain=0"));
+        let some = IntegrityCounters {
+            delta_checkpoints: 2,
+            delta_chain_len: Some(2),
+            ..Default::default()
+        };
+        assert!(some.to_string().ends_with("chain=2"));
     }
 }

@@ -31,6 +31,7 @@
 //! schedules no monitor events and its behavior is bit-identical to the
 //! fault-free serving loop (property-tested in `tests/fleet_faults.rs`).
 
+use qram_core::store::GroupCommitPolicy;
 use qram_metrics::Layers;
 use qram_sched::{RetryPolicy, SloClass};
 use qsim::branch::QueryOutcome;
@@ -518,6 +519,17 @@ pub struct FaultConfig {
     /// Memory cells per digest chunk in scrub comparisons (granularity
     /// of divergence localization).
     pub scrub_chunk_cells: usize,
+    /// Commit-group policy for the durable store: how many WAL records
+    /// may share one sync, and the virtual-time flush deadline the
+    /// reactor arms when a group opens. The default per-record policy
+    /// is the pre-group-commit behavior, sync for sync.
+    pub group_commit: GroupCommitPolicy,
+    /// When set, the health monitor retunes `group_commit.max_records`
+    /// each tick from the observed append rate (double under load,
+    /// halve when idle, clamped to the given bounds) — observe, adapt,
+    /// assert: the durability contract is unchanged because only the
+    /// batching knob moves, never the ack-at-sync point.
+    pub adaptive_group_commit: Option<AdaptiveGroupCommit>,
 }
 
 impl Default for FaultConfig {
@@ -532,6 +544,29 @@ impl Default for FaultConfig {
             brownout: None,
             scrub_interval: None,
             scrub_chunk_cells: 64,
+            group_commit: GroupCommitPolicy::per_record(),
+            adaptive_group_commit: None,
+        }
+    }
+}
+
+/// Bounds for the monitor-driven commit-group controller: the group
+/// size doubles while a monitor interval lands more appends than the
+/// current group holds, and halves when the interval ran dry, clamped
+/// to `[min_records, max_records]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveGroupCommit {
+    /// Smallest group size the controller may fall back to.
+    pub min_records: usize,
+    /// Largest group size the controller may grow to.
+    pub max_records: usize,
+}
+
+impl Default for AdaptiveGroupCommit {
+    fn default() -> Self {
+        AdaptiveGroupCommit {
+            min_records: 1,
+            max_records: 128,
         }
     }
 }

@@ -70,7 +70,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use qram_core::store::{chunk_digests, frame, CheckpointPolicy, DurableFleet, SimDir, StoreError};
+use qram_core::store::{
+    chunk_digests, frame, CheckpointPolicy, DurableFleet, SimDir, StoreError, SyncSummary,
+};
 use qram_core::{ExecError, QramModel, ReplicatedMemory, ReplicatedWrite, ShardedQram};
 use qram_metrics::{
     AvailabilityCounters, HistogramFamily, IntegrityCounters, LatencyHistogram, Layers, QueryRate,
@@ -322,6 +324,10 @@ enum Event {
     MonitorTick,
     /// The anti-entropy scrubber audits the WAL and replica digests.
     ScrubTick,
+    /// The open commit group's flush deadline: land it even if it never
+    /// fills. `seq` is the durability tier's sync count when the group
+    /// opened — a later sync makes the firing stale.
+    WalFlush { seq: u64 },
     /// An injected [`Fault::DiskCorrupt`] flips a bit in one replica
     /// memory cell, bypassing the replication log.
     DiskCorrupt { replica: usize, cell: u64 },
@@ -864,6 +870,7 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                     | Event::StallEnd { .. }
                     | Event::MonitorTick
                     | Event::ScrubTick
+                    | Event::WalFlush { .. }
                     | Event::DiskCorrupt { .. }
                     | Event::Retry { .. }
                     | Event::HedgeCheck { .. }
@@ -1117,7 +1124,8 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
         let retry = &fault_config.retry;
         let mut brownout: Option<BrownoutController> =
             fault_config.brownout.map(BrownoutController::new);
-        let monitoring = !plan.is_empty() || brownout.is_some();
+        let monitoring =
+            !plan.is_empty() || brownout.is_some() || fault_config.adaptive_group_commit.is_some();
         let has_slow = plan.has_slow_faults();
         let keep_address = !plan.is_empty() || fault_config.hedge_delay.is_some();
         let replica_slots = aggregate_cap as usize
@@ -1155,18 +1163,28 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                     memory.cells(),
                     "the durable chain must end at the run's starting memory"
                 );
+                s.set_group_commit(fault_config.group_commit);
                 Some(Durability::new(s))
             }
-            None if plan.has_disk_faults() || fault_config.scrub_interval.is_some() => {
+            None if plan.has_disk_faults()
+                || fault_config.scrub_interval.is_some()
+                || fault_config.adaptive_group_commit.is_some() =>
+            {
                 let fresh = DurableFleet::create_with(
                     Box::new(SimDir::new()),
                     memory,
                     CheckpointPolicy::never(),
-                )?;
+                )?
+                .with_group_commit(fault_config.group_commit);
                 Some(Durability::new(ephemeral.insert(fresh)))
             }
             None => None,
         };
+        // Fleet epochs whose Replicate fan-out is already scheduled.
+        // With a durability tier, replication only fans out from
+        // *synced* epochs (ack-at-sync); the watermark is monotone so a
+        // lying-disk rollback and re-append never duplicates an event.
+        let mut repl_scheduled = 0u64;
 
         if monitoring {
             assert!(
@@ -1339,10 +1357,12 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                                 .unwrap_or(write.origin)
                         };
                         let epoch = replicated.write_at(origin, write.address, write.value);
+                        let mut synced_to = None;
                         if let Some(d) = durability.as_mut() {
                             // Log the write durably before replication
-                            // fans out: append + sync is the
-                            // acknowledgment point. A planned torn write
+                            // fans out: the commit-group sync is the
+                            // acknowledgment point (per-record policy
+                            // syncs right here). A planned torn write
                             // arms the lying-disk hook — the append
                             // reports success, the platter keeps only a
                             // partial record, and a later scrub's rescan
@@ -1353,24 +1373,56 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                                 address: write.address,
                                 value: write.value,
                             };
-                            d.append(&w, plan.tears(epoch))?;
+                            let summary = d.append(&w, plan.tears(epoch))?;
+                            if summary.synced_records > 0 {
+                                synced_to = Some(d.synced_fleet_epoch());
+                            } else if d.store.pending_records() == 1 {
+                                // This write opened a fresh commit
+                                // group: arm its flush deadline so a
+                                // lull in writes cannot hold the
+                                // acknowledgment hostage.
+                                let delay = d.store.group_commit().max_delay;
+                                if delay > 0.0 {
+                                    events.push(
+                                        now + Layers::new(delay),
+                                        Event::WalFlush { seq: d.syncs },
+                                    );
+                                }
+                            }
                         }
                         let applied = replicated.applied_epoch(origin);
                         snapshots[origin].insert(applied, replicated.memory(origin).clone());
                         if num_replicas > 1 {
-                            match plan.replication_fate(epoch) {
-                                ReplicationFate::Deliver => {
-                                    events.push(
-                                        now + self.config.replication_lag,
-                                        Event::Replicate { epoch },
+                            if durability.is_some() {
+                                // Ack-at-sync: replication (and with it
+                                // the stale-read watermark) only fans
+                                // out from synced epochs.
+                                if let Some(to) = synced_to {
+                                    schedule_replication(
+                                        &mut events,
+                                        plan,
+                                        self.config.replication_lag,
+                                        now,
+                                        repl_scheduled,
+                                        to,
                                     );
+                                    repl_scheduled = repl_scheduled.max(to);
                                 }
-                                ReplicationFate::Drop => {}
-                                ReplicationFate::Delay(by) => {
-                                    events.push(
-                                        now + self.config.replication_lag + by,
-                                        Event::Replicate { epoch },
-                                    );
+                            } else {
+                                match plan.replication_fate(epoch) {
+                                    ReplicationFate::Deliver => {
+                                        events.push(
+                                            now + self.config.replication_lag,
+                                            Event::Replicate { epoch },
+                                        );
+                                    }
+                                    ReplicationFate::Drop => {}
+                                    ReplicationFate::Delay(by) => {
+                                        events.push(
+                                            now + self.config.replication_lag + by,
+                                            Event::Replicate { epoch },
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -1510,6 +1562,23 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                         if alive[replica] && rejoin_at[replica] == Some(now.get()) {
                             rejoin_at[replica] = None;
                             if let Some(d) = durability.as_mut() {
+                                // Land the open commit group first so
+                                // the rejoin audit sees the full synced
+                                // prefix, and fan out replication for
+                                // whatever that sync acknowledged.
+                                d.flush()?;
+                                let to = d.synced_fleet_epoch();
+                                if num_replicas > 1 && to > repl_scheduled {
+                                    schedule_replication(
+                                        &mut events,
+                                        plan,
+                                        self.config.replication_lag,
+                                        now,
+                                        repl_scheduled,
+                                        to,
+                                    );
+                                }
+                                repl_scheduled = repl_scheduled.max(to);
                                 // Replay from disk, not the in-memory
                                 // log: audit the WAL, then reset the
                                 // restarted replica to the durable
@@ -1596,12 +1665,54 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                             };
                             controller.observe(occupancy);
                         }
+                        if let (Some(bounds), Some(d)) =
+                            (fault_config.adaptive_group_commit, durability.as_mut())
+                        {
+                            // Observe the append rate over the tick,
+                            // adapt the batching knob, assert nothing:
+                            // the ack-at-sync contract is untouched
+                            // because only group *size* moves. Double
+                            // while the interval outran the group,
+                            // halve when it ran at most half full.
+                            let appends = d.counters.wal_appends - d.appends_at_tick;
+                            d.appends_at_tick = d.counters.wal_appends;
+                            let mut g = d.store.group_commit();
+                            let current = g.max_records;
+                            let next = if appends > current as u64 {
+                                current.saturating_mul(2).min(bounds.max_records)
+                            } else if appends <= (current as u64) / 2 {
+                                (current / 2).max(bounds.min_records)
+                            } else {
+                                current
+                            };
+                            if next != current {
+                                g.max_records = next.max(1);
+                                d.store.set_group_commit(g);
+                            }
+                        }
                         if open > 0 || arrivals.peek().is_some() {
                             events.push(now + fault_config.monitor_interval, Event::MonitorTick);
                         }
                     }
                     Event::ScrubTick => {
                         if let Some(d) = durability.as_mut() {
+                            // Land the open commit group (and schedule
+                            // replication for what it synced) before
+                            // auditing, so the disk and the in-memory
+                            // view describe the same prefix.
+                            d.flush()?;
+                            let to = d.synced_fleet_epoch();
+                            if num_replicas > 1 && to > repl_scheduled {
+                                schedule_replication(
+                                    &mut events,
+                                    plan,
+                                    self.config.replication_lag,
+                                    now,
+                                    repl_scheduled,
+                                    to,
+                                );
+                            }
+                            repl_scheduled = repl_scheduled.max(to);
                             d.scrub(
                                 &mut replicated,
                                 &alive,
@@ -1612,6 +1723,27 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
                         if let Some(interval) = fault_config.scrub_interval {
                             if open > 0 || arrivals.peek().is_some() {
                                 events.push(now + interval, Event::ScrubTick);
+                            }
+                        }
+                    }
+                    Event::WalFlush { seq } => {
+                        if let Some(d) = durability.as_mut() {
+                            // Stale when a fuller group already synced
+                            // (seq moved on) or the group emptied.
+                            if d.syncs == seq && d.store.pending_records() > 0 {
+                                d.flush()?;
+                                let to = d.synced_fleet_epoch();
+                                if num_replicas > 1 && to > repl_scheduled {
+                                    schedule_replication(
+                                        &mut events,
+                                        plan,
+                                        self.config.replication_lag,
+                                        now,
+                                        repl_scheduled,
+                                        to,
+                                    );
+                                }
+                                repl_scheduled = repl_scheduled.max(to);
                             }
                         }
                     }
@@ -1776,6 +1908,13 @@ impl<M: QramModel + Clone, P: AdmissionPolicy, L: PlacementPolicy> QramFleet<M, 
             }
         }
 
+        // Drain any still-open commit group: a run ending mid-group
+        // (max_delay 0, or the deadline never fired because the reactor
+        // emptied) must not report its last writes as unsynced.
+        if let Some(d) = durability.as_mut() {
+            d.flush()?;
+        }
+
         // A final anti-entropy sweep: divergence injected after the last
         // scheduled tick (or in runs too short to reach one) is still
         // found and repaired before the report closes.
@@ -1911,6 +2050,13 @@ struct Durability<'a> {
     /// of this run lives at store epoch `wal_base + e`.
     wal_base: u64,
     counters: IntegrityCounters,
+    /// Commit-group syncs paid so far — the freshness token carried by
+    /// armed [`Event::WalFlush`] deadlines: a deadline whose `seq` is
+    /// behind this counter raced a size-triggered flush and is stale.
+    syncs: u64,
+    /// `counters.wal_appends` at the last monitor tick, for the
+    /// adaptive group-commit controller's per-tick append rate.
+    appends_at_tick: u64,
 }
 
 impl<'a> Durability<'a> {
@@ -1920,13 +2066,37 @@ impl<'a> Durability<'a> {
             store,
             wal_base,
             counters: IntegrityCounters::default(),
+            syncs: 0,
+            appends_at_tick: 0,
+        }
+    }
+
+    /// Folds one store [`SyncSummary`] into the integrity ledger and
+    /// the sync sequence number.
+    fn note(&mut self, summary: SyncSummary) {
+        if summary.synced_records > 0 {
+            self.syncs += 1;
+            self.counters.wal_syncs += 1;
+            self.counters.max_group_records = self
+                .counters
+                .max_group_records
+                .max(summary.synced_records as u64);
+        }
+        if summary.checkpointed {
+            if summary.delta {
+                self.counters.delta_checkpoints += 1;
+            } else {
+                self.counters.checkpoints += 1;
+            }
+            self.counters.delta_chain_len = Some(self.store.delta_chain_len() as u64);
         }
     }
 
     /// Logs one committed fleet write durably; `torn` arms the
     /// lying-disk hook so the append reports success while the platter
-    /// keeps only [`TORN_KEEP_BYTES`].
-    fn append(&mut self, w: &ReplicatedWrite, torn: bool) -> Result<(), StoreError> {
+    /// keeps only [`TORN_KEEP_BYTES`]. Under group commit the record
+    /// may buffer; the returned summary says whether a sync landed.
+    fn append(&mut self, w: &ReplicatedWrite, torn: bool) -> Result<SyncSummary, StoreError> {
         if torn {
             self.store.dir_mut().tear_next_write(TORN_KEEP_BYTES);
         }
@@ -1934,12 +2104,24 @@ impl<'a> Durability<'a> {
             epoch: self.wal_base + w.epoch,
             ..*w
         };
-        let checkpointed = self.store.append(&stored)?;
+        let summary = self.store.append(&stored)?;
         self.counters.wal_appends += 1;
-        if checkpointed {
-            self.counters.checkpoints += 1;
-        }
-        Ok(())
+        self.note(summary);
+        Ok(summary)
+    }
+
+    /// Lands any buffered commit group now (deadline flush, pre-audit
+    /// barrier, end-of-run drain).
+    fn flush(&mut self) -> Result<SyncSummary, StoreError> {
+        let summary = self.store.flush()?;
+        self.note(summary);
+        Ok(summary)
+    }
+
+    /// The highest fleet epoch whose record has reached a synced group
+    /// — the ack/replication watermark.
+    fn synced_fleet_epoch(&self) -> u64 {
+        self.store.durable_epoch().saturating_sub(self.wal_base)
     }
 
     /// Audits the on-disk WAL against the store's view: a torn tail is
@@ -1947,6 +2129,9 @@ impl<'a> Durability<'a> {
     /// epochs re-appended from the fleet's in-memory log (each counted
     /// as a repair).
     fn audit_disk(&mut self, replicated: &ReplicatedMemory) -> Result<(), StoreError> {
+        // Land the open group through the ledger first, so the store's
+        // own pre-rescan flush has nothing left to sync invisibly.
+        self.flush()?;
         let summary = self.store.rescan()?;
         if summary.truncated_bytes > 0 {
             self.counters.torn_tails_truncated += 1;
@@ -1960,14 +2145,15 @@ impl<'a> Durability<'a> {
                         epoch: stored_epoch,
                         ..*w
                     };
-                    let checkpointed = self.store.append(&stored)?;
+                    let summary = self.store.append(&stored)?;
                     self.counters.wal_appends += 1;
                     self.counters.repairs += 1;
-                    if checkpointed {
-                        self.counters.checkpoints += 1;
-                    }
+                    self.note(summary);
                 }
             }
+            // Re-appends buffer under the same group policy — the
+            // audit's promise is a durable tail, so land them now.
+            self.flush()?;
         }
         Ok(())
     }
@@ -2049,6 +2235,34 @@ struct QueryState {
     last_replica: usize,
     hedged: bool,
     hedge_replica: Option<usize>,
+}
+
+/// Fans replication catch-ups out for fleet epochs `(from_excl,
+/// to_incl]`, each through the fault plan's per-epoch fate. Under the
+/// durability tier replication is gated on commit-group syncs, so a
+/// single sync may acknowledge — and here schedule — a whole group of
+/// epochs at once; the caller advances its `repl_scheduled` watermark
+/// to `to_incl` afterwards so rollbacks and re-appends never fan the
+/// same epoch out twice.
+fn schedule_replication(
+    events: &mut EventQueue<Event>,
+    plan: &FaultPlan,
+    lag: Layers,
+    now: Layers,
+    from_excl: u64,
+    to_incl: u64,
+) {
+    for epoch in from_excl + 1..=to_incl {
+        match plan.replication_fate(epoch) {
+            ReplicationFate::Deliver => {
+                events.push(now + lag, Event::Replicate { epoch });
+            }
+            ReplicationFate::Drop => {}
+            ReplicationFate::Delay(by) => {
+                events.push(now + lag + by, Event::Replicate { epoch });
+            }
+        }
+    }
 }
 
 fn snapshot_loads(replicas: &[Replica], health: &[ReplicaHealth]) -> Vec<ReplicaLoad> {

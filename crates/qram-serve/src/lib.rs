@@ -72,8 +72,8 @@ pub mod replica;
 pub mod service;
 
 pub use fault::{
-    corrupt_outcome, parity_bit, BrownoutConfig, BrownoutController, Fault, FaultConfig, FaultPlan,
-    ReplicaHealth, ReplicationFate,
+    corrupt_outcome, parity_bit, AdaptiveGroupCommit, BrownoutConfig, BrownoutController, Fault,
+    FaultConfig, FaultPlan, ReplicaHealth, ReplicationFate,
 };
 pub use fleet::{
     ConsistentHashPlacement, DurableServeError, FleetConfig, FleetQuery, FleetReport, FleetRequest,

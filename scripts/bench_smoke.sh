@@ -6,7 +6,8 @@
 #   output.json defaults to BENCH_seed.json.
 #   --targets filters both the figure/table targets and the criterion
 #   targets (perf, sharded, parallel_exec, cache_hit, compiled_exec,
-#   columnar_exec, serving, fleet, fleet_faults, recovery) by name, e.g.
+#   columnar_exec, serving, fleet, fleet_faults, recovery, durability)
+#   by name, e.g.
 #   --targets fig9,sharded. The parallel_exec target is built with the
 #   `parallel` cargo feature so its A/B pairs compare the scoped-thread
 #   executor against the sequential reference in one binary.
@@ -21,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 FIGURE_TARGETS=(fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
                 table1 table2 table3 table4 table5 ablation)
-CRITERION_TARGETS=(perf sharded parallel_exec cache_hit compiled_exec columnar_exec serving fleet fleet_faults recovery)
+CRITERION_TARGETS=(perf sharded parallel_exec cache_hit compiled_exec columnar_exec serving fleet fleet_faults recovery durability)
 
 # Cargo feature flags needed by specific criterion targets.
 target_features() {

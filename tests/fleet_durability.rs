@@ -13,14 +13,14 @@
 //!   across serving runs, and recovery from its directory rebuilds
 //!   exactly the final memory image.
 
-use fat_tree_qram::core::store::{CheckpointPolicy, DurableFleet, SimDir};
+use fat_tree_qram::core::store::{CheckpointPolicy, DurableFleet, GroupCommitPolicy, SimDir};
 use fat_tree_qram::core::{FatTreeQram, ShardedQram};
 use fat_tree_qram::metrics::{Capacity, Layers, TimingModel};
 use fat_tree_qram::qsim::branch::{AddressState, ClassicalMemory};
 use fat_tree_qram::sched::{FifoAdmission, TenantId};
 use fat_tree_qram::serve::{
-    ConsistentHashPlacement, Fault, FaultConfig, FaultPlan, FleetConfig, FleetRequest, FleetWrite,
-    QramFleet,
+    AdaptiveGroupCommit, ConsistentHashPlacement, Fault, FaultConfig, FaultPlan, FleetConfig,
+    FleetRequest, FleetWrite, QramFleet,
 };
 
 fn checkerboard(n: u64) -> ClassicalMemory {
@@ -253,6 +253,204 @@ fn a_restarted_replica_rejoins_from_the_durable_chain() {
         "the rejoin audit caught the lying disk: {integrity}"
     );
     assert!(integrity.repairs >= 1, "{integrity}");
+}
+
+/// A write stream of `n` writes spaced `gap` layers apart, each
+/// touching a distinct cell.
+fn write_stream(n: u64, gap: f64) -> Vec<FleetWrite> {
+    (0..n)
+        .map(|i| FleetWrite {
+            at: Layers::new(10.0 + gap * i as f64),
+            origin: 0,
+            address: (i * 7) % 64,
+            value: i % 2,
+        })
+        .collect()
+}
+
+#[test]
+fn group_commit_batches_acknowledgments_into_fewer_syncs() {
+    // Eight writes under a four-record group: two syncs, not eight —
+    // the ledger shows exactly the fsyncs the batching saved, and the
+    // store's durable watermark still covers every write by run end.
+    let memory = checkerboard(64);
+    let mut store =
+        DurableFleet::create_with(Box::new(SimDir::new()), &memory, CheckpointPolicy::never())
+            .unwrap();
+    let config = FaultConfig {
+        group_commit: GroupCommitPolicy::group(4, 0.0),
+        ..FaultConfig::default()
+    };
+    let mut fleet = fifo_fleet(1, 2);
+    let report = fleet
+        .serve_durable(
+            &memory,
+            vec![request(0, 300.0, 1)],
+            write_stream(8, 20.0),
+            &FaultPlan::none(),
+            &config,
+            &mut store,
+        )
+        .unwrap();
+    assert_eq!(report.fleet_epoch(), 8);
+    let integrity = report.integrity();
+    assert_eq!(integrity.wal_appends, 8, "{integrity}");
+    assert_eq!(
+        integrity.wal_syncs, 2,
+        "two full groups of four: {integrity}"
+    );
+    assert_eq!(integrity.max_group_records, 4, "{integrity}");
+    assert_eq!(store.durable_epoch(), 8, "nothing left buffered");
+    assert_eq!(store.pending_records(), 0);
+}
+
+#[test]
+fn a_flush_deadline_lands_a_lonely_write() {
+    // One write opens a group that will never fill; the armed deadline
+    // flushes it mid-run rather than holding the acknowledgment until
+    // the end-of-run drain.
+    let memory = checkerboard(64);
+    let mut store =
+        DurableFleet::create_with(Box::new(SimDir::new()), &memory, CheckpointPolicy::never())
+            .unwrap();
+    let config = FaultConfig {
+        group_commit: GroupCommitPolicy::group(8, 25.0),
+        ..FaultConfig::default()
+    };
+    let mut fleet = fifo_fleet(1, 2);
+    let report = fleet
+        .serve_durable(
+            &memory,
+            vec![request(0, 5.0, 1)],
+            write_stream(1, 20.0),
+            &FaultPlan::none(),
+            &config,
+            &mut store,
+        )
+        .unwrap();
+    let integrity = report.integrity();
+    assert_eq!(integrity.wal_appends, 1, "{integrity}");
+    assert_eq!(integrity.wal_syncs, 1, "the deadline flushed: {integrity}");
+    assert_eq!(integrity.max_group_records, 1, "{integrity}");
+    assert_eq!(store.durable_epoch(), 1);
+}
+
+#[test]
+fn delta_checkpoints_chain_then_fold_in_the_ledger() {
+    // Policy: checkpoint every 2 epochs, fold past a chain of 2. Six
+    // writes → deltas at epochs 2 and 4, a full fold at 6 — and the
+    // report distinguishes all three from each other and from "never
+    // checkpointed".
+    let memory = checkerboard(64);
+    let mut store = DurableFleet::create_with(
+        Box::new(SimDir::new()),
+        &memory,
+        CheckpointPolicy::deltas(2, 2),
+    )
+    .unwrap();
+    let mut fleet = fifo_fleet(1, 2);
+    let report = fleet
+        .serve_durable(
+            &memory,
+            vec![request(0, 200.0, 1)],
+            write_stream(6, 25.0),
+            &FaultPlan::none(),
+            &FaultConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+    let integrity = report.integrity();
+    assert_eq!(integrity.delta_checkpoints, 2, "{integrity}");
+    assert_eq!(
+        integrity.checkpoints, 1,
+        "the fold is a full image: {integrity}"
+    );
+    assert_eq!(
+        integrity.delta_chain_len,
+        Some(0),
+        "the fold left a bare base image: {integrity}"
+    );
+    assert_eq!(store.delta_chain_len(), 0);
+    assert_eq!(store.checkpoint_epoch(), 6);
+}
+
+#[test]
+fn a_checkpoint_free_run_reports_no_chain_at_all() {
+    // The zero-state fix: no checkpoint work ran, so the chain gauge is
+    // absent — not a `0` that would read as "full image, current".
+    let memory = checkerboard(64);
+    let mut store =
+        DurableFleet::create_with(Box::new(SimDir::new()), &memory, CheckpointPolicy::never())
+            .unwrap();
+    let mut fleet = fifo_fleet(1, 2);
+    let report = fleet
+        .serve_durable(
+            &memory,
+            vec![request(0, 60.0, 1)],
+            write_stream(2, 20.0),
+            &FaultPlan::none(),
+            &FaultConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+    let integrity = report.integrity();
+    assert_eq!(integrity.delta_chain_len, None, "{integrity}");
+    assert!(integrity.to_string().ends_with("chain=-"), "{integrity}");
+}
+
+#[test]
+fn the_adaptive_controller_widens_groups_under_a_write_burst() {
+    // Dense writes with a fast monitor: each tick sees more appends
+    // than the current group holds and doubles the knob, clamped to the
+    // configured ceiling. The run ends with wider groups than it began
+    // and fewer syncs than appends.
+    let memory = checkerboard(64);
+    let mut store =
+        DurableFleet::create_with(Box::new(SimDir::new()), &memory, CheckpointPolicy::never())
+            .unwrap();
+    let config = FaultConfig {
+        monitor_interval: Layers::new(20.0),
+        adaptive_group_commit: Some(AdaptiveGroupCommit {
+            min_records: 1,
+            max_records: 8,
+        }),
+        ..FaultConfig::default()
+    };
+    let requests: Vec<FleetRequest> = (0..6)
+        .map(|i| request(i, 40.0 * i as f64, i as u64))
+        .collect();
+    let mut fleet = fifo_fleet(1, 2);
+    let report = fleet
+        .serve_durable(
+            &memory,
+            requests,
+            write_stream(48, 4.0),
+            &FaultPlan::none(),
+            &config,
+            &mut store,
+        )
+        .unwrap();
+    assert_eq!(report.fleet_epoch(), 48);
+    let integrity = report.integrity();
+    assert_eq!(integrity.wal_appends, 48, "{integrity}");
+    assert!(
+        integrity.wal_syncs < integrity.wal_appends,
+        "widened groups paid fewer syncs: {integrity}"
+    );
+    assert!(
+        integrity.max_group_records > 1,
+        "at least one multi-record group landed: {integrity}"
+    );
+    // Both directions: the burst widened the knob (multi-record groups
+    // landed above), and the idle ticks after the burst halved it back
+    // down below the ceiling before the run closed.
+    assert!(
+        store.group_commit().max_records < 8,
+        "idle ticks narrow the knob back: {:?}",
+        store.group_commit()
+    );
+    assert!(store.group_commit().max_records >= 1);
+    assert_eq!(store.durable_epoch(), 48, "the end-of-run drain synced all");
 }
 
 #[test]
